@@ -1,0 +1,81 @@
+//! End-to-end federated-round benchmarks: one full communication round per
+//! algorithm on the tiny-scale MNIST stand-in (10 parties, MLP model), so
+//! the per-algorithm overheads (FedProx's proximal term, SCAFFOLD's
+//! control variates, FedNova's normalization) are directly comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use niid_core::experiment::ExperimentSpec;
+use niid_core::partition::{build_parties, partition, Strategy};
+use niid_data::{generate, DatasetId, GenConfig};
+use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
+use niid_fl::local::LocalConfig;
+use niid_fl::Algorithm;
+use niid_nn::ModelSpec;
+use std::hint::black_box;
+
+fn one_round_config(algorithm: Algorithm) -> FlConfig {
+    FlConfig {
+        algorithm,
+        rounds: 1,
+        local: LocalConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        sample_fraction: 1.0,
+        buffer_policy: BufferPolicy::Average,
+        eval_batch_size: 256,
+        eval_every: 1,
+        server_lr: 1.0,
+        seed: 1,
+        threads: 1,
+    }
+}
+
+fn bench_round_per_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round_adult_10parties");
+    group.sample_size(10);
+    let gen = GenConfig::tiny(21);
+    let split = generate(DatasetId::Adult, &gen);
+    let part = partition(&split.train, 10, Strategy::DirichletLabelSkew { beta: 0.5 }, 3)
+        .expect("partition");
+    let parties = build_parties(&split.train, &part, 4);
+    let spec = ExperimentSpec::new(
+        DatasetId::Adult,
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        Algorithm::FedAvg,
+        gen,
+    );
+    let model: ModelSpec = spec.model_spec();
+    for algo in Algorithm::all_default() {
+        group.bench_function(algo.name(), |bench| {
+            bench.iter(|| {
+                let sim = FedSim::new(
+                    model.clone(),
+                    parties.clone(),
+                    split.test.clone(),
+                    one_round_config(algo),
+                )
+                .expect("sim");
+                black_box(sim.run().expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_round_per_algorithm
+}
+criterion_main!(benches);

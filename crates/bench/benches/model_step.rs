@@ -1,0 +1,70 @@
+//! Model-level benchmarks: one forward+backward+SGD step for each of the
+//! paper's architectures, plus the flat state (de)serialization that the
+//! federated server performs every round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use niid_nn::{lenet_cnn, mlp, resnet_lite, vgg9, Network, Sgd};
+use niid_stats::Pcg64;
+use niid_tensor::Tensor;
+use std::hint::black_box;
+
+fn train_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize]) -> f64 {
+    net.zero_grads();
+    let loss = net.forward_backward(x.clone(), y);
+    let mut params = net.params_flat();
+    opt.step(&mut params, &net.grads_flat());
+    net.set_params_flat(&params);
+    loss
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step_batch32");
+    group.sample_size(20);
+    let mut rng = Pcg64::new(4);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+
+    let cases: Vec<(&str, Network, Vec<usize>)> = vec![
+        ("lenet_cnn_16px", lenet_cnn(1, 16, 10, 1), vec![32, 1, 16, 16]),
+        ("mlp_64d", mlp(64, 10, 2), vec![32, 64]),
+        ("vgg9_w4_16px", vgg9(3, 16, 10, 4, 3), vec![32, 3, 16, 16]),
+        (
+            "resnet_lite_w8_16px",
+            resnet_lite(3, 16, 10, 8, 1, 4),
+            vec![32, 3, 16, 16],
+        ),
+    ];
+    for (name, mut net, shape) in cases {
+        let x = Tensor::randn(&shape, 1.0, &mut rng);
+        let mut opt = Sgd::new(net.param_count(), 0.01, 0.9, 0.0);
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(train_step(&mut net, &mut opt, &x, &labels)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat_state(c: &mut Criterion) {
+    let net = lenet_cnn(1, 16, 10, 5);
+    c.bench_function("params_flat_lenet", |bench| {
+        bench.iter(|| black_box(net.params_flat()))
+    });
+    let flat = net.params_flat();
+    let mut net2 = lenet_cnn(1, 16, 10, 6);
+    c.bench_function("set_params_flat_lenet", |bench| {
+        bench.iter(|| net2.set_params_flat(black_box(&flat)))
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_models, bench_flat_state
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 4: noise-based feature imbalance on the FMNIST-like dataset —
+//! party `Pᵢ` receives Gaussian noise of variance `σ·i/N`. The paper shows
+//! noised example images; here we report each party's noise level and the
+//! measured feature-variance inflation, which is the statistic the images
+//! illustrate.
+
+use niid_bench::{print_header, Args};
+use niid_core::partition::{build_parties, partition, Strategy};
+use niid_core::Table;
+use niid_data::{generate, DatasetId};
+
+fn main() {
+    let args = Args::parse();
+    print_header("Figure 4: x^ ~ Gau(sigma * i/N) on FMNIST", &args);
+    let sigma = 0.1; // the Table 3 feature-skew setting
+    let split = generate(DatasetId::Fmnist, &args.gen_config());
+    let part = partition(
+        &split.train,
+        10,
+        Strategy::NoiseFeatureSkew { sigma },
+        args.seed,
+    )
+    .expect("partition");
+    let parties = build_parties(&split.train, &part, args.seed);
+
+    // Baseline feature variance without any noise.
+    let var_of = |vals: &[f32]| -> f64 {
+        let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        vals.iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / vals.len() as f64
+    };
+    let base_var = var_of(split.train.features.as_slice());
+
+    let mut t = Table::new(vec![
+        "party",
+        "noise variance (sigma*i/N)",
+        "measured feature variance",
+        "excess over clean data",
+    ]);
+    for p in &parties {
+        let applied = sigma * (p.id + 1) as f64 / parties.len() as f64;
+        let v = var_of(p.data.features.as_slice());
+        t.add_row(vec![
+            format!("P{}", p.id + 1),
+            format!("{applied:.4}"),
+            format!("{v:.4}"),
+            format!("{:+.4}", v - base_var),
+        ]);
+    }
+    println!("clean-data feature variance: {base_var:.4}");
+    println!("{t}");
+    println!("excess variance grows linearly with the party index — the feature\ndistributions differ across parties while labels stay balanced (§4.2)");
+}

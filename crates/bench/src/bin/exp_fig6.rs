@@ -1,0 +1,56 @@
+//! Figure 6: the decision tree that picks "the (almost) best FL algorithm
+//! given the non-IID setting" — exercised both with declared skew kinds
+//! and with skew kinds *inferred* from measured partitions.
+
+use niid_bench::{print_header, Args};
+use niid_core::partition::{partition, Strategy};
+use niid_core::recommend::{recommend, recommend_from_report, InferenceThresholds};
+use niid_core::skew::analyze;
+use niid_core::Table;
+use niid_data::{generate, DatasetId};
+
+fn main() {
+    let args = Args::parse();
+    print_header("Figure 6: decision tree for algorithm selection", &args);
+
+    println!("declared skew kind -> recommendation:");
+    let mut t = Table::new(vec!["partitioning strategy", "skew family", "recommended"]);
+    for strategy in [
+        Strategy::Homogeneous,
+        Strategy::QuantityLabelSkew { k: 1 },
+        Strategy::QuantityLabelSkew { k: 3 },
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        Strategy::NoiseFeatureSkew { sigma: 0.1 },
+        Strategy::FcubeSynthetic,
+        Strategy::ByWriter,
+        Strategy::QuantitySkew { beta: 0.5 },
+    ] {
+        let kind = strategy.skew_kind();
+        t.add_row(vec![
+            strategy.label(),
+            format!("{kind:?}"),
+            recommend(kind).name().to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    println!("inferred from measured partitions (§6.1 profiling direction):");
+    let split = generate(DatasetId::Mnist, &args.gen_config());
+    let mut t = Table::new(vec!["actual partition", "inferred kind", "recommended"]);
+    for strategy in [
+        Strategy::Homogeneous,
+        Strategy::QuantityLabelSkew { k: 2 },
+        Strategy::DirichletLabelSkew { beta: 0.1 },
+        Strategy::QuantitySkew { beta: 0.2 },
+    ] {
+        let part = partition(&split.train, 10, strategy, args.seed).expect("partition");
+        let report = analyze(&split.train, &part);
+        let (kind, algo) = recommend_from_report(&report, InferenceThresholds::default());
+        t.add_row(vec![
+            strategy.label(),
+            format!("{kind:?}"),
+            algo.name().to_string(),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,41 @@
+//! Table 2: dataset statistics — the paper's reported sizes next to what
+//! this run's scale actually generates.
+
+use niid_bench::{print_header, Args};
+use niid_core::Table;
+use niid_data::{generate, DatasetId};
+
+fn main() {
+    let args = Args::parse();
+    print_header("Table 2: dataset statistics (paper vs generated)", &args);
+    let gen = args.gen_config();
+    let mut t = Table::new(vec![
+        "dataset",
+        "#train (paper)",
+        "#test (paper)",
+        "#features (paper)",
+        "#classes",
+        "#train (generated)",
+        "#test (generated)",
+        "#features (generated)",
+    ]);
+    for id in DatasetId::all() {
+        let p = id.paper_stats();
+        let split = generate(id, &gen);
+        t.add_row(vec![
+            id.name().to_string(),
+            p.train_instances.to_string(),
+            p.test_instances.to_string(),
+            p.features.to_string(),
+            p.classes.to_string(),
+            split.train.len().to_string(),
+            split.test.len().to_string(),
+            split.train.dim().to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "generated columns reflect the selected scale; --paper-scale \
+         reproduces the paper's sizes exactly (image side 28/32 excepted; see DESIGN.md)"
+    );
+}

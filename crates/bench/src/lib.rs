@@ -1,0 +1,234 @@
+//! Shared plumbing for the experiment binaries (`exp_table*`, `exp_fig*`).
+//!
+//! Every binary regenerates one table or figure of the paper. They share a
+//! tiny hand-rolled CLI:
+//!
+//! ```text
+//! --quick        tiny scale (seconds; smoke-testing the harness)
+//! --paper-scale  full Table 2 sizes and paper round counts (very slow on CPU)
+//! --seed <u64>   master seed (default 42)
+//! --rounds <n>   override communication rounds
+//! --trials <n>   override trial count
+//! --json <path>  also write results as JSON
+//! ```
+//!
+//! The default (no flag) is the `bench` scale recorded in EXPERIMENTS.md.
+
+use niid_core::experiment::ExperimentSpec;
+use niid_data::GenConfig;
+use std::io::Write;
+
+/// Scale profile for an experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke test.
+    Quick,
+    /// The default profile used for EXPERIMENTS.md.
+    Bench,
+    /// Full paper settings.
+    Paper,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Round-count override.
+    pub rounds: Option<usize>,
+    /// Trial-count override.
+    pub trials: Option<usize>,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`; exits with a usage message on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args {
+            scale: Scale::Bench,
+            seed: 42,
+            rounds: None,
+            trials: None,
+            json: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--quick" => out.scale = Scale::Quick,
+                "--paper-scale" => out.scale = Scale::Paper,
+                "--seed" => {
+                    out.seed = take("--seed").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --seed: {e}");
+                        std::process::exit(2);
+                    })
+                }
+                "--rounds" => {
+                    out.rounds = Some(take("--rounds").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --rounds: {e}");
+                        std::process::exit(2);
+                    }))
+                }
+                "--trials" => {
+                    out.trials = Some(take("--trials").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --trials: {e}");
+                        std::process::exit(2);
+                    }))
+                }
+                "--json" => out.json = Some(take("--json")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--quick | --paper-scale] [--seed N] [--rounds N] \
+                         [--trials N] [--json PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Data-generation config for the selected scale.
+    pub fn gen_config(&self) -> GenConfig {
+        match self.scale {
+            Scale::Quick => GenConfig::tiny(self.seed),
+            Scale::Bench => GenConfig::bench(self.seed),
+            Scale::Paper => GenConfig::paper(self.seed),
+        }
+    }
+
+    /// Apply the scale's round/epoch/trial defaults (and any explicit
+    /// overrides) onto a spec. `paper_rounds` is the figure's own round
+    /// count in the paper (50 for Table 3, 100 for Fig. 12, ...).
+    pub fn apply(&self, spec: &mut ExperimentSpec, paper_rounds: usize, paper_trials: usize) {
+        match self.scale {
+            Scale::Quick => {
+                spec.rounds = 3;
+                spec.local_epochs = 2;
+                spec.batch_size = 32;
+                spec.trials = 1;
+            }
+            Scale::Bench => {
+                spec.rounds = 15;
+                spec.local_epochs = 5;
+                spec.batch_size = 32;
+                spec.trials = 1;
+            }
+            Scale::Paper => {
+                spec.rounds = paper_rounds;
+                spec.local_epochs = 10;
+                spec.batch_size = 64;
+                spec.trials = paper_trials;
+            }
+        }
+        if let Some(r) = self.rounds {
+            spec.rounds = r;
+        }
+        if let Some(t) = self.trials {
+            spec.trials = t;
+        }
+    }
+}
+
+/// Print a standard experiment header.
+pub fn print_header(what: &str, args: &Args) {
+    println!("=== {what} ===");
+    println!(
+        "scale: {:?}   seed: {}   (use --quick / --paper-scale to change)",
+        args.scale, args.seed
+    );
+    println!();
+}
+
+/// Write a serializable value as pretty JSON if `--json` was given.
+pub fn maybe_write_json<T: serde::Serialize>(args: &Args, value: &T) {
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(value).expect("serialize results");
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        f.write_all(json.as_bytes()).expect("write json");
+        println!("(results written to {path})");
+    }
+}
+
+/// Render a training curve as a compact ASCII sparkline plus key points,
+/// used by the figure binaries.
+pub fn curve_line(label: &str, curve: &[(usize, f64)]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let spark: String = curve
+        .iter()
+        .map(|&(_, acc)| {
+            let idx = ((acc * 8.0) as usize).min(7);
+            BARS[idx]
+        })
+        .collect();
+    let last = curve.last().map(|&(_, a)| a).unwrap_or(0.0);
+    format!("{label:<28} {spark}  final {:.1}%", last * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Bench);
+        assert_eq!(a.seed, 42);
+        assert!(a.rounds.is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--quick", "--seed", "7", "--rounds", "9", "--trials", "2"]);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.rounds, Some(9));
+        assert_eq!(a.trials, Some(2));
+    }
+
+    #[test]
+    fn apply_respects_overrides() {
+        use niid_core::partition::Strategy;
+        use niid_data::DatasetId;
+        use niid_fl::Algorithm;
+        let a = parse(&["--rounds", "4"]);
+        let mut spec = ExperimentSpec::new(
+            DatasetId::Mnist,
+            Strategy::Homogeneous,
+            Algorithm::FedAvg,
+            a.gen_config(),
+        );
+        a.apply(&mut spec, 50, 3);
+        assert_eq!(spec.rounds, 4, "explicit --rounds wins");
+        assert_eq!(spec.trials, 1, "bench scale default");
+    }
+
+    #[test]
+    fn curve_line_formats() {
+        let s = curve_line("FedAvg", &[(0, 0.1), (1, 0.5), (2, 0.9)]);
+        assert!(s.starts_with("FedAvg"));
+        assert!(s.contains("final 90.0%"));
+    }
+}

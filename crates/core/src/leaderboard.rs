@@ -1,0 +1,172 @@
+//! Algorithm leaderboard, mirroring the ranking the NIID-Bench repository
+//! maintains and Table 3's "number of times that performs best" rows.
+
+use crate::experiment::ExperimentResult;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One leaderboard entry: an algorithm's mean accuracy on one setting
+/// (dataset × partition).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Setting key, e.g. `cifar10 / #C=2`.
+    pub setting: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean accuracy over trials.
+    pub mean_accuracy: f64,
+    /// Std of accuracy over trials.
+    pub std_accuracy: f64,
+}
+
+/// Collects experiment results and ranks algorithms per setting.
+#[derive(Debug, Clone, Default)]
+pub struct Leaderboard {
+    entries: Vec<Entry>,
+}
+
+impl Leaderboard {
+    /// Empty leaderboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an experiment result.
+    pub fn add(&mut self, result: &ExperimentResult) {
+        self.entries.push(Entry {
+            setting: format!("{} / {}", result.dataset, result.strategy),
+            algorithm: result.algorithm.clone(),
+            mean_accuracy: result.mean_accuracy,
+            std_accuracy: result.std_accuracy,
+        });
+    }
+
+    /// Record a raw entry (used when results come from saved JSON).
+    pub fn add_entry(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
+    /// All distinct settings, sorted.
+    pub fn settings(&self) -> Vec<String> {
+        let mut s: Vec<String> = self.entries.iter().map(|e| e.setting.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    }
+
+    /// Entries for one setting, best first.
+    pub fn ranking(&self, setting: &str) -> Vec<&Entry> {
+        let mut rows: Vec<&Entry> = self
+            .entries
+            .iter()
+            .filter(|e| e.setting == setting)
+            .collect();
+        rows.sort_by(|a, b| {
+            b.mean_accuracy
+                .partial_cmp(&a.mean_accuracy)
+                .expect("NaN accuracy")
+        });
+        rows
+    }
+
+    /// The winning algorithm per setting.
+    pub fn winners(&self) -> BTreeMap<String, String> {
+        self.settings()
+            .into_iter()
+            .filter_map(|s| {
+                self.ranking(&s)
+                    .first()
+                    .map(|e| (s.clone(), e.algorithm.clone()))
+            })
+            .collect()
+    }
+
+    /// Table 3's "number of times that performs best" per algorithm.
+    pub fn win_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        // Ensure every algorithm that appears is present even with 0 wins.
+        for e in &self.entries {
+            counts.entry(e.algorithm.clone()).or_insert(0usize);
+        }
+        for (_, winner) in self.winners() {
+            *counts.entry(winner).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Render the full leaderboard as a text table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec!["setting", "rank", "algorithm", "accuracy"]);
+        for setting in self.settings() {
+            for (rank, e) in self.ranking(&setting).iter().enumerate() {
+                t.add_row(vec![
+                    setting.clone(),
+                    format!("{}", rank + 1),
+                    e.algorithm.clone(),
+                    format!(
+                        "{:.1}%±{:.1}%",
+                        e.mean_accuracy * 100.0,
+                        e.std_accuracy * 100.0
+                    ),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(setting: &str, algo: &str, acc: f64) -> Entry {
+        Entry {
+            setting: setting.into(),
+            algorithm: algo.into(),
+            mean_accuracy: acc,
+            std_accuracy: 0.01,
+        }
+    }
+
+    fn sample_board() -> Leaderboard {
+        let mut b = Leaderboard::new();
+        b.add_entry(entry("mnist / #C=1", "FedAvg", 0.30));
+        b.add_entry(entry("mnist / #C=1", "FedProx", 0.41));
+        b.add_entry(entry("mnist / #C=1", "SCAFFOLD", 0.10));
+        b.add_entry(entry("cifar10 / q~Dir(0.5)", "FedAvg", 0.72));
+        b.add_entry(entry("cifar10 / q~Dir(0.5)", "FedProx", 0.71));
+        b.add_entry(entry("cifar10 / q~Dir(0.5)", "SCAFFOLD", 0.62));
+        b
+    }
+
+    #[test]
+    fn ranking_orders_by_accuracy() {
+        let b = sample_board();
+        let r = b.ranking("mnist / #C=1");
+        assert_eq!(r[0].algorithm, "FedProx");
+        assert_eq!(r[2].algorithm, "SCAFFOLD");
+    }
+
+    #[test]
+    fn winners_and_counts() {
+        let b = sample_board();
+        let winners = b.winners();
+        assert_eq!(winners["mnist / #C=1"], "FedProx");
+        assert_eq!(winners["cifar10 / q~Dir(0.5)"], "FedAvg");
+        let counts = b.win_counts();
+        assert_eq!(counts["FedProx"], 1);
+        assert_eq!(counts["FedAvg"], 1);
+        assert_eq!(counts["SCAFFOLD"], 0, "zero-win algorithms still listed");
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let b = sample_board();
+        let t = b.to_table();
+        assert_eq!(t.num_rows(), 6);
+        let s = t.to_string();
+        assert!(s.contains("FedProx"));
+        assert!(s.contains("41.0%"));
+    }
+}

@@ -1,0 +1,758 @@
+//! The six NIID-Bench partitioning strategies (§4) plus the homogeneous
+//! baseline.
+//!
+//! | Strategy | Paper notation | Skew family |
+//! |---|---|---|
+//! | [`Strategy::Homogeneous`] | IID | none |
+//! | [`Strategy::QuantityLabelSkew`] | `#C = k` | label (quantity-based) |
+//! | [`Strategy::DirichletLabelSkew`] | `p_k ~ Dir(β)` | label (distribution-based) |
+//! | [`Strategy::NoiseFeatureSkew`] | `x̂ ~ Gau(σ)` | feature (noise-based) |
+//! | [`Strategy::FcubeSynthetic`] | FCUBE | feature (synthetic) |
+//! | [`Strategy::ByWriter`] | FEMNIST | feature (real-world) |
+//! | [`Strategy::QuantitySkew`] | `q ~ Dir(β)` | quantity |
+
+use niid_data::{add_gaussian_noise, fcube_octant, Dataset};
+use niid_fl::Party;
+use niid_stats::{derive_seed, sample_dirichlet, Pcg64};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// IID baseline: a uniform random split.
+    Homogeneous,
+    /// Each party holds samples of exactly `k` classes (`#C = k`).
+    QuantityLabelSkew {
+        /// Number of distinct labels per party (`1 <= k <= num_classes`).
+        k: usize,
+    },
+    /// For every class, party shares are drawn from `Dir_N(beta)`.
+    DirichletLabelSkew {
+        /// Concentration; smaller = more skewed (paper default 0.5).
+        beta: f64,
+    },
+    /// IID split, then party `Pᵢ` adds Gaussian noise of variance
+    /// `sigma · (i+1)/N` to its local features.
+    NoiseFeatureSkew {
+        /// Maximum noise variance (the last party's level).
+        sigma: f64,
+    },
+    /// FCUBE's geometric split: each of 4 parties gets two octants that
+    /// are symmetric about the origin.
+    FcubeSynthetic,
+    /// Real-world feature skew: writers are divided evenly among parties
+    /// and each party receives all samples of its writers.
+    ByWriter,
+    /// Party sizes are drawn from `Dir_N(beta)` over the whole dataset.
+    QuantitySkew {
+        /// Concentration; smaller = more unbalanced sizes.
+        beta: f64,
+    },
+}
+
+impl Strategy {
+    /// Paper-style short label (`#C=2`, `p_k~Dir(0.5)`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Homogeneous => "homogeneous".to_string(),
+            Strategy::QuantityLabelSkew { k } => format!("#C={k}"),
+            Strategy::DirichletLabelSkew { beta } => format!("p_k~Dir({beta})"),
+            Strategy::NoiseFeatureSkew { sigma } => format!("x^~Gau({sigma})"),
+            Strategy::FcubeSynthetic => "fcube-synthetic".to_string(),
+            Strategy::ByWriter => "by-writer".to_string(),
+            Strategy::QuantitySkew { beta } => format!("q~Dir({beta})"),
+        }
+    }
+
+    /// The skew family this strategy exercises, for the decision tree.
+    pub fn skew_kind(&self) -> crate::recommend::SkewKind {
+        use crate::recommend::SkewKind;
+        match *self {
+            Strategy::Homogeneous => SkewKind::Homogeneous,
+            Strategy::QuantityLabelSkew { k } => SkewKind::LabelQuantityBased { k },
+            Strategy::DirichletLabelSkew { beta } => {
+                SkewKind::LabelDistributionBased { beta }
+            }
+            Strategy::NoiseFeatureSkew { .. } => SkewKind::FeatureNoise,
+            Strategy::FcubeSynthetic => SkewKind::FeatureSynthetic,
+            Strategy::ByWriter => SkewKind::FeatureRealWorld,
+            Strategy::QuantitySkew { .. } => SkewKind::Quantity,
+        }
+    }
+}
+
+/// Errors from partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// `#C = k` with `k` outside `[1, num_classes]`.
+    BadLabelCount {
+        /// Requested labels per party.
+        k: usize,
+        /// Classes available.
+        classes: usize,
+    },
+    /// The strategy needs writer metadata the dataset lacks.
+    NeedsWriterIds,
+    /// FCUBE's split is defined for exactly 4 parties over 3-D features.
+    FcubeShape {
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// Fewer samples (or writers) than parties.
+    NotEnoughData {
+        /// Explanation.
+        message: String,
+    },
+    /// A non-positive concentration or noise level.
+    BadParameter {
+        /// Explanation.
+        message: String,
+    },
+    /// Zero parties requested.
+    NoParties,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::BadLabelCount { k, classes } => write!(
+                f,
+                "#C={k} is invalid for a dataset with {classes} classes (need 1 <= k <= classes)"
+            ),
+            PartitionError::NeedsWriterIds => {
+                write!(f, "by-writer partitioning needs a dataset with writer ids")
+            }
+            PartitionError::FcubeShape { message } => write!(f, "fcube partition: {message}"),
+            PartitionError::NotEnoughData { message } => write!(f, "not enough data: {message}"),
+            PartitionError::BadParameter { message } => write!(f, "bad parameter: {message}"),
+            PartitionError::NoParties => write!(f, "cannot partition into zero parties"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// The result of partitioning: for each party, the row indices of its
+/// local data. Disjointness and validity are enforced by construction and
+/// re-checked by [`Partition::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// `assignments[p]` = training-set row indices owned by party `p`.
+    pub assignments: Vec<Vec<usize>>,
+    /// The strategy that produced this partition.
+    pub strategy: Strategy,
+}
+
+impl Partition {
+    /// Number of parties.
+    pub fn num_parties(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Total samples assigned (may be less than the dataset when `#C = k`
+    /// leaves classes without an owner — see [`partition`] docs).
+    pub fn assigned_count(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+
+    /// Party sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.assignments.iter().map(Vec::len).collect()
+    }
+
+    /// Check structural invariants against a dataset of `n` rows:
+    /// all indices in range and no index assigned twice.
+    ///
+    /// # Panics
+    /// Panics on violation — these are internal bugs, never data issues.
+    pub fn validate(&self, n: usize) {
+        let mut seen = vec![false; n];
+        for (p, rows) in self.assignments.iter().enumerate() {
+            for &i in rows {
+                assert!(i < n, "party {p} assigned out-of-range row {i} (n={n})");
+                assert!(!seen[i], "row {i} assigned to two parties");
+                seen[i] = true;
+            }
+        }
+    }
+}
+
+/// Partition `train` into `n_parties` silos with the given strategy.
+///
+/// Notes on faithfulness to the reference NIID-Bench implementation:
+///
+/// * `#C = k`: each party's first label is `party_index mod classes`
+///   (guaranteeing every class has an owner whenever
+///   `n_parties >= classes`), remaining labels are drawn uniformly without
+///   replacement; each class's samples are split evenly among its owners.
+///   When `n_parties < classes`, classes that end up with no owner are
+///   dropped from the federated training set (the reference code behaves
+///   the same way).
+/// * `Dir(β)` strategies redraw (up to 100 times) until every party has at
+///   least `min(10, n / (10·N))+1` samples, mirroring the reference
+///   implementation's `min_size` loop; the best draw is kept if the limit
+///   is hit.
+pub fn partition(
+    train: &Dataset,
+    n_parties: usize,
+    strategy: Strategy,
+    seed: u64,
+) -> Result<Partition, PartitionError> {
+    if n_parties == 0 {
+        return Err(PartitionError::NoParties);
+    }
+    let n = train.len();
+    if n < n_parties {
+        return Err(PartitionError::NotEnoughData {
+            message: format!("{n} samples for {n_parties} parties"),
+        });
+    }
+    let mut rng = Pcg64::new(derive_seed(seed, 0x9A27));
+    let assignments = match strategy {
+        Strategy::Homogeneous | Strategy::NoiseFeatureSkew { .. } => {
+            if let Strategy::NoiseFeatureSkew { sigma } = strategy {
+                if !(sigma.is_finite() && sigma >= 0.0) {
+                    return Err(PartitionError::BadParameter {
+                        message: format!("noise sigma must be non-negative, got {sigma}"),
+                    });
+                }
+            }
+            homogeneous(n, n_parties, &mut rng)
+        }
+        Strategy::QuantityLabelSkew { k } => {
+            quantity_label_skew(train, n_parties, k, &mut rng)?
+        }
+        Strategy::DirichletLabelSkew { beta } => {
+            if !(beta.is_finite() && beta > 0.0) {
+                return Err(PartitionError::BadParameter {
+                    message: format!("beta must be positive, got {beta}"),
+                });
+            }
+            dirichlet_label_skew(train, n_parties, beta, &mut rng)
+        }
+        Strategy::QuantitySkew { beta } => {
+            if !(beta.is_finite() && beta > 0.0) {
+                return Err(PartitionError::BadParameter {
+                    message: format!("beta must be positive, got {beta}"),
+                });
+            }
+            quantity_skew(n, n_parties, beta, &mut rng)
+        }
+        Strategy::FcubeSynthetic => fcube_partition(train, n_parties)?,
+        Strategy::ByWriter => by_writer(train, n_parties, &mut rng)?,
+    };
+    let out = Partition {
+        assignments,
+        strategy,
+    };
+    out.validate(n);
+    Ok(out)
+}
+
+fn homogeneous(n: usize, parties: usize, rng: &mut Pcg64) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    split_even(&idx, parties)
+}
+
+/// Split a shuffled index list into `parties` near-equal contiguous parts.
+fn split_even(idx: &[usize], parties: usize) -> Vec<Vec<usize>> {
+    let n = idx.len();
+    let base = n / parties;
+    let extra = n % parties;
+    let mut out = Vec::with_capacity(parties);
+    let mut pos = 0usize;
+    for p in 0..parties {
+        let take = base + usize::from(p < extra);
+        out.push(idx[pos..pos + take].to_vec());
+        pos += take;
+    }
+    out
+}
+
+fn quantity_label_skew(
+    train: &Dataset,
+    parties: usize,
+    k: usize,
+    rng: &mut Pcg64,
+) -> Result<Vec<Vec<usize>>, PartitionError> {
+    let classes = train.num_classes;
+    if k == 0 || k > classes {
+        return Err(PartitionError::BadLabelCount { k, classes });
+    }
+    // Assign k distinct labels to each party; first label round-robin for
+    // coverage, the rest uniform without replacement.
+    let mut owners: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for p in 0..parties {
+        let mut chosen = vec![p % classes];
+        while chosen.len() < k {
+            let cand = rng.next_below(classes);
+            if !chosen.contains(&cand) {
+                chosen.push(cand);
+            }
+        }
+        for label in chosen {
+            owners[label].push(p);
+        }
+    }
+    // Split each class's samples evenly among its owners.
+    let by_class = train.indices_by_class();
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); parties];
+    for (label, rows) in by_class.into_iter().enumerate() {
+        let owning = &owners[label];
+        if owning.is_empty() {
+            continue; // dropped class (parties < classes with unlucky draw)
+        }
+        let mut rows = rows;
+        rng.shuffle(&mut rows);
+        for (chunk, &party) in split_even(&rows, owning.len()).iter().zip(owning) {
+            assignments[party].extend_from_slice(chunk);
+        }
+    }
+    Ok(assignments)
+}
+
+/// Guarantee no party ends up empty: move single samples from the largest
+/// parties to empty ones. Needed when the Dirichlet retry budget is
+/// exhausted (e.g. many parties over a small dataset, where tail shares
+/// round to zero no matter how often we redraw).
+fn top_up_empty_parties(assignments: &mut [Vec<usize>]) {
+    loop {
+        let Some(empty) = assignments.iter().position(Vec::is_empty) else {
+            return;
+        };
+        let donor = assignments
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, rows)| rows.len())
+            .map(|(i, _)| i)
+            .expect("non-empty assignment list");
+        if assignments[donor].len() <= 1 {
+            return; // fewer samples than parties; validated earlier
+        }
+        let moved = assignments[donor].pop().expect("donor has samples");
+        assignments[empty].push(moved);
+    }
+}
+
+fn dirichlet_label_skew(
+    train: &Dataset,
+    parties: usize,
+    beta: f64,
+    rng: &mut Pcg64,
+) -> Vec<Vec<usize>> {
+    let n = train.len();
+    let min_required = (n / (10 * parties)).clamp(1, 10);
+    let by_class = train.indices_by_class();
+    let mut best: Option<Vec<Vec<usize>>> = None;
+    let mut best_min = 0usize;
+    for _attempt in 0..100 {
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); parties];
+        for rows in &by_class {
+            if rows.is_empty() {
+                continue;
+            }
+            let mut rows = rows.clone();
+            rng.shuffle(&mut rows);
+            let props = sample_dirichlet(rng, parties, beta);
+            distribute_by_proportions(&rows, &props, &mut assignments);
+        }
+        let min_size = assignments.iter().map(Vec::len).min().unwrap_or(0);
+        if min_size >= min_required {
+            return assignments;
+        }
+        if min_size >= best_min {
+            best_min = min_size;
+            best = Some(assignments);
+        }
+    }
+    // 100 redraws exhausted (tiny datasets / extreme beta): keep the most
+    // balanced attempt, topping up any empty party with one sample so the
+    // federated engine's no-empty-party invariant holds.
+    let mut best = best.expect("at least one dirichlet attempt");
+    top_up_empty_parties(&mut best);
+    best
+}
+
+/// Give each party `round(props[p] * rows.len())` rows via cumulative
+/// cut-points (exactly exhausts `rows`).
+fn distribute_by_proportions(
+    rows: &[usize],
+    props: &[f64],
+    assignments: &mut [Vec<usize>],
+) {
+    let n = rows.len();
+    let mut cut_prev = 0usize;
+    let mut cum = 0.0f64;
+    for (p, &prop) in props.iter().enumerate() {
+        cum += prop;
+        let cut = if p + 1 == props.len() {
+            n
+        } else {
+            ((cum * n as f64).round() as usize).min(n)
+        };
+        if cut > cut_prev {
+            assignments[p].extend_from_slice(&rows[cut_prev..cut]);
+        }
+        cut_prev = cut.max(cut_prev);
+    }
+}
+
+fn quantity_skew(n: usize, parties: usize, beta: f64, rng: &mut Pcg64) -> Vec<Vec<usize>> {
+    let min_required = (n / (10 * parties)).clamp(1, 10);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut best: Option<Vec<Vec<usize>>> = None;
+    let mut best_min = 0usize;
+    for _attempt in 0..100 {
+        rng.shuffle(&mut idx);
+        let props = sample_dirichlet(rng, parties, beta);
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); parties];
+        distribute_by_proportions(&idx, &props, &mut assignments);
+        let min_size = assignments.iter().map(Vec::len).min().unwrap_or(0);
+        if min_size >= min_required {
+            return assignments;
+        }
+        if min_size >= best_min {
+            best_min = min_size;
+            best = Some(assignments);
+        }
+    }
+    let mut best = best.expect("at least one quantity-skew attempt");
+    top_up_empty_parties(&mut best);
+    best
+}
+
+fn fcube_partition(train: &Dataset, parties: usize) -> Result<Vec<Vec<usize>>, PartitionError> {
+    if parties != 4 {
+        return Err(PartitionError::FcubeShape {
+            message: format!("FCUBE defines exactly 4 parties, got {parties}"),
+        });
+    }
+    if train.dim() != 3 {
+        return Err(PartitionError::FcubeShape {
+            message: format!("FCUBE needs 3-D features, got {}", train.dim()),
+        });
+    }
+    // Party p owns octants p and 7-p (symmetric about the origin), making
+    // labels balanced but feature supports disjoint across parties.
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); 4];
+    for i in 0..train.len() {
+        let o = fcube_octant(train.features.row(i));
+        let party = o.min(7 - o);
+        assignments[party].push(i);
+    }
+    Ok(assignments)
+}
+
+fn by_writer(
+    train: &Dataset,
+    parties: usize,
+    rng: &mut Pcg64,
+) -> Result<Vec<Vec<usize>>, PartitionError> {
+    let writer_ids = train
+        .writer_ids
+        .as_ref()
+        .ok_or(PartitionError::NeedsWriterIds)?;
+    let mut writers: Vec<u32> = writer_ids.clone();
+    writers.sort_unstable();
+    writers.dedup();
+    if writers.len() < parties {
+        return Err(PartitionError::NotEnoughData {
+            message: format!("{} writers for {} parties", writers.len(), parties),
+        });
+    }
+    rng.shuffle(&mut writers);
+    // writer -> party by shuffled round-robin.
+    let mut party_of = std::collections::HashMap::with_capacity(writers.len());
+    for (i, &w) in writers.iter().enumerate() {
+        party_of.insert(w, i % parties);
+    }
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); parties];
+    for (row, &w) in writer_ids.iter().enumerate() {
+        assignments[party_of[&w]].push(row);
+    }
+    Ok(assignments)
+}
+
+/// Materialize [`niid_fl::Party`] values from a partition, applying the
+/// strategy's per-party feature transform (Gaussian noise for
+/// [`Strategy::NoiseFeatureSkew`]).
+pub fn build_parties(train: &Dataset, part: &Partition, seed: u64) -> Vec<Party> {
+    let n_parties = part.num_parties();
+    part.assignments
+        .iter()
+        .enumerate()
+        .map(|(id, rows)| {
+            let local = train.subset(rows);
+            let local = match part.strategy {
+                Strategy::NoiseFeatureSkew { sigma } => {
+                    // Party P_i gets Gau(σ·(i+1)/N): the paper's 1-based
+                    // party index, so every party has non-zero (and
+                    // distinct) noise except in the degenerate σ=0 case.
+                    let variance = sigma * (id + 1) as f64 / n_parties as f64;
+                    add_gaussian_noise(&local, variance, derive_seed(seed, 0xA05E + id as u64))
+                }
+                _ => local,
+            };
+            Party::new(id, local)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_data::{generate, generate_fcube, DatasetId, GenConfig};
+    use niid_tensor::Tensor;
+
+    fn labelled_dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+        let mut rng = Pcg64::new(seed);
+        let features = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, &mut rng);
+        let labels = (0..n).map(|i| i % classes).collect();
+        Dataset::new("lab", features, labels, classes, vec![4], None)
+    }
+
+    #[test]
+    fn homogeneous_is_even_and_complete() {
+        let d = labelled_dataset(103, 5, 1);
+        let p = partition(&d, 10, Strategy::Homogeneous, 2).unwrap();
+        assert_eq!(p.num_parties(), 10);
+        assert_eq!(p.assigned_count(), 103);
+        let sizes = p.sizes();
+        assert_eq!(*sizes.iter().max().unwrap() - *sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn quantity_label_skew_gives_exactly_k_labels() {
+        let d = labelled_dataset(500, 10, 3);
+        for k in [1usize, 2, 3] {
+            let p = partition(&d, 10, Strategy::QuantityLabelSkew { k }, 4).unwrap();
+            for (id, rows) in p.assignments.iter().enumerate() {
+                let mut labels: Vec<usize> = rows.iter().map(|&i| d.labels[i]).collect();
+                labels.sort_unstable();
+                labels.dedup();
+                assert!(
+                    labels.len() <= k && !labels.is_empty(),
+                    "#C={k}: party {id} has labels {labels:?}"
+                );
+            }
+            // With parties >= classes everything is assigned.
+            assert_eq!(p.assigned_count(), 500, "#C={k} dropped samples");
+        }
+    }
+
+    #[test]
+    fn quantity_label_skew_k1_single_class_parties() {
+        let d = labelled_dataset(200, 10, 5);
+        let p = partition(&d, 10, Strategy::QuantityLabelSkew { k: 1 }, 6).unwrap();
+        for rows in &p.assignments {
+            let first = d.labels[rows[0]];
+            assert!(rows.iter().all(|&i| d.labels[i] == first));
+        }
+    }
+
+    #[test]
+    fn quantity_label_skew_rejects_bad_k() {
+        let d = labelled_dataset(100, 4, 7);
+        assert!(matches!(
+            partition(&d, 5, Strategy::QuantityLabelSkew { k: 0 }, 8),
+            Err(PartitionError::BadLabelCount { .. })
+        ));
+        assert!(matches!(
+            partition(&d, 5, Strategy::QuantityLabelSkew { k: 5 }, 8),
+            Err(PartitionError::BadLabelCount { .. })
+        ));
+    }
+
+    #[test]
+    fn dirichlet_label_skew_covers_everything() {
+        let d = labelled_dataset(1000, 10, 9);
+        let p = partition(&d, 10, Strategy::DirichletLabelSkew { beta: 0.5 }, 10).unwrap();
+        assert_eq!(p.assigned_count(), 1000);
+        assert!(p.sizes().iter().all(|&s| s > 0), "empty party: {:?}", p.sizes());
+    }
+
+    #[test]
+    fn smaller_beta_skews_labels_more() {
+        let d = labelled_dataset(4000, 10, 11);
+        let skew_of = |beta: f64| -> f64 {
+            let p = partition(&d, 10, Strategy::DirichletLabelSkew { beta }, 12).unwrap();
+            // Mean (over parties) max label share.
+            p.assignments
+                .iter()
+                .map(|rows| {
+                    let mut h = [0usize; 10];
+                    for &i in rows {
+                        h[d.labels[i]] += 1;
+                    }
+                    *h.iter().max().unwrap() as f64 / rows.len().max(1) as f64
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        let tight = skew_of(100.0);
+        let loose = skew_of(0.1);
+        assert!(
+            loose > tight + 0.2,
+            "Dir(0.1) should be much more label-skewed than Dir(100): {loose} vs {tight}"
+        );
+    }
+
+    #[test]
+    fn quantity_skew_sizes_vary_with_beta() {
+        let d = labelled_dataset(2000, 2, 13);
+        let gini_of = |beta: f64| {
+            let p = partition(&d, 10, Strategy::QuantitySkew { beta }, 14).unwrap();
+            assert_eq!(p.assigned_count(), 2000);
+            let sizes: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
+            niid_stats::gini(&sizes)
+        };
+        assert!(gini_of(0.2) > gini_of(50.0) + 0.1);
+    }
+
+    #[test]
+    fn fcube_partition_octant_symmetric() {
+        let split = generate_fcube(2000, 100, 15);
+        let p = partition(&split.train, 4, Strategy::FcubeSynthetic, 16).unwrap();
+        assert_eq!(p.assigned_count(), 2000);
+        for (party, rows) in p.assignments.iter().enumerate() {
+            let mut octants: Vec<usize> = rows
+                .iter()
+                .map(|&i| fcube_octant(split.train.features.row(i)))
+                .collect();
+            octants.sort_unstable();
+            octants.dedup();
+            assert_eq!(octants, vec![party, 7 - party], "party {party}");
+            // Labels stay balanced within each party.
+            let ones = rows.iter().filter(|&&i| split.train.labels[i] == 1).count();
+            let frac = ones as f64 / rows.len() as f64;
+            assert!((frac - 0.5).abs() < 0.1, "party {party} label fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn fcube_partition_validates_shape() {
+        let split = generate_fcube(100, 10, 17);
+        assert!(matches!(
+            partition(&split.train, 5, Strategy::FcubeSynthetic, 18),
+            Err(PartitionError::FcubeShape { .. })
+        ));
+        let d = labelled_dataset(100, 2, 19);
+        assert!(matches!(
+            partition(&d, 4, Strategy::FcubeSynthetic, 18),
+            Err(PartitionError::FcubeShape { .. })
+        ));
+    }
+
+    #[test]
+    fn by_writer_keeps_writers_whole() {
+        let cfg = GenConfig::tiny(20);
+        let split = generate(DatasetId::Femnist, &cfg);
+        let p = partition(&split.train, 4, Strategy::ByWriter, 21).unwrap();
+        assert_eq!(p.assigned_count(), split.train.len());
+        let wids = split.train.writer_ids.as_ref().unwrap();
+        // No writer spans two parties.
+        let mut owner: std::collections::HashMap<u32, usize> = Default::default();
+        for (party, rows) in p.assignments.iter().enumerate() {
+            for &r in rows {
+                let w = wids[r];
+                let prev = owner.insert(w, party);
+                assert!(prev.is_none() || prev == Some(party), "writer {w} split");
+            }
+        }
+    }
+
+    #[test]
+    fn by_writer_requires_writer_ids() {
+        let d = labelled_dataset(100, 2, 22);
+        assert!(matches!(
+            partition(&d, 4, Strategy::ByWriter, 23),
+            Err(PartitionError::NeedsWriterIds)
+        ));
+    }
+
+    #[test]
+    fn partitions_are_deterministic() {
+        let d = labelled_dataset(300, 10, 24);
+        let s = Strategy::DirichletLabelSkew { beta: 0.5 };
+        assert_eq!(partition(&d, 10, s, 25).unwrap(), partition(&d, 10, s, 25).unwrap());
+        assert_ne!(partition(&d, 10, s, 25).unwrap(), partition(&d, 10, s, 26).unwrap());
+    }
+
+    #[test]
+    fn build_parties_applies_increasing_noise() {
+        let d = labelled_dataset(400, 2, 27);
+        let p = partition(&d, 4, Strategy::NoiseFeatureSkew { sigma: 1.0 }, 28).unwrap();
+        let parties = build_parties(&d, &p, 29);
+        assert_eq!(parties.len(), 4);
+        // Feature variance increases with party index (variance grows
+        // roughly as data variance + σ·(i+1)/N).
+        let var_of = |party: &Party| -> f64 {
+            let vals = party.data.features.as_slice();
+            let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+            vals.iter()
+                .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+                .sum::<f64>()
+                / vals.len() as f64
+        };
+        let v0 = var_of(&parties[0]);
+        let v3 = var_of(&parties[3]);
+        assert!(
+            v3 > v0 + 0.4,
+            "last party should be much noisier: {v0} vs {v3}"
+        );
+    }
+
+    #[test]
+    fn build_parties_no_transform_for_other_strategies() {
+        let d = labelled_dataset(100, 2, 30);
+        let p = partition(&d, 4, Strategy::Homogeneous, 31).unwrap();
+        let parties = build_parties(&d, &p, 32);
+        // Rows must match the source exactly.
+        let first_row_idx = p.assignments[0][0];
+        assert_eq!(parties[0].data.features.row(0), d.features.row(first_row_idx));
+    }
+
+    #[test]
+    fn strategy_labels_match_paper_notation() {
+        assert_eq!(Strategy::QuantityLabelSkew { k: 2 }.label(), "#C=2");
+        assert_eq!(
+            Strategy::DirichletLabelSkew { beta: 0.5 }.label(),
+            "p_k~Dir(0.5)"
+        );
+        assert_eq!(Strategy::QuantitySkew { beta: 0.5 }.label(), "q~Dir(0.5)");
+    }
+
+    #[test]
+    fn many_parties_small_data_never_yields_empty_party() {
+        // Regression: q~Dir(0.5) with 100 parties over 2000 samples used to
+        // leave parties empty (tail Dirichlet shares round to zero), which
+        // the federated engine rejects.
+        let d = labelled_dataset(2000, 10, 40);
+        for strategy in [
+            Strategy::QuantitySkew { beta: 0.5 },
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+        ] {
+            for seed in 0..5 {
+                let p = partition(&d, 100, strategy, seed).unwrap();
+                assert!(
+                    p.sizes().iter().all(|&s| s > 0),
+                    "{} seed {seed}: {:?}",
+                    strategy.label(),
+                    p.sizes()
+                );
+                assert_eq!(p.assigned_count(), 2000);
+            }
+        }
+    }
+
+    #[test]
+    fn not_enough_samples_is_an_error() {
+        let d = labelled_dataset(3, 2, 33);
+        assert!(matches!(
+            partition(&d, 10, Strategy::Homogeneous, 34),
+            Err(PartitionError::NotEnoughData { .. })
+        ));
+    }
+}

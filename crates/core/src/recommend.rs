@@ -1,0 +1,189 @@
+//! Figure 6's decision tree as an executable API.
+//!
+//! The paper distills its Table 3 observations into a decision tree that
+//! picks "the (almost) best FL algorithm given the non-IID setting":
+//!
+//! * feature distribution skew → **SCAFFOLD** ("if the local datasets are
+//!   likely to have feature distribution skew ... SCAFFOLD may be the best
+//!   algorithm"),
+//! * label distribution skew or quantity skew → **FedProx** ("in label
+//!   distribution skew and quantity skew cases, FedProx usually achieves
+//!   the best accuracy"; for `#C = 1` "FedProx can significantly
+//!   outperform FedAvg, SCAFFOLD and FedNova"),
+//! * homogeneous (or no prior knowledge) → **FedAvg**, the simplest
+//!   method with no extra hyper-parameters or communication.
+//!
+//! [`recommend`] takes the declared skew kind; [`recommend_from_report`]
+//! infers the kind from a measured [`SkewReport`] (the paper's §6.1
+//! "light-weight data techniques for profiling non-IID data" direction).
+
+use crate::skew::SkewReport;
+use niid_fl::{Algorithm, ControlVariateUpdate};
+use serde::{Deserialize, Serialize};
+
+/// The non-IID families of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SkewKind {
+    /// No skew (IID).
+    Homogeneous,
+    /// Each party holds `k` classes (`#C = k`).
+    LabelQuantityBased {
+        /// Labels per party.
+        k: usize,
+    },
+    /// Dirichlet label allocation.
+    LabelDistributionBased {
+        /// Concentration.
+        beta: f64,
+    },
+    /// Noise-based feature skew.
+    FeatureNoise,
+    /// Synthetic (FCUBE-style) feature skew.
+    FeatureSynthetic,
+    /// Real-world (writer-based) feature skew.
+    FeatureRealWorld,
+    /// Quantity skew.
+    Quantity,
+}
+
+/// Recommend an algorithm for a declared skew kind (Figure 6).
+pub fn recommend(kind: SkewKind) -> Algorithm {
+    match kind {
+        SkewKind::Homogeneous => Algorithm::FedAvg,
+        SkewKind::LabelQuantityBased { .. } | SkewKind::LabelDistributionBased { .. } => {
+            Algorithm::FedProx { mu: 0.01 }
+        }
+        SkewKind::Quantity => Algorithm::FedProx { mu: 0.001 },
+        SkewKind::FeatureNoise | SkewKind::FeatureSynthetic | SkewKind::FeatureRealWorld => {
+            Algorithm::Scaffold {
+                variant: ControlVariateUpdate::Reuse,
+            }
+        }
+    }
+}
+
+/// Thresholds for inferring a skew kind from measured label/quantity
+/// statistics. Label skew is judged on the **sample-weighted** TV so
+/// quantity-skewed partitions (whose tiny parties have noisy label
+/// histograms) are not misread as label skew. Feature skew is invisible to label statistics, so this can
+/// only distinguish label skew, quantity skew and near-IID; callers that
+/// know their features are heterogeneous should use [`recommend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceThresholds {
+    /// Mean label-TV above this ⇒ label distribution skew.
+    pub label_tv: f64,
+    /// Quantity Gini above this ⇒ quantity skew.
+    pub gini: f64,
+}
+
+impl Default for InferenceThresholds {
+    fn default() -> Self {
+        Self {
+            label_tv: 0.2,
+            gini: 0.25,
+        }
+    }
+}
+
+/// Infer the dominant skew from a measured report and recommend.
+///
+/// Returns the inferred kind alongside the recommendation so callers can
+/// display the reasoning.
+pub fn recommend_from_report(
+    report: &SkewReport,
+    thresholds: InferenceThresholds,
+) -> (SkewKind, Algorithm) {
+    let classes = report.global_histogram.len();
+    let kind = if report.weighted_label_tv > thresholds.label_tv {
+        // Distinguish the extreme quantity-based case (very few labels per
+        // party) from the smoother Dirichlet-style skew.
+        if report.mean_labels_per_party < classes as f64 * 0.5 {
+            SkewKind::LabelQuantityBased {
+                k: report.mean_labels_per_party.round().max(1.0) as usize,
+            }
+        } else {
+            SkewKind::LabelDistributionBased { beta: f64::NAN }
+        }
+    } else if report.quantity_gini > thresholds.gini {
+        SkewKind::Quantity
+    } else {
+        SkewKind::Homogeneous
+    };
+    (kind, recommend(kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition, Strategy};
+    use crate::skew::analyze;
+    use niid_data::Dataset;
+    use niid_stats::Pcg64;
+    use niid_tensor::Tensor;
+
+    #[test]
+    fn figure6_mapping() {
+        assert_eq!(recommend(SkewKind::Homogeneous).name(), "FedAvg");
+        assert_eq!(
+            recommend(SkewKind::LabelQuantityBased { k: 1 }).name(),
+            "FedProx"
+        );
+        assert_eq!(
+            recommend(SkewKind::LabelDistributionBased { beta: 0.5 }).name(),
+            "FedProx"
+        );
+        assert_eq!(recommend(SkewKind::Quantity).name(), "FedProx");
+        for kind in [
+            SkewKind::FeatureNoise,
+            SkewKind::FeatureSynthetic,
+            SkewKind::FeatureRealWorld,
+        ] {
+            assert_eq!(recommend(kind).name(), "SCAFFOLD");
+        }
+    }
+
+    fn dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+        let mut rng = Pcg64::new(seed);
+        Dataset::new(
+            "d",
+            Tensor::rand_uniform(&[n, 2], 0.0, 1.0, &mut rng),
+            (0..n).map(|i| i % classes).collect(),
+            classes,
+            vec![2],
+            None,
+        )
+    }
+
+    #[test]
+    fn inference_detects_label_skew() {
+        let d = dataset(1000, 10, 1);
+        let p = partition(&d, 10, Strategy::QuantityLabelSkew { k: 2 }, 2).unwrap();
+        let r = analyze(&d, &p);
+        let (kind, algo) = recommend_from_report(&r, InferenceThresholds::default());
+        assert!(
+            matches!(kind, SkewKind::LabelQuantityBased { .. }),
+            "{kind:?}"
+        );
+        assert_eq!(algo.name(), "FedProx");
+    }
+
+    #[test]
+    fn inference_detects_quantity_skew() {
+        let d = dataset(2000, 10, 3);
+        let p = partition(&d, 10, Strategy::QuantitySkew { beta: 0.15 }, 4).unwrap();
+        let r = analyze(&d, &p);
+        let (kind, algo) = recommend_from_report(&r, InferenceThresholds::default());
+        assert_eq!(kind, SkewKind::Quantity, "report: {r}");
+        assert_eq!(algo.name(), "FedProx");
+    }
+
+    #[test]
+    fn inference_detects_homogeneous() {
+        let d = dataset(1000, 10, 5);
+        let p = partition(&d, 10, Strategy::Homogeneous, 6).unwrap();
+        let r = analyze(&d, &p);
+        let (kind, algo) = recommend_from_report(&r, InferenceThresholds::default());
+        assert_eq!(kind, SkewKind::Homogeneous);
+        assert_eq!(algo.name(), "FedAvg");
+    }
+}

@@ -1,0 +1,200 @@
+//! Quantifying partition skew.
+//!
+//! "Partitioning strategies can easily quantify and control the imbalance
+//! level of the local data" (§4) — this module is the quantifying half:
+//! given a dataset and a [`Partition`], it computes the per-party label
+//! allocation matrix (the numbers inside Figure 3's rectangles), the
+//! average divergence of party label distributions from the global one,
+//! and the quantity Gini coefficient.
+
+use crate::partition::Partition;
+use niid_data::Dataset;
+use niid_stats::{gini, kl_divergence, total_variation};
+use std::fmt;
+
+/// A quantified description of how skewed a partition is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// `label_matrix[party][class]` = sample count (Figure 3's cells).
+    pub label_matrix: Vec<Vec<usize>>,
+    /// Samples per party.
+    pub party_sizes: Vec<usize>,
+    /// Global label histogram.
+    pub global_histogram: Vec<usize>,
+    /// Mean (over parties) total-variation distance between the party's
+    /// label distribution and the global one. 0 = IID, →1 = single-class
+    /// parties.
+    pub mean_label_tv: f64,
+    /// Max over parties of the same distance.
+    pub max_label_tv: f64,
+    /// Sample-weighted mean label TV: each party's distance weighted by
+    /// its share of the data. Robust to the incidental label noise of very
+    /// small parties (which dominates `mean_label_tv` under strong
+    /// quantity skew).
+    pub weighted_label_tv: f64,
+    /// Mean KL divergence from party label distribution to global.
+    pub mean_label_kl: f64,
+    /// Gini coefficient of party sizes (0 = equal, →1 = concentrated).
+    pub quantity_gini: f64,
+    /// Mean number of distinct labels held per party.
+    pub mean_labels_per_party: f64,
+}
+
+/// Analyze a partition of `dataset`.
+pub fn analyze(dataset: &Dataset, part: &Partition) -> SkewReport {
+    let classes = dataset.num_classes;
+    let global_histogram = dataset.label_histogram();
+    let global_f: Vec<f64> = global_histogram.iter().map(|&c| c as f64).collect();
+
+    let mut label_matrix = Vec::with_capacity(part.num_parties());
+    let mut tvs = Vec::with_capacity(part.num_parties());
+    let mut kls = Vec::with_capacity(part.num_parties());
+    let mut label_counts = Vec::with_capacity(part.num_parties());
+    for rows in &part.assignments {
+        let mut hist = vec![0usize; classes];
+        for &i in rows {
+            hist[dataset.labels[i]] += 1;
+        }
+        let hist_f: Vec<f64> = hist.iter().map(|&c| c as f64).collect();
+        if rows.is_empty() {
+            tvs.push(1.0);
+            kls.push(f64::INFINITY);
+            label_counts.push(0usize);
+        } else {
+            tvs.push(total_variation(&hist_f, &global_f));
+            kls.push(kl_divergence(&hist_f, &global_f));
+            label_counts.push(hist.iter().filter(|&&c| c > 0).count());
+        }
+        label_matrix.push(hist);
+    }
+
+    let party_sizes: Vec<usize> = part.sizes();
+    let sizes_f: Vec<f64> = party_sizes.iter().map(|&s| s as f64).collect();
+    let total: f64 = sizes_f.iter().sum();
+    let weighted_label_tv = if total > 0.0 {
+        tvs.iter()
+            .zip(&sizes_f)
+            .map(|(&tv, &s)| tv * s)
+            .sum::<f64>()
+            / total
+    } else {
+        0.0
+    };
+    let n_parties = part.num_parties() as f64;
+    SkewReport {
+        label_matrix,
+        global_histogram,
+        mean_label_tv: tvs.iter().sum::<f64>() / n_parties,
+        weighted_label_tv,
+        max_label_tv: tvs.iter().copied().fold(0.0, f64::max),
+        mean_label_kl: kls.iter().sum::<f64>() / n_parties,
+        quantity_gini: gini(&sizes_f),
+        mean_labels_per_party: label_counts.iter().sum::<usize>() as f64 / n_parties,
+        party_sizes,
+    }
+}
+
+impl fmt::Display for SkewReport {
+    /// Figure 3-style allocation matrix plus the summary metrics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let classes = self.global_histogram.len();
+        write!(f, "party\\class |")?;
+        for c in 0..classes {
+            write!(f, "{c:>6}")?;
+        }
+        writeln!(f, " | total")?;
+        for (p, row) in self.label_matrix.iter().enumerate() {
+            write!(f, "P{p:<10} |")?;
+            for &count in row {
+                write!(f, "{count:>6}")?;
+            }
+            writeln!(f, " | {}", self.party_sizes[p])?;
+        }
+        writeln!(
+            f,
+            "label skew: mean TV {:.3}, max TV {:.3}, mean KL {:.3}; \
+             quantity gini {:.3}; labels/party {:.1}",
+            self.mean_label_tv,
+            self.max_label_tv,
+            self.mean_label_kl,
+            self.quantity_gini,
+            self.mean_labels_per_party
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition, Strategy};
+    use niid_stats::Pcg64;
+    use niid_tensor::Tensor;
+
+    fn dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+        let mut rng = Pcg64::new(seed);
+        Dataset::new(
+            "d",
+            Tensor::rand_uniform(&[n, 2], 0.0, 1.0, &mut rng),
+            (0..n).map(|i| i % classes).collect(),
+            classes,
+            vec![2],
+            None,
+        )
+    }
+
+    #[test]
+    fn homogeneous_partition_has_low_skew() {
+        let d = dataset(1000, 10, 1);
+        let p = partition(&d, 10, Strategy::Homogeneous, 2).unwrap();
+        let r = analyze(&d, &p);
+        assert!(r.mean_label_tv < 0.15, "TV {}", r.mean_label_tv);
+        assert!(r.quantity_gini < 0.01, "gini {}", r.quantity_gini);
+        assert!(r.mean_labels_per_party > 9.0);
+    }
+
+    #[test]
+    fn single_class_parties_have_maximal_label_skew() {
+        let d = dataset(1000, 10, 3);
+        let p = partition(&d, 10, Strategy::QuantityLabelSkew { k: 1 }, 4).unwrap();
+        let r = analyze(&d, &p);
+        assert!((r.mean_labels_per_party - 1.0).abs() < 1e-9);
+        assert!(r.mean_label_tv > 0.85, "TV {}", r.mean_label_tv);
+    }
+
+    #[test]
+    fn quantity_skew_shows_in_gini_not_labels() {
+        let d = dataset(2000, 10, 5);
+        let p = partition(&d, 10, Strategy::QuantitySkew { beta: 0.2 }, 6).unwrap();
+        let r = analyze(&d, &p);
+        assert!(r.quantity_gini > 0.3, "gini {}", r.quantity_gini);
+        assert!(
+            r.mean_label_tv < 0.35,
+            "quantity skew should not create large label skew, TV {}",
+            r.mean_label_tv
+        );
+    }
+
+    #[test]
+    fn matrix_sums_match_party_sizes_and_global() {
+        let d = dataset(500, 5, 7);
+        let p = partition(&d, 7, Strategy::DirichletLabelSkew { beta: 0.5 }, 8).unwrap();
+        let r = analyze(&d, &p);
+        for (row, &size) in r.label_matrix.iter().zip(&r.party_sizes) {
+            assert_eq!(row.iter().sum::<usize>(), size);
+        }
+        for c in 0..5 {
+            let col_sum: usize = r.label_matrix.iter().map(|row| row[c]).sum();
+            assert_eq!(col_sum, r.global_histogram[c]);
+        }
+    }
+
+    #[test]
+    fn display_renders_matrix() {
+        let d = dataset(100, 3, 9);
+        let p = partition(&d, 2, Strategy::Homogeneous, 10).unwrap();
+        let s = analyze(&d, &p).to_string();
+        assert!(s.contains("P0"));
+        assert!(s.contains("label skew"));
+        assert!(s.contains("quantity gini"));
+    }
+}

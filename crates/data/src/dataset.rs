@@ -1,0 +1,197 @@
+//! In-memory dataset containers.
+
+use niid_tensor::Tensor;
+
+/// A labelled dataset held in memory.
+///
+/// Features are stored flattened as `[n, prod(input_shape)]`; models reshape
+/// per batch. Invariants (enforced at construction): one label per row,
+/// labels in `[0, num_classes)`, optional per-sample writer ids aligned
+/// with rows.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (diagnostics/reports).
+    pub name: String,
+    /// `[n, dim]` feature matrix.
+    pub features: Tensor,
+    /// Class index per row.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Per-sample shape the model expects (e.g. `[1, 16, 16]` or `[54]`).
+    pub input_shape: Vec<usize>,
+    /// Writer id per row for FEMNIST-style real-world feature skew.
+    pub writer_ids: Option<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Construct with invariant checks.
+    ///
+    /// # Panics
+    /// Panics if rows/labels disagree, any label is out of range, the
+    /// input shape does not match the feature width, or writer ids are
+    /// misaligned.
+    pub fn new(
+        name: impl Into<String>,
+        features: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+        input_shape: Vec<usize>,
+        writer_ids: Option<Vec<u32>>,
+    ) -> Self {
+        assert_eq!(features.ndim(), 2, "Dataset: features must be [n, dim]");
+        let n = features.shape()[0];
+        assert_eq!(n, labels.len(), "Dataset: {} rows vs {} labels", n, labels.len());
+        assert!(num_classes >= 2, "Dataset: need at least 2 classes");
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "Dataset: label out of range"
+        );
+        let per_sample: usize = input_shape.iter().product();
+        assert_eq!(
+            per_sample,
+            features.shape()[1],
+            "Dataset: input shape {:?} vs feature width {}",
+            input_shape,
+            features.shape()[1]
+        );
+        if let Some(w) = &writer_ids {
+            assert_eq!(w.len(), n, "Dataset: writer ids misaligned");
+        }
+        Self {
+            name: name.into(),
+            features,
+            labels,
+            num_classes,
+            input_shape,
+            writer_ids,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension (flattened).
+    pub fn dim(&self) -> usize {
+        self.features.shape()[1]
+    }
+
+    /// Histogram of labels (length `num_classes`).
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            h[y] += 1;
+        }
+        h
+    }
+
+    /// Extract the subset at `indices` (copies rows).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = self.features.gather_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        let writer_ids = self
+            .writer_ids
+            .as_ref()
+            .map(|w| indices.iter().map(|&i| w[i]).collect());
+        Dataset {
+            name: self.name.clone(),
+            features,
+            labels,
+            num_classes: self.num_classes,
+            input_shape: self.input_shape.clone(),
+            writer_ids,
+        }
+    }
+
+    /// Row indices grouped by class: `out[k]` lists the rows with label `k`.
+    pub fn indices_by_class(&self) -> Vec<Vec<usize>> {
+        let mut by_class = vec![Vec::new(); self.num_classes];
+        for (i, &y) in self.labels.iter().enumerate() {
+            by_class[y].push(i);
+        }
+        by_class
+    }
+}
+
+/// A train/test split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training partition (what gets distributed across parties).
+    pub train: Dataset,
+    /// Held-out global test set (the paper's top-1 accuracy metric).
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &[4, 2]),
+            vec![0, 1, 1, 0],
+            2,
+            vec![2],
+            None,
+        )
+    }
+
+    #[test]
+    fn construction_and_histogram() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.label_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_copies_right_rows() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(s.features.row(0), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn indices_by_class_partition_rows() {
+        let d = toy();
+        let by = d.indices_by_class();
+        assert_eq!(by[0], vec![0, 3]);
+        assert_eq!(by[1], vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Dataset::new(
+            "bad",
+            Tensor::zeros(&[1, 2]),
+            vec![5],
+            2,
+            vec![2],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "writer ids misaligned")]
+    fn rejects_misaligned_writers() {
+        Dataset::new(
+            "bad",
+            Tensor::zeros(&[2, 2]),
+            vec![0, 1],
+            2,
+            vec![2],
+            Some(vec![0]),
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! FCUBE — the paper's own synthetic feature-imbalance dataset, generated
+//! exactly as §4.2 specifies.
+//!
+//! Points are uniform in the cube `[-1, 1]³`; the label is decided by the
+//! plane `x₁ = 0` (points with `x₁ > 0` get label 0, the rest label 1,
+//! matching Figure 5's "upper four cubes have label 0"). The cube is split
+//! into 8 octants by the three coordinate planes; the partitioning strategy
+//! in `niid-core` assigns each party two octants symmetric about the
+//! origin, so feature distributions differ across parties while labels
+//! stay balanced.
+
+use crate::dataset::{Dataset, Split};
+use niid_stats::Pcg64;
+use niid_tensor::Tensor;
+
+/// Octant index (0..8) of a 3-D point: bit `i` set iff coordinate `i` is
+/// negative. Points exactly on a plane fall toward the positive side.
+pub fn fcube_octant(x: &[f32]) -> usize {
+    assert_eq!(x.len(), 3, "fcube_octant: need exactly 3 coordinates");
+    (usize::from(x[0] < 0.0)) | (usize::from(x[1] < 0.0) << 1) | (usize::from(x[2] < 0.0) << 2)
+}
+
+fn gen(n: usize, name: &str, rng: &mut Pcg64) -> Dataset {
+    let mut features = Vec::with_capacity(n * 3);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x1 = rng.next_f32() * 2.0 - 1.0;
+        let x2 = rng.next_f32() * 2.0 - 1.0;
+        let x3 = rng.next_f32() * 2.0 - 1.0;
+        features.extend_from_slice(&[x1, x2, x3]);
+        labels.push(usize::from(x1 <= 0.0));
+    }
+    Dataset::new(
+        name,
+        Tensor::from_vec(features, &[n, 3]),
+        labels,
+        2,
+        vec![3],
+        None,
+    )
+}
+
+/// Generate FCUBE at the requested sizes (paper: 4000 train, 1000 test).
+pub fn generate_fcube(train: usize, test: usize, seed: u64) -> Split {
+    let mut rng = Pcg64::new(seed);
+    Split {
+        train: gen(train, "fcube-train", &mut rng),
+        test: gen(test, "fcube-test", &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octants_cover_all_eight() {
+        assert_eq!(fcube_octant(&[1.0, 1.0, 1.0]), 0);
+        assert_eq!(fcube_octant(&[-1.0, 1.0, 1.0]), 1);
+        assert_eq!(fcube_octant(&[1.0, -1.0, 1.0]), 2);
+        assert_eq!(fcube_octant(&[-1.0, -1.0, -1.0]), 7);
+    }
+
+    #[test]
+    fn labels_follow_x1_plane() {
+        let split = generate_fcube(500, 100, 1);
+        for i in 0..split.train.len() {
+            let x1 = split.train.features.row(i)[0];
+            let expected = usize::from(x1 <= 0.0);
+            assert_eq!(split.train.labels[i], expected);
+        }
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let split = generate_fcube(4000, 1000, 2);
+        let h = split.train.label_histogram();
+        let frac = h[0] as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.03, "label-0 fraction {frac}");
+    }
+
+    #[test]
+    fn points_inside_cube() {
+        let split = generate_fcube(200, 50, 3);
+        assert!(split
+            .train
+            .features
+            .as_slice()
+            .iter()
+            .all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn octant_occupancy_is_uniform() {
+        let split = generate_fcube(8000, 10, 4);
+        let mut counts = [0usize; 8];
+        for i in 0..split.train.len() {
+            counts[fcube_octant(split.train.features.row(i))] += 1;
+        }
+        for (o, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 1000.0).abs() < 150.0,
+                "octant {o} count {c} far from uniform"
+            );
+        }
+    }
+}

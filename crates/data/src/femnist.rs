@@ -1,0 +1,174 @@
+//! FEMNIST-like real-world feature imbalance: handwriting from many
+//! "writers", each with a persistent style.
+//!
+//! LEAF's FEMNIST partitions EMNIST digits by writer; stroke width, slant
+//! and contrast differ across writers, giving natural feature skew. Our
+//! synthetic equivalent gives every writer a frozen style — a gain, an
+//! offset and a smooth additive pattern — applied on top of the shared
+//! class prototypes, so partition-by-writer (in `niid-core`) produces
+//! genuine feature-distribution differences between parties while the
+//! label concept `P(y|x)` stays shared.
+
+use crate::dataset::Dataset;
+use crate::images::{smooth_pattern, ImageTask, ImageTaskSpec};
+use niid_stats::{derive_seed, sample_standard_normal, Pcg64};
+use niid_tensor::Tensor;
+
+/// A frozen per-writer style.
+#[derive(Debug, Clone)]
+struct WriterStyle {
+    gain: f32,
+    offset: f32,
+    pattern: Vec<f32>,
+}
+
+impl WriterStyle {
+    fn new(channels: usize, side: usize, rng: &mut Pcg64) -> Self {
+        Self {
+            gain: 1.0 + 0.25 * sample_standard_normal(rng) as f32,
+            offset: 0.15 * sample_standard_normal(rng) as f32,
+            pattern: smooth_pattern(channels, side, 3, rng)
+                .into_iter()
+                .map(|v| 0.3 * v)
+                .collect(),
+        }
+    }
+
+    fn apply(&self, base: &mut [f32]) {
+        for (v, p) in base.iter_mut().zip(&self.pattern) {
+            *v = self.gain * *v + self.offset + p;
+        }
+    }
+}
+
+/// Generate a writer-styled dataset: `n` samples spread round-robin over
+/// `writers` writers whose ids start at `writer_id_base` (so train and
+/// test can use disjoint writer populations).
+pub fn generate_writer_styled(
+    task: &ImageTask,
+    n: usize,
+    writers: usize,
+    writer_id_base: u32,
+    name: &str,
+    seed: u64,
+) -> Dataset {
+    assert!(writers >= 1, "generate_writer_styled: need >= 1 writer");
+    let spec: ImageTaskSpec = *task.spec();
+    let mut style_rng = Pcg64::new(derive_seed(seed, 0xF00D));
+    let styles: Vec<WriterStyle> = (0..writers)
+        .map(|_| WriterStyle::new(spec.channels, spec.side, &mut style_rng))
+        .collect();
+
+    let mut rng = Pcg64::new(derive_seed(seed, 0xBEEF));
+    let base = task.sample(n, name, &mut rng);
+
+    // Assign writers: shuffled round-robin so each writer gets a mixed set
+    // of classes (feature skew only, no incidental label skew).
+    let mut writer_of: Vec<u32> = (0..n).map(|i| (i % writers) as u32).collect();
+    rng.shuffle(&mut writer_of);
+
+    let dim = spec.dim();
+    let mut features = base.features.into_vec();
+    for (i, &w) in writer_of.iter().enumerate() {
+        styles[w as usize].apply(&mut features[i * dim..(i + 1) * dim]);
+    }
+    let writer_ids = writer_of.iter().map(|&w| w + writer_id_base).collect();
+    Dataset::new(
+        name,
+        Tensor::from_vec(features, &[n, dim]),
+        base.labels,
+        spec.classes,
+        vec![spec.channels, spec.side, spec.side],
+        Some(writer_ids),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> ImageTask {
+        ImageTask::new(
+            ImageTaskSpec {
+                channels: 1,
+                side: 16,
+                classes: 10,
+                modes: 1,
+                class_separation: 0.9,
+                pixel_noise: 0.25,
+                deformation: 0.1,
+                label_noise: 0.0,
+            },
+            77,
+        )
+    }
+
+    #[test]
+    fn writers_are_assigned_evenly() {
+        let d = generate_writer_styled(&task(), 120, 12, 0, "fem", 1);
+        let ids = d.writer_ids.as_ref().unwrap();
+        let mut counts = vec![0usize; 12];
+        for &w in ids {
+            counts[w as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn writer_id_base_offsets_ids() {
+        let d = generate_writer_styled(&task(), 30, 3, 100, "fem", 2);
+        let ids = d.writer_ids.as_ref().unwrap();
+        assert!(ids.iter().all(|&w| (100..103).contains(&w)));
+    }
+
+    #[test]
+    fn styles_shift_feature_statistics_between_writers() {
+        let d = generate_writer_styled(&task(), 600, 2, 0, "fem", 3);
+        let ids = d.writer_ids.as_ref().unwrap();
+        let mean_of = |writer: u32| -> f64 {
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for (i, &id) in ids.iter().enumerate() {
+                if id == writer {
+                    sum += d.features.row(i).iter().map(|&v| v as f64).sum::<f64>();
+                    count += d.dim();
+                }
+            }
+            sum / count as f64
+        };
+        let m0 = mean_of(0);
+        let m1 = mean_of(1);
+        assert!(
+            (m0 - m1).abs() > 0.02,
+            "writer styles indistinguishable: {m0} vs {m1}"
+        );
+    }
+
+    #[test]
+    fn label_distribution_stays_balanced_per_writer() {
+        let d = generate_writer_styled(&task(), 1000, 4, 0, "fem", 4);
+        let ids = d.writer_ids.as_ref().unwrap();
+        for w in 0..4u32 {
+            let mut hist = vec![0usize; 10];
+            for (i, &id) in ids.iter().enumerate() {
+                if id == w {
+                    hist[d.labels[i]] += 1;
+                }
+            }
+            let total: usize = hist.iter().sum();
+            let max = *hist.iter().max().unwrap() as f64;
+            assert!(
+                max / (total as f64) < 0.25,
+                "writer {w} has label skew: {hist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_writer_styled(&task(), 50, 5, 0, "a", 9);
+        let b = generate_writer_styled(&task(), 50, 5, 0, "b", 9);
+        assert_eq!(a.features.as_slice(), b.features.as_slice());
+        assert_eq!(a.writer_ids, b.writer_ids);
+    }
+}

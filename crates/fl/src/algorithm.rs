@@ -1,0 +1,104 @@
+//! The four federated algorithms under study.
+
+use serde::{Deserialize, Serialize};
+
+/// How SCAFFOLD refreshes a party's local control variate after local
+/// training (Algorithm 2, line 23).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlVariateUpdate {
+    /// Option (i): recompute the full local gradient at the *global* model.
+    /// More stable, one extra pass over the local data per round.
+    GradientAtGlobal,
+    /// Option (ii): reuse the already-computed quantities:
+    /// `cᵢ* = cᵢ - c + (wᵗ - wᵢᵗ) / (τᵢ η)`. Cheaper; the paper (and the
+    /// reference implementation) default to this.
+    Reuse,
+}
+
+/// A federated optimization algorithm (paper Algorithms 1 and 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Plain federated averaging (McMahan et al.).
+    FedAvg,
+    /// FedAvg + a proximal term `μ/2 ‖w - wᵗ‖²` in the local objective.
+    FedProx {
+        /// Proximal weight; the paper tunes it from {0.001, 0.01, 0.1, 1}.
+        mu: f32,
+    },
+    /// Stochastic controlled averaging with server/client control variates.
+    Scaffold {
+        /// Control-variate refresh rule.
+        variant: ControlVariateUpdate,
+    },
+    /// Normalized averaging that corrects for heterogeneous local step
+    /// counts `τᵢ`.
+    FedNova,
+}
+
+impl Algorithm {
+    /// Short name for tables, matching the paper's column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::FedAvg => "FedAvg",
+            Algorithm::FedProx { .. } => "FedProx",
+            Algorithm::Scaffold { .. } => "SCAFFOLD",
+            Algorithm::FedNova => "FedNova",
+        }
+    }
+
+    /// The four algorithms at the paper's default hyper-parameters
+    /// (FedProx μ = 0.01, SCAFFOLD option (ii)).
+    pub fn all_default() -> [Algorithm; 4] {
+        [
+            Algorithm::FedAvg,
+            Algorithm::FedProx { mu: 0.01 },
+            Algorithm::Scaffold {
+                variant: ControlVariateUpdate::Reuse,
+            },
+            Algorithm::FedNova,
+        ]
+    }
+
+    /// True if the algorithm exchanges control variates (doubling the
+    /// per-round communication, §3.3).
+    pub fn uses_control_variates(&self) -> bool {
+        matches!(self, Algorithm::Scaffold { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Algorithm::FedAvg.name(), "FedAvg");
+        assert_eq!(Algorithm::FedProx { mu: 0.1 }.name(), "FedProx");
+        assert_eq!(
+            Algorithm::Scaffold {
+                variant: ControlVariateUpdate::Reuse
+            }
+            .name(),
+            "SCAFFOLD"
+        );
+        assert_eq!(Algorithm::FedNova.name(), "FedNova");
+    }
+
+    #[test]
+    fn only_scaffold_doubles_communication() {
+        let names: Vec<bool> = Algorithm::all_default()
+            .iter()
+            .map(|a| a.uses_control_variates())
+            .collect();
+        assert_eq!(names, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for algo in Algorithm::all_default() {
+            let json = serde_json::to_string(&algo).unwrap();
+            let back: Algorithm = serde_json::from_str(&json).unwrap();
+            assert_eq!(algo, back);
+        }
+    }
+}

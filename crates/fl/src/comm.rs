@@ -1,0 +1,140 @@
+//! Communication accounting.
+//!
+//! §3.3 observes that "SCAFFOLD doubles the communication size per round
+//! due to the additional control variates". The engine tracks exact byte
+//! counts per round so that the claim is measurable, and provides the
+//! payload serialization used by the Criterion `comm` bench.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Bytes needed to ship `n` f32 values.
+pub const fn f32_payload_bytes(n: usize) -> usize {
+    n * std::mem::size_of::<f32>()
+}
+
+/// Per-round communication volume between the server and the sampled
+/// parties, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundTraffic {
+    /// Server → parties (model broadcast, plus `c` for SCAFFOLD).
+    pub down_bytes: usize,
+    /// Parties → server (updates, plus `Δc` for SCAFFOLD).
+    pub up_bytes: usize,
+}
+
+impl RoundTraffic {
+    /// Compute the round's traffic from the exchanged vector sizes.
+    ///
+    /// * `participants` — number of sampled parties this round,
+    /// * `param_len` — trainable parameter count,
+    /// * `buffer_len` — BatchNorm buffer count (shipped both ways),
+    /// * `with_control_variates` — SCAFFOLD ships `c` down and `Δc` up.
+    pub fn for_round(
+        participants: usize,
+        param_len: usize,
+        buffer_len: usize,
+        with_control_variates: bool,
+    ) -> Self {
+        let per_model = f32_payload_bytes(param_len + buffer_len);
+        let per_cv = if with_control_variates {
+            f32_payload_bytes(param_len)
+        } else {
+            0
+        };
+        RoundTraffic {
+            down_bytes: participants * (per_model + per_cv),
+            up_bytes: participants * (per_model + per_cv),
+        }
+    }
+
+    /// Total bytes both directions.
+    pub fn total(&self) -> usize {
+        self.down_bytes + self.up_bytes
+    }
+}
+
+/// Serialize a flat update into a length-prefixed wire payload (used by the
+/// serialization bench; the in-process simulator skips this on the hot
+/// path).
+pub fn encode_update(party_id: u32, tau: u32, delta: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + 4 * delta.len());
+    buf.put_u32_le(party_id);
+    buf.put_u32_le(tau);
+    buf.put_u32_le(delta.len() as u32);
+    for &v in delta {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload produced by [`encode_update`].
+///
+/// Returns `None` on malformed input (truncated or inconsistent lengths).
+pub fn decode_update(payload: &[u8]) -> Option<(u32, u32, Vec<f32>)> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let party_id = u32::from_le_bytes(payload[0..4].try_into().ok()?);
+    let tau = u32::from_le_bytes(payload[4..8].try_into().ok()?);
+    let len = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    let body = &payload[12..];
+    if body.len() != len * 4 {
+        return None;
+    }
+    let delta = body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect();
+    Some((party_id, tau, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaffold_doubles_traffic_for_buffer_free_models() {
+        let plain = RoundTraffic::for_round(10, 1000, 0, false);
+        let scaffold = RoundTraffic::for_round(10, 1000, 0, true);
+        assert_eq!(scaffold.total(), 2 * plain.total());
+    }
+
+    #[test]
+    fn traffic_scales_with_participants() {
+        let a = RoundTraffic::for_round(5, 100, 0, false);
+        let b = RoundTraffic::for_round(10, 100, 0, false);
+        assert_eq!(2 * a.down_bytes, b.down_bytes);
+    }
+
+    #[test]
+    fn buffers_count_toward_traffic() {
+        let without = RoundTraffic::for_round(1, 100, 0, false);
+        let with = RoundTraffic::for_round(1, 100, 20, false);
+        assert_eq!(with.total() - without.total(), 2 * f32_payload_bytes(20));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let delta = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE];
+        let payload = encode_update(7, 42, &delta);
+        let (id, tau, back) = decode_update(&payload).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(tau, 42);
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let payload = encode_update(1, 1, &[1.0, 2.0]);
+        assert!(decode_update(&payload[..payload.len() - 1]).is_none());
+        assert!(decode_update(&payload[..8]).is_none());
+        assert!(decode_update(&[]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_length() {
+        let mut bad = encode_update(1, 1, &[1.0]).to_vec();
+        bad[8] = 9; // claim 9 floats, supply 1
+        assert!(decode_update(&bad).is_none());
+    }
+}

@@ -1,0 +1,650 @@
+//! The federated simulation engine: rounds, sampling, parallel local
+//! training, aggregation, evaluation.
+
+use crate::aggregate::{average_buffers, fednova_average, scaffold_update_c, weighted_average};
+use crate::algorithm::Algorithm;
+use crate::comm::RoundTraffic;
+use crate::error::FlError;
+use crate::local::{local_train, LocalConfig, LocalOutcome, ScaffoldCtx};
+use crate::metrics::{RoundRecord, RunResult};
+use crate::party::Party;
+use niid_data::Dataset;
+use niid_nn::ModelSpec;
+use niid_stats::{derive_seed, Pcg64};
+use std::time::Instant;
+
+/// How the server treats BatchNorm running statistics at aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Weighted-average the statistics like any parameter (plain FedAvg of
+    /// the full state; the setting whose instability Finding 7 reports).
+    Average,
+    /// Leave the server statistics untouched — "only average the learned
+    /// parameters but leave the statistics alone" (§6.2 mitigation).
+    KeepGlobal,
+}
+
+/// Full configuration of a federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlConfig {
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Local SGD hyper-parameters (shared by all parties).
+    pub local: LocalConfig,
+    /// Fraction of parties sampled per round (paper default 1.0; §5.6 uses
+    /// 0.1 over 100 parties).
+    pub sample_fraction: f64,
+    /// BatchNorm statistics aggregation policy.
+    pub buffer_policy: BufferPolicy,
+    /// Mini-batch size used for test evaluation.
+    pub eval_batch_size: usize,
+    /// Evaluate every k rounds (the final round is always evaluated).
+    pub eval_every: usize,
+    /// Server-side learning rate `η` of Algorithm 1 line 9 (paper: 1.0,
+    /// making aggregation an exact weighted average of local models).
+    pub server_lr: f32,
+    /// Master seed for the run.
+    pub seed: u64,
+    /// Worker threads for parallel local training (0 = one per CPU core,
+    /// capped by the number of sampled parties).
+    pub threads: usize,
+}
+
+impl FlConfig {
+    /// Paper defaults: 50 rounds, E=10, B=64, lr=0.01, momentum 0.9, full
+    /// participation, averaged buffers.
+    pub fn paper_defaults(algorithm: Algorithm, seed: u64) -> Self {
+        Self {
+            algorithm,
+            rounds: 50,
+            local: LocalConfig {
+                epochs: 10,
+                batch_size: 64,
+                lr: 0.01,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            sample_fraction: 1.0,
+            buffer_policy: BufferPolicy::Average,
+            eval_batch_size: 256,
+            eval_every: 1,
+            server_lr: 1.0,
+            seed,
+            threads: 0,
+        }
+    }
+}
+
+/// A configured federated simulation over fixed parties and a fixed test
+/// set.
+pub struct FedSim {
+    model_spec: ModelSpec,
+    parties: Vec<Party>,
+    test: Dataset,
+    config: FlConfig,
+}
+
+const SEED_INIT: u64 = 0xA11CE;
+const SEED_SAMPLE_BASE: u64 = 0x5A3F_0000_0000;
+
+impl FedSim {
+    /// Validate and build a simulation.
+    pub fn new(
+        model_spec: ModelSpec,
+        parties: Vec<Party>,
+        test: Dataset,
+        config: FlConfig,
+    ) -> Result<Self, FlError> {
+        if parties.is_empty() {
+            return Err(FlError::NoParties);
+        }
+        for p in &parties {
+            if p.data.is_empty() {
+                return Err(FlError::EmptyParty(p.id));
+            }
+            if p.data.input_shape != test.input_shape {
+                return Err(FlError::InconsistentParties(format!(
+                    "party {} input shape {:?} vs test {:?}",
+                    p.id, p.data.input_shape, test.input_shape
+                )));
+            }
+            if p.data.num_classes != test.num_classes {
+                return Err(FlError::InconsistentParties(format!(
+                    "party {} classes {} vs test {}",
+                    p.id, p.data.num_classes, test.num_classes
+                )));
+            }
+        }
+        if model_spec.input_shape() != test.input_shape {
+            return Err(FlError::InconsistentParties(format!(
+                "model input shape {:?} vs data {:?}",
+                model_spec.input_shape(),
+                test.input_shape
+            )));
+        }
+        let check_pos = |field: &'static str, v: usize| -> Result<(), FlError> {
+            if v == 0 {
+                Err(FlError::InvalidConfig {
+                    field,
+                    message: "must be positive".into(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check_pos("rounds", config.rounds)?;
+        check_pos("local.epochs", config.local.epochs)?;
+        check_pos("local.batch_size", config.local.batch_size)?;
+        check_pos("eval_batch_size", config.eval_batch_size)?;
+        check_pos("eval_every", config.eval_every)?;
+        if !(config.local.lr.is_finite() && config.local.lr > 0.0) {
+            return Err(FlError::InvalidConfig {
+                field: "local.lr",
+                message: format!("must be positive, got {}", config.local.lr),
+            });
+        }
+        if !(config.server_lr.is_finite() && config.server_lr > 0.0) {
+            return Err(FlError::InvalidConfig {
+                field: "server_lr",
+                message: format!("must be positive, got {}", config.server_lr),
+            });
+        }
+        if !(config.sample_fraction > 0.0 && config.sample_fraction <= 1.0) {
+            return Err(FlError::InvalidConfig {
+                field: "sample_fraction",
+                message: format!("must be in (0, 1], got {}", config.sample_fraction),
+            });
+        }
+        Ok(Self {
+            model_spec,
+            parties,
+            test,
+            config,
+        })
+    }
+
+    /// The parties (read-only).
+    pub fn parties(&self) -> &[Party] {
+        &self.parties
+    }
+
+    /// Sample the round's participants (Algorithm 1 line 4): all parties
+    /// at fraction 1, otherwise `max(1, round(frac · N))` without
+    /// replacement, in ascending id order for deterministic aggregation.
+    fn sample_round(&self, round: usize) -> Vec<usize> {
+        let n = self.parties.len();
+        if self.config.sample_fraction >= 1.0 {
+            return (0..n).collect();
+        }
+        let m = ((self.config.sample_fraction * n as f64).round() as usize).clamp(1, n);
+        let mut rng = Pcg64::new(derive_seed(
+            self.config.seed,
+            SEED_SAMPLE_BASE + round as u64,
+        ));
+        let mut picked = rng.sample_indices(n, m);
+        picked.sort_unstable();
+        picked
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(&self) -> Result<RunResult, FlError> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let classes = self.test.num_classes;
+        let init_seed = derive_seed(cfg.seed, SEED_INIT);
+
+        let mut eval_model = self.model_spec.build(classes, init_seed);
+        let mut global_params = eval_model.params_flat();
+        let mut global_buffers = eval_model.buffers_flat();
+        let p_len = global_params.len();
+
+        let is_scaffold = cfg.algorithm.uses_control_variates();
+        let mut server_c = if is_scaffold { vec![0.0f32; p_len] } else { Vec::new() };
+        let mut client_c: Vec<Vec<f32>> = vec![Vec::new(); self.parties.len()];
+
+        let mut records = Vec::with_capacity(cfg.rounds);
+        let mut best_accuracy = 0.0f64;
+        let mut final_accuracy = 0.0f64;
+        let mut total_bytes = 0usize;
+
+        for round in 0..cfg.rounds {
+            let selected = self.sample_round(round);
+            let outcomes =
+                self.train_selected(&selected, &global_params, &global_buffers, &server_c, &mut client_c, round);
+
+            match cfg.algorithm {
+                Algorithm::FedNova => {
+                    fednova_average(&mut global_params, &outcomes, cfg.server_lr)
+                }
+                _ => weighted_average(&mut global_params, &outcomes, cfg.server_lr),
+            }
+            if is_scaffold {
+                scaffold_update_c(&mut server_c, &outcomes, self.parties.len());
+            }
+            if cfg.buffer_policy == BufferPolicy::Average {
+                if let Some(avg) = average_buffers(&outcomes) {
+                    global_buffers = avg;
+                }
+            }
+
+            let traffic = RoundTraffic::for_round(
+                selected.len(),
+                p_len,
+                global_buffers.len(),
+                is_scaffold,
+            );
+            total_bytes += traffic.total();
+
+            let is_last = round + 1 == cfg.rounds;
+            let test_accuracy = if (round + 1) % cfg.eval_every == 0 || is_last {
+                eval_model.set_params_flat(&global_params);
+                if !global_buffers.is_empty() {
+                    eval_model.set_buffers_flat(&global_buffers);
+                }
+                let acc = eval_model.evaluate(
+                    &self.test.features,
+                    &self.test.labels,
+                    &self.test.input_shape,
+                    cfg.eval_batch_size,
+                );
+                best_accuracy = best_accuracy.max(acc);
+                final_accuracy = acc;
+                Some(acc)
+            } else {
+                None
+            };
+
+            let avg_local_loss = outcomes.iter().map(|o| o.avg_loss).sum::<f64>()
+                / outcomes.len() as f64;
+            records.push(RoundRecord {
+                round,
+                test_accuracy,
+                avg_local_loss,
+                participants: selected.len(),
+                down_bytes: traffic.down_bytes,
+                up_bytes: traffic.up_bytes,
+            });
+        }
+
+        Ok(RunResult {
+            algorithm: cfg.algorithm.name().to_string(),
+            rounds: records,
+            final_accuracy,
+            best_accuracy,
+            total_bytes,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Run local training for the selected parties, possibly in parallel.
+    /// Outcomes are returned in `selected` order regardless of scheduling.
+    #[allow(clippy::too_many_arguments)]
+    fn train_selected(
+        &self,
+        selected: &[usize],
+        global_params: &[f32],
+        global_buffers: &[f32],
+        server_c: &[f32],
+        client_c: &mut [Vec<f32>],
+        round: usize,
+    ) -> Vec<LocalOutcome> {
+        struct Job {
+            slot: usize,
+            party_id: usize,
+            client_c: Vec<f32>,
+        }
+        let is_scaffold = self.config.algorithm.uses_control_variates();
+        let scaffold_variant = match self.config.algorithm {
+            Algorithm::Scaffold { variant } => Some(variant),
+            _ => None,
+        };
+        let mut jobs: Vec<Job> = selected
+            .iter()
+            .enumerate()
+            .map(|(slot, &party_id)| Job {
+                slot,
+                party_id,
+                client_c: std::mem::take(&mut client_c[party_id]),
+            })
+            .collect();
+
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        }
+        .min(jobs.len())
+        .max(1);
+
+        let classes = self.test.num_classes;
+        let run_seed = self.config.seed;
+        let spec = &self.model_spec;
+        let parties = &self.parties;
+        let local_cfg = &self.config.local;
+        let algorithm = &self.config.algorithm;
+
+        let run_job = |job: &mut Job, model: &mut niid_nn::Network| -> LocalOutcome {
+            let party = &parties[job.party_id];
+            let mut rng = Pcg64::new(derive_seed(
+                run_seed,
+                ((round as u64) << 24) ^ (job.party_id as u64 + 1),
+            ));
+            let ctx = if is_scaffold {
+                Some(ScaffoldCtx {
+                    server_c,
+                    client_c: &mut job.client_c,
+                    variant: scaffold_variant.expect("scaffold variant"),
+                })
+            } else {
+                None
+            };
+            local_train(
+                model,
+                party,
+                global_params,
+                global_buffers,
+                local_cfg,
+                algorithm,
+                ctx,
+                &mut rng,
+            )
+        };
+
+        let mut results: Vec<Option<LocalOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        if threads <= 1 {
+            let mut model = spec.build(classes, 0);
+            for job in &mut jobs {
+                let out = run_job(job, &mut model);
+                results[job.slot] = Some(out);
+            }
+        } else {
+            // Split jobs into contiguous chunks, one worker per chunk; each
+            // worker builds a single reusable model.
+            let chunk_size = jobs.len().div_ceil(threads);
+            let chunks: Vec<&mut [Job]> = jobs.chunks_mut(chunk_size).collect();
+            let outputs: Vec<Vec<(usize, LocalOutcome)>> =
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            s.spawn(move |_| {
+                                let mut model = spec.build(classes, 0);
+                                let mut out = Vec::with_capacity(chunk.len());
+                                for job in chunk.iter_mut() {
+                                    let party = &parties[job.party_id];
+                                    let mut rng = Pcg64::new(derive_seed(
+                                        run_seed,
+                                        ((round as u64) << 24) ^ (job.party_id as u64 + 1),
+                                    ));
+                                    let ctx = if is_scaffold {
+                                        Some(ScaffoldCtx {
+                                            server_c,
+                                            client_c: &mut job.client_c,
+                                            variant: scaffold_variant.expect("scaffold variant"),
+                                        })
+                                    } else {
+                                        None
+                                    };
+                                    let o = local_train(
+                                        &mut model,
+                                        party,
+                                        global_params,
+                                        global_buffers,
+                                        local_cfg,
+                                        algorithm,
+                                        ctx,
+                                        &mut rng,
+                                    );
+                                    out.push((job.slot, o));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("local-training worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope failed");
+            for chunk in outputs {
+                for (slot, outcome) in chunk {
+                    results[slot] = Some(outcome);
+                }
+            }
+        }
+
+        // Return control variates to their owners.
+        for job in jobs {
+            client_c[job.party_id] = job.client_c;
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("missing local outcome"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::ControlVariateUpdate;
+    use niid_tensor::Tensor;
+
+    /// Two-feature separable task split IID across `n_parties`.
+    fn toy_setup(n_parties: usize, per_party: usize, seed: u64) -> (Vec<Party>, Dataset) {
+        let mut rng = Pcg64::new(seed);
+        let make = |n: usize, rng: &mut Pcg64, name: &str| -> Dataset {
+            let x = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, rng);
+            let labels = (0..n)
+                .map(|i| usize::from(x.at2(i, 0) + 0.5 * x.at2(i, 1) > 0.0))
+                .collect();
+            Dataset::new(name, x, labels, 2, vec![4], None)
+        };
+        let parties = (0..n_parties)
+            .map(|id| Party::new(id, make(per_party, &mut rng, "local")))
+            .collect();
+        let test = make(200, &mut rng, "test");
+        (parties, test)
+    }
+
+    fn quick_config(algorithm: Algorithm, seed: u64) -> FlConfig {
+        FlConfig {
+            algorithm,
+            rounds: 5,
+            local: LocalConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            sample_fraction: 1.0,
+            buffer_policy: BufferPolicy::Average,
+            eval_batch_size: 64,
+            eval_every: 1,
+            server_lr: 1.0,
+            seed,
+            threads: 2,
+        }
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::Mlp { in_dim: 4 }
+    }
+
+    #[test]
+    fn fedavg_learns_toy_task() {
+        let (parties, test) = toy_setup(4, 64, 1);
+        let sim = FedSim::new(spec(), parties, test, quick_config(Algorithm::FedAvg, 2)).unwrap();
+        let result = sim.run().unwrap();
+        assert_eq!(result.rounds.len(), 5);
+        assert!(
+            result.final_accuracy > 0.85,
+            "FedAvg should solve the separable toy task, got {}",
+            result.final_accuracy
+        );
+        assert!(result.total_bytes > 0);
+    }
+
+    #[test]
+    fn all_four_algorithms_run_and_learn() {
+        let (parties, test) = toy_setup(4, 64, 3);
+        for algo in Algorithm::all_default() {
+            let sim = FedSim::new(
+                spec(),
+                parties.clone(),
+                test.clone(),
+                quick_config(algo, 4),
+            )
+            .unwrap();
+            let result = sim.run().unwrap();
+            assert!(
+                result.final_accuracy > 0.8,
+                "{} accuracy {}",
+                algo.name(),
+                result.final_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_thread_count_invariant() {
+        let (parties, test) = toy_setup(6, 32, 5);
+        let run_with = |threads: usize| {
+            let mut cfg = quick_config(
+                Algorithm::Scaffold {
+                    variant: ControlVariateUpdate::Reuse,
+                },
+                6,
+            );
+            cfg.threads = threads;
+            FedSim::new(spec(), parties.clone(), test.clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run_with(1);
+        let b = run_with(4);
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.test_accuracy, rb.test_accuracy);
+            assert_eq!(ra.avg_local_loss, rb.avg_local_loss);
+        }
+    }
+
+    #[test]
+    fn partial_participation_samples_correct_count() {
+        let (parties, test) = toy_setup(10, 16, 7);
+        let mut cfg = quick_config(Algorithm::FedAvg, 8);
+        cfg.sample_fraction = 0.3;
+        cfg.rounds = 4;
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        let result = sim.run().unwrap();
+        for r in &result.rounds {
+            assert_eq!(r.participants, 3);
+        }
+    }
+
+    #[test]
+    fn sampling_varies_across_rounds() {
+        let (parties, test) = toy_setup(10, 16, 9);
+        let mut cfg = quick_config(Algorithm::FedAvg, 10);
+        cfg.sample_fraction = 0.2;
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        let r0 = sim.sample_round(0);
+        let r1 = sim.sample_round(1);
+        assert_eq!(r0.len(), 2);
+        // Different rounds draw independent subsets; with 45 possible pairs
+        // a collision across two draws is unlikely (and the fixed seed
+        // makes this test stable).
+        assert_ne!(r0, r1, "same subset in consecutive rounds");
+        // Determinism of sampling per round.
+        assert_eq!(sim.sample_round(0), r0);
+    }
+
+    #[test]
+    fn scaffold_reports_double_traffic() {
+        let (parties, test) = toy_setup(4, 16, 11);
+        let plain = FedSim::new(
+            spec(),
+            parties.clone(),
+            test.clone(),
+            quick_config(Algorithm::FedAvg, 12),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let scaffold = FedSim::new(
+            spec(),
+            parties,
+            test,
+            quick_config(
+                Algorithm::Scaffold {
+                    variant: ControlVariateUpdate::Reuse,
+                },
+                12,
+            ),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(scaffold.total_bytes, 2 * plain.total_bytes);
+    }
+
+    #[test]
+    fn eval_every_skips_rounds() {
+        let (parties, test) = toy_setup(3, 16, 13);
+        let mut cfg = quick_config(Algorithm::FedAvg, 14);
+        cfg.rounds = 5;
+        cfg.eval_every = 2;
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        let result = sim.run().unwrap();
+        let evaluated: Vec<usize> = result.curve().iter().map(|&(r, _)| r).collect();
+        // Rounds 1, 3 (every 2nd) and 4 (last).
+        assert_eq!(evaluated, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let (parties, test) = toy_setup(2, 8, 15);
+        let mut cfg = quick_config(Algorithm::FedAvg, 16);
+        cfg.rounds = 0;
+        assert!(matches!(
+            FedSim::new(spec(), parties.clone(), test.clone(), cfg),
+            Err(FlError::InvalidConfig { field: "rounds", .. })
+        ));
+
+        let mut cfg = quick_config(Algorithm::FedAvg, 16);
+        cfg.sample_fraction = 0.0;
+        assert!(FedSim::new(spec(), parties.clone(), test.clone(), cfg).is_err());
+
+        assert!(matches!(
+            FedSim::new(spec(), Vec::new(), test.clone(), quick_config(Algorithm::FedAvg, 16)),
+            Err(FlError::NoParties)
+        ));
+
+        // Model/data mismatch.
+        assert!(FedSim::new(
+            ModelSpec::Mlp { in_dim: 99 },
+            parties,
+            test,
+            quick_config(Algorithm::FedAvg, 16)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_party_rejected() {
+        let (mut parties, test) = toy_setup(2, 8, 17);
+        parties[1].data = parties[1].data.subset(&[]);
+        assert!(matches!(
+            FedSim::new(spec(), parties, test, quick_config(Algorithm::FedAvg, 18)),
+            Err(FlError::EmptyParty(1))
+        ));
+    }
+}

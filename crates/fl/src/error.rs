@@ -1,0 +1,56 @@
+//! Typed configuration/runtime errors for the federated engine.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::engine::FedSim`] validation and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// No parties were supplied.
+    NoParties,
+    /// A party has an empty local dataset (its id is carried).
+    EmptyParty(usize),
+    /// A config field is out of its valid range.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable constraint violation.
+        message: String,
+    },
+    /// Party datasets disagree on feature shape or class count.
+    InconsistentParties(String),
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::NoParties => write!(f, "federated run needs at least one party"),
+            FlError::EmptyParty(id) => {
+                write!(f, "party {id} has an empty local dataset")
+            }
+            FlError::InvalidConfig { field, message } => {
+                write!(f, "invalid config field `{field}`: {message}")
+            }
+            FlError::InconsistentParties(msg) => {
+                write!(f, "inconsistent party datasets: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(FlError::NoParties.to_string().contains("at least one party"));
+        assert!(FlError::EmptyParty(3).to_string().contains("party 3"));
+        let e = FlError::InvalidConfig {
+            field: "rounds",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("rounds"));
+    }
+}

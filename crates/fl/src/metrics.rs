@@ -1,0 +1,142 @@
+//! Per-round metrics and run results (the training curves of Figures 7–12
+//! and the accuracy cells of Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics captured at (the end of) one communication round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based; recorded after the round's aggregation).
+    pub round: usize,
+    /// Global-model top-1 accuracy on the held-out test set. `None` for
+    /// rounds where evaluation was skipped (`eval_every > 1`).
+    pub test_accuracy: Option<f64>,
+    /// Mean local training loss across this round's participants.
+    pub avg_local_loss: f64,
+    /// Number of participating parties.
+    pub participants: usize,
+    /// Server → parties bytes.
+    pub down_bytes: usize,
+    /// Parties → server bytes.
+    pub up_bytes: usize,
+}
+
+/// The outcome of a full federated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Algorithm name (paper column header).
+    pub algorithm: String,
+    /// Per-round records in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Accuracy at the final round.
+    pub final_accuracy: f64,
+    /// Best accuracy seen at any evaluated round.
+    pub best_accuracy: f64,
+    /// Total bytes exchanged over the run.
+    pub total_bytes: usize,
+    /// Wall-clock seconds spent in the simulation.
+    pub wall_seconds: f64,
+}
+
+impl RunResult {
+    /// The training curve: `(round, accuracy)` for evaluated rounds.
+    pub fn curve(&self) -> Vec<(usize, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.test_accuracy.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// First evaluated round whose accuracy reaches `target`, if any
+    /// (communication-efficiency comparisons, §5.2).
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.rounds
+            .iter()
+            .find(|r| r.test_accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.round)
+    }
+
+    /// Instability measure used for Finding 4/7 discussions: the mean
+    /// absolute round-to-round accuracy change over the evaluated tail
+    /// (skipping the first `skip` evaluations, where every method moves).
+    pub fn accuracy_volatility(&self, skip: usize) -> f64 {
+        let curve = self.curve();
+        if curve.len() <= skip + 1 {
+            return 0.0;
+        }
+        let tail = &curve[skip..];
+        let diffs: f64 = tail
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1).abs())
+            .sum();
+        diffs / (tail.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: Option<f64>) -> RoundRecord {
+        RoundRecord {
+            round,
+            test_accuracy: acc,
+            avg_local_loss: 0.5,
+            participants: 10,
+            down_bytes: 100,
+            up_bytes: 100,
+        }
+    }
+
+    fn result(accs: &[Option<f64>]) -> RunResult {
+        let rounds: Vec<RoundRecord> = accs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| record(i, a))
+            .collect();
+        let evaluated: Vec<f64> = accs.iter().flatten().copied().collect();
+        RunResult {
+            algorithm: "FedAvg".into(),
+            final_accuracy: *evaluated.last().unwrap_or(&0.0),
+            best_accuracy: evaluated.iter().copied().fold(0.0, f64::max),
+            total_bytes: rounds.iter().map(|r| r.down_bytes + r.up_bytes).sum(),
+            rounds,
+            wall_seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn curve_skips_unevaluated_rounds() {
+        let r = result(&[Some(0.1), None, Some(0.3)]);
+        assert_eq!(r.curve(), vec![(0, 0.1), (2, 0.3)]);
+    }
+
+    #[test]
+    fn rounds_to_accuracy_finds_first_crossing() {
+        let r = result(&[Some(0.1), Some(0.5), Some(0.4), Some(0.6)]);
+        assert_eq!(r.rounds_to_accuracy(0.45), Some(1));
+        assert_eq!(r.rounds_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn volatility_measures_oscillation() {
+        let stable = result(&[Some(0.5), Some(0.51), Some(0.52), Some(0.53)]);
+        let unstable = result(&[Some(0.5), Some(0.1), Some(0.6), Some(0.2)]);
+        assert!(unstable.accuracy_volatility(0) > stable.accuracy_volatility(0) * 5.0);
+    }
+
+    #[test]
+    fn volatility_of_short_curves_is_zero() {
+        let r = result(&[Some(0.5)]);
+        assert_eq!(r.accuracy_volatility(0), 0.0);
+        assert_eq!(r.accuracy_volatility(5), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = result(&[Some(0.42), None]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,72 @@
+//! A party (data silo) in the federation.
+
+use niid_data::Dataset;
+use niid_tensor::Tensor;
+
+/// One data silo: an id plus its local training data. The local dataset is
+/// fully materialized (feature transforms such as the noise-based skew are
+/// applied by the partitioner before parties are built).
+#[derive(Debug, Clone)]
+pub struct Party {
+    /// Stable party index (`P₁ … P_N` in the paper, zero-based here).
+    pub id: usize,
+    /// The silo's local training data.
+    pub data: Dataset,
+}
+
+impl Party {
+    /// Create a party.
+    pub fn new(id: usize, data: Dataset) -> Self {
+        Self { id, data }
+    }
+
+    /// Local dataset size `|Dᵢ|`.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Materialize a training mini-batch from row indices: a
+    /// model-input-shaped tensor plus the matching labels.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let flat = self.data.features.gather_rows(indices);
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.data.input_shape);
+        let x = flat.reshape(&shape);
+        let labels = indices.iter().map(|&i| self.data.labels[i]).collect();
+        (x, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_data::Dataset;
+
+    fn toy_party() -> Party {
+        let features = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[6, 4]);
+        Party::new(
+            3,
+            Dataset::new("p", features, vec![0, 1, 0, 1, 0, 1], 2, vec![4], None),
+        )
+    }
+
+    #[test]
+    fn batch_gathers_rows_and_labels() {
+        let p = toy_party();
+        let (x, y) = p.batch(&[5, 0]);
+        assert_eq!(x.shape(), &[2, 4]);
+        assert_eq!(x.row(0), &[20.0, 21.0, 22.0, 23.0]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn batch_respects_multidim_input_shape() {
+        let features = Tensor::zeros(&[4, 8]);
+        let p = Party::new(
+            0,
+            Dataset::new("img", features, vec![0, 1, 0, 1], 2, vec![2, 2, 2], None),
+        );
+        let (x, _) = p.batch(&[1, 2, 3]);
+        assert_eq!(x.shape(), &[3, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,366 @@
+//! 2-D batch normalization.
+//!
+//! This layer is load-bearing for the paper's Finding 7: "a simple
+//! averaging of batch normalization layers introduces instability in
+//! non-IID setting". The trainable affine parameters (`gamma`, `beta`) are
+//! exposed through `write_params`/`read_params` like any layer, while the
+//! running statistics are exposed through `write_buffers`/`read_buffers`,
+//! letting the federated server choose whether to average statistics
+//! (plain FedAvg of the full state dict) or keep them local (the §6.2
+//! mitigation — average learned parameters, leave statistics alone).
+
+use crate::layer::{Layer, Phase};
+use crate::param::ParamReader;
+use niid_tensor::Tensor;
+
+/// BatchNorm over the channel dimension of NCHW activations.
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    // Training-forward caches.
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Standard BatchNorm: `eps = 1e-5`, running-stat momentum `0.1`
+    /// (PyTorch convention: `running = (1-m)·running + m·batch`).
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "BatchNorm2d: zero channels");
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cached_xhat: None,
+            cached_inv_std: Vec::new(),
+        }
+    }
+
+    /// Current running mean (read-only, for tests/diagnostics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Current running variance (read-only, for tests/diagnostics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn check_input(&self, x: &Tensor) -> (usize, usize) {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d: input must be NCHW");
+        assert_eq!(
+            x.shape()[1],
+            self.channels,
+            "BatchNorm2d: {} channels expected, got {}",
+            self.channels,
+            x.shape()[1]
+        );
+        let n = x.shape()[0];
+        let spatial = x.shape()[2] * x.shape()[3];
+        (n, spatial)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, x: Tensor, phase: Phase) -> Tensor {
+        let (n, spatial) = self.check_input(&x);
+        let c = self.channels;
+        let mut y = Tensor::zeros(x.shape());
+
+        match phase {
+            Phase::Train => {
+                let m = (n * spatial) as f32;
+                assert!(
+                    m >= 2.0,
+                    "BatchNorm2d training forward needs at least 2 elements per channel"
+                );
+                let mut xhat = Tensor::zeros(x.shape());
+                self.cached_inv_std = vec![0.0; c];
+                for ch in 0..c {
+                    // Batch statistics over N and spatial dims for channel ch.
+                    let mut sum = 0.0f64;
+                    let mut sq = 0.0f64;
+                    for i in 0..n {
+                        let off = (i * c + ch) * spatial;
+                        for &v in &x.as_slice()[off..off + spatial] {
+                            sum += v as f64;
+                            sq += (v as f64) * (v as f64);
+                        }
+                    }
+                    let mean = (sum / m as f64) as f32;
+                    let var = ((sq / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    self.cached_inv_std[ch] = inv_std;
+
+                    let g = self.gamma.as_slice()[ch];
+                    let b = self.beta.as_slice()[ch];
+                    for i in 0..n {
+                        let off = (i * c + ch) * spatial;
+                        for j in 0..spatial {
+                            let xh = (x.as_slice()[off + j] - mean) * inv_std;
+                            xhat.as_mut_slice()[off + j] = xh;
+                            y.as_mut_slice()[off + j] = g * xh + b;
+                        }
+                    }
+
+                    // Update running statistics (unbiased variance, PyTorch).
+                    let unbiased = if m > 1.0 { var * m / (m - 1.0) } else { var };
+                    let rm = &mut self.running_mean.as_mut_slice()[ch];
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                    let rv = &mut self.running_var.as_mut_slice()[ch];
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * unbiased;
+                }
+                self.cached_xhat = Some(xhat);
+            }
+            Phase::Eval => {
+                for ch in 0..c {
+                    let mean = self.running_mean.as_slice()[ch];
+                    let inv_std = 1.0 / (self.running_var.as_slice()[ch] + self.eps).sqrt();
+                    let g = self.gamma.as_slice()[ch];
+                    let b = self.beta.as_slice()[ch];
+                    for i in 0..n {
+                        let off = (i * c + ch) * spatial;
+                        for j in 0..spatial {
+                            y.as_mut_slice()[off + j] =
+                                g * (x.as_slice()[off + j] - mean) * inv_std + b;
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let xhat = self
+            .cached_xhat
+            .take()
+            .expect("BatchNorm2d::backward without cached training forward");
+        let (n, spatial) = self.check_input(&grad_out);
+        let c = self.channels;
+        let m = (n * spatial) as f32;
+        let mut gx = Tensor::zeros(grad_out.shape());
+
+        for ch in 0..c {
+            // Channel-wise reductions of dy and dy*xhat.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for i in 0..n {
+                let off = (i * c + ch) * spatial;
+                for j in 0..spatial {
+                    let dy = grad_out.as_slice()[off + j] as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * xhat.as_slice()[off + j] as f64;
+                }
+            }
+            self.grad_beta.as_mut_slice()[ch] += sum_dy as f32;
+            self.grad_gamma.as_mut_slice()[ch] += sum_dy_xhat as f32;
+
+            let g = self.gamma.as_slice()[ch];
+            let inv_std = self.cached_inv_std[ch];
+            let mean_dy = sum_dy as f32 / m;
+            let mean_dy_xhat = sum_dy_xhat as f32 / m;
+            for i in 0..n {
+                let off = (i * c + ch) * spatial;
+                for j in 0..spatial {
+                    let dy = grad_out.as_slice()[off + j];
+                    let xh = xhat.as_slice()[off + j];
+                    gx.as_mut_slice()[off + j] =
+                        g * inv_std * (dy - mean_dy - xh * mean_dy_xhat);
+                }
+            }
+        }
+        gx
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn buffer_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.gamma.as_slice());
+        out.extend_from_slice(self.beta.as_slice());
+    }
+
+    fn read_params(&mut self, src: &mut ParamReader<'_>) {
+        self.gamma.as_mut_slice().copy_from_slice(src.take(self.channels));
+        self.beta.as_mut_slice().copy_from_slice(src.take(self.channels));
+    }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_gamma.as_slice());
+        out.extend_from_slice(self.grad_beta.as_slice());
+    }
+
+    fn write_buffers(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.running_mean.as_slice());
+        out.extend_from_slice(self.running_var.as_slice());
+    }
+
+    fn read_buffers(&mut self, src: &mut ParamReader<'_>) {
+        self.running_mean
+            .as_mut_slice()
+            .copy_from_slice(src.take(self.channels));
+        self.running_var
+            .as_mut_slice()
+            .copy_from_slice(src.take(self.channels));
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.zero_();
+        self.grad_beta.zero_();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_stats::Pcg64;
+
+    #[test]
+    fn train_forward_normalizes_per_channel() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = Pcg64::new(20);
+        // Shift channel 1 far from zero; output must be ~N(0,1) per channel.
+        let mut x = Tensor::randn(&[8, 2, 4, 4], 2.0, &mut rng);
+        for i in 0..8 {
+            for j in 0..16 {
+                x.as_mut_slice()[(i * 2 + 1) * 16 + j] += 50.0;
+            }
+        }
+        let y = bn.forward(x, Phase::Train);
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for i in 0..8 {
+                let off = (i * 2 + ch) * 16;
+                vals.extend_from_slice(&y.as_slice()[off..off + 16]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_batch_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = Pcg64::new(21);
+        // Constant-distribution input; after many updates running stats
+        // converge to the batch statistics.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[16, 1, 2, 2], 1.0, &mut rng).add_scalar(5.0);
+            bn.forward(x, Phase::Train);
+        }
+        let rm = bn.running_mean().as_slice()[0];
+        let rv = bn.running_var().as_slice()[0];
+        assert!((rm - 5.0).abs() < 0.2, "running mean {rm}");
+        assert!((rv - 1.0).abs() < 0.2, "running var {rv}");
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // With default running stats (mean 0, var 1), eval is identity
+        // modulo eps.
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[1, 1, 2, 2]);
+        let y = bn.forward(x.clone(), Phase::Eval);
+        assert!(y.max_abs_diff(&x) < 1e-4);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = Pcg64::new(22);
+        let x = Tensor::randn(&[4, 2, 3, 3], 1.5, &mut rng);
+        // Random affine so gradients are non-trivial.
+        let mut params = vec![1.3, 0.7, -0.2, 0.4];
+
+        // Loss: sum over a weighting tensor to avoid the degenerate
+        // sum-of-normalized-values (which has zero input gradient).
+        let w = Tensor::randn(x.shape(), 1.0, &mut rng);
+        let loss = |x: &Tensor, p: &[f32]| -> f64 {
+            let mut bn = BatchNorm2d::new(2);
+            bn.read_params(&mut ParamReader::new(p));
+            let y = bn.forward(x.clone(), Phase::Train);
+            y.mul(&w).sum()
+        };
+
+        let mut bn = BatchNorm2d::new(2);
+        bn.read_params(&mut ParamReader::new(&params));
+        let y = bn.forward(x.clone(), Phase::Train);
+        let gx = bn.backward(w.clone().mul(&Tensor::ones(y.shape())));
+        let mut grads = Vec::new();
+        bn.write_grads(&mut grads);
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 17, 40, 71] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&xp, &params) - loss(&xm, &params)) / (2.0 * eps as f64);
+            let ana = gx.as_slice()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dX[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for idx in 0..4 {
+            let mut pp = params.clone();
+            pp[idx] += eps;
+            let mut pm = params.clone();
+            pm[idx] -= eps;
+            let num = (loss(&x, &pp) - loss(&x, &pm)) / (2.0 * eps as f64);
+            let ana = grads[idx] as f64;
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "param {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+        params.clear();
+    }
+
+    #[test]
+    fn buffers_round_trip_separately_from_params() {
+        let mut bn = BatchNorm2d::new(3);
+        let mut rng = Pcg64::new(23);
+        let x = Tensor::randn(&[4, 3, 2, 2], 1.0, &mut rng).add_scalar(2.0);
+        bn.forward(x, Phase::Train);
+
+        let mut bufs = Vec::new();
+        bn.write_buffers(&mut bufs);
+        assert_eq!(bufs.len(), bn.buffer_count());
+
+        let mut bn2 = BatchNorm2d::new(3);
+        bn2.read_buffers(&mut ParamReader::new(&bufs));
+        let mut bufs2 = Vec::new();
+        bn2.write_buffers(&mut bufs2);
+        assert_eq!(bufs, bufs2);
+        // Params unaffected: gamma still ones.
+        let mut p = Vec::new();
+        bn2.write_params(&mut p);
+        assert_eq!(&p[..3], &[1.0, 1.0, 1.0]);
+    }
+}

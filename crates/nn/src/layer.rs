@@ -1,0 +1,67 @@
+//! The [`Layer`] trait: explicit forward/backward with flat state I/O.
+
+use crate::param::ParamReader;
+use niid_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// BatchNorm uses batch statistics and updates running statistics in
+/// `Train`; it uses running statistics in `Eval`. Other layers ignore the
+/// phase but must still cache activations in `Train` so `backward` works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Training: cache activations, use/update batch statistics.
+    Train,
+    /// Evaluation: no caching required, use running statistics.
+    Eval,
+}
+
+/// A neural-network layer with hand-derived backprop and flat state I/O.
+///
+/// Contract:
+/// * `backward` may only be called after a `forward(.., Phase::Train)` on
+///   the same instance, and consumes the cached activations of that call.
+/// * Gradients **accumulate** across `backward` calls until `zero_grads`.
+/// * `write_params` / `read_params` traverse trainable parameters in a
+///   fixed order; `write_grads` matches that order exactly.
+/// * `write_buffers` / `read_buffers` traverse non-trainable state
+///   (BatchNorm running statistics); most layers have none.
+pub trait Layer: Send {
+    /// Human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Forward pass. Consumes the input (layers chain by value).
+    fn forward(&mut self, x: Tensor, phase: Phase) -> Tensor;
+
+    /// Backward pass: gradient w.r.t. output in, gradient w.r.t. input out.
+    /// Accumulates parameter gradients internally.
+    fn backward(&mut self, grad_out: Tensor) -> Tensor;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Number of non-trainable buffer values.
+    fn buffer_count(&self) -> usize {
+        0
+    }
+
+    /// Append trainable parameters to `out`.
+    fn write_params(&self, _out: &mut Vec<f32>) {}
+
+    /// Load trainable parameters from the reader.
+    fn read_params(&mut self, _src: &mut ParamReader<'_>) {}
+
+    /// Append parameter gradients to `out` (same order as `write_params`).
+    fn write_grads(&self, _out: &mut Vec<f32>) {}
+
+    /// Append buffers (e.g. BN running stats) to `out`.
+    fn write_buffers(&self, _out: &mut Vec<f32>) {}
+
+    /// Load buffers from the reader.
+    fn read_buffers(&mut self, _src: &mut ParamReader<'_>) {}
+
+    /// Reset accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+}

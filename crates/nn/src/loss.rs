@@ -1,0 +1,124 @@
+//! Softmax cross-entropy loss (the classification head for every task in
+//! the paper).
+
+use niid_tensor::{log_softmax_rows, softmax_rows, Tensor};
+
+/// Combined softmax + cross-entropy, numerically stable and with the usual
+/// compact gradient `(softmax(logits) - onehot(labels)) / batch`.
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Mean cross-entropy over the batch.
+    ///
+    /// `logits`: `[batch, classes]`, `labels`: class indices.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range labels.
+    pub fn loss(logits: &Tensor, labels: &[usize]) -> f64 {
+        assert_eq!(logits.ndim(), 2, "loss: logits must be [batch, classes]");
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(batch, labels.len(), "loss: batch/labels length mismatch");
+        assert!(batch > 0, "loss: empty batch");
+        let logp = log_softmax_rows(logits);
+        let mut total = 0.0f64;
+        for (r, &y) in labels.iter().enumerate() {
+            assert!(y < classes, "loss: label {y} out of {classes} classes");
+            total -= logp.at2(r, y) as f64;
+        }
+        total / batch as f64
+    }
+
+    /// Loss and gradient w.r.t. logits in one pass.
+    pub fn loss_and_grad(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+        assert_eq!(logits.ndim(), 2, "loss: logits must be [batch, classes]");
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(batch, labels.len(), "loss: batch/labels length mismatch");
+        assert!(batch > 0, "loss: empty batch");
+        let probs = softmax_rows(logits);
+        let mut grad = probs.clone();
+        let mut total = 0.0f64;
+        let inv_batch = 1.0 / batch as f32;
+        for (r, &y) in labels.iter().enumerate() {
+            assert!(y < classes, "loss: label {y} out of {classes} classes");
+            let p = probs.at2(r, y).max(1e-12);
+            total -= (p as f64).ln();
+            *grad.at2_mut(r, y) -= 1.0;
+        }
+        grad.scale_assign(inv_batch);
+        (total / batch as f64, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_stats::Pcg64;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let labels = vec![0, 3, 7, 9];
+        let l = SoftmaxCrossEntropy::loss(&logits, &labels);
+        assert!((l - (10.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_loss_near_zero() {
+        let mut logits = Tensor::zeros(&[2, 3]);
+        *logits.at2_mut(0, 1) = 50.0;
+        *logits.at2_mut(1, 2) = 50.0;
+        let l = SoftmaxCrossEntropy::loss(&logits, &[1, 2]);
+        assert!(l < 1e-6, "loss {l}");
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let mut rng = Pcg64::new(50);
+        let logits = Tensor::randn(&[5, 4], 2.0, &mut rng);
+        let labels = vec![0, 1, 2, 3, 0];
+        let (_, g) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels);
+        for r in 0..5 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut rng = Pcg64::new(51);
+        let logits = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let labels = vec![2, 0, 4];
+        let (_, g) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in [0usize, 6, 14] {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let num = (SoftmaxCrossEntropy::loss(&lp, &labels)
+                - SoftmaxCrossEntropy::loss(&lm, &labels))
+                / (2.0 * eps as f64);
+            let ana = g.as_slice()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-4 + 1e-3 * ana.abs(),
+                "logit {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_and_grad_agree_with_loss() {
+        let mut rng = Pcg64::new(52);
+        let logits = Tensor::randn(&[6, 3], 1.0, &mut rng);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let (l1, _) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels);
+        let l2 = SoftmaxCrossEntropy::loss(&logits, &labels);
+        assert!((l1 - l2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_label_panics() {
+        SoftmaxCrossEntropy::loss(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Flat parameter (de)serialization helpers.
+
+/// Cursor over a flat parameter vector, consumed by layers when loading
+/// state with `read_params` / `read_buffers`.
+pub struct ParamReader<'a> {
+    data: &'a [f32],
+    pos: usize,
+}
+
+impl<'a> ParamReader<'a> {
+    /// Start reading from the beginning of `data`.
+    pub fn new(data: &'a [f32]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Take the next `n` values.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` values remain — that means the flat vector
+    /// came from a different architecture, which is always a bug.
+    pub fn take(&mut self, n: usize) -> &'a [f32] {
+        assert!(
+            self.pos + n <= self.data.len(),
+            "ParamReader: requested {n} values at offset {} but only {} total \
+             (flat vector does not match this architecture)",
+            self.pos,
+            self.data.len()
+        );
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+
+    /// Number of values consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// True if every value has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut r = ParamReader::new(&data);
+        assert_eq!(r.take(2), &[1.0, 2.0]);
+        assert_eq!(r.take(3), &[3.0, 4.0, 5.0]);
+        assert!(r.is_exhausted());
+        assert_eq!(r.consumed(), 5);
+    }
+
+    #[test]
+    fn empty_take_is_fine() {
+        let mut r = ParamReader::new(&[]);
+        assert_eq!(r.take(0), &[] as &[f32]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this architecture")]
+    fn over_read_panics() {
+        let data = [1.0];
+        let mut r = ParamReader::new(&data);
+        r.take(2);
+    }
+}

@@ -1,0 +1,282 @@
+//! Residual blocks (ResNet "BasicBlock") with batch normalization.
+//!
+//! `y = ReLU(BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x))` where the
+//! shortcut is identity when shapes match and a 1x1 strided
+//! convolution + BN otherwise (the standard projection shortcut).
+
+use crate::batchnorm::BatchNorm2d;
+use crate::conv::Conv2d;
+use crate::layer::{Layer, Phase};
+use crate::param::ParamReader;
+use niid_stats::Pcg64;
+use niid_tensor::{relu, relu_backward, Conv2dShape, Tensor};
+
+/// A two-convolution residual block.
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    // Caches for the two ReLUs and the residual add.
+    cached_mid: Option<Tensor>, // input to the inner ReLU (post-bn1)
+    cached_pre_out: Option<Tensor>, // input to the final ReLU (sum)
+}
+
+impl BasicBlock {
+    /// Build a block taking `[N, in_c, h, w]` to
+    /// `[N, out_c, h/stride, w/stride]` with 3x3 kernels.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+        rng: &mut Pcg64,
+    ) -> Self {
+        let conv1_shape = Conv2dShape {
+            in_channels,
+            out_channels,
+            in_h: h,
+            in_w: w,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride,
+            padding: 1,
+        };
+        let (oh, ow) = (conv1_shape.out_h(), conv1_shape.out_w());
+        let conv2_shape = Conv2dShape {
+            in_channels: out_channels,
+            out_channels,
+            in_h: oh,
+            in_w: ow,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            let proj = Conv2dShape {
+                in_channels,
+                out_channels,
+                in_h: h,
+                in_w: w,
+                kernel_h: 1,
+                kernel_w: 1,
+                stride,
+                padding: 0,
+            };
+            Some((Conv2d::new(proj, rng), BatchNorm2d::new(out_channels)))
+        } else {
+            None
+        };
+        Self {
+            conv1: Conv2d::new(conv1_shape, rng),
+            bn1: BatchNorm2d::new(out_channels),
+            conv2: Conv2d::new(conv2_shape, rng),
+            bn2: BatchNorm2d::new(out_channels),
+            shortcut,
+            cached_mid: None,
+            cached_pre_out: None,
+        }
+    }
+
+    /// Output spatial size of the block.
+    pub fn out_hw(&self) -> (usize, usize) {
+        let g = self.conv2.geometry();
+        (g.out_h(), g.out_w())
+    }
+}
+
+impl Layer for BasicBlock {
+    fn name(&self) -> &'static str {
+        "basic_block"
+    }
+
+    fn forward(&mut self, x: Tensor, phase: Phase) -> Tensor {
+        let residual = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(x.clone(), phase);
+                bn.forward(s, phase)
+            }
+            None => x.clone(),
+        };
+        let mid = self.bn1.forward(self.conv1.forward(x, phase), phase);
+        let mid_act = relu(&mid);
+        if phase == Phase::Train {
+            self.cached_mid = Some(mid);
+        }
+        let main = self.bn2.forward(self.conv2.forward(mid_act, phase), phase);
+        let pre_out = main.add(&residual);
+        let out = relu(&pre_out);
+        if phase == Phase::Train {
+            self.cached_pre_out = Some(pre_out);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: Tensor) -> Tensor {
+        let pre_out = self
+            .cached_pre_out
+            .take()
+            .expect("BasicBlock::backward without cached forward");
+        let g_sum = relu_backward(&grad_out, &pre_out);
+
+        // Main branch.
+        let g_main = self.conv2.backward(self.bn2.backward(g_sum.clone()));
+        let mid = self.cached_mid.take().expect("BasicBlock: missing mid cache");
+        let g_mid = relu_backward(&g_main, &mid);
+        let g_input_main = self.conv1.backward(self.bn1.backward(g_mid));
+
+        // Shortcut branch.
+        let g_input_short = match &mut self.shortcut {
+            Some((conv, bn)) => conv.backward(bn.backward(g_sum)),
+            None => g_sum,
+        };
+        g_input_main.add(&g_input_short)
+    }
+
+    fn param_count(&self) -> usize {
+        let base = self.conv1.param_count()
+            + self.bn1.param_count()
+            + self.conv2.param_count()
+            + self.bn2.param_count();
+        base + self
+            .shortcut
+            .as_ref()
+            .map_or(0, |(c, b)| c.param_count() + b.param_count())
+    }
+
+    fn buffer_count(&self) -> usize {
+        let base = self.bn1.buffer_count() + self.bn2.buffer_count();
+        base + self.shortcut.as_ref().map_or(0, |(_, b)| b.buffer_count())
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        self.conv1.write_params(out);
+        self.bn1.write_params(out);
+        self.conv2.write_params(out);
+        self.bn2.write_params(out);
+        if let Some((c, b)) = &self.shortcut {
+            c.write_params(out);
+            b.write_params(out);
+        }
+    }
+
+    fn read_params(&mut self, src: &mut ParamReader<'_>) {
+        self.conv1.read_params(src);
+        self.bn1.read_params(src);
+        self.conv2.read_params(src);
+        self.bn2.read_params(src);
+        if let Some((c, b)) = &mut self.shortcut {
+            c.read_params(src);
+            b.read_params(src);
+        }
+    }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        self.conv1.write_grads(out);
+        self.bn1.write_grads(out);
+        self.conv2.write_grads(out);
+        self.bn2.write_grads(out);
+        if let Some((c, b)) = &self.shortcut {
+            c.write_grads(out);
+            b.write_grads(out);
+        }
+    }
+
+    fn write_buffers(&self, out: &mut Vec<f32>) {
+        self.bn1.write_buffers(out);
+        self.bn2.write_buffers(out);
+        if let Some((_, b)) = &self.shortcut {
+            b.write_buffers(out);
+        }
+    }
+
+    fn read_buffers(&mut self, src: &mut ParamReader<'_>) {
+        self.bn1.read_buffers(src);
+        self.bn2.read_buffers(src);
+        if let Some((_, b)) = &mut self.shortcut {
+            b.read_buffers(src);
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        self.conv1.zero_grads();
+        self.bn1.zero_grads();
+        self.conv2.zero_grads();
+        self.bn2.zero_grads();
+        if let Some((c, b)) = &mut self.shortcut {
+            c.zero_grads();
+            b.zero_grads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_block_shapes() {
+        let mut rng = Pcg64::new(40);
+        let mut blk = BasicBlock::new(4, 4, 8, 8, 1, &mut rng);
+        assert!(blk.shortcut.is_none(), "same-shape block uses identity shortcut");
+        let x = Tensor::randn(&[2, 4, 8, 8], 1.0, &mut rng);
+        let y = blk.forward(x, Phase::Train);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+        let gx = blk.backward(Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn projection_block_shapes() {
+        let mut rng = Pcg64::new(41);
+        let mut blk = BasicBlock::new(4, 8, 8, 8, 2, &mut rng);
+        assert!(blk.shortcut.is_some(), "stride-2 block needs projection");
+        assert_eq!(blk.out_hw(), (4, 4));
+        let x = Tensor::randn(&[2, 4, 8, 8], 1.0, &mut rng);
+        let y = blk.forward(x, Phase::Train);
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+        let gx = blk.backward(Tensor::ones(y.shape()));
+        assert_eq!(gx.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut rng = Pcg64::new(42);
+        let mut a = BasicBlock::new(2, 4, 6, 6, 2, &mut rng);
+        let x = Tensor::randn(&[1, 2, 6, 6], 1.0, &mut rng);
+        // Train once so BN buffers move off their defaults.
+        let _ = a.forward(x.clone(), Phase::Train);
+        let ya = a.forward(x.clone(), Phase::Eval);
+
+        let mut p = Vec::new();
+        a.write_params(&mut p);
+        assert_eq!(p.len(), a.param_count());
+        let mut bufs = Vec::new();
+        a.write_buffers(&mut bufs);
+        assert_eq!(bufs.len(), a.buffer_count());
+
+        let mut b = BasicBlock::new(2, 4, 6, 6, 2, &mut Pcg64::new(4242));
+        b.read_params(&mut ParamReader::new(&p));
+        b.read_buffers(&mut ParamReader::new(&bufs));
+        let yb = b.forward(x, Phase::Eval);
+        assert!(ya.max_abs_diff(&yb) < 1e-6);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_branches() {
+        // With a projection shortcut, zeroing the main branch's conv weights
+        // must still deliver gradient to the input via the shortcut.
+        let mut rng = Pcg64::new(43);
+        let mut blk = BasicBlock::new(2, 2, 4, 4, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = blk.forward(x, Phase::Train);
+        let gx = blk.backward(Tensor::ones(y.shape()));
+        assert!(gx.sq_norm() > 0.0, "no gradient reached the input");
+        let mut g = Vec::new();
+        blk.write_grads(&mut g);
+        assert!(g.iter().any(|&v| v != 0.0), "no parameter gradient");
+    }
+}

@@ -1,0 +1,398 @@
+//! Samplers for the distributions NIID-Bench depends on.
+//!
+//! * [`Gaussian`] / [`sample_standard_normal`] — Box–Muller transform;
+//!   drives the noise-based feature-imbalance strategy (`x̂ ~ Gau(σ·i/N)`)
+//!   and the synthetic dataset generators.
+//! * [`sample_gamma`] — Marsaglia–Tsang squeeze method (with the Ahrens-Dieter
+//!   boost for shape < 1), the building block for Dirichlet sampling.
+//! * [`Dirichlet`] / [`sample_dirichlet`] — normalized Gamma draws; drives
+//!   the distribution-based label imbalance (`p_k ~ Dir(β)`) and quantity
+//!   skew (`q ~ Dir(β)`) strategies.
+//! * [`sample_categorical`] — inverse-CDF draw from a weight vector.
+
+use crate::rng::Pcg64;
+
+/// A Gaussian (normal) distribution with given mean and **variance**.
+///
+/// The paper specifies noise levels as variances (`Gau(σ·i/N)` is "a Gaussian
+/// distribution with mean 0 and variance σ·i/N"), so this type is
+/// parameterized by variance rather than standard deviation to match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Variance of the distribution (must be non-negative).
+    pub variance: f64,
+}
+
+impl Gaussian {
+    /// Standard normal: mean 0, variance 1.
+    pub const STANDARD: Gaussian = Gaussian {
+        mean: 0.0,
+        variance: 1.0,
+    };
+
+    /// Create a Gaussian with the given mean and variance.
+    ///
+    /// # Panics
+    /// Panics if `variance` is negative or non-finite.
+    pub fn new(mean: f64, variance: f64) -> Self {
+        assert!(
+            variance.is_finite() && variance >= 0.0,
+            "Gaussian variance must be finite and non-negative, got {variance}"
+        );
+        Self { mean, variance }
+    }
+
+    /// Draw one sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
+        self.mean + self.variance.sqrt() * sample_standard_normal(rng)
+    }
+
+    /// Fill `out` with independent samples.
+    pub fn fill(&self, rng: &mut Pcg64, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+///
+/// The second value of each Box–Muller pair is intentionally discarded; the
+/// simplicity (statelessness) is worth more here than the factor-of-two in
+/// throughput, and sampling is nowhere near the hot path of training.
+#[inline]
+pub fn sample_standard_normal(rng: &mut Pcg64) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample from Gamma(shape, scale=1) with the Marsaglia–Tsang method.
+///
+/// For `shape >= 1` this is the classic squeeze algorithm; for `shape < 1`
+/// (the regime that matters for strongly-skewed Dirichlet partitions like
+/// `β = 0.1`) we use the boosting identity
+/// `Gamma(a) = Gamma(a + 1) * U^(1/a)`.
+///
+/// # Panics
+/// Panics if `shape` is not strictly positive and finite.
+pub fn sample_gamma(rng: &mut Pcg64, shape: f64) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "Gamma shape must be positive and finite, got {shape}"
+    );
+    if shape < 1.0 {
+        // Boost: draw from Gamma(shape + 1) and scale down.
+        let g = sample_gamma(rng, shape + 1.0);
+        let u = 1.0 - rng.next_f64(); // (0, 1]
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = 1.0 - rng.next_f64(); // (0, 1]
+        let x2 = x * x;
+        // Squeeze check (cheap acceptance).
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v3;
+        }
+        // Full check.
+        if u.ln() < 0.5 * x2 + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// A symmetric or general Dirichlet distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alphas: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Symmetric Dirichlet of dimension `dim` with concentration `beta`.
+    ///
+    /// This is the `Dir_N(β)` of the paper: smaller `β` produces more
+    /// unbalanced allocations.
+    ///
+    /// # Panics
+    /// Panics if `dim < 1` or `beta <= 0`.
+    pub fn symmetric(dim: usize, beta: f64) -> Self {
+        assert!(dim >= 1, "Dirichlet dimension must be at least 1");
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "Dirichlet concentration must be positive, got {beta}"
+        );
+        Self {
+            alphas: vec![beta; dim],
+        }
+    }
+
+    /// General Dirichlet with per-component concentrations.
+    ///
+    /// # Panics
+    /// Panics if `alphas` is empty or any entry is non-positive.
+    pub fn new(alphas: Vec<f64>) -> Self {
+        assert!(!alphas.is_empty(), "Dirichlet needs at least one component");
+        assert!(
+            alphas.iter().all(|&a| a.is_finite() && a > 0.0),
+            "all Dirichlet concentrations must be positive"
+        );
+        Self { alphas }
+    }
+
+    /// Dimension of the simplex.
+    pub fn dim(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// Draw one probability vector (sums to 1).
+    pub fn sample(&self, rng: &mut Pcg64) -> Vec<f64> {
+        let mut draws: Vec<f64> = self
+            .alphas
+            .iter()
+            .map(|&a| sample_gamma(rng, a))
+            .collect();
+        let sum: f64 = draws.iter().sum();
+        if sum <= 0.0 || !sum.is_finite() {
+            // All-zero draws are possible only through extreme underflow at
+            // tiny beta; fall back to a uniform allocation.
+            let uniform = 1.0 / draws.len() as f64;
+            draws.iter_mut().for_each(|d| *d = uniform);
+        } else {
+            draws.iter_mut().for_each(|d| *d /= sum);
+        }
+        draws
+    }
+}
+
+/// Convenience: one symmetric Dirichlet draw.
+pub fn sample_dirichlet(rng: &mut Pcg64, dim: usize, beta: f64) -> Vec<f64> {
+    Dirichlet::symmetric(dim, beta).sample(rng)
+}
+
+/// Sample an index from a categorical distribution given (not necessarily
+/// normalized) non-negative weights, by inverse CDF.
+///
+/// # Panics
+/// Panics if `weights` is empty, contains a negative weight, or sums to zero.
+pub fn sample_categorical(rng: &mut Pcg64, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical over empty support");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "negative/non-finite weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "categorical weights sum to zero");
+    let mut target = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    // Floating-point slack: return the last index with positive weight.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("at least one positive weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Pcg64::new(100);
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_respects_mean_and_variance() {
+        let mut rng = Pcg64::new(101);
+        let g = Gaussian::new(3.0, 4.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&xs);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn gaussian_zero_variance_is_constant() {
+        let mut rng = Pcg64::new(102);
+        let g = Gaussian::new(-1.5, 0.0);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), -1.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be finite and non-negative")]
+    fn gaussian_rejects_negative_variance() {
+        Gaussian::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = Pcg64::new(103);
+        let shape = 4.5;
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let (mean, var) = mean_and_var(&xs);
+        // Gamma(k, 1): mean k, variance k.
+        assert!((mean - shape).abs() < 0.05, "mean {mean}");
+        assert!((var - shape).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = Pcg64::new(104);
+        let shape = 0.5;
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let (mean, var) = mean_and_var(&xs);
+        assert!((mean - shape).abs() < 0.02, "mean {mean}");
+        assert!((var - shape).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn gamma_outputs_positive() {
+        let mut rng = Pcg64::new(105);
+        for &shape in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            for _ in 0..1000 {
+                let g = sample_gamma(&mut rng, shape);
+                assert!(g >= 0.0 && g.is_finite(), "shape {shape} gave {g}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_zero_shape() {
+        sample_gamma(&mut Pcg64::new(0), 0.0);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = Pcg64::new(106);
+        for &beta in &[0.05, 0.1, 0.5, 1.0, 10.0] {
+            for _ in 0..100 {
+                let p = sample_dirichlet(&mut rng, 10, beta);
+                assert_eq!(p.len(), 10);
+                let sum: f64 = p.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "beta {beta}: sum {sum}");
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_mean_is_uniform_for_symmetric() {
+        let mut rng = Pcg64::new(107);
+        let dim = 5;
+        let trials = 20_000;
+        let mut acc = vec![0.0; dim];
+        for _ in 0..trials {
+            let p = sample_dirichlet(&mut rng, dim, 0.5);
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let m = a / trials as f64;
+            assert!((m - 0.2).abs() < 0.01, "component {i} mean {m}");
+        }
+    }
+
+    #[test]
+    fn smaller_beta_is_more_skewed() {
+        // The paper's claim: "if β is set to a smaller value, then the
+        // partition is more unbalanced". Measure via mean max-component.
+        let mut rng = Pcg64::new(108);
+        let trials = 5_000;
+        let mean_max = |rng: &mut Pcg64, beta: f64| -> f64 {
+            (0..trials)
+                .map(|_| {
+                    sample_dirichlet(rng, 10, beta)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let skew_01 = mean_max(&mut rng, 0.1);
+        let skew_05 = mean_max(&mut rng, 0.5);
+        let skew_50 = mean_max(&mut rng, 5.0);
+        assert!(
+            skew_01 > skew_05 && skew_05 > skew_50,
+            "expected monotone skew: {skew_01} > {skew_05} > {skew_50}"
+        );
+    }
+
+    #[test]
+    fn dirichlet_general_concentrations_bias_allocation() {
+        let mut rng = Pcg64::new(109);
+        let d = Dirichlet::new(vec![10.0, 1.0, 1.0]);
+        let trials = 10_000;
+        let mut acc = [0.0f64; 3];
+        for _ in 0..trials {
+            let p = d.sample(&mut rng);
+            for (a, x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        // Expected means: 10/12, 1/12, 1/12.
+        assert!((acc[0] / trials as f64 - 10.0 / 12.0).abs() < 0.02);
+        assert!((acc[1] / trials as f64 - 1.0 / 12.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let mut rng = Pcg64::new(110);
+        let weights = [1.0, 2.0, 7.0];
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_skips_zero_weight() {
+        let mut rng = Pcg64::new(111);
+        for _ in 0..1000 {
+            let i = sample_categorical(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_rejects_all_zero() {
+        sample_categorical(&mut Pcg64::new(0), &[0.0, 0.0]);
+    }
+}

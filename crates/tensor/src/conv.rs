@@ -1,0 +1,591 @@
+//! 2-D convolution via im2col + GEMM, with a hand-derived backward pass.
+//!
+//! Layout conventions:
+//!
+//! * activations are NCHW: `[batch, channels, height, width]`,
+//! * convolution weights are pre-flattened to
+//!   `[out_channels, in_channels * kernel_h * kernel_w]`,
+//! * the im2col buffer for one sample is
+//!   `[out_h * out_w, in_channels * kernel_h * kernel_w]`, so the forward
+//!   pass for a sample is a single GEMM `W · colsᵀ`.
+//!
+//! Padding is zero-padding; stride is symmetric. Dilation and grouped
+//! convolution are not implemented — no model in the paper needs them.
+
+use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+
+/// Static geometry of a conv layer applied to a fixed input size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dShape {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dShape {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding)
+            .checked_sub(self.kernel_h)
+            .expect("conv kernel taller than padded input")
+            / self.stride
+            + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding)
+            .checked_sub(self.kernel_w)
+            .expect("conv kernel wider than padded input")
+            / self.stride
+            + 1
+    }
+
+    /// Width of one im2col row: `in_channels * kernel_h * kernel_w`.
+    pub fn col_width(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Number of spatial positions in the output: `out_h * out_w`.
+    pub fn out_positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Elements in one input sample.
+    pub fn input_numel(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Elements in one output sample.
+    pub fn output_numel(&self) -> usize {
+        self.out_channels * self.out_positions()
+    }
+
+    fn validate(&self) {
+        assert!(self.stride > 0, "conv stride must be positive");
+        assert!(
+            self.kernel_h > 0 && self.kernel_w > 0,
+            "conv kernel must be non-empty"
+        );
+        assert!(
+            self.in_h + 2 * self.padding >= self.kernel_h
+                && self.in_w + 2 * self.padding >= self.kernel_w,
+            "conv kernel {}x{} larger than padded input {}x{} (padding {})",
+            self.kernel_h,
+            self.kernel_w,
+            self.in_h,
+            self.in_w,
+            self.padding
+        );
+    }
+}
+
+/// Lower one input sample `[C, H, W]` (given as a flat slice) into the
+/// im2col matrix `[out_h*out_w, C*kh*kw]`, writing into `cols`.
+///
+/// `cols` must have exactly `out_positions * col_width` elements.
+pub fn im2col_into(input: &[f32], s: &Conv2dShape, cols: &mut [f32]) {
+    s.validate();
+    assert_eq!(input.len(), s.input_numel(), "im2col: bad input length");
+    assert_eq!(
+        cols.len(),
+        s.out_positions() * s.col_width(),
+        "im2col: bad cols length"
+    );
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let cw = s.col_width();
+    let (ih, iw) = (s.in_h as isize, s.in_w as isize);
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = row * cw;
+            let y0 = (oy * s.stride) as isize - s.padding as isize;
+            let x0 = (ox * s.stride) as isize - s.padding as isize;
+            let mut k = 0usize;
+            for c in 0..s.in_channels {
+                let plane = &input[c * s.in_h * s.in_w..(c + 1) * s.in_h * s.in_w];
+                for ky in 0..s.kernel_h {
+                    let y = y0 + ky as isize;
+                    if y < 0 || y >= ih {
+                        cols[base + k..base + k + s.kernel_w]
+                            .iter_mut()
+                            .for_each(|v| *v = 0.0);
+                        k += s.kernel_w;
+                        continue;
+                    }
+                    for kx in 0..s.kernel_w {
+                        let x = x0 + kx as isize;
+                        cols[base + k] = if x < 0 || x >= iw {
+                            0.0
+                        } else {
+                            plane[y as usize * s.in_w + x as usize]
+                        };
+                        k += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+}
+
+/// Allocating wrapper over [`im2col_into`], returning `[oh*ow, C*kh*kw]`.
+pub fn im2col(input: &[f32], s: &Conv2dShape) -> Tensor {
+    let mut cols = vec![0.0f32; s.out_positions() * s.col_width()];
+    im2col_into(input, s, &mut cols);
+    Tensor::from_vec(cols, &[s.out_positions(), s.col_width()])
+}
+
+/// Inverse of im2col for gradients: scatter-add the columns matrix back
+/// into an input-shaped buffer `[C, H, W]`.
+pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
+    s.validate();
+    assert_eq!(
+        cols.shape(),
+        &[s.out_positions(), s.col_width()],
+        "col2im: bad cols shape"
+    );
+    let mut out = vec![0.0f32; s.input_numel()];
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let cw = s.col_width();
+    let (ih, iw) = (s.in_h as isize, s.in_w as isize);
+    let data = cols.as_slice();
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = row * cw;
+            let y0 = (oy * s.stride) as isize - s.padding as isize;
+            let x0 = (ox * s.stride) as isize - s.padding as isize;
+            let mut k = 0usize;
+            for c in 0..s.in_channels {
+                let plane_off = c * s.in_h * s.in_w;
+                for ky in 0..s.kernel_h {
+                    let y = y0 + ky as isize;
+                    if y < 0 || y >= ih {
+                        k += s.kernel_w;
+                        continue;
+                    }
+                    for kx in 0..s.kernel_w {
+                        let x = x0 + kx as isize;
+                        if x >= 0 && x < iw {
+                            out[plane_off + y as usize * s.in_w + x as usize] +=
+                                data[base + k];
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+    out
+}
+
+/// Forward convolution over a batch.
+///
+/// * `input`: `[N, C, H, W]`
+/// * `weight`: `[out_channels, C*kh*kw]`
+/// * `bias`: optional `[out_channels]`
+///
+/// Returns `(output [N, out_c, oh, ow], cols [N * oh*ow, C*kh*kw])`; the
+/// cols buffer is the cached lowering reused by [`conv2d_backward`].
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    s: &Conv2dShape,
+) -> (Tensor, Tensor) {
+    s.validate();
+    assert_eq!(input.ndim(), 4, "conv2d: input must be NCHW");
+    let n = input.shape()[0];
+    assert_eq!(
+        &input.shape()[1..],
+        &[s.in_channels, s.in_h, s.in_w],
+        "conv2d: input shape {:?} does not match geometry {:?}",
+        input.shape(),
+        s
+    );
+    assert_eq!(
+        weight.shape(),
+        &[s.out_channels, s.col_width()],
+        "conv2d: weight shape {:?} vs expected [{}, {}]",
+        weight.shape(),
+        s.out_channels,
+        s.col_width()
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), s.out_channels, "conv2d: bias length mismatch");
+    }
+
+    let positions = s.out_positions();
+    let cw = s.col_width();
+    let mut all_cols = vec![0.0f32; n * positions * cw];
+    let mut out = Vec::with_capacity(n * s.output_numel());
+    let in_numel = s.input_numel();
+    for i in 0..n {
+        let sample = &input.as_slice()[i * in_numel..(i + 1) * in_numel];
+        let cols_slice = &mut all_cols[i * positions * cw..(i + 1) * positions * cw];
+        im2col_into(sample, s, cols_slice);
+        // W [outc, cw] · colsᵀ [cw, positions] = [outc, positions]
+        let cols_t = Tensor::from_vec(cols_slice.to_vec(), &[positions, cw]);
+        let mut y = matmul_a_bt(weight, &cols_t); // [outc, positions]
+        if let Some(b) = bias {
+            let yv = y.as_mut_slice();
+            for (c, &bv) in b.as_slice().iter().enumerate() {
+                for v in &mut yv[c * positions..(c + 1) * positions] {
+                    *v += bv;
+                }
+            }
+        }
+        out.extend_from_slice(y.as_slice());
+    }
+    (
+        Tensor::from_vec(out, &[n, s.out_channels, s.out_h(), s.out_w()]),
+        Tensor::from_vec(all_cols, &[n * positions, cw]),
+    )
+}
+
+/// Backward convolution.
+///
+/// * `cols`: the lowering cached by [`conv2d`] (`[N*oh*ow, C*kh*kw]`)
+/// * `weight`: `[out_c, C*kh*kw]`
+/// * `grad_out`: `[N, out_c, oh, ow]`
+///
+/// Returns `(grad_input [N,C,H,W], grad_weight, grad_bias)`.
+pub fn conv2d_backward(
+    cols: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: &Conv2dShape,
+) -> (Tensor, Tensor, Tensor) {
+    let n = grad_out.shape()[0];
+    let positions = s.out_positions();
+    let cw = s.col_width();
+    assert_eq!(
+        grad_out.shape(),
+        &[n, s.out_channels, s.out_h(), s.out_w()],
+        "conv2d_backward: grad_out shape mismatch"
+    );
+    assert_eq!(
+        cols.shape(),
+        &[n * positions, cw],
+        "conv2d_backward: cols shape mismatch"
+    );
+
+    let mut grad_weight = Tensor::zeros(&[s.out_channels, cw]);
+    let mut grad_bias = Tensor::zeros(&[s.out_channels]);
+    let mut grad_input = Vec::with_capacity(n * s.input_numel());
+
+    let go = grad_out.as_slice();
+    let out_numel = s.output_numel();
+    for i in 0..n {
+        let gy = Tensor::from_vec(
+            go[i * out_numel..(i + 1) * out_numel].to_vec(),
+            &[s.out_channels, positions],
+        );
+        let cols_i = Tensor::from_vec(
+            cols.as_slice()[i * positions * cw..(i + 1) * positions * cw].to_vec(),
+            &[positions, cw],
+        );
+        // dW += gy [outc, pos] · cols_i [pos, cw]
+        grad_weight.add_assign(&matmul(&gy, &cols_i));
+        // db += row sums of gy
+        {
+            let gb = grad_bias.as_mut_slice();
+            let gys = gy.as_slice();
+            for c in 0..s.out_channels {
+                let mut acc = 0.0f32;
+                for &v in &gys[c * positions..(c + 1) * positions] {
+                    acc += v;
+                }
+                gb[c] += acc;
+            }
+        }
+        // dcols = gyᵀ [pos, outc] · W [outc, cw]
+        let dcols = matmul_at_b(&gy, weight);
+        grad_input.extend_from_slice(&col2im(&dcols, s));
+    }
+
+    (
+        Tensor::from_vec(grad_input, &[n, s.in_channels, s.in_h, s.in_w]),
+        grad_weight,
+        grad_bias,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_stats::Pcg64;
+
+    fn shape_3x3() -> Conv2dShape {
+        Conv2dShape {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    #[test]
+    fn out_dims() {
+        let s = Conv2dShape {
+            in_channels: 3,
+            out_channels: 6,
+            in_h: 28,
+            in_w: 28,
+            kernel_h: 5,
+            kernel_w: 5,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(s.out_h(), 24);
+        assert_eq!(s.out_w(), 24);
+        assert_eq!(s.col_width(), 75);
+        let padded = Conv2dShape { padding: 2, ..s };
+        assert_eq!(padded.out_h(), 28);
+        let strided = Conv2dShape { stride: 2, ..s };
+        assert_eq!(strided.out_h(), 12);
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        let s = shape_3x3();
+        let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let cols = im2col(&input, &s);
+        assert_eq!(cols.shape(), &[4, 4]);
+        // Top-left 2x2 patch = [1,2,4,5].
+        assert_eq!(cols.row(0), &[1.0, 2.0, 4.0, 5.0]);
+        // Bottom-right patch = [5,6,8,9].
+        assert_eq!(cols.row(3), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_padding_fills_zeros() {
+        let s = Conv2dShape {
+            padding: 1,
+            ..shape_3x3()
+        };
+        let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let cols = im2col(&input, &s);
+        assert_eq!(cols.shape(), &[16, 4]);
+        // First patch is entirely in the top-left corner: covers padded
+        // positions (-1,-1),(-1,0),(0,-1),(0,0) -> [0,0,0,1].
+        assert_eq!(cols.row(0), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let s = Conv2dShape {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let mut rng = Pcg64::new(5);
+        let x = Tensor::randn(&[2, 1, 4, 4], 1.0, &mut rng);
+        let w = Tensor::ones(&[1, 1]);
+        let (y, _) = conv2d(&x, &w, None, &s);
+        assert_eq!(y.shape(), x.shape());
+        assert!(y.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        // All-ones 2x2 kernel computes patch sums.
+        let s = shape_3x3();
+        let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
+        let x = Tensor::from_vec(input, &[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 4]);
+        let (y, _) = conv2d(&x, &w, None, &s);
+        assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_bias_is_added() {
+        let s = shape_3x3();
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 4]);
+        let b = Tensor::from_vec(vec![0.5], &[1]);
+        let (y, _) = conv2d(&x, &w, Some(&b), &s);
+        assert!(y.as_slice().iter().all(|&v| v == 0.5));
+    }
+
+    /// Reference direct convolution for cross-checking.
+    fn naive_conv(x: &Tensor, w: &Tensor, s: &Conv2dShape) -> Tensor {
+        let n = x.shape()[0];
+        let (oh, ow) = (s.out_h(), s.out_w());
+        let mut out = Tensor::zeros(&[n, s.out_channels, oh, ow]);
+        let xs = x.as_slice();
+        for i in 0..n {
+            for oc in 0..s.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ic in 0..s.in_channels {
+                            for ky in 0..s.kernel_h {
+                                for kx in 0..s.kernel_w {
+                                    let y = (oy * s.stride + ky) as isize - s.padding as isize;
+                                    let xpos = (ox * s.stride + kx) as isize - s.padding as isize;
+                                    if y < 0
+                                        || y >= s.in_h as isize
+                                        || xpos < 0
+                                        || xpos >= s.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    let xi = ((i * s.in_channels + ic) * s.in_h
+                                        + y as usize)
+                                        * s.in_w
+                                        + xpos as usize;
+                                    let wi = (oc * s.in_channels + ic) * s.kernel_h
+                                        * s.kernel_w
+                                        + ky * s.kernel_w
+                                        + kx;
+                                    acc += xs[xi] * w.as_slice()[wi];
+                                }
+                            }
+                        }
+                        let oi = ((i * s.out_channels + oc) * oh + oy) * ow + ox;
+                        out.as_mut_slice()[oi] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_matches_naive_multichannel() {
+        let s = Conv2dShape {
+            in_channels: 3,
+            out_channels: 4,
+            in_h: 7,
+            in_w: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let mut rng = Pcg64::new(6);
+        let x = Tensor::randn(&[2, 3, 7, 6], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, s.col_width()], 0.5, &mut rng);
+        let (fast, _) = conv2d(&x, &w, None, &s);
+        let slow = naive_conv(&x, &w, &s);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn col2im_inverts_im2col_counts() {
+        // For an all-ones cols matrix, col2im counts how many patches touch
+        // each input pixel; with 2x2/stride1 on 3x3, the center is hit 4x.
+        let s = shape_3x3();
+        let cols = Tensor::ones(&[4, 4]);
+        let img = col2im(&cols, &s);
+        assert_eq!(img[4], 4.0, "center pixel covered by all 4 patches");
+        assert_eq!(img[0], 1.0, "corner covered once");
+        assert_eq!(img[1], 2.0, "edge covered twice");
+    }
+
+    #[test]
+    fn conv_backward_finite_difference() {
+        let s = Conv2dShape {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 5,
+            in_w: 5,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut rng = Pcg64::new(7);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, s.col_width()], 0.3, &mut rng);
+        let b = Tensor::randn(&[3], 0.1, &mut rng);
+
+        // Loss = sum(conv(x)) so dY = ones.
+        let (y, cols) = conv2d(&x, &w, Some(&b), &s);
+        let gy = Tensor::ones(y.shape());
+        let (gx, gw, gb) = conv2d_backward(&cols, &w, &gy, &s);
+
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
+            conv2d(x, w, Some(b), &s).0.sum()
+        };
+        let eps = 1e-2f32;
+
+        // Check a scattering of coordinates in each gradient.
+        for &idx in &[0usize, 7, 23, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps as f64);
+            let ana = gx.as_slice()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dX[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        for &idx in &[0usize, 5, 17] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps as f64);
+            let ana = gw.as_slice()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dW[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        {
+            let mut bp = b.clone();
+            bp.as_mut_slice()[1] += eps;
+            let mut bm = b.clone();
+            bm.as_mut_slice()[1] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps as f64);
+            let ana = gb.as_slice()[1] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + ana.abs()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "taller than padded input")]
+    fn oversized_kernel_panics() {
+        let s = Conv2dShape {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            kernel_h: 5,
+            kernel_w: 5,
+            stride: 1,
+            padding: 0,
+        };
+        let _ = im2col(&[0.0; 4], &s);
+    }
+}

@@ -1,0 +1,30 @@
+//! Dense f32 tensor substrate for the NIID-Bench reproduction.
+//!
+//! Every model in the paper — the LeNet-style CNN, the MLP, VGG-9 and the
+//! ResNet — trains on top of this crate. The design goals, in order:
+//!
+//! 1. **Correctness**: shapes are checked on every operation; kernels are
+//!    validated against naive reference implementations and finite
+//!    differences in `niid-nn`.
+//! 2. **Determinism**: no threading inside kernels, no fast-math; the same
+//!    inputs always produce the same bits. Parallelism in the workspace
+//!    lives one level up (parties train concurrently in `niid-fl`).
+//! 3. **Adequate speed**: GEMM uses an `i-k-j` loop order that vectorizes
+//!    well, convolution lowers to GEMM via im2col, and hot paths avoid
+//!    per-element allocation.
+//!
+//! The tensor is row-major over a `Vec<f32>` with an explicit shape; there
+//! are no strides or views. That costs some copies but removes an entire
+//! class of aliasing bugs from hand-written backward passes.
+
+pub mod conv;
+pub mod matmul;
+pub mod ops;
+pub mod pool;
+pub mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dShape};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use ops::{argmax_rows, log_softmax_rows, relu, relu_backward, softmax_rows};
+pub use pool::{maxpool2d, maxpool2d_backward, Pool2dShape};
+pub use tensor::Tensor;

@@ -1,0 +1,210 @@
+//! Matrix multiplication kernels.
+//!
+//! Three entry points cover everything backprop needs without materializing
+//! transposes:
+//!
+//! * [`matmul`]      — `C = A · B`       (forward passes, im2col conv)
+//! * [`matmul_at_b`] — `C = Aᵀ · B`      (weight gradients)
+//! * [`matmul_a_bt`] — `C = A · Bᵀ`      (input gradients)
+//!
+//! All use an `i-k-j` loop order so the innermost loop walks both `B` and
+//! `C` contiguously — this auto-vectorizes well and is an order of magnitude
+//! faster than the textbook `i-j-k` order for the sizes our models use
+//! (hundreds to a few thousand per dimension).
+
+use crate::tensor::Tensor;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// # Panics
+/// Panics if either input is not rank-2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul: A must be rank-2, got {:?}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul: B must be rank-2, got {:?}", b.shape());
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul: inner dimension mismatch A={:?} B={:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue; // sparse-ish inputs (one-hot, post-ReLU) are common
+            }
+            let b_row = &bv[kk * n..(kk + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    }
+    Tensor::from_vec(c, &[m, n])
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, without materializing `Aᵀ`.
+///
+/// This is the weight-gradient shape: `dW = Xᵀ · dY`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_at_b: A must be rank-2");
+    assert_eq!(b.ndim(), 2, "matmul_at_b: B must be rank-2");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (m2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        m, m2,
+        "matmul_at_b: leading dimension mismatch A={:?} B={:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = vec![0.0f32; k * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    // Accumulate rank-1 updates row by row of A/B; inner loops contiguous.
+    for row in 0..m {
+        let a_row = &av[row * k..(row + 1) * k];
+        let b_row = &bv[row * n..(row + 1) * n];
+        for (kk, &a_rk) in a_row.iter().enumerate() {
+            if a_rk == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[kk * n..(kk + 1) * n];
+            for (c_kn, &b_rn) in c_row.iter_mut().zip(b_row) {
+                *c_kn += a_rk * b_rn;
+            }
+        }
+    }
+    Tensor::from_vec(c, &[k, n])
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `B[k,n]`, without materializing `Bᵀ`.
+///
+/// This is the input-gradient shape: `dX = dY · Wᵀ` for `W[k,n]`... i.e. a
+/// row of `C` is the dot products of a row of `A` against rows of `B`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_a_bt: A must be rank-2");
+    assert_eq!(b.ndim(), 2, "matmul_a_bt: B must be rank-2");
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let (k, n2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        n, n2,
+        "matmul_a_bt: trailing dimension mismatch A={:?} B={:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = vec![0.0f32; m * k];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let a_row = &av[i * n..(i + 1) * n];
+        let c_row = &mut c[i * k..(i + 1) * k];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            let b_row = &bv[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (a_v, b_v) in a_row.iter().zip(b_row) {
+                acc += a_v * b_v;
+            }
+            *c_ij = acc;
+        }
+    }
+    Tensor::from_vec(c, &[m, k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_stats::Pcg64;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at2(i, kk) * b.at2(kk, j);
+                }
+                *c.at2_mut(i, j) = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Pcg64::new(1);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            *eye.at2_mut(i, i) = 1.0;
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive_rectangular() {
+        let mut rng = Pcg64::new(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (16, 33, 9), (64, 10, 17)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "mismatch at ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = Pcg64::new(3);
+        let a = Tensor::randn(&[8, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[8, 11], 1.0, &mut rng);
+        let fused = matmul_at_b(&a, &b);
+        let explicit = matmul(&a.transpose2(), &b);
+        assert_eq!(fused.shape(), &[5, 11]);
+        assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = Pcg64::new(4);
+        let a = Tensor::randn(&[6, 9], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 9], 1.0, &mut rng);
+        let fused = matmul_a_bt(&a, &b);
+        let explicit = matmul(&a, &b.transpose2());
+        assert_eq!(fused.shape(), &[6, 4]);
+        assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_checks_dims() {
+        let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn zero_rows_short_circuit_is_correct() {
+        // The `a_ik == 0.0` skip must not change results.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[5.0, 6.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Activation and classification-head primitives.
+
+use crate::tensor::Tensor;
+
+/// Elementwise ReLU into a new tensor.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// Backward of ReLU: pass gradient where the *input* was positive.
+pub fn relu_backward(grad_out: &Tensor, input: &Tensor) -> Tensor {
+    assert_eq!(
+        grad_out.shape(),
+        input.shape(),
+        "relu_backward: shape mismatch"
+    );
+    let data = grad_out
+        .as_slice()
+        .iter()
+        .zip(input.as_slice())
+        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, input.shape())
+}
+
+/// Row-wise softmax of a `[rows, classes]` tensor (numerically stabilized
+/// by max subtraction).
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "softmax_rows: input must be rank-2");
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let dst = &mut out[r * cols..(r + 1) * cols];
+        let mut sum = 0.0f32;
+        for (d, &v) in dst.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in dst {
+            *d *= inv;
+        }
+    }
+    Tensor::from_vec(out, logits.shape())
+}
+
+/// Row-wise log-softmax (numerically stabilized log-sum-exp).
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "log_softmax_rows: input must be rank-2");
+    let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for (d, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *d = v - lse;
+        }
+    }
+    Tensor::from_vec(out, logits.shape())
+}
+
+/// Argmax of each row of a `[rows, classes]` tensor (ties broken toward the
+/// lower index).
+pub fn argmax_rows(x: &Tensor) -> Vec<usize> {
+    assert_eq!(x.ndim(), 2, "argmax_rows: input must be rank-2");
+    let rows = x.shape()[0];
+    (0..rows)
+        .map(|r| {
+            let row = x.row(r);
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_input() {
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 0.0], &[3]);
+        let g = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        assert_eq!(relu_backward(&g, &x).as_slice(), &[0.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r)[2] > p.row(r)[1] && p.row(r)[1] > p.row(r)[0]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[1, 3]);
+        let p = softmax_rows(&x);
+        assert!(!p.has_non_finite());
+        let y = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]);
+        assert!(p.max_abs_diff(&softmax_rows(&y)) < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0], &[2, 2]);
+        let a = log_softmax_rows(&x);
+        let b = softmax_rows(&x).map(|v| v.ln());
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max_and_breaks_ties_low() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 5.0, 5.0, 0.0], &[2, 3]);
+        assert_eq!(argmax_rows(&x), vec![1, 0]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Max pooling with argmax caching for the backward pass.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D max-pooling layer over a fixed input size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dShape {
+    /// Channels (unchanged by pooling).
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Pooling window height.
+    pub kernel_h: usize,
+    /// Pooling window width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+}
+
+impl Pool2dShape {
+    /// Square window with stride equal to the window (the common `2x2/2`).
+    pub fn square(channels: usize, in_h: usize, in_w: usize, k: usize) -> Self {
+        Self {
+            channels,
+            in_h,
+            in_w,
+            kernel_h: k,
+            kernel_w: k,
+            stride: k,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        assert!(
+            self.in_h >= self.kernel_h,
+            "pool window taller than input ({} > {})",
+            self.kernel_h,
+            self.in_h
+        );
+        (self.in_h - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        assert!(
+            self.in_w >= self.kernel_w,
+            "pool window wider than input ({} > {})",
+            self.kernel_w,
+            self.in_w
+        );
+        (self.in_w - self.kernel_w) / self.stride + 1
+    }
+}
+
+/// Max-pool a batch `[N, C, H, W]`, returning the pooled output
+/// `[N, C, oh, ow]` and the flat argmax index (into the input tensor) of
+/// every output element, for use by [`maxpool2d_backward`].
+pub fn maxpool2d(input: &Tensor, s: &Pool2dShape) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.ndim(), 4, "maxpool2d: input must be NCHW");
+    let n = input.shape()[0];
+    assert_eq!(
+        &input.shape()[1..],
+        &[s.channels, s.in_h, s.in_w],
+        "maxpool2d: input shape {:?} vs geometry {:?}",
+        input.shape(),
+        s
+    );
+    assert!(s.stride > 0, "pool stride must be positive");
+    let (oh, ow) = (s.out_h(), s.out_w());
+    let mut out = Vec::with_capacity(n * s.channels * oh * ow);
+    let mut arg = Vec::with_capacity(out.capacity());
+    let xs = input.as_slice();
+    for i in 0..n {
+        for c in 0..s.channels {
+            let plane_off = (i * s.channels + c) * s.in_h * s.in_w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let y0 = oy * s.stride;
+                    let x0 = ox * s.stride;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..s.kernel_h {
+                        let row_off = plane_off + (y0 + ky) * s.in_w + x0;
+                        for kx in 0..s.kernel_w {
+                            let v = xs[row_off + kx];
+                            if v > best {
+                                best = v;
+                                best_idx = row_off + kx;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    arg.push(best_idx as u32);
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(out, &[n, s.channels, oh, ow]),
+        arg,
+    )
+}
+
+/// Backward of max pooling: route each output gradient to the input element
+/// that won the max.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[u32],
+    input_shape: &[usize],
+) -> Tensor {
+    assert_eq!(
+        grad_out.numel(),
+        argmax.len(),
+        "maxpool2d_backward: grad/argmax length mismatch"
+    );
+    let mut grad_input = Tensor::zeros(input_shape);
+    let gi = grad_input.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+        gi[idx as usize] += g;
+    }
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_pool_known_values() {
+        let s = Pool2dShape::square(1, 4, 4, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, arg) = maxpool2d(&x, &s);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn pool_multi_channel_batches() {
+        let s = Pool2dShape::square(2, 2, 2, 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, // n0 c0
+                8.0, 7.0, 6.0, 5.0, // n0 c1
+                -1.0, -2.0, -3.0, -4.0, // n1 c0
+                0.0, 0.0, 0.0, 9.0, // n1 c1
+            ],
+            &[2, 2, 2, 2],
+        );
+        let (y, _) = maxpool2d(&x, &s);
+        assert_eq!(y.shape(), &[2, 2, 1, 1]);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, -1.0, 9.0]);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let s = Pool2dShape::square(1, 4, 4, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, arg) = maxpool2d(&x, &s);
+        let gy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], y.shape());
+        let gx = maxpool2d_backward(&gy, &arg, x.shape());
+        let mut expected = [0.0f32; 16];
+        expected[5] = 1.0;
+        expected[7] = 2.0;
+        expected[13] = 3.0;
+        expected[15] = 4.0;
+        assert_eq!(gx.as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_gradient() {
+        let s = Pool2dShape {
+            channels: 1,
+            in_h: 3,
+            in_w: 3,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+        };
+        // Center (idx 4) is the max of all four overlapping windows.
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0],
+            &[1, 1, 3, 3],
+        );
+        let (y, arg) = maxpool2d(&x, &s);
+        assert!(y.as_slice().iter().all(|&v| v == 9.0));
+        let gy = Tensor::ones(y.shape());
+        let gx = maxpool2d_backward(&gy, &arg, x.shape());
+        assert_eq!(gx.as_slice()[4], 4.0);
+        assert_eq!(gx.sum(), 4.0);
+    }
+
+    #[test]
+    fn pool_handles_negative_inputs() {
+        let s = Pool2dShape::square(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![-5.0, -3.0, -9.0, -4.0], &[1, 1, 2, 2]);
+        let (y, _) = maxpool2d(&x, &s);
+        assert_eq!(y.as_slice(), &[-3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "taller than input")]
+    fn oversized_window_panics() {
+        let s = Pool2dShape::square(1, 2, 2, 3);
+        let _ = maxpool2d(&Tensor::zeros(&[1, 1, 2, 2]), &s);
+    }
+}

@@ -1,0 +1,45 @@
+//! Partition explorer: apply every NIID-Bench strategy to the same dataset
+//! and print the Figure 3-style allocation matrix plus skew metrics for
+//! each — the fastest way to *see* what each strategy does.
+//!
+//! ```sh
+//! cargo run --release --example partition_explorer
+//! ```
+
+use niid_bench_rs::core::partition::{partition, Strategy};
+use niid_bench_rs::core::recommend::{recommend_from_report, InferenceThresholds};
+use niid_bench_rs::core::skew::analyze;
+use niid_bench_rs::data::{generate, DatasetId, GenConfig};
+
+fn main() {
+    let gen = GenConfig::tiny(99);
+
+    let mnist = generate(DatasetId::Mnist, &gen);
+    for strategy in [
+        Strategy::Homogeneous,
+        Strategy::QuantityLabelSkew { k: 1 },
+        Strategy::QuantityLabelSkew { k: 2 },
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        Strategy::DirichletLabelSkew { beta: 0.1 },
+        Strategy::NoiseFeatureSkew { sigma: 0.1 },
+        Strategy::QuantitySkew { beta: 0.5 },
+    ] {
+        let part = partition(&mnist.train, 10, strategy, 99).expect("partition");
+        let report = analyze(&mnist.train, &part);
+        let (inferred, algo) = recommend_from_report(&report, InferenceThresholds::default());
+        println!("== {} ==", strategy.label());
+        println!("{report}");
+        println!("inferred skew: {inferred:?} -> recommended {}\n", algo.name());
+    }
+
+    // The two strategies tied to special datasets.
+    let fcube = generate(DatasetId::Fcube, &gen);
+    let part = partition(&fcube.train, 4, Strategy::FcubeSynthetic, 99).expect("fcube");
+    println!("== fcube-synthetic ==");
+    println!("{}", analyze(&fcube.train, &part));
+
+    let femnist = generate(DatasetId::Femnist, &gen);
+    let part = partition(&femnist.train, 4, Strategy::ByWriter, 99).expect("by-writer");
+    println!("== by-writer (FEMNIST) ==");
+    println!("{}", analyze(&femnist.train, &part));
+}

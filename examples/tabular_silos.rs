@@ -1,0 +1,51 @@
+//! Tabular data silos with quantity skew: organizations holding the same
+//! kind of records but in very different volumes (the paper's "databases
+//! with different capacities"). Runs all four algorithms on an adult-like
+//! income-prediction task under `q ~ Dir(0.5)` and prints the silo sizes
+//! and the SCAFFOLD communication overhead.
+//!
+//! ```sh
+//! cargo run --release --example tabular_silos
+//! ```
+
+use niid_bench_rs::core::experiment::{run_experiment, ExperimentSpec};
+use niid_bench_rs::core::partition::{partition, Strategy};
+use niid_bench_rs::data::{generate, DatasetId, GenConfig};
+use niid_bench_rs::fl::Algorithm;
+
+fn main() {
+    let gen = GenConfig::tiny(23);
+    let strategy = Strategy::QuantitySkew { beta: 0.5 };
+
+    let split = generate(DatasetId::Adult, &gen);
+    let part = partition(&split.train, 10, strategy, 23).expect("partition");
+    println!("silo sizes under q~Dir(0.5): {:?}", part.sizes());
+
+    let mut baseline_bytes = None;
+    for algo in Algorithm::all_default() {
+        let mut spec = ExperimentSpec::new(DatasetId::Adult, strategy, algo, gen);
+        spec.rounds = 8;
+        spec.local_epochs = 3;
+        let result = run_experiment(&spec).expect("run failed");
+        let bytes = result.runs[0].total_bytes;
+        let overhead = match baseline_bytes {
+            None => {
+                baseline_bytes = Some(bytes);
+                "1.0x".to_string()
+            }
+            Some(base) => format!("{:.1}x", bytes as f64 / base as f64),
+        };
+        println!(
+            "{:<8} final {:.1}%  traffic {} bytes ({} vs FedAvg)",
+            result.algorithm,
+            result.mean_accuracy * 100.0,
+            bytes,
+            overhead
+        );
+    }
+    println!(
+        "\npaper Finding 1: weighted averaging already handles quantity skew,\n\
+         so all algorithms stay close to the IID accuracy; SCAFFOLD pays 2x\n\
+         communication for its control variates (§3.3)"
+    );
+}

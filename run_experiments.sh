@@ -1,0 +1,30 @@
+#!/bin/bash
+# Regenerate every table/figure at bench scale; tee outputs into results/.
+set -u
+cd /root/repo
+cargo build --release -p niid-bench 2>&1 | tail -1
+BIN=target/release
+$BIN/exp_table1 > results/table1.txt 2>&1
+$BIN/exp_table2 > results/table2.txt 2>&1
+$BIN/exp_fig3   > results/fig3.txt 2>&1
+$BIN/exp_fig4   > results/fig4.txt 2>&1
+$BIN/exp_fig5   > results/fig5.txt 2>&1
+$BIN/exp_fig6   > results/fig6.txt 2>&1
+echo "static tables/figures done: $(date +%T)"
+$BIN/exp_fig8  --json results/fig8.json  > results/fig8.txt 2>&1
+echo "fig8 done: $(date +%T)"
+$BIN/exp_fig12 --rounds 12 --json results/fig12.json > results/fig12.txt 2>&1
+echo "fig12 done: $(date +%T)"
+$BIN/exp_fig7  --rounds 10 --json results/fig7.json  > results/fig7.txt 2>&1
+echo "fig7 done: $(date +%T)"
+$BIN/exp_fig11 --json results/fig11.json > results/fig11.txt 2>&1
+echo "fig11 done: $(date +%T)"
+$BIN/exp_fig10 --rounds 10 --json results/fig10.json > results/fig10.txt 2>&1
+echo "fig10 done: $(date +%T)"
+$BIN/exp_table3 --rounds 8 --json results/table3.json > results/table3.txt 2>&1
+echo "table3 done: $(date +%T)"
+$BIN/exp_fig9  --rounds 4 --json results/fig9.json  > results/fig9.txt 2>&1
+echo "fig9 done: $(date +%T)"
+$BIN/exp_ablation --rounds 5 --json results/ablation.json > results/ablation.txt 2>&1
+echo "fig9 done: $(date +%T)"
+echo ALL_DONE

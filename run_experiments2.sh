@@ -1,0 +1,19 @@
+#!/bin/bash
+# Phase 2: rerun/finish experiments with the fixed SCAFFOLD + empty-party
+# top-up. Time-budgeted round counts.
+set -u
+cd /root/repo
+BIN=target/release
+$BIN/exp_fig10 --rounds 10 --json results/fig10.json > results/fig10.txt 2>&1
+echo "fig10 done: $(date +%T)"
+$BIN/exp_fig12 --rounds 12 --json results/fig12.json > results/fig12.txt 2>&1
+echo "fig12 done: $(date +%T)"
+$BIN/exp_fig7 --rounds 10 --json results/fig7.json > results/fig7.txt 2>&1
+echo "fig7 done: $(date +%T)"
+$BIN/exp_table3 --rounds 8 --json results/table3.json > results/table3.txt 2>&1
+echo "table3 done: $(date +%T)"
+$BIN/exp_ablation --rounds 5 --json results/ablation.json > results/ablation.txt 2>&1
+echo "ablation done: $(date +%T)"
+$BIN/exp_fig9 --rounds 4 --json results/fig9.json > results/fig9.txt 2>&1
+echo "fig9 done: $(date +%T)"
+echo PHASE2_DONE

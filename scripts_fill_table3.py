@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Insert the measured Table 3 into EXPERIMENTS.md from results/table3.txt."""
+import re
+
+table = open('results/table3.txt').read()
+# Grab the rendered table lines (between the header and the json note).
+lines = [l for l in table.splitlines() if l.startswith('|')]
+md = '\n'.join(lines)
+
+s = open('EXPERIMENTS.md').read()
+marker = '<!-- TABLE3_RESULTS -->'
+block = f"""Measured cells (8 rounds, bench scale — `results/table3.txt`):
+
+{md}
+"""
+s = s.replace(marker, block)
+open('EXPERIMENTS.md','w').write(s)
+print("table3 inserted:", len(lines), "rows")

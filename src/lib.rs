@@ -1,0 +1,25 @@
+//! # niid-bench-rs
+//!
+//! A from-scratch Rust reproduction of **NIID-Bench** — *"Federated
+//! Learning on Non-IID Data Silos: An Experimental Study"* (ICDE 2022).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`tensor`] — dense f32 tensors, GEMM, im2col convolution, pooling,
+//! * [`stats`] — deterministic RNG, Gaussian/Gamma/Dirichlet sampling,
+//!   distribution distances,
+//! * [`nn`] — layers with hand-derived backprop, SGD, and the paper's
+//!   CNN/MLP/VGG-9/ResNet architectures,
+//! * [`data`] — the nine-dataset registry with scaled synthetic stand-ins,
+//! * [`fl`] — the federated engine: FedAvg, FedProx, SCAFFOLD, FedNova,
+//! * [`core`] — NIID-Bench itself: the six partitioning strategies, skew
+//!   quantification, the Figure 6 decision tree, the experiment runner and
+//!   leaderboard.
+//!
+//! See `examples/quickstart.rs` for a three-step end-to-end run.
+pub use niid_core as core;
+pub use niid_data as data;
+pub use niid_fl as fl;
+pub use niid_nn as nn;
+pub use niid_stats as stats;
+pub use niid_tensor as tensor;

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full generate → partition → train →
+//! evaluate pipeline through the public facade.
+
+use niid_bench_rs::core::experiment::{run_experiment, ExperimentSpec};
+use niid_bench_rs::core::partition::Strategy;
+use niid_bench_rs::core::Leaderboard;
+use niid_bench_rs::data::{DatasetId, GenConfig};
+use niid_bench_rs::fl::Algorithm;
+
+fn quick_spec(
+    dataset: DatasetId,
+    strategy: Strategy,
+    algorithm: Algorithm,
+    seed: u64,
+) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(dataset, strategy, algorithm, GenConfig::tiny(seed));
+    spec.rounds = 4;
+    spec.local_epochs = 2;
+    spec
+}
+
+#[test]
+fn all_algorithms_complete_on_image_data() {
+    for algo in Algorithm::all_default() {
+        let spec = quick_spec(
+            DatasetId::Mnist,
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            algo,
+            1,
+        );
+        let result = run_experiment(&spec).expect("run");
+        assert_eq!(result.runs[0].rounds.len(), 4);
+        assert!(
+            result.mean_accuracy > 0.3,
+            "{} should beat chance on the easy image task, got {}",
+            algo.name(),
+            result.mean_accuracy
+        );
+        assert!(result.runs[0].rounds.iter().all(|r| r.avg_local_loss.is_finite()));
+    }
+}
+
+#[test]
+fn all_nine_datasets_train_one_round() {
+    for dataset in DatasetId::all() {
+        let strategy = if dataset == DatasetId::Fcube {
+            Strategy::FcubeSynthetic
+        } else {
+            Strategy::Homogeneous
+        };
+        let mut spec = quick_spec(dataset, strategy, Algorithm::FedAvg, 2);
+        spec.rounds = 1;
+        let result = run_experiment(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", dataset.name()));
+        assert!(
+            result.mean_accuracy > 0.0,
+            "{} produced zero accuracy",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn experiments_are_bit_reproducible() {
+    let spec = quick_spec(
+        DatasetId::Adult,
+        Strategy::QuantityLabelSkew { k: 1 },
+        Algorithm::Scaffold {
+            variant: niid_bench_rs::fl::ControlVariateUpdate::Reuse,
+        },
+        3,
+    );
+    let a = run_experiment(&spec).expect("run a");
+    let b = run_experiment(&spec).expect("run b");
+    assert_eq!(a.accuracies, b.accuracies);
+    for (ra, rb) in a.runs[0].rounds.iter().zip(&b.runs[0].rounds) {
+        assert_eq!(ra.test_accuracy, rb.test_accuracy);
+        assert_eq!(ra.avg_local_loss, rb.avg_local_loss);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut a = quick_spec(DatasetId::Adult, Strategy::Homogeneous, Algorithm::FedAvg, 4);
+    let mut b = quick_spec(DatasetId::Adult, Strategy::Homogeneous, Algorithm::FedAvg, 5);
+    a.rounds = 2;
+    b.rounds = 2;
+    let ra = run_experiment(&a).expect("a");
+    let rb = run_experiment(&b).expect("b");
+    assert_ne!(
+        ra.runs[0].rounds[0].avg_local_loss,
+        rb.runs[0].rounds[0].avg_local_loss
+    );
+}
+
+#[test]
+fn leaderboard_integrates_with_experiments() {
+    let mut board = Leaderboard::new();
+    for algo in [Algorithm::FedAvg, Algorithm::FedProx { mu: 0.01 }] {
+        let spec = quick_spec(DatasetId::Fcube, Strategy::FcubeSynthetic, algo, 6);
+        let mut spec = spec;
+        spec.n_parties = 4;
+        board.add(&run_experiment(&spec).expect("run"));
+    }
+    let settings = board.settings();
+    assert_eq!(settings.len(), 1);
+    assert_eq!(board.ranking(&settings[0]).len(), 2);
+    let wins = board.win_counts();
+    assert_eq!(wins.values().sum::<usize>(), 1, "exactly one winner");
+}
+
+#[test]
+fn results_serialize_to_json() {
+    let spec = quick_spec(DatasetId::Covtype, Strategy::Homogeneous, Algorithm::FedNova, 7);
+    let result = run_experiment(&spec).expect("run");
+    let json = serde_json::to_string(&result).expect("serialize");
+    assert!(json.contains("\"algorithm\":\"FedNova\""));
+    let back: niid_bench_rs::core::experiment::ExperimentResult =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.mean_accuracy, result.mean_accuracy);
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the federated aggregation algebra: the server
+//! update rules must conserve weights, respect sample weighting, and
+//! reduce to each other in the documented degenerate cases.
+
+use niid_bench_rs::fl::aggregate::{
+    average_buffers, fednova_average, scaffold_update_c, weighted_average,
+};
+use niid_bench_rs::fl::local::LocalOutcome;
+use proptest::prelude::*;
+
+fn outcome(delta: Vec<f32>, tau: usize, n: usize) -> LocalOutcome {
+    LocalOutcome {
+        delta,
+        tau,
+        n_samples: n,
+        avg_loss: 0.0,
+        buffers: Vec::new(),
+        delta_c: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The aggregation weights sum to one: aggregating identical deltas
+    /// applies exactly that delta.
+    #[test]
+    fn weighted_average_of_identical_deltas_is_that_delta(
+        parties in 1usize..10,
+        delta in -5.0f32..5.0,
+        sizes in prop::collection::vec(1usize..1000, 1..10),
+    ) {
+        let parties = parties.min(sizes.len());
+        let outcomes: Vec<LocalOutcome> = sizes[..parties]
+            .iter()
+            .map(|&n| outcome(vec![delta], 3, n))
+            .collect();
+        let mut global = vec![10.0f32];
+        weighted_average(&mut global, &outcomes, 1.0);
+        prop_assert!((global[0] - (10.0 - delta)).abs() < 1e-4);
+    }
+
+    /// Same for FedNova when all taus are equal.
+    #[test]
+    fn fednova_reduces_to_weighted_average_for_equal_taus(
+        tau in 1usize..20,
+        deltas in prop::collection::vec(-3.0f32..3.0, 2..8),
+        seed in 0u64..100,
+    ) {
+        let sizes: Vec<usize> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, _)| 10 + ((seed as usize + i * 13) % 90))
+            .collect();
+        let outcomes: Vec<LocalOutcome> = deltas
+            .iter()
+            .zip(&sizes)
+            .map(|(&d, &n)| outcome(vec![d], tau, n))
+            .collect();
+        let mut a = vec![1.0f32];
+        let mut b = vec![1.0f32];
+        weighted_average(&mut a, &outcomes, 1.0);
+        fednova_average(&mut b, &outcomes, 1.0);
+        prop_assert!((a[0] - b[0]).abs() < 1e-4, "{} vs {}", a[0], b[0]);
+    }
+
+    /// FedNova is invariant to per-party delta scaling by tau: a party
+    /// that takes c× more steps with a c×-scaled delta contributes the
+    /// same per-step update.
+    #[test]
+    fn fednova_normalizes_step_counts(
+        base_tau in 1usize..10,
+        scale in 2usize..8,
+        delta in 0.1f32..3.0,
+    ) {
+        // Two equal-size parties, identical per-step drift; one runs
+        // `scale`x longer.
+        let o_short = outcome(vec![delta], base_tau, 100);
+        let o_long = outcome(
+            vec![delta * scale as f32],
+            base_tau * scale,
+            100,
+        );
+        let mut nova = vec![0.0f32];
+        fednova_average(&mut nova, &[o_short.clone(), o_long], 1.0);
+        // Both normalized updates equal delta/base_tau, so the aggregate
+        // applies coeff * delta / base_tau with
+        // coeff = (tau_short + tau_long)/2.
+        let coeff = (base_tau + base_tau * scale) as f32 / 2.0;
+        let expected = -coeff * delta / base_tau as f32;
+        prop_assert!(
+            (nova[0] - expected).abs() < 1e-3 * (1.0 + expected.abs()),
+            "{} vs {}", nova[0], expected
+        );
+    }
+
+    /// Aggregation weights are proportional to sample counts.
+    #[test]
+    fn weighting_is_proportional_to_samples(ratio in 1usize..20) {
+        // Party A has `ratio`x the data of party B and pulls the opposite
+        // way; the result lands on A's side by exactly the ratio.
+        let outcomes = vec![
+            outcome(vec![1.0], 1, 100 * ratio),
+            outcome(vec![-1.0], 1, 100),
+        ];
+        let mut global = vec![0.0f32];
+        weighted_average(&mut global, &outcomes, 1.0);
+        let expected = -((ratio as f32 - 1.0) / (ratio as f32 + 1.0));
+        prop_assert!((global[0] - expected).abs() < 1e-4);
+    }
+
+    /// The server control variate moves by the sampled parties' mean
+    /// delta_c scaled by |S|/N.
+    #[test]
+    fn scaffold_c_update_scales_with_participation(
+        total in 1usize..50,
+        sampled in 1usize..50,
+        dc in -2.0f32..2.0,
+    ) {
+        let sampled = sampled.min(total);
+        let outcomes: Vec<LocalOutcome> = (0..sampled)
+            .map(|_| {
+                let mut o = outcome(vec![0.0], 1, 10);
+                o.delta_c = vec![dc];
+                o
+            })
+            .collect();
+        let mut c = vec![0.0f32];
+        scaffold_update_c(&mut c, &outcomes, total);
+        let expected = dc * sampled as f32 / total as f32;
+        prop_assert!((c[0] - expected).abs() < 1e-4);
+    }
+
+    /// Buffer averaging is a convex combination: the result lies inside
+    /// the per-party range.
+    #[test]
+    fn buffer_average_is_convex(
+        values in prop::collection::vec(-10.0f32..10.0, 2..8),
+        seed in 0u64..100,
+    ) {
+        let outcomes: Vec<LocalOutcome> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut o = outcome(vec![0.0], 1, 5 + ((seed as usize + i * 7) % 95));
+                o.buffers = vec![v];
+                o
+            })
+            .collect();
+        let avg = average_buffers(&outcomes).expect("buffers present");
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(avg[0] >= min - 1e-4 && avg[0] <= max + 1e-4);
+    }
+}

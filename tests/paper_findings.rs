@@ -1,0 +1,217 @@
+//! Qualitative reproduction of the paper's findings at test scale: the
+//! *shape* of each result (who degrades, who matches whom, what doubles)
+//! checked as assertions. These are the fastest trustworthy signal that
+//! the benchmark reproduces the paper's phenomena end-to-end.
+
+use niid_bench_rs::core::experiment::{run_experiment, ExperimentSpec};
+use niid_bench_rs::core::partition::Strategy;
+use niid_bench_rs::data::{DatasetId, GenConfig};
+use niid_bench_rs::fl::{Algorithm, ControlVariateUpdate};
+
+fn spec(
+    dataset: DatasetId,
+    strategy: Strategy,
+    algorithm: Algorithm,
+    rounds: usize,
+    seed: u64,
+) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(dataset, strategy, algorithm, GenConfig::tiny(seed));
+    s.rounds = rounds;
+    s.local_epochs = 3;
+    s
+}
+
+fn accuracy(s: &ExperimentSpec) -> f64 {
+    run_experiment(s).expect("run").mean_accuracy
+}
+
+/// Finding 1 (part): single-label parties are the most damaging setting.
+/// The collapse is driven by local-update drift, so this uses the paper's
+/// E = 10 local epochs.
+#[test]
+fn finding1_single_label_skew_collapses_accuracy() {
+    let mut iid_spec = spec(DatasetId::Mnist, Strategy::Homogeneous, Algorithm::FedAvg, 5, 1);
+    iid_spec.local_epochs = 10;
+    let mut c1_spec = spec(
+        DatasetId::Mnist,
+        Strategy::QuantityLabelSkew { k: 1 },
+        Algorithm::FedAvg,
+        5,
+        1,
+    );
+    c1_spec.local_epochs = 10;
+    let iid = accuracy(&iid_spec);
+    let c1 = accuracy(&c1_spec);
+    assert!(
+        iid > c1 + 0.25,
+        "label skew #C=1 should collapse accuracy: IID {iid} vs #C=1 {c1}"
+    );
+}
+
+/// Finding 1 (part): accuracy increases with the number of labels per
+/// party.
+#[test]
+fn finding1_accuracy_monotone_in_labels_per_party() {
+    let acc_k = |k: usize| {
+        accuracy(&spec(
+            DatasetId::Mnist,
+            Strategy::QuantityLabelSkew { k },
+            Algorithm::FedAvg,
+            5,
+            2,
+        ))
+    };
+    let (a1, a3, a10) = (acc_k(1), acc_k(3), acc_k(10));
+    assert!(
+        a10 > a3 && a3 > a1,
+        "expected monotone accuracy in k: k=1 {a1}, k=3 {a3}, k=10 {a10}"
+    );
+}
+
+/// Finding 1 (part): quantity skew barely hurts FedAvg because of its
+/// sample-weighted averaging.
+#[test]
+fn finding1_quantity_skew_is_benign() {
+    let iid = accuracy(&spec(
+        DatasetId::Mnist,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        5,
+        3,
+    ));
+    let qs = accuracy(&spec(
+        DatasetId::Mnist,
+        Strategy::QuantitySkew { beta: 0.5 },
+        Algorithm::FedAvg,
+        5,
+        3,
+    ));
+    assert!(
+        (iid - qs).abs() < 0.12,
+        "quantity skew should be nearly harmless: IID {iid} vs q~Dir {qs}"
+    );
+}
+
+/// §5.2: FedProx with μ = 0 is *exactly* FedAvg (same seeds, same bits).
+#[test]
+fn fedprox_mu_zero_equals_fedavg_exactly() {
+    let a = run_experiment(&spec(
+        DatasetId::Adult,
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        Algorithm::FedAvg,
+        3,
+        4,
+    ))
+    .expect("fedavg");
+    let b = run_experiment(&spec(
+        DatasetId::Adult,
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        Algorithm::FedProx { mu: 0.0 },
+        3,
+        4,
+    ))
+    .expect("fedprox");
+    assert_eq!(a.accuracies, b.accuracies);
+}
+
+/// FedNova reduces to FedAvg when every party takes the same number of
+/// local steps (equal data sizes + homogeneous partition).
+#[test]
+fn fednova_equals_fedavg_with_equal_steps() {
+    // tiny(5) gives 300 train samples over 10 parties = 30 each, and the
+    // homogeneous split is exactly even, so tau is identical everywhere.
+    let a = run_experiment(&spec(
+        DatasetId::Covtype,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        3,
+        5,
+    ))
+    .expect("fedavg");
+    let b = run_experiment(&spec(
+        DatasetId::Covtype,
+        Strategy::Homogeneous,
+        Algorithm::FedNova,
+        3,
+        5,
+    ))
+    .expect("fednova");
+    for (x, y) in a.accuracies.iter().zip(&b.accuracies) {
+        assert!(
+            (x - y).abs() < 1e-9,
+            "FedNova must equal FedAvg under equal taus: {x} vs {y}"
+        );
+    }
+}
+
+/// §3.3: SCAFFOLD doubles the communication volume per round.
+#[test]
+fn scaffold_doubles_communication() {
+    let plain = run_experiment(&spec(
+        DatasetId::Adult,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        2,
+        6,
+    ))
+    .expect("fedavg");
+    let scaffold = run_experiment(&spec(
+        DatasetId::Adult,
+        Strategy::Homogeneous,
+        Algorithm::Scaffold {
+            variant: ControlVariateUpdate::Reuse,
+        },
+        2,
+        6,
+    ))
+    .expect("scaffold");
+    assert_eq!(
+        scaffold.runs[0].total_bytes,
+        2 * plain.runs[0].total_bytes
+    );
+}
+
+/// Finding 8 setup: partial participation selects the right number of
+/// parties and still learns on IID data.
+#[test]
+fn partial_participation_learns_iid() {
+    let mut s = spec(
+        DatasetId::Mnist,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        6,
+        7,
+    );
+    s.n_parties = 10;
+    s.sample_fraction = 0.3;
+    let result = run_experiment(&s).expect("run");
+    assert!(result.runs[0].rounds.iter().all(|r| r.participants == 3));
+    assert!(
+        result.mean_accuracy > 0.5,
+        "IID partial participation should still learn, got {}",
+        result.mean_accuracy
+    );
+}
+
+/// Both SCAFFOLD control-variate variants run and learn.
+#[test]
+fn scaffold_variants_both_learn() {
+    for variant in [
+        ControlVariateUpdate::Reuse,
+        ControlVariateUpdate::GradientAtGlobal,
+    ] {
+        let result = run_experiment(&spec(
+            DatasetId::Covtype,
+            Strategy::Homogeneous,
+            Algorithm::Scaffold { variant },
+            4,
+            8,
+        ))
+        .expect("run");
+        assert!(
+            result.mean_accuracy > 0.55,
+            "{variant:?} accuracy {}",
+            result.mean_accuracy
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the partitioning invariants, across random
+//! dataset shapes, party counts, strategy parameters and seeds.
+
+use niid_bench_rs::core::partition::{partition, Strategy};
+use niid_bench_rs::data::Dataset;
+use niid_bench_rs::stats::Pcg64;
+use niid_bench_rs::tensor::Tensor;
+use proptest::prelude::*;
+
+fn dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+    let mut rng = Pcg64::new(seed);
+    Dataset::new(
+        "prop",
+        Tensor::rand_uniform(&[n, 3], -1.0, 1.0, &mut rng),
+        (0..n).map(|i| i % classes).collect(),
+        classes,
+        vec![3],
+        None,
+    )
+}
+
+/// Check disjointness + in-range for any partition, and return coverage.
+fn assigned_rows(assignments: &[Vec<usize>], n: usize) -> usize {
+    let mut seen = vec![false; n];
+    for rows in assignments {
+        for &i in rows {
+            assert!(i < n, "index {i} out of range {n}");
+            assert!(!seen[i], "index {i} assigned twice");
+            seen[i] = true;
+        }
+    }
+    seen.iter().filter(|&&s| s).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn homogeneous_covers_everything(
+        n in 20usize..400,
+        parties in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n >= parties);
+        let d = dataset(n, 5, seed);
+        let p = partition(&d, parties, Strategy::Homogeneous, seed).unwrap();
+        prop_assert_eq!(assigned_rows(&p.assignments, n), n);
+        // Sizes within 1 of each other.
+        let sizes = p.sizes();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn dirichlet_label_skew_is_disjoint_cover(
+        n in 100usize..600,
+        parties in 2usize..12,
+        beta in 0.05f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset(n, 8, seed);
+        let p = partition(&d, parties, Strategy::DirichletLabelSkew { beta }, seed).unwrap();
+        prop_assert_eq!(assigned_rows(&p.assignments, n), n);
+    }
+
+    #[test]
+    fn quantity_skew_conserves_samples(
+        n in 100usize..600,
+        parties in 2usize..12,
+        beta in 0.05f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset(n, 4, seed);
+        let p = partition(&d, parties, Strategy::QuantitySkew { beta }, seed).unwrap();
+        prop_assert_eq!(assigned_rows(&p.assignments, n), n);
+    }
+
+    #[test]
+    fn quantity_label_skew_respects_k(
+        parties in 2usize..15,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let classes = 6;
+        prop_assume!(k <= classes);
+        let d = dataset(600, classes, seed);
+        let p = partition(&d, parties, Strategy::QuantityLabelSkew { k }, seed).unwrap();
+        assigned_rows(&p.assignments, 600);
+        for rows in &p.assignments {
+            let mut labels: Vec<usize> = rows.iter().map(|&i| d.labels[i]).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            prop_assert!(labels.len() <= k, "party holds {} labels > k={}", labels.len(), k);
+        }
+        // With parties >= classes, the round-robin first label guarantees
+        // full coverage.
+        if parties >= classes {
+            prop_assert_eq!(p.assigned_count(), 600);
+        }
+    }
+
+    #[test]
+    fn partitions_deterministic_under_seed(
+        parties in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let d = dataset(300, 5, 7);
+        for strategy in [
+            Strategy::Homogeneous,
+            Strategy::QuantityLabelSkew { k: 2 },
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            Strategy::QuantitySkew { beta: 0.5 },
+        ] {
+            let a = partition(&d, parties, strategy, seed).unwrap();
+            let b = partition(&d, parties, strategy, seed).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn no_party_is_empty_under_reasonable_dirichlet(
+        parties in 2usize..10,
+        seed in 0u64..200,
+    ) {
+        // With n >> parties and beta = 0.5, the min-size redraw loop should
+        // leave no party empty.
+        let d = dataset(1000, 10, seed);
+        let p = partition(&d, parties, Strategy::DirichletLabelSkew { beta: 0.5 }, seed).unwrap();
+        prop_assert!(p.sizes().iter().all(|&s| s > 0), "sizes: {:?}", p.sizes());
+    }
+}

@@ -1,0 +1,131 @@
+//! Every partitioning strategy driven through a full federated run, plus
+//! engine behaviours only visible end-to-end (BatchNorm buffer policies,
+//! writer-based feature skew, noise transforms inside the training loop).
+
+use niid_bench_rs::core::experiment::{run_experiment, ExperimentSpec};
+use niid_bench_rs::core::partition::Strategy;
+use niid_bench_rs::data::{DatasetId, GenConfig};
+use niid_bench_rs::fl::engine::BufferPolicy;
+use niid_bench_rs::fl::Algorithm;
+use niid_bench_rs::nn::ModelSpec;
+
+fn quick(dataset: DatasetId, strategy: Strategy, seed: u64) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(dataset, strategy, Algorithm::FedAvg, GenConfig::tiny(seed));
+    s.rounds = 3;
+    s.local_epochs = 2;
+    s
+}
+
+#[test]
+fn every_strategy_trains_end_to_end() {
+    let cases = [
+        (DatasetId::Mnist, Strategy::Homogeneous),
+        (DatasetId::Mnist, Strategy::QuantityLabelSkew { k: 2 }),
+        (DatasetId::Mnist, Strategy::DirichletLabelSkew { beta: 0.5 }),
+        (DatasetId::Mnist, Strategy::NoiseFeatureSkew { sigma: 0.1 }),
+        (DatasetId::Mnist, Strategy::QuantitySkew { beta: 0.5 }),
+        (DatasetId::Fcube, Strategy::FcubeSynthetic),
+        (DatasetId::Femnist, Strategy::ByWriter),
+    ];
+    for (dataset, strategy) in cases {
+        let result = run_experiment(&quick(dataset, strategy, 1))
+            .unwrap_or_else(|e| panic!("{}/{}: {e}", dataset.name(), strategy.label()));
+        assert!(
+            result.mean_accuracy > 0.0,
+            "{}/{} produced zero accuracy",
+            dataset.name(),
+            strategy.label()
+        );
+        assert!(result.runs[0]
+            .rounds
+            .iter()
+            .all(|r| r.avg_local_loss.is_finite()));
+    }
+}
+
+#[test]
+fn noise_skew_hurts_more_with_larger_sigma() {
+    // The noise-based feature imbalance must actually reach the training
+    // loop: extreme noise should visibly cost accuracy vs the IID run.
+    let clean = run_experiment(&quick(DatasetId::Mnist, Strategy::Homogeneous, 2))
+        .unwrap()
+        .mean_accuracy;
+    let noisy = run_experiment(&quick(
+        DatasetId::Mnist,
+        Strategy::NoiseFeatureSkew { sigma: 25.0 },
+        2,
+    ))
+    .unwrap()
+    .mean_accuracy;
+    assert!(
+        clean > noisy + 0.1,
+        "sigma=25 noise should hurt: clean {clean} vs noisy {noisy}"
+    );
+}
+
+#[test]
+fn buffer_policies_differ_for_batchnorm_models() {
+    // A ResNet run under Average vs KeepGlobal must produce different
+    // global models (the buffers feed evaluation), and both must learn.
+    let run_with = |policy: BufferPolicy| {
+        let mut spec = quick(DatasetId::Mnist, Strategy::DirichletLabelSkew { beta: 0.5 }, 3);
+        spec.model = Some(ModelSpec::ResNetLite {
+            in_channels: 1,
+            side: 16,
+            width: 4,
+            blocks_per_stage: 1,
+        });
+        spec.buffer_policy = policy;
+        run_experiment(&spec).expect("resnet run")
+    };
+    let avg = run_with(BufferPolicy::Average);
+    let keep = run_with(BufferPolicy::KeepGlobal);
+    assert_ne!(
+        avg.accuracies, keep.accuracies,
+        "buffer policy must influence the evaluated model"
+    );
+    assert!(avg.mean_accuracy > 0.0 && keep.mean_accuracy > 0.0);
+}
+
+#[test]
+fn buffer_policy_is_inert_for_buffer_free_models() {
+    let run_with = |policy: BufferPolicy| {
+        let mut spec = quick(DatasetId::Adult, Strategy::Homogeneous, 4);
+        spec.buffer_policy = policy;
+        run_experiment(&spec).expect("mlp run")
+    };
+    let a = run_with(BufferPolicy::Average);
+    let b = run_with(BufferPolicy::KeepGlobal);
+    assert_eq!(a.accuracies, b.accuracies, "MLP has no buffers to aggregate");
+}
+
+#[test]
+fn by_writer_partition_reaches_good_accuracy() {
+    // Real-world feature skew is the mildest non-IID setting in the paper
+    // (FEMNIST by-writer ≈ IID accuracy); verify the same shape here.
+    let mut spec = quick(DatasetId::Femnist, Strategy::ByWriter, 5);
+    spec.rounds = 5;
+    let writer = run_experiment(&spec).unwrap().mean_accuracy;
+    let mut spec = quick(DatasetId::Femnist, Strategy::Homogeneous, 5);
+    spec.rounds = 5;
+    let iid = run_experiment(&spec).unwrap().mean_accuracy;
+    // One-sided: writer-based feature skew must not be much worse than
+    // IID (it can land above it at tiny scales — run-to-run variance).
+    assert!(
+        writer > iid - 0.15,
+        "by-writer should be close to IID: writer {writer} vs IID {iid}"
+    );
+}
+
+#[test]
+fn server_lr_damping_changes_but_does_not_break_training() {
+    let mut spec = quick(DatasetId::Covtype, Strategy::Homogeneous, 6);
+    spec.server_lr = 0.5;
+    spec.rounds = 5;
+    let damped = run_experiment(&spec).unwrap();
+    assert!(
+        damped.mean_accuracy > 0.55,
+        "damped server lr should still learn, got {}",
+        damped.mean_accuracy
+    );
+}

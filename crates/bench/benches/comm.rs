@@ -2,51 +2,32 @@
 //! the sizes the paper's models actually ship per round, demonstrating
 //! SCAFFOLD's 2x payload (§3.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use niid_bench::harness::{black_box, Harness};
 use niid_fl::comm::{decode_update, encode_update, RoundTraffic};
 use niid_stats::Pcg64;
-use std::hint::black_box;
 
-fn bench_encode_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("comm_payload");
+fn main() {
+    let mut h = Harness::from_args("comm_payload");
     let mut rng = Pcg64::new(12);
     // Parameter counts: the tabular MLP (~4k), the LeNet CNN at 16px
     // (~40k), a mid-size conv net (~400k).
     for &n in &[4_096usize, 40_960, 409_600] {
         let delta: Vec<f32> = (0..n).map(|_| rng.next_f32() - 0.5).collect();
-        group.throughput(Throughput::Bytes((n * 4) as u64));
-        group.bench_with_input(BenchmarkId::new("encode", n), &n, |bench, _| {
+        h.bench(&format!("encode/{n}"), |bench| {
             bench.iter(|| black_box(encode_update(7, 42, &delta)))
         });
         let payload = encode_update(7, 42, &delta);
-        group.bench_with_input(BenchmarkId::new("decode", n), &n, |bench, _| {
+        h.bench(&format!("decode/{n}"), |bench| {
             bench.iter(|| black_box(decode_update(&payload).expect("decode")))
         });
     }
-    group.finish();
-}
 
-fn bench_traffic_accounting(c: &mut Criterion) {
-    c.bench_function("round_traffic_accounting", |bench| {
+    h.bench("round_traffic_accounting", |bench| {
         bench.iter(|| {
             let plain = RoundTraffic::for_round(black_box(100), 40_960, 0, false);
             let scaffold = RoundTraffic::for_round(black_box(100), 40_960, 0, true);
             assert_eq!(scaffold.total(), 2 * plain.total());
-            black_box((plain, scaffold))
+            (plain, scaffold)
         })
     });
 }
-
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = fast_criterion();
-    targets = bench_encode_decode, bench_traffic_accounting
-}
-criterion_main!(benches);

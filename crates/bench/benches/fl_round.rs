@@ -1,17 +1,18 @@
 //! End-to-end federated-round benchmarks: one full communication round per
-//! algorithm on the tiny-scale MNIST stand-in (10 parties, MLP model), so
-//! the per-algorithm overheads (FedProx's proximal term, SCAFFOLD's
-//! control variates, FedNova's normalization) are directly comparable.
+//! algorithm on the tiny-scale stand-in (10 parties, MLP model), so the
+//! per-algorithm overheads (FedProx's proximal term, SCAFFOLD's control
+//! variates, FedNova's normalization) are directly comparable — plus a
+//! traced-vs-untraced pair bounding the trace layer's cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use niid_bench::harness::{black_box, Harness};
 use niid_core::experiment::ExperimentSpec;
 use niid_core::partition::{build_parties, partition, Strategy};
 use niid_data::{generate, DatasetId, GenConfig};
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
+use niid_fl::trace::MemorySink;
 use niid_fl::Algorithm;
 use niid_nn::ModelSpec;
-use std::hint::black_box;
 
 fn one_round_config(algorithm: Algorithm) -> FlConfig {
     FlConfig {
@@ -34,13 +35,17 @@ fn one_round_config(algorithm: Algorithm) -> FlConfig {
     }
 }
 
-fn bench_round_per_algorithm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fl_round_adult_10parties");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::from_args("fl_round_adult_10parties");
     let gen = GenConfig::tiny(21);
     let split = generate(DatasetId::Adult, &gen);
-    let part = partition(&split.train, 10, Strategy::DirichletLabelSkew { beta: 0.5 }, 3)
-        .expect("partition");
+    let part = partition(
+        &split.train,
+        10,
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        3,
+    )
+    .expect("partition");
     let parties = build_parties(&split.train, &part, 4);
     let spec = ExperimentSpec::new(
         DatasetId::Adult,
@@ -49,8 +54,11 @@ fn bench_round_per_algorithm(c: &mut Criterion) {
         gen,
     );
     let model: ModelSpec = spec.model_spec();
+
+    // run() routes through the no-op sink, so the per-algorithm numbers
+    // below are the untraced baseline.
     for algo in Algorithm::all_default() {
-        group.bench_function(algo.name(), |bench| {
+        h.bench(algo.name(), |bench| {
             bench.iter(|| {
                 let sim = FedSim::new(
                     model.clone(),
@@ -63,19 +71,20 @@ fn bench_round_per_algorithm(c: &mut Criterion) {
             })
         });
     }
-    group.finish();
-}
 
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
+    // Live tracing into an in-memory sink, to compare against FedAvg above.
+    h.bench("FedAvg_traced_memory", |bench| {
+        bench.iter(|| {
+            let sim = FedSim::new(
+                model.clone(),
+                parties.clone(),
+                split.test.clone(),
+                one_round_config(Algorithm::FedAvg),
+            )
+            .expect("sim");
+            let sink = MemorySink::new();
+            let result = sim.run_traced(&sink).expect("run");
+            black_box((result, sink.len()))
+        })
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = fast_criterion();
-    targets = bench_round_per_algorithm
-}
-criterion_main!(benches);

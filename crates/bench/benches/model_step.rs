@@ -2,11 +2,10 @@
 //! paper's architectures, plus the flat state (de)serialization that the
 //! federated server performs every round.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use niid_bench::harness::{black_box, Harness};
 use niid_nn::{lenet_cnn, mlp, resnet_lite, vgg9, Network, Sgd};
 use niid_stats::Pcg64;
 use niid_tensor::Tensor;
-use std::hint::black_box;
 
 fn train_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize]) -> f64 {
     net.zero_grads();
@@ -17,14 +16,17 @@ fn train_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize]) -> f64 
     loss
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_step_batch32");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::from_args("model_step");
     let mut rng = Pcg64::new(4);
     let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
 
     let cases: Vec<(&str, Network, Vec<usize>)> = vec![
-        ("lenet_cnn_16px", lenet_cnn(1, 16, 10, 1), vec![32, 1, 16, 16]),
+        (
+            "lenet_cnn_16px",
+            lenet_cnn(1, 16, 10, 1),
+            vec![32, 1, 16, 16],
+        ),
         ("mlp_64d", mlp(64, 10, 2), vec![32, 64]),
         ("vgg9_w4_16px", vgg9(3, 16, 10, 4, 3), vec![32, 3, 16, 16]),
         (
@@ -36,35 +38,18 @@ fn bench_models(c: &mut Criterion) {
     for (name, mut net, shape) in cases {
         let x = Tensor::randn(&shape, 1.0, &mut rng);
         let mut opt = Sgd::new(net.param_count(), 0.01, 0.9, 0.0);
-        group.bench_function(name, |bench| {
+        h.bench(&format!("train_step_batch32/{name}"), |bench| {
             bench.iter(|| black_box(train_step(&mut net, &mut opt, &x, &labels)))
         });
     }
-    group.finish();
-}
 
-fn bench_flat_state(c: &mut Criterion) {
     let net = lenet_cnn(1, 16, 10, 5);
-    c.bench_function("params_flat_lenet", |bench| {
+    h.bench("params_flat_lenet", |bench| {
         bench.iter(|| black_box(net.params_flat()))
     });
     let flat = net.params_flat();
     let mut net2 = lenet_cnn(1, 16, 10, 6);
-    c.bench_function("set_params_flat_lenet", |bench| {
+    h.bench("set_params_flat_lenet", |bench| {
         bench.iter(|| net2.set_params_flat(black_box(&flat)))
     });
 }
-
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = fast_criterion();
-    targets = bench_models, bench_flat_state
-}
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! Partitioning-strategy throughput: all six NIID-Bench strategies (plus
 //! IID) over a 10k-sample dataset, and skew analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use niid_bench::harness::{black_box, Harness};
 use niid_core::partition::{partition, Strategy};
 use niid_core::skew::analyze;
-use niid_data::{generate, generate_fcube, DatasetId, Dataset, GenConfig};
+use niid_data::{generate, generate_fcube, Dataset, DatasetId, GenConfig};
 use niid_stats::Pcg64;
 use niid_tensor::Tensor;
-use std::hint::black_box;
 
 fn labelled_dataset(n: usize, classes: usize) -> Dataset {
     let mut rng = Pcg64::new(7);
@@ -21,18 +20,21 @@ fn labelled_dataset(n: usize, classes: usize) -> Dataset {
     )
 }
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_10k");
+fn main() {
+    let mut h = Harness::from_args("partitioning");
     let d = labelled_dataset(10_000, 10);
     let strategies = [
         ("homogeneous", Strategy::Homogeneous),
         ("quantity_label_k2", Strategy::QuantityLabelSkew { k: 2 }),
-        ("dirichlet_label_05", Strategy::DirichletLabelSkew { beta: 0.5 }),
+        (
+            "dirichlet_label_05",
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+        ),
         ("quantity_dir_05", Strategy::QuantitySkew { beta: 0.5 }),
         ("noise_feature", Strategy::NoiseFeatureSkew { sigma: 0.1 }),
     ];
     for (name, strategy) in strategies {
-        group.bench_function(name, |bench| {
+        h.bench(&format!("partition_10k/{name}"), |bench| {
             let mut seed = 0u64;
             bench.iter(|| {
                 seed += 1;
@@ -40,10 +42,9 @@ fn bench_strategies(c: &mut Criterion) {
             })
         });
     }
-    group.finish();
 
     let fcube = generate_fcube(10_000, 100, 9);
-    c.bench_function("partition_fcube_10k", |bench| {
+    h.bench("partition_fcube_10k", |bench| {
         bench.iter(|| black_box(partition(&fcube.train, 4, Strategy::FcubeSynthetic, 1)))
     });
 
@@ -58,29 +59,12 @@ fn bench_strategies(c: &mut Criterion) {
             seed: 11,
         },
     );
-    c.bench_function("partition_by_writer_5k", |bench| {
+    h.bench("partition_by_writer_5k", |bench| {
         bench.iter(|| black_box(partition(&fem.train, 10, Strategy::ByWriter, 1)))
     });
-}
 
-fn bench_skew_analysis(c: &mut Criterion) {
-    let d = labelled_dataset(10_000, 10);
     let p = partition(&d, 10, Strategy::DirichletLabelSkew { beta: 0.5 }, 3).unwrap();
-    c.bench_function("skew_analyze_10k", |bench| {
+    h.bench("skew_analyze_10k", |bench| {
         bench.iter(|| black_box(analyze(&d, &p)))
     });
 }
-
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = fast_criterion();
-    targets = bench_strategies, bench_skew_analysis
-}
-criterion_main!(benches);

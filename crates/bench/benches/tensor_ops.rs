@@ -2,36 +2,30 @@
 //! im2col convolution forward/backward, pooling and softmax — the kernels
 //! every federated round is made of.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use niid_bench::harness::{black_box, Harness};
 use niid_stats::Pcg64;
 use niid_tensor::{
     conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b, maxpool2d, softmax_rows,
     Conv2dShape, Pool2dShape, Tensor,
 };
-use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn main() {
+    let mut h = Harness::from_args("tensor_ops");
     let mut rng = Pcg64::new(1);
     for &n in &[32usize, 128, 256] {
         let a = Tensor::randn(&[n, n], 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("a_b", n), &n, |bench, _| {
+        h.bench(&format!("matmul/a_b/{n}"), |bench| {
             bench.iter(|| matmul(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bench, _| {
+        h.bench(&format!("matmul/at_b/{n}"), |bench| {
             bench.iter(|| matmul_at_b(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bench, _| {
+        h.bench(&format!("matmul/a_bt/{n}"), |bench| {
             bench.iter(|| matmul_a_bt(black_box(&a), black_box(&b)))
         });
     }
-    group.finish();
-}
 
-fn bench_conv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv2d");
-    let mut rng = Pcg64::new(2);
     let s = Conv2dShape {
         in_channels: 6,
         out_channels: 16,
@@ -45,40 +39,22 @@ fn bench_conv(c: &mut Criterion) {
     let x = Tensor::randn(&[32, 6, 12, 12], 1.0, &mut rng);
     let w = Tensor::randn(&[16, s.col_width()], 0.2, &mut rng);
     let b = Tensor::randn(&[16], 0.1, &mut rng);
-    group.bench_function("forward_batch32", |bench| {
+    h.bench("conv2d/forward_batch32", |bench| {
         bench.iter(|| conv2d(black_box(&x), black_box(&w), Some(&b), &s))
     });
     let (y, cols) = conv2d(&x, &w, Some(&b), &s);
     let gy = Tensor::ones(y.shape());
-    group.bench_function("backward_batch32", |bench| {
+    h.bench("conv2d/backward_batch32", |bench| {
         bench.iter(|| conv2d_backward(black_box(&cols), black_box(&w), black_box(&gy), &s))
     });
-    group.finish();
-}
 
-fn bench_pool_softmax(c: &mut Criterion) {
-    let mut rng = Pcg64::new(3);
     let x = Tensor::randn(&[32, 16, 8, 8], 1.0, &mut rng);
     let s = Pool2dShape::square(16, 8, 8, 2);
-    c.bench_function("maxpool2d_batch32", |bench| {
+    h.bench("maxpool2d_batch32", |bench| {
         bench.iter(|| maxpool2d(black_box(&x), &s))
     });
     let logits = Tensor::randn(&[256, 10], 2.0, &mut rng);
-    c.bench_function("softmax_rows_256x10", |bench| {
+    h.bench("softmax_rows_256x10", |bench| {
         bench.iter(|| softmax_rows(black_box(&logits)))
     });
 }
-
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = fast_criterion();
-    targets = bench_matmul, bench_conv, bench_pool_softmax
-}
-criterion_main!(benches);

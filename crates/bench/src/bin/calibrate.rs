@@ -12,7 +12,12 @@ use std::time::Instant;
 fn main() {
     let args = Args::parse();
     print_header("calibration: seconds per federated round", &args);
-    for dataset in [DatasetId::Mnist, DatasetId::Cifar10, DatasetId::Adult, DatasetId::Fcube] {
+    for dataset in [
+        DatasetId::Mnist,
+        DatasetId::Cifar10,
+        DatasetId::Adult,
+        DatasetId::Fcube,
+    ] {
         let mut spec = ExperimentSpec::new(
             dataset,
             if dataset == DatasetId::Fcube {

@@ -10,7 +10,7 @@
 //! 3. **Server learning rate** η (Algorithm 1 line 9): the paper fixes
 //!    η = 1; damped server steps trade convergence speed for stability.
 
-use niid_bench::{curve_line, maybe_write_json, print_header, Args};
+use niid_bench::{curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -18,13 +18,19 @@ use niid_fl::{Algorithm, ControlVariateUpdate};
 
 fn main() {
     let args = Args::parse();
-    print_header("Ablations: SCAFFOLD variant / momentum via epochs / server lr", &args);
+    print_header(
+        "Ablations: SCAFFOLD variant / momentum via epochs / server lr",
+        &args,
+    );
     let strategy = Strategy::DirichletLabelSkew { beta: 0.5 };
     let mut all: Vec<ExperimentResult> = Vec::new();
 
     println!("1. SCAFFOLD control-variate rule (CIFAR-10, p_k~Dir(0.5)):");
     for (name, variant) in [
-        ("option (i): grad at global", ControlVariateUpdate::GradientAtGlobal),
+        (
+            "option (i): grad at global",
+            ControlVariateUpdate::GradientAtGlobal,
+        ),
         ("option (ii): reuse", ControlVariateUpdate::Reuse),
     ] {
         let mut spec = ExperimentSpec::new(
@@ -89,4 +95,5 @@ fn main() {
          they trade per-round progress against drift (Finding 5's mechanism)"
     );
     maybe_write_json(&args, &all);
+    maybe_print_trace_summary(&args);
 }

@@ -6,7 +6,9 @@
 //! "average learned parameters, keep statistics local" policy
 //! (`BufferPolicy::KeepGlobal`) to show the proposed mitigation.
 
-use niid_bench::{curve_line, maybe_write_json, print_header, Args, Scale};
+use niid_bench::{
+    curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args, Scale,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -47,8 +49,16 @@ fn main() {
         println!("partition: {}", strategy.label());
         for (name, model, policy) in [
             ("VGG-9", vgg.clone(), BufferPolicy::Average),
-            ("ResNet (avg BN stats)", resnet.clone(), BufferPolicy::Average),
-            ("ResNet (local BN stats)", resnet.clone(), BufferPolicy::KeepGlobal),
+            (
+                "ResNet (avg BN stats)",
+                resnet.clone(),
+                BufferPolicy::Average,
+            ),
+            (
+                "ResNet (local BN stats)",
+                resnet.clone(),
+                BufferPolicy::KeepGlobal,
+            ),
         ] {
             let mut spec = ExperimentSpec::new(
                 DatasetId::Cifar10,
@@ -80,4 +90,5 @@ fn main() {
          why BN aggregation is a genuinely open problem, as §6.2 argues"
     );
     maybe_write_json(&args, &all);
+    maybe_print_trace_summary(&args);
 }

@@ -3,7 +3,9 @@
 //! unstable for every method, and SCAFFOLD collapses because each party's
 //! control variate is refreshed too rarely (Finding 8).
 
-use niid_bench::{curve_line, maybe_write_json, print_header, Args, Scale};
+use niid_bench::{
+    curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args, Scale,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -54,4 +56,5 @@ fn main() {
          partial participation; SCAFFOLD underperforms on every partition"
     );
     maybe_write_json(&args, &all);
+    maybe_print_trace_summary(&args);
 }

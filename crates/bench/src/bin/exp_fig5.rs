@@ -13,7 +13,13 @@ fn main() {
     let split = generate(DatasetId::Fcube, &args.gen_config());
     let part = partition(&split.train, 4, Strategy::FcubeSynthetic, args.seed).expect("partition");
 
-    let mut t = Table::new(vec!["party", "octants (x1<0|x2<0|x3<0 bits)", "samples", "label-0", "label-1"]);
+    let mut t = Table::new(vec![
+        "party",
+        "octants (x1<0|x2<0|x3<0 bits)",
+        "samples",
+        "label-0",
+        "label-1",
+    ]);
     for (p, rows) in part.assignments.iter().enumerate() {
         let mut octs: Vec<usize> = rows
             .iter()

@@ -2,7 +2,7 @@
 //! six partitions (five non-IID + IID). Curves are rendered as sparklines;
 //! `--json` dumps the full per-round series.
 
-use niid_bench::{curve_line, maybe_write_json, print_header, Args};
+use niid_bench::{curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -23,7 +23,8 @@ fn main() {
     for strategy in partitions {
         println!("partition: {}", strategy.label());
         for algo in Algorithm::all_default() {
-            let mut spec = ExperimentSpec::new(DatasetId::Cifar10, strategy, algo, args.gen_config());
+            let mut spec =
+                ExperimentSpec::new(DatasetId::Cifar10, strategy, algo, args.gen_config());
             args.apply(&mut spec, 50, 1);
             let result = run_experiment(&spec).expect("experiment");
             let run = &result.runs[0];
@@ -41,4 +42,5 @@ fn main() {
          tracks FedAvg closely; FedNova is unstable under q~Dir(0.5)"
     );
     maybe_write_json(&args, &all);
+    maybe_print_trace_summary(&args);
 }

@@ -2,7 +2,7 @@
 //! CIFAR-10 under `p_k ~ Dir(0.5)` — larger μ trains slower but can reach
 //! a better final accuracy.
 
-use niid_bench::{curve_line, maybe_write_json, print_header, Args};
+use niid_bench::{curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -10,7 +10,10 @@ use niid_fl::Algorithm;
 
 fn main() {
     let args = Args::parse();
-    print_header("Figure 8: FedProx mu sweep on CIFAR-10, p_k~Dir(0.5)", &args);
+    print_header(
+        "Figure 8: FedProx mu sweep on CIFAR-10, p_k~Dir(0.5)",
+        &args,
+    );
     let mut all: Vec<ExperimentResult> = Vec::new();
     for mu in [0.0f32, 0.001, 0.01, 0.1, 1.0] {
         let mut spec = ExperimentSpec::new(
@@ -31,4 +34,5 @@ fn main() {
          matches FedAvg exactly; a moderate mu can end slightly higher"
     );
     maybe_write_json(&args, &all);
+    maybe_print_trace_summary(&args);
 }

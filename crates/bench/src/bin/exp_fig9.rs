@@ -3,7 +3,7 @@
 //! uses {2, 5, 10, 20}, preserving the 1:2:4:8 ratios) across four label
 //! partitions of CIFAR-10.
 
-use niid_bench::{maybe_write_json, print_header, Args, Scale};
+use niid_bench::{maybe_print_trace_summary, maybe_write_json, print_header, Args, Scale};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_core::Table;
@@ -12,7 +12,10 @@ use niid_fl::Algorithm;
 
 fn main() {
     let args = Args::parse();
-    print_header("Figure 9: effect of the number of local epochs (CIFAR-10)", &args);
+    print_header(
+        "Figure 9: effect of the number of local epochs (CIFAR-10)",
+        &args,
+    );
     let epoch_grid: &[usize] = match args.scale {
         Scale::Quick => &[1, 2, 4, 8],
         Scale::Bench => &[2, 5, 10, 20],
@@ -49,4 +52,5 @@ fn main() {
          label skew, and the optimal E differs per partition"
     );
     maybe_write_json(&args, &all);
+    maybe_print_trace_summary(&args);
 }

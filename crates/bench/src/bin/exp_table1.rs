@@ -17,11 +17,46 @@ fn main() {
     // (strategy family, sub-strategy, FedAvg, FedProx, SCAFFOLD, FedNova)
     // — the static claims of the paper's Table 1.
     let coverage = [
-        ("Label distribution skew", "quantity-based", "yes", "yes", "no", "no"),
-        ("Label distribution skew", "distribution-based", "no", "no", "yes", "yes"),
-        ("Feature distribution skew", "noise-based", "no", "no", "no", "no"),
-        ("Feature distribution skew", "synthetic", "no", "yes", "no", "no"),
-        ("Feature distribution skew", "real-world", "no", "yes", "no", "no"),
+        (
+            "Label distribution skew",
+            "quantity-based",
+            "yes",
+            "yes",
+            "no",
+            "no",
+        ),
+        (
+            "Label distribution skew",
+            "distribution-based",
+            "no",
+            "no",
+            "yes",
+            "yes",
+        ),
+        (
+            "Feature distribution skew",
+            "noise-based",
+            "no",
+            "no",
+            "no",
+            "no",
+        ),
+        (
+            "Feature distribution skew",
+            "synthetic",
+            "no",
+            "yes",
+            "no",
+            "no",
+        ),
+        (
+            "Feature distribution skew",
+            "real-world",
+            "no",
+            "yes",
+            "no",
+            "no",
+        ),
         ("Quantity skew", "", "no", "no", "no", "yes"),
     ];
 
@@ -32,14 +67,36 @@ fn main() {
     let fcube = generate(DatasetId::Fcube, &gen);
     let femnist = generate(DatasetId::Femnist, &gen);
     let live = [
-        partition(&mnist.train, 10, Strategy::QuantityLabelSkew { k: 2 }, args.seed).is_ok(),
-        partition(&mnist.train, 10, Strategy::DirichletLabelSkew { beta: 0.5 }, args.seed)
-            .is_ok(),
-        partition(&mnist.train, 10, Strategy::NoiseFeatureSkew { sigma: 0.1 }, args.seed)
-            .is_ok(),
+        partition(
+            &mnist.train,
+            10,
+            Strategy::QuantityLabelSkew { k: 2 },
+            args.seed,
+        )
+        .is_ok(),
+        partition(
+            &mnist.train,
+            10,
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            args.seed,
+        )
+        .is_ok(),
+        partition(
+            &mnist.train,
+            10,
+            Strategy::NoiseFeatureSkew { sigma: 0.1 },
+            args.seed,
+        )
+        .is_ok(),
         partition(&fcube.train, 4, Strategy::FcubeSynthetic, args.seed).is_ok(),
         partition(&femnist.train, 10, Strategy::ByWriter, args.seed).is_ok(),
-        partition(&mnist.train, 10, Strategy::QuantitySkew { beta: 0.5 }, args.seed).is_ok(),
+        partition(
+            &mnist.train,
+            10,
+            Strategy::QuantitySkew { beta: 0.5 },
+            args.seed,
+        )
+        .is_ok(),
     ];
 
     let mut t = Table::new(vec![
@@ -59,7 +116,11 @@ fn main() {
             row.3.to_string(),
             row.4.to_string(),
             row.5.to_string(),
-            if ok { "yes (verified)".to_string() } else { "MISSING".to_string() },
+            if ok {
+                "yes (verified)".to_string()
+            } else {
+                "MISSING".to_string()
+            },
         ]);
     }
     println!("{t}");

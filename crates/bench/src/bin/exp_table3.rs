@@ -7,7 +7,7 @@
 //! FedProx μ = 0.01 fixed; `--paper-scale` restores 50 rounds, E = 10,
 //! B = 64 and 3 trials (μ tuning is covered separately by `exp_fig8`).
 
-use niid_bench::{maybe_write_json, print_header, Args};
+use niid_bench::{maybe_print_trace_summary, maybe_write_json, print_header, Args};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_core::{Leaderboard, Table};
@@ -43,11 +43,10 @@ fn cells() -> Vec<(&'static str, Vec<(DatasetId, Strategy)>)> {
     feature.push((Fcube, FcubeSynthetic));
     feature.push((Femnist, ByWriter));
 
-    let quantity: Vec<(DatasetId, Strategy)> =
-        [Mnist, Fmnist, Cifar10, Svhn, Adult, Rcv1, Covtype]
-            .into_iter()
-            .map(|ds| (ds, QuantitySkew { beta: 0.5 }))
-            .collect();
+    let quantity: Vec<(DatasetId, Strategy)> = [Mnist, Fmnist, Cifar10, Svhn, Adult, Rcv1, Covtype]
+        .into_iter()
+        .map(|ds| (ds, QuantitySkew { beta: 0.5 }))
+        .collect();
 
     let iid: Vec<(DatasetId, Strategy)> = DatasetId::all()
         .into_iter()
@@ -86,22 +85,22 @@ fn main() {
                 strategy.label(),
             ];
             for algo in algorithms {
-                let mut spec =
-                    ExperimentSpec::new(*dataset, *strategy, algo, args.gen_config());
+                let mut spec = ExperimentSpec::new(*dataset, *strategy, algo, args.gen_config());
                 args.apply(&mut spec, 50, 3);
                 let result = run_experiment(&spec).unwrap_or_else(|e| {
-                    panic!("{} / {} / {}: {e}", dataset.name(), strategy.label(), algo.name())
+                    panic!(
+                        "{} / {} / {}: {e}",
+                        dataset.name(),
+                        strategy.label(),
+                        algo.name()
+                    )
                 });
                 row.push(result.cell());
                 board.add(&result);
                 all_results.push(result);
             }
             table.add_row(row);
-            eprintln!(
-                "  done: {} / {}",
-                dataset.name(),
-                strategy.label()
-            );
+            eprintln!("  done: {} / {}", dataset.name(), strategy.label());
         }
         let wins = board.win_counts();
         let mut win_row = vec![
@@ -117,4 +116,5 @@ fn main() {
 
     println!("{table}");
     maybe_write_json(&args, &all_results);
+    maybe_print_trace_summary(&args);
 }

@@ -1,0 +1,190 @@
+//! A small self-contained micro-benchmark harness.
+//!
+//! The `benches/*.rs` targets declare `harness = false` and drive this
+//! module directly: warm up, pick an iteration count that fills a fixed
+//! measurement batch, take several batches, and report the median (plus
+//! min) time per iteration. No external benchmarking crate is involved,
+//! keeping the workspace fully offline-buildable.
+//!
+//! ```no_run
+//! use niid_bench::harness::Harness;
+//!
+//! let mut h = Harness::from_args("tensor_ops");
+//! h.bench("matmul 64x64", |b| b.iter(|| 2 + 2));
+//! ```
+//!
+//! A positional command-line argument filters benchmarks by substring
+//! (flags such as cargo's `--bench` are ignored), mirroring
+//! `cargo bench -- <filter>`.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Warm-up budget before measuring a benchmark.
+const WARMUP: Duration = Duration::from_millis(20);
+/// Target wall time of one measurement batch.
+const BATCH: Duration = Duration::from_millis(60);
+/// Number of measurement batches (median taken across them).
+const BATCHES: usize = 5;
+
+/// One benchmark's measurement, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median batch mean.
+    pub median_ns: f64,
+    /// Fastest batch mean.
+    pub min_ns: f64,
+    /// Total iterations measured (excluding warm-up).
+    pub iters: u64,
+}
+
+/// Passed to each benchmark closure; call [`iter`](Bencher::iter) exactly
+/// once with the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping its return value alive via `black_box` so the
+    /// optimizer cannot delete the workload.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also yields a cost estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP && warm_iters < 100_000 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let per_batch = ((BATCH.as_secs_f64() / est.max(1e-9)).ceil() as u64).clamp(1, 1 << 32);
+
+        let mut batch_means = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            batch_means.push(start.elapsed().as_secs_f64() * 1e9 / per_batch as f64);
+        }
+        batch_means.sort_by(f64::total_cmp);
+        self.result = Some(Measurement {
+            median_ns: batch_means[BATCHES / 2],
+            min_ns: batch_means[0],
+            iters: per_batch * BATCHES as u64,
+        });
+    }
+}
+
+/// Runs and reports a sequence of named benchmarks.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Create a harness for a named group, taking an optional substring
+    /// filter from the command line.
+    pub fn from_args(group: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        println!("# bench group: {group}");
+        Self {
+            group: group.to_string(),
+            filter,
+            ran: 0,
+        }
+    }
+
+    /// Run one benchmark (skipped unless its name matches the filter).
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> Option<Measurement> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let mut b = Bencher::default();
+        f(&mut b);
+        let m = b.result.unwrap_or_else(|| {
+            panic!("benchmark {name} never called Bencher::iter");
+        });
+        self.ran += 1;
+        println!(
+            "{:<40} {:>14} /iter   (min {}, {} iters)",
+            name,
+            format_ns(m.median_ns),
+            format_ns(m.min_ns),
+            m.iters
+        );
+        Some(m)
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if self.ran == 0 {
+            println!(
+                "(no benchmark in group {} matched filter {:?})",
+                self.group, self.filter
+            );
+        }
+    }
+}
+
+/// Human-friendly duration from nanoseconds.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_trivial_work() {
+        let mut b = Bencher::default();
+        b.iter(|| 1u64 + 1);
+        let m = b.result.expect("measurement recorded");
+        assert!(m.iters > 0);
+        assert!(m.median_ns >= 0.0 && m.median_ns.is_finite());
+        assert!(m.min_ns <= m.median_ns + 1e-9);
+    }
+
+    #[test]
+    fn bencher_scales_with_workload() {
+        let mut fast = Bencher::default();
+        fast.iter(|| black_box(0u64));
+        let mut slow = Bencher::default();
+        // black_box the accumulator each step: LLVM otherwise collapses the
+        // whole summation to its closed form and both sides measure ~1 ns.
+        slow.iter(|| (0..1_000u64).fold(0u64, |a, x| black_box(a.wrapping_add(x))));
+        let f = fast.result.unwrap();
+        let s = slow.result.unwrap();
+        assert!(
+            s.median_ns > f.median_ns,
+            "50k-add loop ({} ns) should be slower than a no-op ({} ns)",
+            s.median_ns,
+            f.median_ns
+        );
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(format_ns(3.2e9), "3.200 s");
+    }
+}

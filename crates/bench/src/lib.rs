@@ -10,12 +10,18 @@
 //! --rounds <n>   override communication rounds
 //! --trials <n>   override trial count
 //! --json <path>  also write results as JSON
+//! --trace <path> append round-level trace events (JSON Lines) and print
+//!                a phase-timing summary at exit
 //! ```
 //!
 //! The default (no flag) is the `bench` scale recorded in EXPERIMENTS.md.
 
+pub mod harness;
+
 use niid_core::experiment::ExperimentSpec;
 use niid_data::GenConfig;
+use niid_fl::TraceSummary;
+use niid_json::ToJson;
 use std::io::Write;
 
 /// Scale profile for an experiment binary.
@@ -42,6 +48,8 @@ pub struct Args {
     pub trials: Option<usize>,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional JSONL trace-output path.
+    pub trace: Option<String>,
 }
 
 impl Args {
@@ -58,6 +66,7 @@ impl Args {
             rounds: None,
             trials: None,
             json: None,
+            trace: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -89,10 +98,11 @@ impl Args {
                     }))
                 }
                 "--json" => out.json = Some(take("--json")),
+                "--trace" => out.trace = Some(take("--trace")),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick | --paper-scale] [--seed N] [--rounds N] \
-                         [--trials N] [--json PATH]"
+                         [--trials N] [--json PATH] [--trace PATH]"
                     );
                     std::process::exit(0);
                 }
@@ -144,27 +154,56 @@ impl Args {
         if let Some(t) = self.trials {
             spec.trials = t;
         }
+        if self.trace.is_some() {
+            // --trace beats the NIID_TRACE env default picked up by
+            // ExperimentSpec::new.
+            spec.trace_path = self.trace.clone();
+        }
     }
 }
 
-/// Print a standard experiment header.
+/// Print a standard experiment header. When `--trace` was given, the trace
+/// file is truncated here so one invocation's events never mix with a
+/// previous run's (experiment cells append to it).
 pub fn print_header(what: &str, args: &Args) {
     println!("=== {what} ===");
     println!(
         "scale: {:?}   seed: {}   (use --quick / --paper-scale to change)",
         args.scale, args.seed
     );
+    if let Some(path) = &args.trace {
+        // Tracing is best-effort: an unwritable path must not kill the run.
+        // run_experiment prints its own warning and disables the sink.
+        match std::fs::File::create(path) {
+            Ok(_) => println!("tracing rounds to {path}"),
+            Err(e) => eprintln!("warning: cannot create trace file {path}: {e}"),
+        }
+    }
     println!();
 }
 
 /// Write a serializable value as pretty JSON if `--json` was given.
-pub fn maybe_write_json<T: serde::Serialize>(args: &Args, value: &T) {
+pub fn maybe_write_json<T: ToJson>(args: &Args, value: &T) {
     if let Some(path) = &args.json {
-        let json = serde_json::to_string_pretty(value).expect("serialize results");
-        let mut f = std::fs::File::create(path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let json = value.to_json_pretty();
+        let mut f =
+            std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         f.write_all(json.as_bytes()).expect("write json");
         println!("(results written to {path})");
+    }
+}
+
+/// Fold the `--trace` file (if any) into a per-phase timing table and
+/// print it — the binaries call this once after their last experiment.
+pub fn maybe_print_trace_summary(args: &Args) {
+    if let Some(path) = &args.trace {
+        match TraceSummary::from_jsonl_file(path) {
+            Ok(summary) => {
+                println!();
+                print!("{}", summary.render());
+            }
+            Err(e) => eprintln!("warning: cannot summarize trace {path}: {e}"),
+        }
     }
 }
 

@@ -5,10 +5,11 @@ use crate::partition::{build_parties, partition, PartitionError, Strategy};
 use niid_data::{generate, DatasetId, GenConfig};
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
+use niid_fl::trace::JsonlSink;
 use niid_fl::{Algorithm, FlError, RunResult};
+use niid_json::{FromJson, Json, JsonError, ToJson};
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Summary};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The model the paper assigns to each dataset: the LeNet-style CNN for
@@ -85,6 +86,10 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Worker threads (0 = auto).
     pub threads: usize,
+    /// Append round-level trace events (JSON Lines) to this file.
+    /// Defaults from the `NIID_TRACE` environment variable; `None`
+    /// disables tracing.
+    pub trace_path: Option<String>,
 }
 
 impl ExperimentSpec {
@@ -115,6 +120,7 @@ impl ExperimentSpec {
             trials: 1,
             seed: gen.seed,
             threads: 0,
+            trace_path: std::env::var("NIID_TRACE").ok().filter(|p| !p.is_empty()),
         }
     }
 
@@ -164,7 +170,7 @@ impl From<FlError> for ExperimentError {
 }
 
 /// The outcome of one experiment cell across trials.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Dataset name.
     pub dataset: String,
@@ -189,12 +195,53 @@ impl ExperimentResult {
     }
 }
 
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dataset", self.dataset.to_json()),
+            ("strategy", self.strategy.to_json()),
+            ("algorithm", self.algorithm.to_json()),
+            ("accuracies", self.accuracies.to_json()),
+            ("mean_accuracy", self.mean_accuracy.to_json()),
+            ("std_accuracy", self.std_accuracy.to_json()),
+            ("runs", self.runs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let req = |key: &'static str| -> Result<&Json, JsonError> {
+            v.get(key)
+                .ok_or_else(|| JsonError::new(format!("missing field {key}")))
+        };
+        Ok(ExperimentResult {
+            dataset: String::from_json(req("dataset")?)?,
+            strategy: String::from_json(req("strategy")?)?,
+            algorithm: String::from_json(req("algorithm")?)?,
+            accuracies: Vec::from_json(req("accuracies")?)?,
+            mean_accuracy: f64::from_json(req("mean_accuracy")?)?,
+            std_accuracy: f64::from_json(req("std_accuracy")?)?,
+            runs: Vec::from_json(req("runs")?)?,
+        })
+    }
+}
+
 /// Run one experiment cell: generate the dataset once, then for each trial
 /// partition + train with trial-specific seeds.
 pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, ExperimentError> {
     assert!(spec.trials > 0, "run_experiment: need at least one trial");
     let split = generate(spec.dataset, &spec.gen);
     let model = spec.model_spec();
+    // One shared sink for all trials: cells appended to the same file stay
+    // distinguishable by their round counters resetting. A trace file that
+    // cannot be opened disables tracing (with a warning) rather than
+    // failing the experiment.
+    let sink: Option<JsonlSink> = spec.trace_path.as_ref().and_then(|path| {
+        JsonlSink::append(path)
+            .map_err(|e| eprintln!("warning: trace file {path}: {e}; tracing disabled"))
+            .ok()
+    });
     let mut accuracies = Vec::with_capacity(spec.trials);
     let mut runs = Vec::with_capacity(spec.trials);
     for trial in 0..spec.trials {
@@ -220,9 +267,15 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, Experim
             threads: spec.threads,
         };
         let sim = FedSim::new(model.clone(), parties, split.test.clone(), config)?;
-        let result = sim.run()?;
+        let result = match &sink {
+            Some(s) => sim.run_traced(s)?,
+            None => sim.run()?,
+        };
         accuracies.push(result.final_accuracy);
         runs.push(result);
+    }
+    if let Some(s) = &sink {
+        let _ = s.flush();
     }
     let summary = Summary::of(&accuracies);
     Ok(ExperimentResult {
@@ -317,7 +370,9 @@ mod tests {
         spec.n_parties = 10;
         assert!(matches!(
             run_experiment(&spec),
-            Err(ExperimentError::Partition(PartitionError::FcubeShape { .. }))
+            Err(ExperimentError::Partition(
+                PartitionError::FcubeShape { .. }
+            ))
         ));
     }
 

@@ -3,12 +3,12 @@
 
 use crate::experiment::ExperimentResult;
 use crate::table::Table;
-use serde::{Deserialize, Serialize};
+use niid_json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// One leaderboard entry: an algorithm's mean accuracy on one setting
 /// (dataset × partition).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Entry {
     /// Setting key, e.g. `cifar10 / #C=2`.
     pub setting: String,
@@ -18,6 +18,32 @@ pub struct Entry {
     pub mean_accuracy: f64,
     /// Std of accuracy over trials.
     pub std_accuracy: f64,
+}
+
+impl ToJson for Entry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("setting", self.setting.to_json()),
+            ("algorithm", self.algorithm.to_json()),
+            ("mean_accuracy", self.mean_accuracy.to_json()),
+            ("std_accuracy", self.std_accuracy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Entry {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let req = |key: &'static str| -> Result<&Json, JsonError> {
+            v.get(key)
+                .ok_or_else(|| JsonError::new(format!("missing field {key}")))
+        };
+        Ok(Entry {
+            setting: String::from_json(req("setting")?)?,
+            algorithm: String::from_json(req("algorithm")?)?,
+            mean_accuracy: f64::from_json(req("mean_accuracy")?)?,
+            std_accuracy: f64::from_json(req("std_accuracy")?)?,
+        })
+    }
 }
 
 /// Collects experiment results and ranks algorithms per setting.

@@ -29,7 +29,9 @@ pub mod recommend;
 pub mod skew;
 pub mod table;
 
-pub use experiment::{default_lr, default_model_for, run_experiment, ExperimentResult, ExperimentSpec};
+pub use experiment::{
+    default_lr, default_model_for, run_experiment, ExperimentResult, ExperimentSpec,
+};
 pub use leaderboard::Leaderboard;
 pub use partition::{build_parties, partition, Partition, PartitionError, Strategy};
 pub use recommend::{recommend, recommend_from_report, SkewKind};

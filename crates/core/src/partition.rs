@@ -13,12 +13,12 @@
 
 use niid_data::{add_gaussian_noise, fcube_octant, Dataset};
 use niid_fl::Party;
+use niid_json::{FromJson, Json, JsonError, ToJson};
 use niid_stats::{derive_seed, sample_dirichlet, Pcg64};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A data partitioning strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Strategy {
     /// IID baseline: a uniform random split.
     Homogeneous,
@@ -71,14 +71,77 @@ impl Strategy {
         match *self {
             Strategy::Homogeneous => SkewKind::Homogeneous,
             Strategy::QuantityLabelSkew { k } => SkewKind::LabelQuantityBased { k },
-            Strategy::DirichletLabelSkew { beta } => {
-                SkewKind::LabelDistributionBased { beta }
-            }
+            Strategy::DirichletLabelSkew { beta } => SkewKind::LabelDistributionBased { beta },
             Strategy::NoiseFeatureSkew { .. } => SkewKind::FeatureNoise,
             Strategy::FcubeSynthetic => SkewKind::FeatureSynthetic,
             Strategy::ByWriter => SkewKind::FeatureRealWorld,
             Strategy::QuantitySkew { .. } => SkewKind::Quantity,
         }
+    }
+}
+
+impl ToJson for Strategy {
+    fn to_json(&self) -> Json {
+        match *self {
+            Strategy::Homogeneous => Json::Str("Homogeneous".into()),
+            Strategy::FcubeSynthetic => Json::Str("FcubeSynthetic".into()),
+            Strategy::ByWriter => Json::Str("ByWriter".into()),
+            Strategy::QuantityLabelSkew { k } => Json::obj(vec![(
+                "QuantityLabelSkew",
+                Json::obj(vec![("k", k.to_json())]),
+            )]),
+            Strategy::DirichletLabelSkew { beta } => Json::obj(vec![(
+                "DirichletLabelSkew",
+                Json::obj(vec![("beta", beta.to_json())]),
+            )]),
+            Strategy::NoiseFeatureSkew { sigma } => Json::obj(vec![(
+                "NoiseFeatureSkew",
+                Json::obj(vec![("sigma", sigma.to_json())]),
+            )]),
+            Strategy::QuantitySkew { beta } => Json::obj(vec![(
+                "QuantitySkew",
+                Json::obj(vec![("beta", beta.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Strategy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Homogeneous" => Ok(Strategy::Homogeneous),
+                "FcubeSynthetic" => Ok(Strategy::FcubeSynthetic),
+                "ByWriter" => Ok(Strategy::ByWriter),
+                other => Err(JsonError::new(format!("unknown Strategy: {other}"))),
+            };
+        }
+        let field = |variant: &str, key: &str| -> Result<&Json, JsonError> {
+            v.get(variant)
+                .and_then(|inner| inner.get(key))
+                .ok_or_else(|| JsonError::new(format!("{variant} missing {key}")))
+        };
+        if v.get("QuantityLabelSkew").is_some() {
+            return Ok(Strategy::QuantityLabelSkew {
+                k: usize::from_json(field("QuantityLabelSkew", "k")?)?,
+            });
+        }
+        if v.get("DirichletLabelSkew").is_some() {
+            return Ok(Strategy::DirichletLabelSkew {
+                beta: f64::from_json(field("DirichletLabelSkew", "beta")?)?,
+            });
+        }
+        if v.get("NoiseFeatureSkew").is_some() {
+            return Ok(Strategy::NoiseFeatureSkew {
+                sigma: f64::from_json(field("NoiseFeatureSkew", "sigma")?)?,
+            });
+        }
+        if v.get("QuantitySkew").is_some() {
+            return Ok(Strategy::QuantitySkew {
+                beta: f64::from_json(field("QuantitySkew", "beta")?)?,
+            });
+        }
+        Err(JsonError::new(format!("unknown Strategy: {v}")))
     }
 }
 
@@ -220,9 +283,7 @@ pub fn partition(
             }
             homogeneous(n, n_parties, &mut rng)
         }
-        Strategy::QuantityLabelSkew { k } => {
-            quantity_label_skew(train, n_parties, k, &mut rng)?
-        }
+        Strategy::QuantityLabelSkew { k } => quantity_label_skew(train, n_parties, k, &mut rng)?,
         Strategy::DirichletLabelSkew { beta } => {
             if !(beta.is_finite() && beta > 0.0) {
                 return Err(PartitionError::BadParameter {
@@ -377,11 +438,7 @@ fn dirichlet_label_skew(
 
 /// Give each party `round(props[p] * rows.len())` rows via cumulative
 /// cut-points (exactly exhausts `rows`).
-fn distribute_by_proportions(
-    rows: &[usize],
-    props: &[f64],
-    assignments: &mut [Vec<usize>],
-) {
+fn distribute_by_proportions(rows: &[usize], props: &[f64], assignments: &mut [Vec<usize>]) {
     let n = rows.len();
     let mut cut_prev = 0usize;
     let mut cum = 0.0f64;
@@ -520,7 +577,10 @@ mod tests {
         assert_eq!(p.num_parties(), 10);
         assert_eq!(p.assigned_count(), 103);
         let sizes = p.sizes();
-        assert_eq!(*sizes.iter().max().unwrap() - *sizes.iter().min().unwrap(), 1);
+        assert_eq!(
+            *sizes.iter().max().unwrap() - *sizes.iter().min().unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -570,7 +630,11 @@ mod tests {
         let d = labelled_dataset(1000, 10, 9);
         let p = partition(&d, 10, Strategy::DirichletLabelSkew { beta: 0.5 }, 10).unwrap();
         assert_eq!(p.assigned_count(), 1000);
-        assert!(p.sizes().iter().all(|&s| s > 0), "empty party: {:?}", p.sizes());
+        assert!(
+            p.sizes().iter().all(|&s| s > 0),
+            "empty party: {:?}",
+            p.sizes()
+        );
     }
 
     #[test]
@@ -627,7 +691,10 @@ mod tests {
             // Labels stay balanced within each party.
             let ones = rows.iter().filter(|&&i| split.train.labels[i] == 1).count();
             let frac = ones as f64 / rows.len() as f64;
-            assert!((frac - 0.5).abs() < 0.1, "party {party} label fraction {frac}");
+            assert!(
+                (frac - 0.5).abs() < 0.1,
+                "party {party} label fraction {frac}"
+            );
         }
     }
 
@@ -676,8 +743,14 @@ mod tests {
     fn partitions_are_deterministic() {
         let d = labelled_dataset(300, 10, 24);
         let s = Strategy::DirichletLabelSkew { beta: 0.5 };
-        assert_eq!(partition(&d, 10, s, 25).unwrap(), partition(&d, 10, s, 25).unwrap());
-        assert_ne!(partition(&d, 10, s, 25).unwrap(), partition(&d, 10, s, 26).unwrap());
+        assert_eq!(
+            partition(&d, 10, s, 25).unwrap(),
+            partition(&d, 10, s, 25).unwrap()
+        );
+        assert_ne!(
+            partition(&d, 10, s, 25).unwrap(),
+            partition(&d, 10, s, 26).unwrap()
+        );
     }
 
     #[test]
@@ -711,7 +784,10 @@ mod tests {
         let parties = build_parties(&d, &p, 32);
         // Rows must match the source exactly.
         let first_row_idx = p.assignments[0][0];
-        assert_eq!(parties[0].data.features.row(0), d.features.row(first_row_idx));
+        assert_eq!(
+            parties[0].data.features.row(0),
+            d.features.row(first_row_idx)
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@
 
 use crate::skew::SkewReport;
 use niid_fl::{Algorithm, ControlVariateUpdate};
-use serde::{Deserialize, Serialize};
+use niid_json::{FromJson, Json, JsonError, ToJson};
 
 /// The non-IID families of §4.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SkewKind {
     /// No skew (IID).
     Homogeneous,
@@ -44,6 +44,58 @@ pub enum SkewKind {
     FeatureRealWorld,
     /// Quantity skew.
     Quantity,
+}
+
+impl ToJson for SkewKind {
+    fn to_json(&self) -> Json {
+        match *self {
+            SkewKind::Homogeneous => Json::Str("Homogeneous".into()),
+            SkewKind::FeatureNoise => Json::Str("FeatureNoise".into()),
+            SkewKind::FeatureSynthetic => Json::Str("FeatureSynthetic".into()),
+            SkewKind::FeatureRealWorld => Json::Str("FeatureRealWorld".into()),
+            SkewKind::Quantity => Json::Str("Quantity".into()),
+            SkewKind::LabelQuantityBased { k } => Json::obj(vec![(
+                "LabelQuantityBased",
+                Json::obj(vec![("k", k.to_json())]),
+            )]),
+            SkewKind::LabelDistributionBased { beta } => Json::obj(vec![(
+                "LabelDistributionBased",
+                Json::obj(vec![("beta", beta.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for SkewKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Homogeneous" => Ok(SkewKind::Homogeneous),
+                "FeatureNoise" => Ok(SkewKind::FeatureNoise),
+                "FeatureSynthetic" => Ok(SkewKind::FeatureSynthetic),
+                "FeatureRealWorld" => Ok(SkewKind::FeatureRealWorld),
+                "Quantity" => Ok(SkewKind::Quantity),
+                other => Err(JsonError::new(format!("unknown SkewKind: {other}"))),
+            };
+        }
+        if let Some(inner) = v.get("LabelQuantityBased") {
+            let k = inner
+                .get("k")
+                .ok_or_else(|| JsonError::new("LabelQuantityBased missing k"))?;
+            return Ok(SkewKind::LabelQuantityBased {
+                k: usize::from_json(k)?,
+            });
+        }
+        if let Some(inner) = v.get("LabelDistributionBased") {
+            let beta = inner
+                .get("beta")
+                .ok_or_else(|| JsonError::new("LabelDistributionBased missing beta"))?;
+            return Ok(SkewKind::LabelDistributionBased {
+                beta: f64::from_json(beta)?,
+            });
+        }
+        Err(JsonError::new(format!("unknown SkewKind: {v}")))
+    }
 }
 
 /// Recommend an algorithm for a declared skew kind (Figure 6).

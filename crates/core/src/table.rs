@@ -89,7 +89,9 @@ mod tests {
         assert!(lines[0].contains("| name"));
         assert!(lines[1].starts_with("|---"));
         // All lines equal width.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert_eq!(t.num_rows(), 2);
     }
 

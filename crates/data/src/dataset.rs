@@ -41,7 +41,13 @@ impl Dataset {
     ) -> Self {
         assert_eq!(features.ndim(), 2, "Dataset: features must be [n, dim]");
         let n = features.shape()[0];
-        assert_eq!(n, labels.len(), "Dataset: {} rows vs {} labels", n, labels.len());
+        assert_eq!(
+            n,
+            labels.len(),
+            "Dataset: {} rows vs {} labels",
+            n,
+            labels.len()
+        );
         assert!(num_classes >= 2, "Dataset: need at least 2 classes");
         assert!(
             labels.iter().all(|&y| y < num_classes),
@@ -172,14 +178,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "label out of range")]
     fn rejects_bad_labels() {
-        Dataset::new(
-            "bad",
-            Tensor::zeros(&[1, 2]),
-            vec![5],
-            2,
-            vec![2],
-            None,
-        );
+        Dataset::new("bad", Tensor::zeros(&[1, 2]), vec![5], 2, vec![2], None);
     }
 
     #[test]

@@ -191,7 +191,10 @@ mod tests {
             }
         }
         let mean_diff = diff / count as f32;
-        assert!(mean_diff < 0.5, "pattern not smooth: mean |diff| {mean_diff}");
+        assert!(
+            mean_diff < 0.5,
+            "pattern not smooth: mean |diff| {mean_diff}"
+        );
     }
 
     #[test]
@@ -235,11 +238,7 @@ mod tests {
             let mut best = (f32::INFINITY, 0usize);
             for k in 0..spec.classes {
                 let proto = &task.prototypes[k * spec.modes];
-                let dist: f32 = row
-                    .iter()
-                    .zip(proto)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 = row.iter().zip(proto).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best.0 {
                     best = (dist, k);
                 }
@@ -272,11 +271,7 @@ mod tests {
                 for k in 0..spec.classes {
                     for m in 0..spec.modes {
                         let proto = &task.prototypes[k * spec.modes + m];
-                        let dist: f32 = row
-                            .iter()
-                            .zip(proto)
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum();
+                        let dist: f32 = row.iter().zip(proto).map(|(a, b)| (a - b) * (a - b)).sum();
                         if dist < best.0 {
                             best = (dist, k);
                         }

@@ -76,12 +76,7 @@ impl TabularTask {
     }
 
     fn score(&self, x: &[f32]) -> f32 {
-        let linear: f32 = self
-            .weights
-            .iter()
-            .zip(x)
-            .map(|(w, v)| w * v)
-            .sum();
+        let linear: f32 = self.weights.iter().zip(x).map(|(w, v)| w * v).sum();
         if self.pairs.is_empty() || self.spec.interaction_weight == 0.0 {
             return linear;
         }
@@ -172,12 +167,7 @@ mod tests {
         let task = TabularTask::new(spec, 5);
         let mut rng = Pcg64::new(6);
         let d = task.sample(200, "sparse", &mut rng);
-        let zeros = d
-            .features
-            .as_slice()
-            .iter()
-            .filter(|&&v| v == 0.0)
-            .count() as f64;
+        let zeros = d.features.as_slice().iter().filter(|&&v| v == 0.0).count() as f64;
         let frac = zeros / d.features.numel() as f64;
         assert!((frac - 0.9).abs() < 0.03, "zero fraction {frac}");
     }
@@ -221,7 +211,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / d.len() as f64;
-        assert!(acc < 0.62, "linear probe should fail on interaction task, got {acc}");
+        assert!(
+            acc < 0.62,
+            "linear probe should fail on interaction task, got {acc}"
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ mod tests {
         Dataset::new(
             "toy",
             Tensor::zeros(&[100, 20]),
-            vec![0; 100].iter().enumerate().map(|(i, _)| i % 2).collect(),
+            vec![0; 100]
+                .iter()
+                .enumerate()
+                .map(|(i, _)| i % 2)
+                .collect(),
             2,
             vec![20],
             None,

@@ -55,7 +55,11 @@ pub fn fednova_average(global: &mut [f32], outcomes: &[LocalOutcome], server_lr:
         / n;
     for o in outcomes {
         assert!(o.tau > 0, "aggregate: party took zero steps");
-        assert_eq!(o.delta.len(), global.len(), "aggregate: delta length mismatch");
+        assert_eq!(
+            o.delta.len(),
+            global.len(),
+            "aggregate: delta length mismatch"
+        );
         let w = server_lr * (coeff * o.n_samples as f64 / (n * o.tau as f64)) as f32;
         for (g, &d) in global.iter_mut().zip(&o.delta) {
             *g -= w * d;
@@ -112,6 +116,7 @@ mod tests {
             avg_loss: 0.0,
             buffers: Vec::new(),
             delta_c: Vec::new(),
+            wall_ms: 0.0,
         }
     }
 
@@ -150,10 +155,7 @@ mod tests {
         // Two equal-size parties; party 0 took 10x the steps and produced a
         // 10x larger delta (as drift would). FedNova should treat their
         // *per-step* contributions equally, FedAvg should not.
-        let outcomes = vec![
-            outcome(vec![10.0], 10, 50),
-            outcome(vec![1.0], 1, 50),
-        ];
+        let outcomes = vec![outcome(vec![10.0], 10, 50), outcome(vec![1.0], 1, 50)];
         let mut avg = vec![0.0f32];
         weighted_average(&mut avg, &outcomes, 1.0);
         let mut nova = vec![0.0f32];
@@ -188,6 +190,7 @@ mod tests {
             avg_loss: 0.0,
             buffers: Vec::new(),
             delta_c: vec![10.0, -10.0],
+            wall_ms: 0.0,
         }];
         scaffold_update_c(&mut c, &outcomes, 10);
         assert!((c[0] - 1.0).abs() < 1e-6);

@@ -1,10 +1,10 @@
 //! The four federated algorithms under study.
 
-use serde::{Deserialize, Serialize};
+use niid_json::{FromJson, Json, JsonError, ToJson};
 
 /// How SCAFFOLD refreshes a party's local control variate after local
 /// training (Algorithm 2, line 23).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ControlVariateUpdate {
     /// Option (i): recompute the full local gradient at the *global* model.
     /// More stable, one extra pass over the local data per round.
@@ -16,7 +16,7 @@ pub enum ControlVariateUpdate {
 }
 
 /// A federated optimization algorithm (paper Algorithms 1 and 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Algorithm {
     /// Plain federated averaging (McMahan et al.).
     FedAvg,
@@ -66,6 +66,73 @@ impl Algorithm {
     }
 }
 
+impl ToJson for ControlVariateUpdate {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                ControlVariateUpdate::GradientAtGlobal => "GradientAtGlobal",
+                ControlVariateUpdate::Reuse => "Reuse",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ControlVariateUpdate {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("GradientAtGlobal") => Ok(ControlVariateUpdate::GradientAtGlobal),
+            Some("Reuse") => Ok(ControlVariateUpdate::Reuse),
+            _ => Err(JsonError::new(format!("unknown ControlVariateUpdate: {v}"))),
+        }
+    }
+}
+
+impl ToJson for Algorithm {
+    fn to_json(&self) -> Json {
+        match self {
+            Algorithm::FedAvg => Json::Str("FedAvg".into()),
+            Algorithm::FedNova => Json::Str("FedNova".into()),
+            Algorithm::FedProx { mu } => {
+                Json::obj(vec![("FedProx", Json::obj(vec![("mu", mu.to_json())]))])
+            }
+            Algorithm::Scaffold { variant } => Json::obj(vec![(
+                "Scaffold",
+                Json::obj(vec![("variant", variant.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Algorithm {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "FedAvg" => Ok(Algorithm::FedAvg),
+                "FedNova" => Ok(Algorithm::FedNova),
+                other => Err(JsonError::new(format!("unknown Algorithm: {other}"))),
+            };
+        }
+        if let Some(inner) = v.get("FedProx") {
+            let mu = inner
+                .get("mu")
+                .ok_or_else(|| JsonError::new("FedProx missing mu"))?;
+            return Ok(Algorithm::FedProx {
+                mu: f32::from_json(mu)?,
+            });
+        }
+        if let Some(inner) = v.get("Scaffold") {
+            let variant = inner
+                .get("variant")
+                .ok_or_else(|| JsonError::new("Scaffold missing variant"))?;
+            return Ok(Algorithm::Scaffold {
+                variant: ControlVariateUpdate::from_json(variant)?,
+            });
+        }
+        Err(JsonError::new(format!("unknown Algorithm: {v}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,11 +161,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         for algo in Algorithm::all_default() {
-            let json = serde_json::to_string(&algo).unwrap();
-            let back: Algorithm = serde_json::from_str(&json).unwrap();
+            let json = algo.to_json_string();
+            let back = Algorithm::from_json_str(&json).unwrap();
             assert_eq!(algo, back);
         }
+        assert_eq!(Algorithm::FedAvg.to_json_string(), "\"FedAvg\"");
+        assert_eq!(
+            Algorithm::FedProx { mu: 0.01 }.to_json_string(),
+            format!("{{\"FedProx\":{{\"mu\":{}}}}}", 0.01f32 as f64)
+        );
+        assert!(Algorithm::from_json_str("\"Nope\"").is_err());
     }
 }

@@ -3,9 +3,7 @@
 //! §3.3 observes that "SCAFFOLD doubles the communication size per round
 //! due to the additional control variates". The engine tracks exact byte
 //! counts per round so that the claim is measurable, and provides the
-//! payload serialization used by the Criterion `comm` bench.
-
-use bytes::{BufMut, Bytes, BytesMut};
+//! payload serialization used by the `comm` bench.
 
 /// Bytes needed to ship `n` f32 values.
 pub const fn f32_payload_bytes(n: usize) -> usize {
@@ -56,15 +54,15 @@ impl RoundTraffic {
 /// Serialize a flat update into a length-prefixed wire payload (used by the
 /// serialization bench; the in-process simulator skips this on the hot
 /// path).
-pub fn encode_update(party_id: u32, tau: u32, delta: &[f32]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + 4 * delta.len());
-    buf.put_u32_le(party_id);
-    buf.put_u32_le(tau);
-    buf.put_u32_le(delta.len() as u32);
+pub fn encode_update(party_id: u32, tau: u32, delta: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + 4 * delta.len());
+    buf.extend_from_slice(&party_id.to_le_bytes());
+    buf.extend_from_slice(&tau.to_le_bytes());
+    buf.extend_from_slice(&(delta.len() as u32).to_le_bytes());
     for &v in delta {
-        buf.put_f32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Decode a payload produced by [`encode_update`].

@@ -8,6 +8,7 @@ use crate::error::FlError;
 use crate::local::{local_train, LocalConfig, LocalOutcome, ScaffoldCtx};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::party::Party;
+use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use niid_data::Dataset;
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Pcg64};
@@ -189,7 +190,21 @@ impl FedSim {
     }
 
     /// Run the simulation to completion.
+    ///
+    /// Equivalent to [`run_traced`](Self::run_traced) with a [`NoopSink`];
+    /// untraced runs pay no observability cost.
     pub fn run(&self) -> Result<RunResult, FlError> {
+        self.run_traced(&NoopSink)
+    }
+
+    /// Run the simulation, emitting a [`TraceEvent`] stream to `sink`.
+    ///
+    /// Per round: one `RoundStarted`, one `PartyTrained` per selected
+    /// party (emitted from the training threads as each party finishes),
+    /// one `Aggregated`, one `Evaluated` when the round is evaluated, and
+    /// one `RoundFinished`. The same phase timings land in each
+    /// [`RoundRecord`].
+    pub fn run_traced(&self, sink: &dyn TraceSink) -> Result<RunResult, FlError> {
         let start = Instant::now();
         let cfg = &self.config;
         let classes = self.test.num_classes;
@@ -201,7 +216,11 @@ impl FedSim {
         let p_len = global_params.len();
 
         let is_scaffold = cfg.algorithm.uses_control_variates();
-        let mut server_c = if is_scaffold { vec![0.0f32; p_len] } else { Vec::new() };
+        let mut server_c = if is_scaffold {
+            vec![0.0f32; p_len]
+        } else {
+            Vec::new()
+        };
         let mut client_c: Vec<Vec<f32>> = vec![Vec::new(); self.parties.len()];
 
         let mut records = Vec::with_capacity(cfg.rounds);
@@ -210,14 +229,27 @@ impl FedSim {
         let mut total_bytes = 0usize;
 
         for round in 0..cfg.rounds {
+            let round_started = Instant::now();
             let selected = self.sample_round(round);
-            let outcomes =
-                self.train_selected(&selected, &global_params, &global_buffers, &server_c, &mut client_c, round);
+            sink.record(&TraceEvent::RoundStarted {
+                round,
+                participants: selected.len(),
+            });
 
+            let outcomes = self.train_selected(
+                &selected,
+                &global_params,
+                &global_buffers,
+                &server_c,
+                &mut client_c,
+                round,
+                sink,
+            );
+            let local_wall_ms = round_started.elapsed().as_secs_f64() * 1e3;
+
+            let agg_started = Instant::now();
             match cfg.algorithm {
-                Algorithm::FedNova => {
-                    fednova_average(&mut global_params, &outcomes, cfg.server_lr)
-                }
+                Algorithm::FedNova => fednova_average(&mut global_params, &outcomes, cfg.server_lr),
                 _ => weighted_average(&mut global_params, &outcomes, cfg.server_lr),
             }
             if is_scaffold {
@@ -228,17 +260,20 @@ impl FedSim {
                     global_buffers = avg;
                 }
             }
+            let aggregate_wall_ms = agg_started.elapsed().as_secs_f64() * 1e3;
+            sink.record(&TraceEvent::Aggregated {
+                round,
+                wall_ms: aggregate_wall_ms,
+            });
 
-            let traffic = RoundTraffic::for_round(
-                selected.len(),
-                p_len,
-                global_buffers.len(),
-                is_scaffold,
-            );
+            let traffic =
+                RoundTraffic::for_round(selected.len(), p_len, global_buffers.len(), is_scaffold);
             total_bytes += traffic.total();
 
             let is_last = round + 1 == cfg.rounds;
+            let mut eval_wall_ms = 0.0;
             let test_accuracy = if (round + 1) % cfg.eval_every == 0 || is_last {
+                let eval_started = Instant::now();
                 eval_model.set_params_flat(&global_params);
                 if !global_buffers.is_empty() {
                     eval_model.set_buffers_flat(&global_buffers);
@@ -251,13 +286,29 @@ impl FedSim {
                 );
                 best_accuracy = best_accuracy.max(acc);
                 final_accuracy = acc;
+                eval_wall_ms = eval_started.elapsed().as_secs_f64() * 1e3;
+                sink.record(&TraceEvent::Evaluated {
+                    round,
+                    accuracy: acc,
+                    wall_ms: eval_wall_ms,
+                });
                 Some(acc)
             } else {
                 None
             };
 
-            let avg_local_loss = outcomes.iter().map(|o| o.avg_loss).sum::<f64>()
-                / outcomes.len() as f64;
+            // Weighted by |Dᵢ| so the reported loss matches the federated
+            // objective Σᵢ (nᵢ/n) Lᵢ rather than favoring small parties.
+            let total_n: usize = outcomes.iter().map(|o| o.n_samples).sum();
+            let avg_local_loss = outcomes
+                .iter()
+                .map(|o| o.avg_loss * o.n_samples as f64)
+                .sum::<f64>()
+                / total_n as f64;
+            sink.record(&TraceEvent::RoundFinished {
+                round,
+                wall_ms: round_started.elapsed().as_secs_f64() * 1e3,
+            });
             records.push(RoundRecord {
                 round,
                 test_accuracy,
@@ -265,6 +316,9 @@ impl FedSim {
                 participants: selected.len(),
                 down_bytes: traffic.down_bytes,
                 up_bytes: traffic.up_bytes,
+                local_wall_ms,
+                aggregate_wall_ms,
+                eval_wall_ms,
             });
         }
 
@@ -279,7 +333,8 @@ impl FedSim {
     }
 
     /// Run local training for the selected parties, possibly in parallel.
-    /// Outcomes are returned in `selected` order regardless of scheduling.
+    /// Outcomes are returned in `selected` order regardless of scheduling;
+    /// `PartyTrained` events fire in completion order.
     #[allow(clippy::too_many_arguments)]
     fn train_selected(
         &self,
@@ -289,6 +344,7 @@ impl FedSim {
         server_c: &[f32],
         client_c: &mut [Vec<f32>],
         round: usize,
+        sink: &dyn TraceSink,
     ) -> Vec<LocalOutcome> {
         struct Job {
             slot: usize,
@@ -342,7 +398,7 @@ impl FedSim {
             } else {
                 None
             };
-            local_train(
+            let out = local_train(
                 model,
                 party,
                 global_params,
@@ -351,7 +407,16 @@ impl FedSim {
                 algorithm,
                 ctx,
                 &mut rng,
-            )
+            );
+            sink.record(&TraceEvent::PartyTrained {
+                round,
+                party_id: job.party_id,
+                tau: out.tau,
+                n_samples: out.n_samples,
+                avg_loss: out.avg_loss,
+                wall_ms: out.wall_ms,
+            });
+            out
         };
 
         let mut results: Vec<Option<LocalOutcome>> = (0..jobs.len()).map(|_| None).collect();
@@ -363,59 +428,30 @@ impl FedSim {
             }
         } else {
             // Split jobs into contiguous chunks, one worker per chunk; each
-            // worker builds a single reusable model.
+            // worker builds a single reusable model and runs the same
+            // `run_job` the sequential path uses.
             let chunk_size = jobs.len().div_ceil(threads);
-            let chunks: Vec<&mut [Job]> = jobs.chunks_mut(chunk_size).collect();
-            let outputs: Vec<Vec<(usize, LocalOutcome)>> =
-                crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = chunks
-                        .into_iter()
-                        .map(|chunk| {
-                            s.spawn(move |_| {
-                                let mut model = spec.build(classes, 0);
-                                let mut out = Vec::with_capacity(chunk.len());
-                                for job in chunk.iter_mut() {
-                                    let party = &parties[job.party_id];
-                                    let mut rng = Pcg64::new(derive_seed(
-                                        run_seed,
-                                        ((round as u64) << 24) ^ (job.party_id as u64 + 1),
-                                    ));
-                                    let ctx = if is_scaffold {
-                                        Some(ScaffoldCtx {
-                                            server_c,
-                                            client_c: &mut job.client_c,
-                                            variant: scaffold_variant.expect("scaffold variant"),
-                                        })
-                                    } else {
-                                        None
-                                    };
-                                    let o = local_train(
-                                        &mut model,
-                                        party,
-                                        global_params,
-                                        global_buffers,
-                                        local_cfg,
-                                        algorithm,
-                                        ctx,
-                                        &mut rng,
-                                    );
-                                    out.push((job.slot, o));
-                                }
-                                out
-                            })
+            let run_job = &run_job;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .chunks_mut(chunk_size)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut model = spec.build(classes, 0);
+                            chunk
+                                .iter_mut()
+                                .map(|job| (job.slot, run_job(job, &mut model)))
+                                .collect::<Vec<(usize, LocalOutcome)>>()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("local-training worker panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope failed");
-            for chunk in outputs {
-                for (slot, outcome) in chunk {
-                    results[slot] = Some(outcome);
+                    })
+                    .collect();
+                for handle in handles {
+                    let outputs = handle.join().expect("local-training worker panicked");
+                    for (slot, outcome) in outputs {
+                        results[slot] = Some(outcome);
+                    }
                 }
-            }
+            });
         }
 
         // Return control variates to their owners.
@@ -495,13 +531,8 @@ mod tests {
     fn all_four_algorithms_run_and_learn() {
         let (parties, test) = toy_setup(4, 64, 3);
         for algo in Algorithm::all_default() {
-            let sim = FedSim::new(
-                spec(),
-                parties.clone(),
-                test.clone(),
-                quick_config(algo, 4),
-            )
-            .unwrap();
+            let sim =
+                FedSim::new(spec(), parties.clone(), test.clone(), quick_config(algo, 4)).unwrap();
             let result = sim.run().unwrap();
             assert!(
                 result.final_accuracy > 0.8,
@@ -616,7 +647,10 @@ mod tests {
         cfg.rounds = 0;
         assert!(matches!(
             FedSim::new(spec(), parties.clone(), test.clone(), cfg),
-            Err(FlError::InvalidConfig { field: "rounds", .. })
+            Err(FlError::InvalidConfig {
+                field: "rounds",
+                ..
+            })
         ));
 
         let mut cfg = quick_config(Algorithm::FedAvg, 16);
@@ -624,7 +658,12 @@ mod tests {
         assert!(FedSim::new(spec(), parties.clone(), test.clone(), cfg).is_err());
 
         assert!(matches!(
-            FedSim::new(spec(), Vec::new(), test.clone(), quick_config(Algorithm::FedAvg, 16)),
+            FedSim::new(
+                spec(),
+                Vec::new(),
+                test.clone(),
+                quick_config(Algorithm::FedAvg, 16)
+            ),
             Err(FlError::NoParties)
         ));
 

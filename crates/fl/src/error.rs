@@ -45,7 +45,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(FlError::NoParties.to_string().contains("at least one party"));
+        assert!(FlError::NoParties
+            .to_string()
+            .contains("at least one party"));
         assert!(FlError::EmptyParty(3).to_string().contains("party 3"));
         let e = FlError::InvalidConfig {
             field: "rounds",

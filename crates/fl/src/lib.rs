@@ -31,9 +31,11 @@ pub mod error;
 pub mod local;
 pub mod metrics;
 pub mod party;
+pub mod trace;
 
 pub use algorithm::{Algorithm, ControlVariateUpdate};
 pub use engine::{BufferPolicy, FedSim, FlConfig};
 pub use error::FlError;
 pub use metrics::{RoundRecord, RunResult};
 pub use party::Party;
+pub use trace::{JsonlSink, MemorySink, NoopSink, PhaseStats, TraceEvent, TraceSink, TraceSummary};

@@ -51,6 +51,9 @@ pub struct LocalOutcome {
     pub buffers: Vec<f32>,
     /// SCAFFOLD's `Δc = cᵢ* - cᵢ` (empty for other algorithms).
     pub delta_c: Vec<f32>,
+    /// Wall time this party spent in local training, in milliseconds
+    /// (feeds the `party_trained` trace event and straggler histogram).
+    pub wall_ms: f64,
 }
 
 /// SCAFFOLD state passed into local training.
@@ -79,8 +82,12 @@ pub fn local_train(
     mut scaffold: Option<ScaffoldCtx<'_>>,
     rng: &mut Pcg64,
 ) -> LocalOutcome {
+    let started = std::time::Instant::now();
     assert!(cfg.epochs > 0, "local_train: epochs must be positive");
-    assert!(cfg.batch_size > 0, "local_train: batch size must be positive");
+    assert!(
+        cfg.batch_size > 0,
+        "local_train: batch size must be positive"
+    );
     let n = party.num_samples();
     assert!(n > 0, "local_train: empty party {}", party.id);
 
@@ -202,6 +209,7 @@ pub fn local_train(
         avg_loss: loss_sum / tau.max(1) as f64,
         buffers: model.buffers_flat(),
         delta_c,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -314,7 +322,10 @@ mod tests {
                 None,
                 &mut Pcg64::new(11),
             );
-            out.delta.iter().map(|&d| (d as f64) * (d as f64)).sum::<f64>()
+            out.delta
+                .iter()
+                .map(|&d| (d as f64) * (d as f64))
+                .sum::<f64>()
         };
         let plain = norm_for(Algorithm::FedAvg);
         let prox = norm_for(Algorithm::FedProx { mu: 10.0 });
@@ -463,10 +474,7 @@ mod tests {
         let mut rng = Pcg64::new(20);
         let x = Tensor::randn(&[8, 3 * 16 * 16], 1.0, &mut rng);
         let labels = (0..8).map(|i| i % 2).collect();
-        let party = Party::new(
-            0,
-            Dataset::new("img", x, labels, 2, vec![3, 16, 16], None),
-        );
+        let party = Party::new(0, Dataset::new("img", x, labels, 2, vec![3, 16, 16], None));
         let mut model = resnet_lite(3, 16, 2, 2, 1, 21);
         let global = model.params_flat();
         let global_buffers = model.buffers_flat();

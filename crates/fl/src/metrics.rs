@@ -1,17 +1,18 @@
 //! Per-round metrics and run results (the training curves of Figures 7–12
 //! and the accuracy cells of Table 3).
 
-use serde::{Deserialize, Serialize};
+use niid_json::{FromJson, Json, JsonError, ToJson};
 
 /// Metrics captured at (the end of) one communication round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Round index (0-based; recorded after the round's aggregation).
     pub round: usize,
     /// Global-model top-1 accuracy on the held-out test set. `None` for
     /// rounds where evaluation was skipped (`eval_every > 1`).
     pub test_accuracy: Option<f64>,
-    /// Mean local training loss across this round's participants.
+    /// Sample-weighted mean local training loss across this round's
+    /// participants (matches the weighted federated objective).
     pub avg_local_loss: f64,
     /// Number of participating parties.
     pub participants: usize,
@@ -19,10 +20,18 @@ pub struct RoundRecord {
     pub down_bytes: usize,
     /// Parties → server bytes.
     pub up_bytes: usize,
+    /// Wall time of the local-training phase (all parties, including any
+    /// parallel scheduling overhead).
+    pub local_wall_ms: f64,
+    /// Wall time of server aggregation (averaging + control variates +
+    /// buffer policy).
+    pub aggregate_wall_ms: f64,
+    /// Wall time of test-set evaluation; `0` for skipped rounds.
+    pub eval_wall_ms: f64,
 }
 
 /// The outcome of a full federated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Algorithm name (paper column header).
     pub algorithm: String,
@@ -36,6 +45,70 @@ pub struct RunResult {
     pub total_bytes: usize,
     /// Wall-clock seconds spent in the simulation.
     pub wall_seconds: f64,
+}
+
+impl ToJson for RoundRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("round", self.round.to_json()),
+            ("test_accuracy", self.test_accuracy.to_json()),
+            ("avg_local_loss", self.avg_local_loss.to_json()),
+            ("participants", self.participants.to_json()),
+            ("down_bytes", self.down_bytes.to_json()),
+            ("up_bytes", self.up_bytes.to_json()),
+            ("local_wall_ms", self.local_wall_ms.to_json()),
+            ("aggregate_wall_ms", self.aggregate_wall_ms.to_json()),
+            ("eval_wall_ms", self.eval_wall_ms.to_json()),
+        ])
+    }
+}
+
+/// Pull a required field out of an object, naming it on failure.
+fn req<'a>(v: &'a Json, key: &'static str) -> Result<&'a Json, JsonError> {
+    v.get(key)
+        .ok_or_else(|| JsonError::new(format!("missing field {key}")))
+}
+
+impl FromJson for RoundRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RoundRecord {
+            round: usize::from_json(req(v, "round")?)?,
+            test_accuracy: Option::from_json(req(v, "test_accuracy")?)?,
+            avg_local_loss: f64::from_json(req(v, "avg_local_loss")?)?,
+            participants: usize::from_json(req(v, "participants")?)?,
+            down_bytes: usize::from_json(req(v, "down_bytes")?)?,
+            up_bytes: usize::from_json(req(v, "up_bytes")?)?,
+            local_wall_ms: f64::from_json(req(v, "local_wall_ms")?)?,
+            aggregate_wall_ms: f64::from_json(req(v, "aggregate_wall_ms")?)?,
+            eval_wall_ms: f64::from_json(req(v, "eval_wall_ms")?)?,
+        })
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("algorithm", self.algorithm.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("final_accuracy", self.final_accuracy.to_json()),
+            ("best_accuracy", self.best_accuracy.to_json()),
+            ("total_bytes", self.total_bytes.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunResult {
+            algorithm: String::from_json(req(v, "algorithm")?)?,
+            rounds: Vec::from_json(req(v, "rounds")?)?,
+            final_accuracy: f64::from_json(req(v, "final_accuracy")?)?,
+            best_accuracy: f64::from_json(req(v, "best_accuracy")?)?,
+            total_bytes: usize::from_json(req(v, "total_bytes")?)?,
+            wall_seconds: f64::from_json(req(v, "wall_seconds")?)?,
+        })
+    }
 }
 
 impl RunResult {
@@ -65,10 +138,7 @@ impl RunResult {
             return 0.0;
         }
         let tail = &curve[skip..];
-        let diffs: f64 = tail
-            .windows(2)
-            .map(|w| (w[1].1 - w[0].1).abs())
-            .sum();
+        let diffs: f64 = tail.windows(2).map(|w| (w[1].1 - w[0].1).abs()).sum();
         diffs / (tail.len() - 1) as f64
     }
 }
@@ -85,6 +155,9 @@ mod tests {
             participants: 10,
             down_bytes: 100,
             up_bytes: 100,
+            local_wall_ms: 12.0,
+            aggregate_wall_ms: 1.0,
+            eval_wall_ms: 3.0,
         }
     }
 
@@ -133,10 +206,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = result(&[Some(0.42), None]);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: RunResult = serde_json::from_str(&json).unwrap();
+        let json = r.to_json_string();
+        let back = RunResult::from_json_str(&json).unwrap();
         assert_eq!(r, back);
+        assert!(json.contains("\"test_accuracy\":null"));
+        assert!(json.contains("\"local_wall_ms\":12"));
     }
 }

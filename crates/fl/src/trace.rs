@@ -1,0 +1,610 @@
+//! Round-level tracing: structured events and phase timings.
+//!
+//! The ROADMAP's north star is a system that runs "as fast as the hardware
+//! allows" — which requires seeing where a round actually spends its time.
+//! Before this layer existed the only performance signal was one
+//! `wall_seconds` per run; now [`FedSim::run_traced`](crate::FedSim)
+//! emits a [`TraceEvent`] stream covering every phase of every round:
+//!
+//! ```text
+//! RoundStarted ─▶ PartyTrained (×|S_t|, concurrent) ─▶ Aggregated
+//!              ─▶ Evaluated (when scheduled) ─▶ RoundFinished
+//! ```
+//!
+//! Events flow through a [`TraceSink`]:
+//!
+//! * [`NoopSink`] — the default; `run()` uses it, and the compiler erases
+//!   the calls, so untraced runs pay nothing,
+//! * [`MemorySink`] — buffers events in memory (tests, in-process
+//!   analysis),
+//! * [`JsonlSink`] — appends one JSON object per line to a file, safe to
+//!   share across the engine's training threads.
+//!
+//! [`TraceSummary`] folds an event stream back into the per-phase
+//! breakdown (total/mean/max per phase, slowest-party histogram) that perf
+//! PRs diff against.
+
+use niid_json::{parse_jsonl, FromJson, Json, JsonError, ToJson};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One structured event in the life of a federated round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A round began; `participants` parties were sampled.
+    RoundStarted {
+        /// Round index.
+        round: usize,
+        /// Number of sampled parties `|S_t|`.
+        participants: usize,
+    },
+    /// One party finished its local training for the round.
+    PartyTrained {
+        /// Round index.
+        round: usize,
+        /// The party's id.
+        party_id: usize,
+        /// Local SGD steps taken.
+        tau: usize,
+        /// Local dataset size (aggregation weight).
+        n_samples: usize,
+        /// Mean local training loss.
+        avg_loss: f64,
+        /// Wall time of this party's training, in milliseconds.
+        wall_ms: f64,
+    },
+    /// The server finished aggregating the round's updates.
+    Aggregated {
+        /// Round index.
+        round: usize,
+        /// Wall time of the aggregation phase, in milliseconds.
+        wall_ms: f64,
+    },
+    /// The global model was evaluated on the test set.
+    Evaluated {
+        /// Round index.
+        round: usize,
+        /// Top-1 test accuracy.
+        accuracy: f64,
+        /// Wall time of the evaluation phase, in milliseconds.
+        wall_ms: f64,
+    },
+    /// The round completed.
+    RoundFinished {
+        /// Round index.
+        round: usize,
+        /// Wall time of the whole round, in milliseconds.
+        wall_ms: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The round this event belongs to.
+    pub fn round(&self) -> usize {
+        match *self {
+            TraceEvent::RoundStarted { round, .. }
+            | TraceEvent::PartyTrained { round, .. }
+            | TraceEvent::Aggregated { round, .. }
+            | TraceEvent::Evaluated { round, .. }
+            | TraceEvent::RoundFinished { round, .. } => round,
+        }
+    }
+
+    /// The event's tag, as written to the `event` field of the JSONL form.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundStarted { .. } => "round_started",
+            TraceEvent::PartyTrained { .. } => "party_trained",
+            TraceEvent::Aggregated { .. } => "aggregated",
+            TraceEvent::Evaluated { .. } => "evaluated",
+            TraceEvent::RoundFinished { .. } => "round_finished",
+        }
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("event", Json::Str(self.name().into())),
+            ("round", self.round().to_json()),
+        ];
+        match *self {
+            TraceEvent::RoundStarted { participants, .. } => {
+                fields.push(("participants", participants.to_json()));
+            }
+            TraceEvent::PartyTrained {
+                party_id,
+                tau,
+                n_samples,
+                avg_loss,
+                wall_ms,
+                ..
+            } => {
+                fields.push(("party_id", party_id.to_json()));
+                fields.push(("tau", tau.to_json()));
+                fields.push(("n_samples", n_samples.to_json()));
+                fields.push(("avg_loss", avg_loss.to_json()));
+                fields.push(("wall_ms", wall_ms.to_json()));
+            }
+            TraceEvent::Aggregated { wall_ms, .. } => {
+                fields.push(("wall_ms", wall_ms.to_json()));
+            }
+            TraceEvent::Evaluated {
+                accuracy, wall_ms, ..
+            } => {
+                fields.push(("accuracy", accuracy.to_json()));
+                fields.push(("wall_ms", wall_ms.to_json()));
+            }
+            TraceEvent::RoundFinished { wall_ms, .. } => {
+                fields.push(("wall_ms", wall_ms.to_json()));
+            }
+        }
+        Json::obj(fields)
+    }
+}
+
+impl FromJson for TraceEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let req = |key: &'static str| -> Result<&Json, JsonError> {
+            v.get(key)
+                .ok_or_else(|| JsonError::new(format!("trace event missing {key}")))
+        };
+        let round = usize::from_json(req("round")?)?;
+        match req("event")?.as_str() {
+            Some("round_started") => Ok(TraceEvent::RoundStarted {
+                round,
+                participants: usize::from_json(req("participants")?)?,
+            }),
+            Some("party_trained") => Ok(TraceEvent::PartyTrained {
+                round,
+                party_id: usize::from_json(req("party_id")?)?,
+                tau: usize::from_json(req("tau")?)?,
+                n_samples: usize::from_json(req("n_samples")?)?,
+                avg_loss: f64::from_json(req("avg_loss")?)?,
+                wall_ms: f64::from_json(req("wall_ms")?)?,
+            }),
+            Some("aggregated") => Ok(TraceEvent::Aggregated {
+                round,
+                wall_ms: f64::from_json(req("wall_ms")?)?,
+            }),
+            Some("evaluated") => Ok(TraceEvent::Evaluated {
+                round,
+                accuracy: f64::from_json(req("accuracy")?)?,
+                wall_ms: f64::from_json(req("wall_ms")?)?,
+            }),
+            Some("round_finished") => Ok(TraceEvent::RoundFinished {
+                round,
+                wall_ms: f64::from_json(req("wall_ms")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown trace event tag: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A destination for trace events.
+///
+/// Implementations must be callable from the engine's training threads
+/// (`Send + Sync`); [`MemorySink`] and [`JsonlSink`] serialize access with
+/// a mutex, which is far off the hot path (one lock per party per round).
+pub trait TraceSink: Send + Sync {
+    /// Record one event. Must not panic; sinks that can fail (I/O) should
+    /// swallow errors rather than kill a training run.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// The default sink: discards everything with zero overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline]
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Buffers events in memory; the test and in-process-analysis sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Writes events as JSON Lines (one compact object per line).
+///
+/// I/O errors after creation are swallowed: a full disk must degrade the
+/// trace, not abort a multi-hour training run.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and write events to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Open `path` for appending (multiple experiment cells can share one
+    /// trace file within a process run).
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flush buffered events to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("trace sink poisoned").flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().expect("trace sink poisoned");
+        // Errors are intentionally dropped; see the type-level contract.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Aggregate statistics for one phase across a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseStats {
+    /// Number of timed samples.
+    pub count: usize,
+    /// Sum of wall times, ms.
+    pub total_ms: f64,
+    /// Mean wall time, ms (`0` when `count == 0`).
+    pub mean_ms: f64,
+    /// Maximum wall time, ms.
+    pub max_ms: f64,
+}
+
+impl PhaseStats {
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let total: f64 = samples.iter().sum();
+        Self {
+            count: samples.len(),
+            total_ms: total,
+            mean_ms: total / samples.len() as f64,
+            max_ms: samples.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// A per-phase breakdown of a traced run — the baseline future perf PRs
+/// diff against.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSummary {
+    /// Distinct rounds seen.
+    pub rounds: usize,
+    /// Per-party local-training times (one sample per `PartyTrained`).
+    pub party_train: PhaseStats,
+    /// Server aggregation times (one sample per `Aggregated`).
+    pub aggregate: PhaseStats,
+    /// Evaluation times (one sample per `Evaluated`; skipped rounds
+    /// contribute nothing).
+    pub eval: PhaseStats,
+    /// Whole-round times (one sample per `RoundFinished`).
+    pub round: PhaseStats,
+    /// How often each party was its round's slowest trainer:
+    /// `(party_id, rounds_slowest)`, most frequent first — the straggler
+    /// histogram.
+    pub slowest_parties: Vec<(usize, usize)>,
+}
+
+impl TraceSummary {
+    /// Fold an event stream into the summary.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut party_train = Vec::new();
+        let mut aggregate = Vec::new();
+        let mut eval = Vec::new();
+        let mut round_times = Vec::new();
+        let mut rounds_seen = Vec::new();
+        // (round, party_id, wall_ms) of the slowest party per round.
+        let mut slowest_by_round: Vec<(usize, usize, f64)> = Vec::new();
+
+        for ev in events {
+            let r = ev.round();
+            if !rounds_seen.contains(&r) {
+                rounds_seen.push(r);
+            }
+            match *ev {
+                TraceEvent::PartyTrained {
+                    party_id, wall_ms, ..
+                } => {
+                    party_train.push(wall_ms);
+                    match slowest_by_round.iter_mut().find(|(sr, _, _)| *sr == r) {
+                        Some(entry) if wall_ms > entry.2 => *entry = (r, party_id, wall_ms),
+                        Some(_) => {}
+                        None => slowest_by_round.push((r, party_id, wall_ms)),
+                    }
+                }
+                TraceEvent::Aggregated { wall_ms, .. } => aggregate.push(wall_ms),
+                TraceEvent::Evaluated { wall_ms, .. } => eval.push(wall_ms),
+                TraceEvent::RoundFinished { wall_ms, .. } => round_times.push(wall_ms),
+                TraceEvent::RoundStarted { .. } => {}
+            }
+        }
+
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for &(_, party, _) in &slowest_by_round {
+            match counts.iter_mut().find(|(p, _)| *p == party) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((party, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        TraceSummary {
+            rounds: rounds_seen.len(),
+            party_train: PhaseStats::from_samples(&party_train),
+            aggregate: PhaseStats::from_samples(&aggregate),
+            eval: PhaseStats::from_samples(&eval),
+            round: PhaseStats::from_samples(&round_times),
+            slowest_parties: counts,
+        }
+    }
+
+    /// Summarize a JSONL trace file written by [`JsonlSink`].
+    pub fn from_jsonl_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        let events: Vec<TraceEvent> = parse_jsonl(&text)
+            .and_then(|vals| vals.iter().map(TraceEvent::from_json).collect())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(Self::from_events(&events))
+    }
+
+    /// Render the breakdown as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace summary: {} round(s)\n{:<14} {:>7} {:>12} {:>12} {:>12}\n",
+            self.rounds, "phase", "count", "total ms", "mean ms", "max ms"
+        ));
+        for (name, s) in [
+            ("party_train", &self.party_train),
+            ("aggregate", &self.aggregate),
+            ("eval", &self.eval),
+            ("round", &self.round),
+        ] {
+            out.push_str(&format!(
+                "{name:<14} {:>7} {:>12.2} {:>12.3} {:>12.3}\n",
+                s.count, s.total_ms, s.mean_ms, s.max_ms
+            ));
+        }
+        if !self.slowest_parties.is_empty() {
+            out.push_str("slowest party per round: ");
+            let parts: Vec<String> = self
+                .slowest_parties
+                .iter()
+                .map(|(p, c)| format!("#{p} ({c}/{})", self.rounds))
+                .collect();
+            out.push_str(&parts.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RoundStarted {
+                round: 0,
+                participants: 2,
+            },
+            TraceEvent::PartyTrained {
+                round: 0,
+                party_id: 0,
+                tau: 6,
+                n_samples: 20,
+                avg_loss: 0.7,
+                wall_ms: 3.5,
+            },
+            TraceEvent::PartyTrained {
+                round: 0,
+                party_id: 1,
+                tau: 3,
+                n_samples: 10,
+                avg_loss: 0.9,
+                wall_ms: 5.0,
+            },
+            TraceEvent::Aggregated {
+                round: 0,
+                wall_ms: 0.5,
+            },
+            TraceEvent::Evaluated {
+                round: 0,
+                accuracy: 0.8,
+                wall_ms: 1.0,
+            },
+            TraceEvent::RoundFinished {
+                round: 0,
+                wall_ms: 7.0,
+            },
+            TraceEvent::RoundStarted {
+                round: 1,
+                participants: 2,
+            },
+            TraceEvent::PartyTrained {
+                round: 1,
+                party_id: 1,
+                tau: 3,
+                n_samples: 10,
+                avg_loss: 0.6,
+                wall_ms: 2.0,
+            },
+            TraceEvent::PartyTrained {
+                round: 1,
+                party_id: 0,
+                tau: 6,
+                n_samples: 20,
+                avg_loss: 0.5,
+                wall_ms: 1.0,
+            },
+            TraceEvent::Aggregated {
+                round: 1,
+                wall_ms: 0.25,
+            },
+            TraceEvent::RoundFinished {
+                round: 1,
+                wall_ms: 2.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        for ev in sample_events() {
+            let line = ev.to_json_string();
+            let back = TraceEvent::from_json_str(&line).unwrap();
+            assert_eq!(ev, back, "via {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_event_tag_is_rejected() {
+        assert!(TraceEvent::from_json_str("{\"event\":\"warp\",\"round\":0}").is_err());
+        assert!(TraceEvent::from_json_str("{\"round\":0}").is_err());
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.events(), sample_events());
+    }
+
+    #[test]
+    fn summary_folds_phases_and_stragglers() {
+        let s = TraceSummary::from_events(&sample_events());
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.party_train.count, 4);
+        assert!((s.party_train.total_ms - 11.5).abs() < 1e-9);
+        assert!((s.party_train.max_ms - 5.0).abs() < 1e-9);
+        assert_eq!(s.aggregate.count, 2);
+        assert_eq!(s.eval.count, 1, "round 1 skipped evaluation");
+        assert!((s.round.total_ms - 9.5).abs() < 1e-9);
+        // Party 1 slowest in round 0, party 1 also slowest in round 1.
+        assert_eq!(s.slowest_parties, vec![(1, 2)]);
+        let table = s.render();
+        assert!(table.contains("party_train"), "{table}");
+        assert!(table.contains("#1 (2/2)"), "{table}");
+    }
+
+    #[test]
+    fn summary_of_empty_trace_is_zeroed() {
+        let s = TraceSummary::from_events(&[]);
+        assert_eq!(s.rounds, 0);
+        assert_eq!(s.party_train, PhaseStats::default());
+        assert!(s.slowest_parties.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_file() {
+        let path = std::env::temp_dir().join(format!(
+            "niid_trace_test_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for ev in sample_events() {
+                sink.record(&ev);
+            }
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len());
+        let parsed: Vec<TraceEvent> = parse_jsonl(&text)
+            .unwrap()
+            .iter()
+            .map(|v| TraceEvent::from_json(v).unwrap())
+            .collect();
+        assert_eq!(parsed, sample_events());
+        let summary = TraceSummary::from_jsonl_file(&path).unwrap();
+        assert_eq!(summary, TraceSummary::from_events(&sample_events()));
+        // Append mode extends rather than truncates.
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.record(&TraceEvent::RoundStarted {
+                round: 9,
+                participants: 1,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len() + 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sinks_are_object_safe_and_shareable() {
+        let mem = MemorySink::new();
+        let sinks: [&dyn TraceSink; 2] = [&NoopSink, &mem];
+        std::thread::scope(|s| {
+            for sink in sinks {
+                s.spawn(move || {
+                    sink.record(&TraceEvent::RoundStarted {
+                        round: 0,
+                        participants: 1,
+                    });
+                });
+            }
+        });
+        assert_eq!(mem.len(), 1);
+    }
+}

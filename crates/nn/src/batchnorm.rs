@@ -182,8 +182,7 @@ impl Layer for BatchNorm2d {
                 for j in 0..spatial {
                     let dy = grad_out.as_slice()[off + j];
                     let xh = xhat.as_slice()[off + j];
-                    gx.as_mut_slice()[off + j] =
-                        g * inv_std * (dy - mean_dy - xh * mean_dy_xhat);
+                    gx.as_mut_slice()[off + j] = g * inv_std * (dy - mean_dy - xh * mean_dy_xhat);
                 }
             }
         }
@@ -204,8 +203,12 @@ impl Layer for BatchNorm2d {
     }
 
     fn read_params(&mut self, src: &mut ParamReader<'_>) {
-        self.gamma.as_mut_slice().copy_from_slice(src.take(self.channels));
-        self.beta.as_mut_slice().copy_from_slice(src.take(self.channels));
+        self.gamma
+            .as_mut_slice()
+            .copy_from_slice(src.take(self.channels));
+        self.beta
+            .as_mut_slice()
+            .copy_from_slice(src.take(self.channels));
     }
 
     fn write_grads(&self, out: &mut Vec<f32>) {

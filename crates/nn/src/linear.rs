@@ -20,7 +20,10 @@ impl Linear {
     /// Kaiming-uniform initialized linear layer (`±sqrt(6 / fan_in)`), the
     /// PyTorch default that the paper's reference implementation relies on.
     pub fn new(in_features: usize, out_features: usize, rng: &mut Pcg64) -> Self {
-        assert!(in_features > 0 && out_features > 0, "Linear: zero-sized layer");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "Linear: zero-sized layer"
+        );
         let bound = (6.0 / in_features as f32).sqrt();
         Self {
             weight: Tensor::rand_uniform(&[in_features, out_features], -bound, bound, rng),
@@ -196,7 +199,10 @@ mod tests {
         l.write_grads(&mut g1);
 
         for (a, b) in g2.iter().zip(&g1) {
-            assert!((a - 2.0 * b).abs() < 1e-6, "accumulation broken: {a} vs 2*{b}");
+            assert!(
+                (a - 2.0 * b).abs() < 1e-6,
+                "accumulation broken: {a} vs 2*{b}"
+            );
         }
     }
 

@@ -172,7 +172,10 @@ pub fn resnet_lite(
         side >= 4 && side.is_multiple_of(4),
         "resnet_lite: side must be a multiple of 4 and >= 4, got {side}"
     );
-    assert!(width >= 1 && blocks_per_stage >= 1, "resnet_lite: bad config");
+    assert!(
+        width >= 1 && blocks_per_stage >= 1,
+        "resnet_lite: bad config"
+    );
     let mut rng = Pcg64::new(seed);
     let mut net = Sequential::new()
         .push(conv3x3(in_channels, width, side, side, &mut rng))
@@ -266,7 +269,14 @@ impl ModelSpec {
                 side,
                 width,
                 blocks_per_stage,
-            } => resnet_lite(in_channels, side, num_classes, width, blocks_per_stage, seed),
+            } => resnet_lite(
+                in_channels,
+                side,
+                num_classes,
+                width,
+                blocks_per_stage,
+                seed,
+            ),
         }
     }
 
@@ -291,11 +301,8 @@ mod tests {
         let y = net.forward(x, Phase::Eval);
         assert_eq!(y.shape(), &[2, 10]);
         // Conv params: 6*(1*25)+6 + 16*(6*25)+16 ; FC: 256*120+120 + ...
-        let expected = (6 * 25 + 6)
-            + (16 * 150 + 16)
-            + (256 * 120 + 120)
-            + (120 * 84 + 84)
-            + (84 * 10 + 10);
+        let expected =
+            (6 * 25 + 6) + (16 * 150 + 16) + (256 * 120 + 120) + (120 * 84 + 84) + (84 * 10 + 10);
         assert_eq!(net.param_count(), expected);
     }
 
@@ -303,12 +310,14 @@ mod tests {
     fn lenet_shapes_16_and_32() {
         let mut n16 = lenet_cnn(1, 16, 10, 0);
         assert_eq!(
-            n16.forward(Tensor::zeros(&[1, 1, 16, 16]), Phase::Eval).shape(),
+            n16.forward(Tensor::zeros(&[1, 1, 16, 16]), Phase::Eval)
+                .shape(),
             &[1, 10]
         );
         let mut n32 = lenet_cnn(3, 32, 10, 0);
         assert_eq!(
-            n32.forward(Tensor::zeros(&[1, 3, 32, 32]), Phase::Eval).shape(),
+            n32.forward(Tensor::zeros(&[1, 3, 32, 32]), Phase::Eval)
+                .shape(),
             &[1, 10]
         );
     }

@@ -194,9 +194,17 @@ impl Network {
         input_shape: &[usize],
         batch_size: usize,
     ) -> Vec<f64> {
-        assert_eq!(features.ndim(), 2, "evaluate_per_class: features must be [n, dim]");
+        assert_eq!(
+            features.ndim(),
+            2,
+            "evaluate_per_class: features must be [n, dim]"
+        );
         let n = features.shape()[0];
-        assert_eq!(n, labels.len(), "evaluate_per_class: features/labels mismatch");
+        assert_eq!(
+            n,
+            labels.len(),
+            "evaluate_per_class: features/labels mismatch"
+        );
         assert!(batch_size > 0, "evaluate_per_class: zero batch size");
         let mut correct = vec![0usize; self.num_classes];
         let mut total = vec![0usize; self.num_classes];
@@ -219,7 +227,13 @@ impl Network {
         correct
             .iter()
             .zip(&total)
-            .map(|(&c, &t)| if t == 0 { f64::NAN } else { c as f64 / t as f64 })
+            .map(|(&c, &t)| {
+                if t == 0 {
+                    f64::NAN
+                } else {
+                    c as f64 / t as f64
+                }
+            })
             .collect()
     }
 }

@@ -66,7 +66,11 @@ impl GlobalAvgPool {
             channels > 0 && in_h > 0 && in_w > 0,
             "GlobalAvgPool: empty geometry"
         );
-        Self { channels, in_h, in_w }
+        Self {
+            channels,
+            in_h,
+            in_w,
+        }
     }
 }
 
@@ -116,7 +120,10 @@ mod tests {
     #[test]
     fn global_avg_pool_means_and_backward() {
         let mut p = GlobalAvgPool::new(2, 2, 2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        );
         let y = p.forward(x, Phase::Train);
         assert_eq!(y.shape(), &[1, 2, 1, 1]);
         assert_eq!(y.as_slice(), &[2.5, 10.0]);

@@ -19,7 +19,7 @@ pub struct BasicBlock {
     bn2: BatchNorm2d,
     shortcut: Option<(Conv2d, BatchNorm2d)>,
     // Caches for the two ReLUs and the residual add.
-    cached_mid: Option<Tensor>, // input to the inner ReLU (post-bn1)
+    cached_mid: Option<Tensor>,     // input to the inner ReLU (post-bn1)
     cached_pre_out: Option<Tensor>, // input to the final ReLU (sum)
 }
 
@@ -124,7 +124,10 @@ impl Layer for BasicBlock {
 
         // Main branch.
         let g_main = self.conv2.backward(self.bn2.backward(g_sum.clone()));
-        let mid = self.cached_mid.take().expect("BasicBlock: missing mid cache");
+        let mid = self
+            .cached_mid
+            .take()
+            .expect("BasicBlock: missing mid cache");
         let g_mid = relu_backward(&g_main, &mid);
         let g_input_main = self.conv1.backward(self.bn1.backward(g_mid));
 
@@ -221,7 +224,10 @@ mod tests {
     fn identity_block_shapes() {
         let mut rng = Pcg64::new(40);
         let mut blk = BasicBlock::new(4, 4, 8, 8, 1, &mut rng);
-        assert!(blk.shortcut.is_none(), "same-shape block uses identity shortcut");
+        assert!(
+            blk.shortcut.is_none(),
+            "same-shape block uses identity shortcut"
+        );
         let x = Tensor::randn(&[2, 4, 8, 8], 1.0, &mut rng);
         let y = blk.forward(x, Phase::Train);
         assert_eq!(y.shape(), &[2, 4, 8, 8]);

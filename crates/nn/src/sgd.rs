@@ -29,7 +29,10 @@ impl Sgd {
     /// # Panics
     /// Panics on non-finite or negative hyper-parameters.
     pub fn new(param_len: usize, lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        assert!(lr.is_finite() && lr > 0.0, "SGD: lr must be positive, got {lr}");
+        assert!(
+            lr.is_finite() && lr > 0.0,
+            "SGD: lr must be positive, got {lr}"
+        );
         assert!(
             (0.0..1.0).contains(&momentum) || momentum == 0.0,
             "SGD: momentum must be in [0,1), got {momentum}"
@@ -75,7 +78,11 @@ impl Sgd {
             params.len(),
             self.velocity.len()
         );
-        assert_eq!(params.len(), grads.len(), "SGD: params/grads length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "SGD: params/grads length mismatch"
+        );
         let (lr, m, wd) = (self.lr, self.momentum, self.weight_decay);
         for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             let g = g + wd * *p;

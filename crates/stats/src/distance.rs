@@ -140,7 +140,10 @@ mod tests {
         let d2 = js_divergence(&q, &p);
         assert!((d1 - d2).abs() < 1e-12);
         assert!(d1 <= std::f64::consts::LN_2 + 1e-9);
-        assert!((d1 - std::f64::consts::LN_2).abs() < 1e-9, "disjoint supports hit the bound");
+        assert!(
+            (d1 - std::f64::consts::LN_2).abs() < 1e-9,
+            "disjoint supports hit the bound"
+        );
     }
 
     #[test]
@@ -164,7 +167,10 @@ mod tests {
     #[test]
     fn gini_concentrated_is_high() {
         let g = gini(&[0.0, 0.0, 0.0, 100.0]);
-        assert!((g - 0.75).abs() < 1e-12, "4-party all-in-one Gini is 1 - 1/n = {g}");
+        assert!(
+            (g - 0.75).abs() < 1e-12,
+            "4-party all-in-one Gini is 1 - 1/n = {g}"
+        );
     }
 
     #[test]

@@ -26,6 +26,5 @@ pub use describe::Summary;
 pub use distance::{emd_1d, gini, js_divergence, kl_divergence, total_variation};
 pub use rng::{derive_seed, Pcg64, SeedStream};
 pub use sample::{
-    sample_categorical, sample_dirichlet, sample_gamma, sample_standard_normal, Dirichlet,
-    Gaussian,
+    sample_categorical, sample_dirichlet, sample_gamma, sample_standard_normal, Dirichlet, Gaussian,
 };

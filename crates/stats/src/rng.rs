@@ -3,12 +3,9 @@
 //! All stochastic behaviour in the workspace flows through [`Pcg64`], a
 //! hand-implemented PCG-XSH-RR 64/32 generator wrapped to produce 64-bit
 //! outputs, plus a [`SeedStream`] that derives independent child seeds with
-//! SplitMix64. Implementing the generator ourselves (rather than relying on
-//! `rand::rngs::StdRng`) pins the bit stream across `rand` versions, so
-//! experiment results recorded in EXPERIMENTS.md stay reproducible even if
-//! the dependency is upgraded.
-
-use rand::{Error, RngCore, SeedableRng};
+//! SplitMix64. Implementing the generator ourselves (with no dependency on
+//! the `rand` crate) pins the bit stream permanently, so experiment results
+//! recorded in EXPERIMENTS.md stay reproducible across toolchains.
 
 /// SplitMix64 step: the standard 64-bit mixer used to expand one seed into a
 /// stream of well-distributed values.
@@ -92,6 +89,33 @@ impl Pcg64 {
         rng
     }
 
+    /// Next uniform 32-bit draw (one raw PCG output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.next_u32_impl()
+    }
+
+    /// Next uniform 64-bit draw (two concatenated 32-bit outputs).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32_impl() as u64;
+        let lo = self.next_u32_impl() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Fill `dest` with uniform random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
     #[inline]
     fn next_u32_impl(&mut self) -> u32 {
         let old = self.state;
@@ -153,45 +177,6 @@ impl Pcg64 {
         }
         pool.truncate(k);
         pool
-    }
-}
-
-impl RngCore for Pcg64 {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        self.next_u32_impl()
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        let hi = self.next_u32_impl() as u64;
-        let lo = self.next_u32_impl() as u64;
-        (hi << 32) | lo
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.next_u64().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for Pcg64 {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
-        Self::new(u64::from_le_bytes(seed))
     }
 }
 

@@ -158,11 +158,7 @@ impl Dirichlet {
 
     /// Draw one probability vector (sums to 1).
     pub fn sample(&self, rng: &mut Pcg64) -> Vec<f64> {
-        let mut draws: Vec<f64> = self
-            .alphas
-            .iter()
-            .map(|&a| sample_gamma(rng, a))
-            .collect();
+        let mut draws: Vec<f64> = self.alphas.iter().map(|&a| sample_gamma(rng, a)).collect();
         let sum: f64 = draws.iter().sum();
         if sum <= 0.0 || !sum.is_finite() {
             // All-zero draws are possible only through extreme underflow at
@@ -224,7 +220,9 @@ mod tests {
     #[test]
     fn standard_normal_moments() {
         let mut rng = Pcg64::new(100);
-        let xs: Vec<f64> = (0..200_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let (mean, var) = mean_and_var(&xs);
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "variance {var}");
@@ -259,7 +257,9 @@ mod tests {
     fn gamma_moments_shape_above_one() {
         let mut rng = Pcg64::new(103);
         let shape = 4.5;
-        let xs: Vec<f64> = (0..200_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| sample_gamma(&mut rng, shape))
+            .collect();
         let (mean, var) = mean_and_var(&xs);
         // Gamma(k, 1): mean k, variance k.
         assert!((mean - shape).abs() < 0.05, "mean {mean}");
@@ -270,7 +270,9 @@ mod tests {
     fn gamma_moments_shape_below_one() {
         let mut rng = Pcg64::new(104);
         let shape = 0.5;
-        let xs: Vec<f64> = (0..200_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| sample_gamma(&mut rng, shape))
+            .collect();
         let (mean, var) = mean_and_var(&xs);
         assert!((mean - shape).abs() < 0.02, "mean {mean}");
         assert!((var - shape).abs() < 0.1, "variance {var}");

@@ -182,8 +182,7 @@ pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
                     for kx in 0..s.kernel_w {
                         let x = x0 + kx as isize;
                         if x >= 0 && x < iw {
-                            out[plane_off + y as usize * s.in_w + x as usize] +=
-                                data[base + k];
+                            out[plane_off + y as usize * s.in_w + x as usize] += data[base + k];
                         }
                         k += 1;
                     }
@@ -457,12 +456,10 @@ mod tests {
                                     {
                                         continue;
                                     }
-                                    let xi = ((i * s.in_channels + ic) * s.in_h
-                                        + y as usize)
+                                    let xi = ((i * s.in_channels + ic) * s.in_h + y as usize)
                                         * s.in_w
                                         + xpos as usize;
-                                    let wi = (oc * s.in_channels + ic) * s.kernel_h
-                                        * s.kernel_w
+                                    let wi = (oc * s.in_channels + ic) * s.kernel_h * s.kernel_w
                                         + ky * s.kernel_w
                                         + kx;
                                     acc += xs[xi] * w.as_slice()[wi];
@@ -532,9 +529,8 @@ mod tests {
         let gy = Tensor::ones(y.shape());
         let (gx, gw, gb) = conv2d_backward(&cols, &w, &gy, &s);
 
-        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
-            conv2d(x, w, Some(b), &s).0.sum()
-        };
+        let loss =
+            |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 { conv2d(x, w, Some(b), &s).0.sum() };
         let eps = 1e-2f32;
 
         // Check a scattering of coordinates in each gradient.

@@ -24,7 +24,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul: inner dimension mismatch A={:?} B={:?}",
         a.shape(),
         b.shape()
@@ -32,11 +33,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut c = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
+    // The zero-skip below assumes 0 · b == 0, which is false for NaN/inf in
+    // B (IEEE: 0 · NaN = 0 · inf = NaN). One O(kn) scan gates the fast path
+    // so non-finite values still propagate instead of being masked.
+    let skip_zeros = bv.iter().all(|v| v.is_finite());
     for i in 0..m {
         let a_row = &av[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
+            if skip_zeros && a_ik == 0.0 {
                 continue; // sparse-ish inputs (one-hot, post-ReLU) are common
             }
             let b_row = &bv[kk * n..(kk + 1) * n];
@@ -57,7 +62,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (m2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(
-        m, m2,
+        m,
+        m2,
         "matmul_at_b: leading dimension mismatch A={:?} B={:?}",
         a.shape(),
         b.shape()
@@ -65,12 +71,15 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let mut c = vec![0.0f32; k * n];
     let av = a.as_slice();
     let bv = b.as_slice();
+    // Same NaN/inf guard as `matmul`: only skip zero entries of A when B is
+    // entirely finite, so 0 · NaN still surfaces as NaN.
+    let skip_zeros = bv.iter().all(|v| v.is_finite());
     // Accumulate rank-1 updates row by row of A/B; inner loops contiguous.
     for row in 0..m {
         let a_row = &av[row * k..(row + 1) * k];
         let b_row = &bv[row * n..(row + 1) * n];
         for (kk, &a_rk) in a_row.iter().enumerate() {
-            if a_rk == 0.0 {
+            if skip_zeros && a_rk == 0.0 {
                 continue;
             }
             let c_row = &mut c[kk * n..(kk + 1) * n];
@@ -92,7 +101,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = (a.shape()[0], a.shape()[1]);
     let (k, n2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(
-        n, n2,
+        n,
+        n2,
         "matmul_a_bt: trailing dimension mismatch A={:?} B={:?}",
         a.shape(),
         b.shape()
@@ -164,10 +174,7 @@ mod tests {
             let b = Tensor::randn(&[k, n], 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive_matmul(&a, &b);
-            assert!(
-                fast.max_abs_diff(&slow) < 1e-4,
-                "mismatch at ({m},{k},{n})"
-            );
+            assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch at ({m},{k},{n})");
         }
     }
 
@@ -206,5 +213,33 @@ mod tests {
         let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
         let c = matmul(&a, &b);
         assert_eq!(c.as_slice(), &[5.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_skip_does_not_mask_nan_or_inf() {
+        // IEEE: 0 · NaN = 0 · inf = NaN. A zero in A must not short-circuit
+        // past a non-finite entry in B, or diverged training would be
+        // silently laundered back into finite activations.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, 4.0, 5.0, f32::INFINITY], &[2, 2]);
+        let c = matmul(&a, &b);
+        // Row 0: [0·NaN + 1·5, 0·4 + 1·inf] = [NaN, inf]
+        assert!(
+            c.as_slice()[0].is_nan(),
+            "0·NaN must stay NaN, got {}",
+            c.as_slice()[0]
+        );
+        assert!(c.as_slice()[1].is_infinite());
+        // Row 1 is all-zero A against a NaN column: NaN contaminates it too.
+        assert!(c.as_slice()[2].is_nan());
+        assert!(c.as_slice()[3].is_nan());
+
+        let fused = matmul_at_b(&a, &b);
+        let naive = naive_matmul(&a.transpose2(), &b);
+        for (f, n) in fused.as_slice().iter().zip(naive.as_slice()) {
+            assert_eq!(f.is_nan(), n.is_nan(), "NaN pattern diverged: {f} vs {n}");
+        }
+        // Column 1 of Aᵀ·B multiplies [1, 0] into B's NaN row: NaN everywhere.
+        assert!(fused.as_slice()[2].is_nan());
     }
 }

@@ -98,19 +98,12 @@ pub fn maxpool2d(input: &Tensor, s: &Pool2dShape) -> (Tensor, Vec<u32>) {
             }
         }
     }
-    (
-        Tensor::from_vec(out, &[n, s.channels, oh, ow]),
-        arg,
-    )
+    (Tensor::from_vec(out, &[n, s.channels, oh, ow]), arg)
 }
 
 /// Backward of max pooling: route each output gradient to the input element
 /// that won the max.
-pub fn maxpool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[u32],
-    input_shape: &[usize],
-) -> Tensor {
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[u32], input_shape: &[usize]) -> Tensor {
     assert_eq!(
         grad_out.numel(),
         argmax.len(),

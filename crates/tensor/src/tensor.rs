@@ -32,9 +32,12 @@ impl fmt::Debug for Tensor {
 }
 
 fn checked_numel(shape: &[usize]) -> usize {
-    shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d)).unwrap_or_else(|| {
-        panic!("tensor shape {shape:?} overflows usize");
-    })
+    shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .unwrap_or_else(|| {
+            panic!("tensor shape {shape:?} overflows usize");
+        })
 }
 
 impl Tensor {
@@ -95,7 +98,9 @@ impl Tensor {
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Pcg64) -> Self {
         assert!(lo <= hi, "rand_uniform: lo {lo} > hi {hi}");
         let numel = checked_numel(shape);
-        let data = (0..numel).map(|_| lo + (hi - lo) * rng.next_f32()).collect();
+        let data = (0..numel)
+            .map(|_| lo + (hi - lo) * rng.next_f32())
+            .collect();
         Self {
             data,
             shape: shape.to_vec(),
@@ -185,7 +190,11 @@ impl Tensor {
         let cols = self.shape[1];
         let mut out = Vec::with_capacity(indices.len() * cols);
         for &i in indices {
-            assert!(i < self.shape[0], "gather_rows: row {i} out of {}", self.shape[0]);
+            assert!(
+                i < self.shape[0],
+                "gather_rows: row {i} out of {}",
+                self.shape[0]
+            );
             out.extend_from_slice(&self.data[i * cols..(i + 1) * cols]);
         }
         Tensor::from_vec(out, &[indices.len(), cols])

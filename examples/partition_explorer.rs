@@ -29,7 +29,10 @@ fn main() {
         let (inferred, algo) = recommend_from_report(&report, InferenceThresholds::default());
         println!("== {} ==", strategy.label());
         println!("{report}");
-        println!("inferred skew: {inferred:?} -> recommended {}\n", algo.name());
+        println!(
+            "inferred skew: {inferred:?} -> recommended {}\n",
+            algo.name()
+        );
     }
 
     // The two strategies tied to special datasets.

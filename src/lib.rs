@@ -14,12 +14,14 @@
 //! * [`fl`] — the federated engine: FedAvg, FedProx, SCAFFOLD, FedNova,
 //! * [`core`] — NIID-Bench itself: the six partitioning strategies, skew
 //!   quantification, the Figure 6 decision tree, the experiment runner and
-//!   leaderboard.
+//!   leaderboard,
+//! * [`json`] — the serde-free JSON layer used for results and round traces.
 //!
 //! See `examples/quickstart.rs` for a three-step end-to-end run.
 pub use niid_core as core;
 pub use niid_data as data;
 pub use niid_fl as fl;
+pub use niid_json as json;
 pub use niid_nn as nn;
 pub use niid_stats as stats;
 pub use niid_tensor as tensor;

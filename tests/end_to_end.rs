@@ -36,7 +36,10 @@ fn all_algorithms_complete_on_image_data() {
             algo.name(),
             result.mean_accuracy
         );
-        assert!(result.runs[0].rounds.iter().all(|r| r.avg_local_loss.is_finite()));
+        assert!(result.runs[0]
+            .rounds
+            .iter()
+            .all(|r| r.avg_local_loss.is_finite()));
     }
 }
 
@@ -50,8 +53,7 @@ fn all_nine_datasets_train_one_round() {
         };
         let mut spec = quick_spec(dataset, strategy, Algorithm::FedAvg, 2);
         spec.rounds = 1;
-        let result = run_experiment(&spec)
-            .unwrap_or_else(|e| panic!("{}: {e}", dataset.name()));
+        let result = run_experiment(&spec).unwrap_or_else(|e| panic!("{}: {e}", dataset.name()));
         assert!(
             result.mean_accuracy > 0.0,
             "{} produced zero accuracy",
@@ -81,8 +83,18 @@ fn experiments_are_bit_reproducible() {
 
 #[test]
 fn different_seeds_give_different_runs() {
-    let mut a = quick_spec(DatasetId::Adult, Strategy::Homogeneous, Algorithm::FedAvg, 4);
-    let mut b = quick_spec(DatasetId::Adult, Strategy::Homogeneous, Algorithm::FedAvg, 5);
+    let mut a = quick_spec(
+        DatasetId::Adult,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        4,
+    );
+    let mut b = quick_spec(
+        DatasetId::Adult,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        5,
+    );
     a.rounds = 2;
     b.rounds = 2;
     let ra = run_experiment(&a).expect("a");
@@ -111,11 +123,17 @@ fn leaderboard_integrates_with_experiments() {
 
 #[test]
 fn results_serialize_to_json() {
-    let spec = quick_spec(DatasetId::Covtype, Strategy::Homogeneous, Algorithm::FedNova, 7);
+    use niid_bench_rs::json::{FromJson, ToJson};
+    let spec = quick_spec(
+        DatasetId::Covtype,
+        Strategy::Homogeneous,
+        Algorithm::FedNova,
+        7,
+    );
     let result = run_experiment(&spec).expect("run");
-    let json = serde_json::to_string(&result).expect("serialize");
+    let json = result.to_json_string();
     assert!(json.contains("\"algorithm\":\"FedNova\""));
-    let back: niid_bench_rs::core::experiment::ExperimentResult =
-        serde_json::from_str(&json).expect("deserialize");
+    let back = niid_bench_rs::core::experiment::ExperimentResult::from_json_str(&json)
+        .expect("deserialize");
     assert_eq!(back.mean_accuracy, result.mean_accuracy);
 }

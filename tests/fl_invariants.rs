@@ -1,12 +1,18 @@
-//! Property-based tests of the federated aggregation algebra: the server
+//! Property-style tests of the federated aggregation algebra: the server
 //! update rules must conserve weights, respect sample weighting, and
 //! reduce to each other in the documented degenerate cases.
+//!
+//! Cases are driven by a seeded [`Pcg64`] instead of a property-testing
+//! framework so the suite stays dependency-free and bit-reproducible; each
+//! test sweeps 64 pseudo-random configurations.
 
 use niid_bench_rs::fl::aggregate::{
     average_buffers, fednova_average, scaffold_update_c, weighted_average,
 };
 use niid_bench_rs::fl::local::LocalOutcome;
-use proptest::prelude::*;
+use niid_bench_rs::stats::Pcg64;
+
+const CASES: usize = 64;
 
 fn outcome(delta: Vec<f32>, tau: usize, n: usize) -> LocalOutcome {
     LocalOutcome {
@@ -16,87 +22,97 @@ fn outcome(delta: Vec<f32>, tau: usize, n: usize) -> LocalOutcome {
         avg_loss: 0.0,
         buffers: Vec::new(),
         delta_c: Vec::new(),
+        wall_ms: 0.0,
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Uniform f32 in [lo, hi).
+fn uniform(rng: &mut Pcg64, lo: f32, hi: f32) -> f32 {
+    lo + rng.next_f32() * (hi - lo)
+}
 
-    /// The aggregation weights sum to one: aggregating identical deltas
-    /// applies exactly that delta.
-    #[test]
-    fn weighted_average_of_identical_deltas_is_that_delta(
-        parties in 1usize..10,
-        delta in -5.0f32..5.0,
-        sizes in prop::collection::vec(1usize..1000, 1..10),
-    ) {
-        let parties = parties.min(sizes.len());
-        let outcomes: Vec<LocalOutcome> = sizes[..parties]
-            .iter()
-            .map(|&n| outcome(vec![delta], 3, n))
+/// The aggregation weights sum to one: aggregating identical deltas
+/// applies exactly that delta.
+#[test]
+fn weighted_average_of_identical_deltas_is_that_delta() {
+    let mut rng = Pcg64::new(0xf1_01);
+    for case in 0..CASES {
+        let parties = 1 + rng.next_below(9);
+        let delta = uniform(&mut rng, -5.0, 5.0);
+        let outcomes: Vec<LocalOutcome> = (0..parties)
+            .map(|_| outcome(vec![delta], 3, 1 + rng.next_below(999)))
             .collect();
         let mut global = vec![10.0f32];
         weighted_average(&mut global, &outcomes, 1.0);
-        prop_assert!((global[0] - (10.0 - delta)).abs() < 1e-4);
+        assert!(
+            (global[0] - (10.0 - delta)).abs() < 1e-4,
+            "case {case}: {} vs {}",
+            global[0],
+            10.0 - delta
+        );
     }
+}
 
-    /// Same for FedNova when all taus are equal.
-    #[test]
-    fn fednova_reduces_to_weighted_average_for_equal_taus(
-        tau in 1usize..20,
-        deltas in prop::collection::vec(-3.0f32..3.0, 2..8),
-        seed in 0u64..100,
-    ) {
-        let sizes: Vec<usize> = deltas
-            .iter()
-            .enumerate()
-            .map(|(i, _)| 10 + ((seed as usize + i * 13) % 90))
-            .collect();
-        let outcomes: Vec<LocalOutcome> = deltas
-            .iter()
-            .zip(&sizes)
-            .map(|(&d, &n)| outcome(vec![d], tau, n))
+/// FedNova reduces to the weighted average when all taus are equal.
+#[test]
+fn fednova_reduces_to_weighted_average_for_equal_taus() {
+    let mut rng = Pcg64::new(0xf1_02);
+    for case in 0..CASES {
+        let tau = 1 + rng.next_below(19);
+        let parties = 2 + rng.next_below(6);
+        let outcomes: Vec<LocalOutcome> = (0..parties)
+            .map(|_| {
+                let d = uniform(&mut rng, -3.0, 3.0);
+                outcome(vec![d], tau, 10 + rng.next_below(90))
+            })
             .collect();
         let mut a = vec![1.0f32];
         let mut b = vec![1.0f32];
         weighted_average(&mut a, &outcomes, 1.0);
         fednova_average(&mut b, &outcomes, 1.0);
-        prop_assert!((a[0] - b[0]).abs() < 1e-4, "{} vs {}", a[0], b[0]);
+        assert!(
+            (a[0] - b[0]).abs() < 1e-4,
+            "case {case}: {} vs {}",
+            a[0],
+            b[0]
+        );
     }
+}
 
-    /// FedNova is invariant to per-party delta scaling by tau: a party
-    /// that takes c× more steps with a c×-scaled delta contributes the
-    /// same per-step update.
-    #[test]
-    fn fednova_normalizes_step_counts(
-        base_tau in 1usize..10,
-        scale in 2usize..8,
-        delta in 0.1f32..3.0,
-    ) {
+/// FedNova is invariant to per-party delta scaling by tau: a party that
+/// takes c× more steps with a c×-scaled delta contributes the same
+/// per-step update.
+#[test]
+fn fednova_normalizes_step_counts() {
+    let mut rng = Pcg64::new(0xf1_03);
+    for case in 0..CASES {
+        let base_tau = 1 + rng.next_below(9);
+        let scale = 2 + rng.next_below(6);
+        let delta = uniform(&mut rng, 0.1, 3.0);
         // Two equal-size parties, identical per-step drift; one runs
         // `scale`x longer.
         let o_short = outcome(vec![delta], base_tau, 100);
-        let o_long = outcome(
-            vec![delta * scale as f32],
-            base_tau * scale,
-            100,
-        );
+        let o_long = outcome(vec![delta * scale as f32], base_tau * scale, 100);
         let mut nova = vec![0.0f32];
-        fednova_average(&mut nova, &[o_short.clone(), o_long], 1.0);
+        fednova_average(&mut nova, &[o_short, o_long], 1.0);
         // Both normalized updates equal delta/base_tau, so the aggregate
         // applies coeff * delta / base_tau with
         // coeff = (tau_short + tau_long)/2.
         let coeff = (base_tau + base_tau * scale) as f32 / 2.0;
         let expected = -coeff * delta / base_tau as f32;
-        prop_assert!(
+        assert!(
             (nova[0] - expected).abs() < 1e-3 * (1.0 + expected.abs()),
-            "{} vs {}", nova[0], expected
+            "case {case}: {} vs {}",
+            nova[0],
+            expected
         );
     }
+}
 
-    /// Aggregation weights are proportional to sample counts.
-    #[test]
-    fn weighting_is_proportional_to_samples(ratio in 1usize..20) {
+/// Aggregation weights are proportional to sample counts.
+#[test]
+fn weighting_is_proportional_to_samples() {
+    for ratio in 1usize..20 {
         // Party A has `ratio`x the data of party B and pulls the opposite
         // way; the result lands on A's side by exactly the ratio.
         let outcomes = vec![
@@ -106,18 +122,19 @@ proptest! {
         let mut global = vec![0.0f32];
         weighted_average(&mut global, &outcomes, 1.0);
         let expected = -((ratio as f32 - 1.0) / (ratio as f32 + 1.0));
-        prop_assert!((global[0] - expected).abs() < 1e-4);
+        assert!((global[0] - expected).abs() < 1e-4, "ratio {ratio}");
     }
+}
 
-    /// The server control variate moves by the sampled parties' mean
-    /// delta_c scaled by |S|/N.
-    #[test]
-    fn scaffold_c_update_scales_with_participation(
-        total in 1usize..50,
-        sampled in 1usize..50,
-        dc in -2.0f32..2.0,
-    ) {
-        let sampled = sampled.min(total);
+/// The server control variate moves by the sampled parties' mean delta_c
+/// scaled by |S|/N.
+#[test]
+fn scaffold_c_update_scales_with_participation() {
+    let mut rng = Pcg64::new(0xf1_05);
+    for case in 0..CASES {
+        let total = 1 + rng.next_below(49);
+        let sampled = (1 + rng.next_below(49)).min(total);
+        let dc = uniform(&mut rng, -2.0, 2.0);
         let outcomes: Vec<LocalOutcome> = (0..sampled)
             .map(|_| {
                 let mut o = outcome(vec![0.0], 1, 10);
@@ -128,21 +145,28 @@ proptest! {
         let mut c = vec![0.0f32];
         scaffold_update_c(&mut c, &outcomes, total);
         let expected = dc * sampled as f32 / total as f32;
-        prop_assert!((c[0] - expected).abs() < 1e-4);
+        assert!(
+            (c[0] - expected).abs() < 1e-4,
+            "case {case}: {} vs {expected}",
+            c[0]
+        );
     }
+}
 
-    /// Buffer averaging is a convex combination: the result lies inside
-    /// the per-party range.
-    #[test]
-    fn buffer_average_is_convex(
-        values in prop::collection::vec(-10.0f32..10.0, 2..8),
-        seed in 0u64..100,
-    ) {
+/// Buffer averaging is a convex combination: the result lies inside the
+/// per-party range.
+#[test]
+fn buffer_average_is_convex() {
+    let mut rng = Pcg64::new(0xf1_06);
+    for case in 0..CASES {
+        let parties = 2 + rng.next_below(6);
+        let values: Vec<f32> = (0..parties)
+            .map(|_| uniform(&mut rng, -10.0, 10.0))
+            .collect();
         let outcomes: Vec<LocalOutcome> = values
             .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let mut o = outcome(vec![0.0], 1, 5 + ((seed as usize + i * 7) % 95));
+            .map(|&v| {
+                let mut o = outcome(vec![0.0], 1, 5 + rng.next_below(95));
                 o.buffers = vec![v];
                 o
             })
@@ -150,6 +174,10 @@ proptest! {
         let avg = average_buffers(&outcomes).expect("buffers present");
         let min = values.iter().copied().fold(f32::INFINITY, f32::min);
         let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        prop_assert!(avg[0] >= min - 1e-4 && avg[0] <= max + 1e-4);
+        assert!(
+            avg[0] >= min - 1e-4 && avg[0] <= max + 1e-4,
+            "case {case}: {} outside [{min}, {max}]",
+            avg[0]
+        );
     }
 }

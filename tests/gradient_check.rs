@@ -57,7 +57,12 @@ fn check_directional(
     seed: u64,
 ) {
     let pr = probe(&mut build, input_shape, seed);
-    let norm: f64 = pr.grads.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>().sqrt();
+    let norm: f64 = pr
+        .grads
+        .iter()
+        .map(|&g| (g as f64) * (g as f64))
+        .sum::<f64>()
+        .sqrt();
     assert!(norm > 1e-3, "degenerate gradient (norm {norm})");
     let eps = 1e-3f64;
     let step = |sign: f64| -> Vec<f32> {

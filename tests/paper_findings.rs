@@ -30,7 +30,13 @@ fn accuracy(s: &ExperimentSpec) -> f64 {
 /// E = 10 local epochs.
 #[test]
 fn finding1_single_label_skew_collapses_accuracy() {
-    let mut iid_spec = spec(DatasetId::Mnist, Strategy::Homogeneous, Algorithm::FedAvg, 5, 1);
+    let mut iid_spec = spec(
+        DatasetId::Mnist,
+        Strategy::Homogeneous,
+        Algorithm::FedAvg,
+        5,
+        1,
+    );
     iid_spec.local_epochs = 10;
     let mut c1_spec = spec(
         DatasetId::Mnist,
@@ -165,10 +171,7 @@ fn scaffold_doubles_communication() {
         6,
     ))
     .expect("scaffold");
-    assert_eq!(
-        scaffold.runs[0].total_bytes,
-        2 * plain.runs[0].total_bytes
-    );
+    assert_eq!(scaffold.runs[0].total_bytes, 2 * plain.runs[0].total_bytes);
 }
 
 /// Finding 8 setup: partial participation selects the right number of

@@ -1,11 +1,16 @@
-//! Property-based tests of the partitioning invariants, across random
+//! Property-style tests of the partitioning invariants, across random
 //! dataset shapes, party counts, strategy parameters and seeds.
+//!
+//! Cases are driven by a seeded [`Pcg64`] instead of a property-testing
+//! framework so the suite stays dependency-free and bit-reproducible; each
+//! test sweeps 64 pseudo-random configurations.
 
 use niid_bench_rs::core::partition::{partition, Strategy};
 use niid_bench_rs::data::Dataset;
 use niid_bench_rs::stats::Pcg64;
 use niid_bench_rs::tensor::Tensor;
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn dataset(n: usize, classes: usize, seed: u64) -> Dataset {
     let mut rng = Pcg64::new(seed);
@@ -32,57 +37,60 @@ fn assigned_rows(assignments: &[Vec<usize>], n: usize) -> usize {
     seen.iter().filter(|&&s| s).count()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn homogeneous_covers_everything(
-        n in 20usize..400,
-        parties in 1usize..15,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(n >= parties);
+#[test]
+fn homogeneous_covers_everything() {
+    let mut rng = Pcg64::new(0x9a_01);
+    for case in 0..CASES {
+        let parties = 1 + rng.next_below(14);
+        // Keep n >= parties so every party can hold at least one sample.
+        let n = parties.max(20 + rng.next_below(380));
+        let seed = rng.next_u64() % 1000;
         let d = dataset(n, 5, seed);
         let p = partition(&d, parties, Strategy::Homogeneous, seed).unwrap();
-        prop_assert_eq!(assigned_rows(&p.assignments, n), n);
+        assert_eq!(assigned_rows(&p.assignments, n), n, "case {case}");
         // Sizes within 1 of each other.
         let sizes = p.sizes();
         let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1, "case {case}: sizes {sizes:?}");
     }
+}
 
-    #[test]
-    fn dirichlet_label_skew_is_disjoint_cover(
-        n in 100usize..600,
-        parties in 2usize..12,
-        beta in 0.05f64..10.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn dirichlet_label_skew_is_disjoint_cover() {
+    let mut rng = Pcg64::new(0x9a_02);
+    for case in 0..CASES {
+        let n = 100 + rng.next_below(500);
+        let parties = 2 + rng.next_below(10);
+        let beta = 0.05 + rng.next_f64() * 9.95;
+        let seed = rng.next_u64() % 1000;
         let d = dataset(n, 8, seed);
         let p = partition(&d, parties, Strategy::DirichletLabelSkew { beta }, seed).unwrap();
-        prop_assert_eq!(assigned_rows(&p.assignments, n), n);
+        assert_eq!(assigned_rows(&p.assignments, n), n, "case {case}");
     }
+}
 
-    #[test]
-    fn quantity_skew_conserves_samples(
-        n in 100usize..600,
-        parties in 2usize..12,
-        beta in 0.05f64..10.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn quantity_skew_conserves_samples() {
+    let mut rng = Pcg64::new(0x9a_03);
+    for case in 0..CASES {
+        let n = 100 + rng.next_below(500);
+        let parties = 2 + rng.next_below(10);
+        let beta = 0.05 + rng.next_f64() * 9.95;
+        let seed = rng.next_u64() % 1000;
         let d = dataset(n, 4, seed);
         let p = partition(&d, parties, Strategy::QuantitySkew { beta }, seed).unwrap();
-        prop_assert_eq!(assigned_rows(&p.assignments, n), n);
+        assert_eq!(assigned_rows(&p.assignments, n), n, "case {case}");
     }
+}
 
-    #[test]
-    fn quantity_label_skew_respects_k(
-        parties in 2usize..15,
-        k in 1usize..6,
-        seed in 0u64..1000,
-    ) {
-        let classes = 6;
-        prop_assume!(k <= classes);
+#[test]
+fn quantity_label_skew_respects_k() {
+    let mut rng = Pcg64::new(0x9a_04);
+    let classes = 6;
+    for case in 0..CASES {
+        let parties = 2 + rng.next_below(13);
+        let k = 1 + rng.next_below(5.min(classes - 1));
+        let seed = rng.next_u64() % 1000;
         let d = dataset(600, classes, seed);
         let p = partition(&d, parties, Strategy::QuantityLabelSkew { k }, seed).unwrap();
         assigned_rows(&p.assignments, 600);
@@ -90,20 +98,27 @@ proptest! {
             let mut labels: Vec<usize> = rows.iter().map(|&i| d.labels[i]).collect();
             labels.sort_unstable();
             labels.dedup();
-            prop_assert!(labels.len() <= k, "party holds {} labels > k={}", labels.len(), k);
+            assert!(
+                labels.len() <= k,
+                "case {case}: party holds {} labels > k={}",
+                labels.len(),
+                k
+            );
         }
         // With parties >= classes, the round-robin first label guarantees
         // full coverage.
         if parties >= classes {
-            prop_assert_eq!(p.assigned_count(), 600);
+            assert_eq!(p.assigned_count(), 600, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn partitions_deterministic_under_seed(
-        parties in 2usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn partitions_deterministic_under_seed() {
+    let mut rng = Pcg64::new(0x9a_05);
+    for case in 0..CASES {
+        let parties = 2 + rng.next_below(8);
+        let seed = rng.next_u64() % 1000;
         let d = dataset(300, 5, 7);
         for strategy in [
             Strategy::Homogeneous,
@@ -113,19 +128,31 @@ proptest! {
         ] {
             let a = partition(&d, parties, strategy, seed).unwrap();
             let b = partition(&d, parties, strategy, seed).unwrap();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}: {strategy:?}");
         }
     }
+}
 
-    #[test]
-    fn no_party_is_empty_under_reasonable_dirichlet(
-        parties in 2usize..10,
-        seed in 0u64..200,
-    ) {
+#[test]
+fn no_party_is_empty_under_reasonable_dirichlet() {
+    let mut rng = Pcg64::new(0x9a_06);
+    for case in 0..CASES {
+        let parties = 2 + rng.next_below(8);
+        let seed = rng.next_u64() % 200;
         // With n >> parties and beta = 0.5, the min-size redraw loop should
         // leave no party empty.
         let d = dataset(1000, 10, seed);
-        let p = partition(&d, parties, Strategy::DirichletLabelSkew { beta: 0.5 }, seed).unwrap();
-        prop_assert!(p.sizes().iter().all(|&s| s > 0), "sizes: {:?}", p.sizes());
+        let p = partition(
+            &d,
+            parties,
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            seed,
+        )
+        .unwrap();
+        assert!(
+            p.sizes().iter().all(|&s| s > 0),
+            "case {case}: sizes {:?}",
+            p.sizes()
+        );
     }
 }

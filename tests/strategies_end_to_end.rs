@@ -68,7 +68,11 @@ fn buffer_policies_differ_for_batchnorm_models() {
     // A ResNet run under Average vs KeepGlobal must produce different
     // global models (the buffers feed evaluation), and both must learn.
     let run_with = |policy: BufferPolicy| {
-        let mut spec = quick(DatasetId::Mnist, Strategy::DirichletLabelSkew { beta: 0.5 }, 3);
+        let mut spec = quick(
+            DatasetId::Mnist,
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            3,
+        );
         spec.model = Some(ModelSpec::ResNetLite {
             in_channels: 1,
             side: 16,
@@ -96,7 +100,10 @@ fn buffer_policy_is_inert_for_buffer_free_models() {
     };
     let a = run_with(BufferPolicy::Average);
     let b = run_with(BufferPolicy::KeepGlobal);
-    assert_eq!(a.accuracies, b.accuracies, "MLP has no buffers to aggregate");
+    assert_eq!(
+        a.accuracies, b.accuracies,
+        "MLP has no buffers to aggregate"
+    );
 }
 
 #[test]

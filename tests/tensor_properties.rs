@@ -1,133 +1,182 @@
-//! Property-based tests of the tensor/NN algebra invariants the training
+//! Property-style tests of the tensor/NN algebra invariants the training
 //! stack silently relies on.
+//!
+//! Cases are driven by a seeded [`Pcg64`] instead of a property-testing
+//! framework so the suite stays dependency-free and bit-reproducible; each
+//! test sweeps 48 pseudo-random shapes/seeds.
 
 use niid_bench_rs::nn::SoftmaxCrossEntropy;
 use niid_bench_rs::stats::Pcg64;
 use niid_bench_rs::tensor::{
     log_softmax_rows, matmul, matmul_a_bt, matmul_at_b, relu, softmax_rows, Tensor,
 };
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
     let mut rng = Pcg64::new(seed);
     Tensor::randn(shape, 1.0, &mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Dimension in [1, hi] drawn from the case RNG.
+fn dim(rng: &mut Pcg64, hi: usize) -> usize {
+    1 + rng.next_below(hi)
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..500,
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut rng = Pcg64::new(0x7e_01);
+    for case in 0..CASES {
+        let (m, k, n) = (dim(&mut rng, 7), dim(&mut rng, 7), dim(&mut rng, 7));
+        let seed = rng.next_u64();
         let a = rand_tensor(&[m, k], seed);
-        let b = rand_tensor(&[k, n], seed + 1);
-        let c = rand_tensor(&[k, n], seed + 2);
+        let b = rand_tensor(&[k, n], seed.wrapping_add(1));
+        let c = rand_tensor(&[k, n], seed.wrapping_add(2));
         let lhs = matmul(&a, &b.add(&c));
         let rhs = matmul(&a, &b).add(&matmul(&a, &c));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-4, "case {case} ({m},{k},{n})");
     }
+}
 
-    #[test]
-    fn matmul_scalar_commutes(
-        m in 1usize..8, k in 1usize..8, n in 1usize..8,
-        alpha in -3.0f32..3.0, seed in 0u64..500,
-    ) {
+#[test]
+fn matmul_scalar_commutes() {
+    let mut rng = Pcg64::new(0x7e_02);
+    for case in 0..CASES {
+        let (m, k, n) = (dim(&mut rng, 7), dim(&mut rng, 7), dim(&mut rng, 7));
+        let alpha = rng.next_f32() * 6.0 - 3.0;
+        let seed = rng.next_u64();
         let a = rand_tensor(&[m, k], seed);
-        let b = rand_tensor(&[k, n], seed + 1);
+        let b = rand_tensor(&[k, n], seed.wrapping_add(1));
         let lhs = matmul(&a.scale(alpha), &b);
         let rhs = matmul(&a, &b).scale(alpha);
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-3, "case {case} ({m},{k},{n})");
     }
+}
 
-    #[test]
-    fn fused_transpose_variants_agree_with_explicit(
-        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..500,
-    ) {
+#[test]
+fn fused_transpose_variants_agree_with_explicit() {
+    let mut rng = Pcg64::new(0x7e_03);
+    for case in 0..CASES {
+        let (m, k, n) = (dim(&mut rng, 7), dim(&mut rng, 7), dim(&mut rng, 7));
+        let seed = rng.next_u64();
         let a = rand_tensor(&[m, k], seed);
-        let b = rand_tensor(&[m, n], seed + 1);
-        prop_assert!(
-            matmul_at_b(&a, &b).max_abs_diff(&matmul(&a.transpose2(), &b)) < 1e-4
+        let b = rand_tensor(&[m, n], seed.wrapping_add(1));
+        assert!(
+            matmul_at_b(&a, &b).max_abs_diff(&matmul(&a.transpose2(), &b)) < 1e-4,
+            "case {case}: at_b"
         );
-        let c = rand_tensor(&[n, k], seed + 2);
-        prop_assert!(
-            matmul_a_bt(&a, &c).max_abs_diff(&matmul(&a, &c.transpose2())) < 1e-4
+        let c = rand_tensor(&[n, k], seed.wrapping_add(2));
+        assert!(
+            matmul_a_bt(&a, &c).max_abs_diff(&matmul(&a, &c.transpose2())) < 1e-4,
+            "case {case}: a_bt"
         );
     }
+}
 
-    #[test]
-    fn transpose_is_involutive(m in 1usize..12, n in 1usize..12, seed in 0u64..500) {
-        let a = rand_tensor(&[m, n], seed);
-        prop_assert_eq!(a.transpose2().transpose2(), a);
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = Pcg64::new(0x7e_04);
+    for _ in 0..CASES {
+        let (m, n) = (dim(&mut rng, 11), dim(&mut rng, 11));
+        let a = rand_tensor(&[m, n], rng.next_u64());
+        assert_eq!(a.transpose2().transpose2(), a);
     }
+}
 
-    #[test]
-    fn relu_is_idempotent_and_non_negative(m in 1usize..10, n in 1usize..10, seed in 0u64..500) {
-        let a = rand_tensor(&[m, n], seed);
+#[test]
+fn relu_is_idempotent_and_non_negative() {
+    let mut rng = Pcg64::new(0x7e_05);
+    for _ in 0..CASES {
+        let (m, n) = (dim(&mut rng, 9), dim(&mut rng, 9));
+        let a = rand_tensor(&[m, n], rng.next_u64());
         let r = relu(&a);
-        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
-        prop_assert_eq!(relu(&r), r);
+        assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(relu(&r), r);
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(rows in 1usize..10, cols in 2usize..12, seed in 0u64..500) {
-        let a = rand_tensor(&[rows, cols], seed).scale(3.0);
+#[test]
+fn softmax_rows_are_distributions() {
+    let mut rng = Pcg64::new(0x7e_06);
+    for case in 0..CASES {
+        let (rows, cols) = (dim(&mut rng, 9), 2 + rng.next_below(10));
+        let a = rand_tensor(&[rows, cols], rng.next_u64()).scale(3.0);
         let p = softmax_rows(&a);
         for r in 0..rows {
             let row = p.row(r);
             let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-5);
-            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((sum - 1.0).abs() < 1e-5, "case {case} row {r}: sum {sum}");
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
+}
 
-    #[test]
-    fn log_softmax_consistent_with_softmax(rows in 1usize..8, cols in 2usize..10, seed in 0u64..500) {
-        let a = rand_tensor(&[rows, cols], seed);
+#[test]
+fn log_softmax_consistent_with_softmax() {
+    let mut rng = Pcg64::new(0x7e_07);
+    for case in 0..CASES {
+        let (rows, cols) = (dim(&mut rng, 7), 2 + rng.next_below(8));
+        let a = rand_tensor(&[rows, cols], rng.next_u64());
         let ls = log_softmax_rows(&a);
         let s = softmax_rows(&a);
         for (l, p) in ls.as_slice().iter().zip(s.as_slice()) {
-            prop_assert!((l.exp() - p).abs() < 1e-5);
+            assert!((l.exp() - p).abs() < 1e-5, "case {case}: {l} vs {p}");
         }
     }
+}
 
-    #[test]
-    fn cross_entropy_is_non_negative_and_bounded_by_uniform_plus_margin(
-        rows in 1usize..8, cols in 2usize..10, seed in 0u64..500,
-    ) {
-        let logits = rand_tensor(&[rows, cols], seed);
+#[test]
+fn cross_entropy_is_non_negative_and_bounded_by_uniform_plus_margin() {
+    let mut rng = Pcg64::new(0x7e_08);
+    for case in 0..CASES {
+        let (rows, cols) = (dim(&mut rng, 7), 2 + rng.next_below(8));
+        let logits = rand_tensor(&[rows, cols], rng.next_u64());
         let labels: Vec<usize> = (0..rows).map(|i| i % cols).collect();
         let loss = SoftmaxCrossEntropy::loss(&logits, &labels);
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0, "case {case}");
         // With standard-normal logits the loss stays near ln(cols).
-        prop_assert!(loss < (cols as f64).ln() + 6.0);
+        assert!(loss < (cols as f64).ln() + 6.0, "case {case}: loss {loss}");
     }
+}
 
-    #[test]
-    fn ce_gradient_rows_sum_to_zero(rows in 1usize..8, cols in 2usize..10, seed in 0u64..500) {
-        let logits = rand_tensor(&[rows, cols], seed).scale(2.0);
+#[test]
+fn ce_gradient_rows_sum_to_zero() {
+    let mut rng = Pcg64::new(0x7e_09);
+    for case in 0..CASES {
+        let (rows, cols) = (dim(&mut rng, 7), 2 + rng.next_below(8));
+        let logits = rand_tensor(&[rows, cols], rng.next_u64()).scale(2.0);
         let labels: Vec<usize> = (0..rows).map(|i| (i * 7) % cols).collect();
         let (_, g) = SoftmaxCrossEntropy::loss_and_grad(&logits, &labels);
         for r in 0..rows {
             let sum: f32 = g.row(r).iter().sum();
-            prop_assert!(sum.abs() < 1e-5);
+            assert!(sum.abs() < 1e-5, "case {case} row {r}: sum {sum}");
         }
     }
+}
 
-    #[test]
-    fn scaled_add_matches_manual(m in 1usize..10, alpha in -2.0f32..2.0, seed in 0u64..500) {
+#[test]
+fn scaled_add_matches_manual() {
+    let mut rng = Pcg64::new(0x7e_0a);
+    for case in 0..CASES {
+        let m = dim(&mut rng, 9);
+        let alpha = rng.next_f32() * 4.0 - 2.0;
+        let seed = rng.next_u64();
         let a = rand_tensor(&[m, 3], seed);
-        let b = rand_tensor(&[m, 3], seed + 1);
+        let b = rand_tensor(&[m, 3], seed.wrapping_add(1));
         let mut c = a.clone();
         c.scaled_add_assign(alpha, &b);
         let expected = a.add(&b.scale(alpha));
-        prop_assert!(c.max_abs_diff(&expected) < 1e-5);
+        assert!(c.max_abs_diff(&expected) < 1e-5, "case {case}");
     }
+}
 
-    #[test]
-    fn gather_rows_round_trips_identity(m in 1usize..12, seed in 0u64..500) {
-        let a = rand_tensor(&[m, 4], seed);
+#[test]
+fn gather_rows_round_trips_identity() {
+    let mut rng = Pcg64::new(0x7e_0b);
+    for _ in 0..CASES {
+        let m = dim(&mut rng, 11);
+        let a = rand_tensor(&[m, 4], rng.next_u64());
         let idx: Vec<usize> = (0..m).collect();
-        prop_assert_eq!(a.gather_rows(&idx), a);
+        assert_eq!(a.gather_rows(&idx), a);
     }
 }

@@ -4,7 +4,7 @@
 //! variates, FedNova's normalization) are directly comparable — plus a
 //! traced-vs-untraced pair bounding the trace layer's cost.
 
-use niid_bench::harness::{black_box, Harness};
+use niid_bench::harness::{black_box, BenchMeta, Harness};
 use niid_core::experiment::ExperimentSpec;
 use niid_core::partition::{build_parties, partition, Strategy};
 use niid_data::{generate, DatasetId, GenConfig};
@@ -14,7 +14,7 @@ use niid_fl::trace::MemorySink;
 use niid_fl::Algorithm;
 use niid_nn::ModelSpec;
 
-fn one_round_config(algorithm: Algorithm) -> FlConfig {
+fn one_round_config(algorithm: Algorithm, threads: usize) -> FlConfig {
     FlConfig {
         algorithm,
         rounds: 1,
@@ -31,7 +31,7 @@ fn one_round_config(algorithm: Algorithm) -> FlConfig {
         eval_every: 1,
         server_lr: 1.0,
         seed: 1,
-        threads: 1,
+        threads,
     }
 }
 
@@ -58,33 +58,61 @@ fn main() {
     // run() routes through the no-op sink, so the per-algorithm numbers
     // below are the untraced baseline.
     for algo in Algorithm::all_default() {
-        h.bench(algo.name(), |bench| {
+        h.bench_meta(
+            &format!("{}/t1", algo.name()),
+            BenchMeta::op("fl_round", "adult 10 parties", 1, 0),
+            |bench| {
+                bench.iter(|| {
+                    let sim = FedSim::new(
+                        model.clone(),
+                        parties.clone(),
+                        split.test.clone(),
+                        one_round_config(algo, 1),
+                    )
+                    .expect("sim");
+                    black_box(sim.run().expect("run"))
+                })
+            },
+        );
+    }
+
+    // FedAvg swept over the work-stealing scheduler's party-thread count.
+    for threads in [2usize, 4] {
+        h.bench_meta(
+            &format!("FedAvg/t{threads}"),
+            BenchMeta::op("fl_round", "adult 10 parties", threads, 0),
+            |bench| {
+                bench.iter(|| {
+                    let sim = FedSim::new(
+                        model.clone(),
+                        parties.clone(),
+                        split.test.clone(),
+                        one_round_config(Algorithm::FedAvg, threads),
+                    )
+                    .expect("sim");
+                    black_box(sim.run().expect("run"))
+                })
+            },
+        );
+    }
+
+    // Live tracing into an in-memory sink, to compare against FedAvg above.
+    h.bench_meta(
+        "FedAvg_traced_memory",
+        BenchMeta::op("fl_round_traced", "adult 10 parties", 1, 0),
+        |bench| {
             bench.iter(|| {
                 let sim = FedSim::new(
                     model.clone(),
                     parties.clone(),
                     split.test.clone(),
-                    one_round_config(algo),
+                    one_round_config(Algorithm::FedAvg, 1),
                 )
                 .expect("sim");
-                black_box(sim.run().expect("run"))
+                let sink = MemorySink::new();
+                let result = sim.run_traced(&sink).expect("run");
+                black_box((result, sink.len()))
             })
-        });
-    }
-
-    // Live tracing into an in-memory sink, to compare against FedAvg above.
-    h.bench("FedAvg_traced_memory", |bench| {
-        bench.iter(|| {
-            let sim = FedSim::new(
-                model.clone(),
-                parties.clone(),
-                split.test.clone(),
-                one_round_config(Algorithm::FedAvg),
-            )
-            .expect("sim");
-            let sink = MemorySink::new();
-            let result = sim.run_traced(&sink).expect("run");
-            black_box((result, sink.len()))
-        })
-    });
+        },
+    );
 }

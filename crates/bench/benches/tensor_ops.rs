@@ -1,13 +1,20 @@
 //! Tensor-kernel microbenchmarks: GEMM (all three transpose variants),
 //! im2col convolution forward/backward, pooling and softmax — the kernels
 //! every federated round is made of.
+//!
+//! Run `cargo bench -p niid-bench --bench tensor_ops -- --json
+//! BENCH_tensor_ops.json` to refresh the committed baseline; CNN-sized
+//! workloads are additionally swept over kernel thread budgets.
 
-use niid_bench::harness::{black_box, Harness};
+use niid_bench::harness::{black_box, BenchMeta, Harness};
 use niid_stats::Pcg64;
 use niid_tensor::{
-    conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b, maxpool2d, softmax_rows,
-    Conv2dShape, Pool2dShape, Tensor,
+    conv2d, conv2d_backward, conv2d_backward_ws, conv2d_forward, matmul, matmul_a_bt, matmul_at_b,
+    maxpool2d, softmax_rows, with_thread_budget, Conv2dShape, ConvScratch, Pool2dShape, Tensor,
 };
+
+/// Kernel thread budgets swept on the large workloads.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
 fn main() {
     let mut h = Harness::from_args("tensor_ops");
@@ -15,17 +22,41 @@ fn main() {
     for &n in &[32usize, 128, 256] {
         let a = Tensor::randn(&[n, n], 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 1.0, &mut rng);
-        h.bench(&format!("matmul/a_b/{n}"), |bench| {
-            bench.iter(|| matmul(black_box(&a), black_box(&b)))
-        });
-        h.bench(&format!("matmul/at_b/{n}"), |bench| {
-            bench.iter(|| matmul_at_b(black_box(&a), black_box(&b)))
-        });
-        h.bench(&format!("matmul/a_bt/{n}"), |bench| {
-            bench.iter(|| matmul_a_bt(black_box(&a), black_box(&b)))
-        });
+        let flops = (2 * n * n * n) as u64;
+        let shape = format!("{n}x{n}x{n}");
+        // The big square size is swept over thread budgets; small ones run
+        // under budget 1 (they sit below the parallel threshold anyway).
+        let sweep: &[usize] = if n == 256 { &THREAD_SWEEP } else { &[1] };
+        for &t in sweep {
+            h.bench_meta(
+                &format!("matmul/a_b/{n}/t{t}"),
+                BenchMeta::op("matmul/a_b", &shape, t, flops),
+                |bench| {
+                    bench.iter(|| with_thread_budget(t, || matmul(black_box(&a), black_box(&b))))
+                },
+            );
+            h.bench_meta(
+                &format!("matmul/at_b/{n}/t{t}"),
+                BenchMeta::op("matmul/at_b", &shape, t, flops),
+                |bench| {
+                    bench.iter(|| {
+                        with_thread_budget(t, || matmul_at_b(black_box(&a), black_box(&b)))
+                    })
+                },
+            );
+            h.bench_meta(
+                &format!("matmul/a_bt/{n}/t{t}"),
+                BenchMeta::op("matmul/a_bt", &shape, t, flops),
+                |bench| {
+                    bench.iter(|| {
+                        with_thread_budget(t, || matmul_a_bt(black_box(&a), black_box(&b)))
+                    })
+                },
+            );
+        }
     }
 
+    // LeNet-sized conv layer (6→16 channels, 5x5 kernel) over a batch of 32.
     let s = Conv2dShape {
         in_channels: 6,
         out_channels: 16,
@@ -36,25 +67,74 @@ fn main() {
         stride: 1,
         padding: 0,
     };
+    let conv_shape = "n32 6->16 12x12 k5";
+    let conv_flops = (32 * 2 * s.output_numel() * s.col_width()) as u64;
     let x = Tensor::randn(&[32, 6, 12, 12], 1.0, &mut rng);
     let w = Tensor::randn(&[16, s.col_width()], 0.2, &mut rng);
     let b = Tensor::randn(&[16], 0.1, &mut rng);
-    h.bench("conv2d/forward_batch32", |bench| {
-        bench.iter(|| conv2d(black_box(&x), black_box(&w), Some(&b), &s))
-    });
+    for &t in &THREAD_SWEEP {
+        let mut scratch = ConvScratch::new();
+        h.bench_meta(
+            &format!("conv2d/forward_batch32/t{t}"),
+            BenchMeta::op("conv2d/forward", conv_shape, t, conv_flops),
+            |bench| {
+                bench.iter(|| {
+                    with_thread_budget(t, || {
+                        conv2d_forward(black_box(&x), black_box(&w), Some(&b), &s, &mut scratch)
+                    })
+                })
+            },
+        );
+        let y = conv2d_forward(&x, &w, Some(&b), &s, &mut scratch);
+        let gy = Tensor::ones(y.shape());
+        h.bench_meta(
+            &format!("conv2d/backward_batch32/t{t}"),
+            // dX and dW are each ~one forward-sized GEMM.
+            BenchMeta::op("conv2d/backward", conv_shape, t, 2 * conv_flops),
+            |bench| {
+                bench.iter(|| {
+                    with_thread_budget(t, || {
+                        conv2d_backward_ws(&mut scratch, black_box(&w), black_box(&gy), &s)
+                    })
+                })
+            },
+        );
+    }
+    // Allocating wrappers, for the workspace-reuse delta.
+    h.bench_meta(
+        "conv2d/forward_batch32/alloc",
+        BenchMeta::op("conv2d/forward_alloc", conv_shape, 1, conv_flops),
+        |bench| {
+            bench.iter(|| {
+                with_thread_budget(1, || conv2d(black_box(&x), black_box(&w), Some(&b), &s))
+            })
+        },
+    );
     let (y, cols) = conv2d(&x, &w, Some(&b), &s);
     let gy = Tensor::ones(y.shape());
-    h.bench("conv2d/backward_batch32", |bench| {
-        bench.iter(|| conv2d_backward(black_box(&cols), black_box(&w), black_box(&gy), &s))
-    });
+    h.bench_meta(
+        "conv2d/backward_batch32/alloc",
+        BenchMeta::op("conv2d/backward_alloc", conv_shape, 1, 2 * conv_flops),
+        |bench| {
+            bench.iter(|| {
+                with_thread_budget(1, || {
+                    conv2d_backward(black_box(&cols), black_box(&w), black_box(&gy), &s)
+                })
+            })
+        },
+    );
 
     let x = Tensor::randn(&[32, 16, 8, 8], 1.0, &mut rng);
     let s = Pool2dShape::square(16, 8, 8, 2);
-    h.bench("maxpool2d_batch32", |bench| {
-        bench.iter(|| maxpool2d(black_box(&x), &s))
-    });
+    h.bench_meta(
+        "maxpool2d_batch32",
+        BenchMeta::op("maxpool2d", "n32 16ch 8x8 k2", 1, 0),
+        |bench| bench.iter(|| maxpool2d(black_box(&x), &s)),
+    );
     let logits = Tensor::randn(&[256, 10], 2.0, &mut rng);
-    h.bench("softmax_rows_256x10", |bench| {
-        bench.iter(|| softmax_rows(black_box(&logits)))
-    });
+    h.bench_meta(
+        "softmax_rows_256x10",
+        BenchMeta::op("softmax_rows", "256x10", 1, 0),
+        |bench| bench.iter(|| softmax_rows(black_box(&logits))),
+    );
 }

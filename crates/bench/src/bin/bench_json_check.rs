@@ -1,0 +1,99 @@
+//! Validate `BENCH_*.json` files emitted by the bench harness's `--json`
+//! flag: used by the CI bench-smoke step so a broken emitter (or a bench
+//! that silently stops producing entries) fails the workflow.
+//!
+//! Usage: `bench_json_check <file.json>...` — exits non-zero with a
+//! description of the first malformed file.
+
+use niid_json::Json;
+
+fn check_entry(e: &Json, idx: usize) -> Result<(), String> {
+    for key in ["group", "name", "op", "shape"] {
+        if e.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("entry {idx}: missing string field {key:?}"));
+        }
+    }
+    for key in ["threads", "median_ns", "min_ns", "iters"] {
+        let v = e
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {idx}: missing numeric field {key:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!(
+                "entry {idx}: {key} = {v} is not a sane measurement"
+            ));
+        }
+    }
+    let median = e.get("median_ns").and_then(Json::as_f64).unwrap_or(0.0);
+    if median <= 0.0 {
+        return Err(format!("entry {idx}: median_ns must be positive"));
+    }
+    match e.get("gflops") {
+        Some(g) if g.is_null() || g.as_f64().is_some_and(f64::is_finite) => Ok(()),
+        Some(_) => Err(format!("entry {idx}: gflops must be null or finite")),
+        None => Err(format!("entry {idx}: missing field \"gflops\"")),
+    }
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let json = niid_json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let entries = json
+        .as_arr()
+        .ok_or_else(|| format!("top level must be an array, got {}", json.kind()))?;
+    if entries.is_empty() {
+        return Err("no measurements recorded".into());
+    }
+    for (idx, e) in entries.iter().enumerate() {
+        check_entry(e, idx)?;
+    }
+    Ok(entries.len())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_json_check <file.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("{path}: ok ({n} measurements)"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_entry_passes() {
+        let e = Json::obj(vec![
+            ("group", Json::Str("g".into())),
+            ("name", Json::Str("n".into())),
+            ("op", Json::Str("matmul".into())),
+            ("shape", Json::Str("8x8x8".into())),
+            ("threads", Json::Num(2.0)),
+            ("median_ns", Json::Num(10.0)),
+            ("min_ns", Json::Num(9.0)),
+            ("iters", Json::Num(100.0)),
+            ("gflops", Json::Null),
+        ]);
+        assert!(check_entry(&e, 0).is_ok());
+    }
+
+    #[test]
+    fn missing_field_fails() {
+        let e = Json::obj(vec![("group", Json::Str("g".into()))]);
+        assert!(check_entry(&e, 0).is_err());
+    }
+}

@@ -13,10 +13,17 @@
 //! h.bench("matmul 64x64", |b| b.iter(|| 2 + 2));
 //! ```
 //!
-//! A positional command-line argument filters benchmarks by substring
-//! (flags such as cargo's `--bench` are ignored), mirroring
-//! `cargo bench -- <filter>`.
+//! Command line:
+//!
+//! * a positional argument filters benchmarks by substring (mirroring
+//!   `cargo bench -- <filter>`);
+//! * `--short` shrinks warm-up and batch budgets ~10× for CI smoke runs;
+//! * `--json <path>` writes every measurement (with its [`BenchMeta`]:
+//!   op, shape, threads, FLOP count and the derived GFLOP/s) as a JSON
+//!   array when the harness is dropped, so the perf trajectory of the
+//!   kernels can be tracked across PRs (`BENCH_*.json` at the repo root).
 
+use niid_json::Json;
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -26,6 +33,12 @@ const WARMUP: Duration = Duration::from_millis(20);
 const BATCH: Duration = Duration::from_millis(60);
 /// Number of measurement batches (median taken across them).
 const BATCHES: usize = 5;
+
+/// `--short` equivalents, sized so a whole bench binary finishes in a few
+/// seconds on CI while still exercising every workload.
+const SHORT_WARMUP: Duration = Duration::from_millis(2);
+const SHORT_BATCH: Duration = Duration::from_millis(6);
+const SHORT_BATCHES: usize = 3;
 
 /// One benchmark's measurement, in nanoseconds per iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,29 +51,79 @@ pub struct Measurement {
     pub iters: u64,
 }
 
+/// Machine-readable context attached to a measurement in `--json` output.
+#[derive(Debug, Clone, Default)]
+pub struct BenchMeta {
+    /// Operation family (`matmul/a_b`, `conv2d/forward`, `fl_round`, …).
+    pub op: String,
+    /// Human-readable shape of the workload (`256x256x256`, `n32 c6→16`).
+    pub shape: String,
+    /// Thread budget the workload ran under (0 = unspecified/default).
+    pub threads: usize,
+    /// Floating-point operations per iteration (0 = not a FLOP workload);
+    /// `flops / median_ns` is GFLOP/s.
+    pub flops: u64,
+}
+
+impl BenchMeta {
+    /// Meta for a FLOP-counted kernel.
+    pub fn op(op: impl Into<String>, shape: impl Into<String>, threads: usize, flops: u64) -> Self {
+        Self {
+            op: op.into(),
+            shape: shape.into(),
+            threads,
+            flops,
+        }
+    }
+}
+
 /// Passed to each benchmark closure; call [`iter`](Bencher::iter) exactly
 /// once with the workload.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Bencher {
     result: Option<Measurement>,
+    warmup: Duration,
+    batch: Duration,
+    batches: usize,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Self {
+            result: None,
+            warmup: WARMUP,
+            batch: BATCH,
+            batches: BATCHES,
+        }
+    }
 }
 
 impl Bencher {
+    fn short() -> Self {
+        Self {
+            warmup: SHORT_WARMUP,
+            batch: SHORT_BATCH,
+            batches: SHORT_BATCHES,
+            ..Self::default()
+        }
+    }
+
     /// Measure `f`, keeping its return value alive via `black_box` so the
     /// optimizer cannot delete the workload.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         // Warm-up: also yields a cost estimate for batch sizing.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP && warm_iters < 100_000 {
+        while warm_start.elapsed() < self.warmup && warm_iters < 100_000 {
             black_box(f());
             warm_iters += 1;
         }
         let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-        let per_batch = ((BATCH.as_secs_f64() / est.max(1e-9)).ceil() as u64).clamp(1, 1 << 32);
+        let per_batch =
+            ((self.batch.as_secs_f64() / est.max(1e-9)).ceil() as u64).clamp(1, 1 << 32);
 
-        let mut batch_means = Vec::with_capacity(BATCHES);
-        for _ in 0..BATCHES {
+        let mut batch_means = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
             let start = Instant::now();
             for _ in 0..per_batch {
                 black_box(f());
@@ -69,9 +132,9 @@ impl Bencher {
         }
         batch_means.sort_by(f64::total_cmp);
         self.result = Some(Measurement {
-            median_ns: batch_means[BATCHES / 2],
+            median_ns: batch_means[self.batches / 2],
             min_ns: batch_means[0],
-            iters: per_batch * BATCHES as u64,
+            iters: per_batch * self.batches as u64,
         });
     }
 }
@@ -81,46 +144,112 @@ impl Bencher {
 pub struct Harness {
     group: String,
     filter: Option<String>,
+    short: bool,
+    json_path: Option<String>,
+    entries: Vec<(String, BenchMeta, Measurement)>,
     ran: usize,
 }
 
 impl Harness {
     /// Create a harness for a named group, taking an optional substring
-    /// filter from the command line.
+    /// filter, `--short` and `--json <path>` from the command line.
     pub fn from_args(group: &str) -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'))
-            .filter(|a| !a.is_empty());
-        println!("# bench group: {group}");
+        let mut filter = None;
+        let mut short = false;
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--short" => short = true,
+                "--json" => json_path = args.next(),
+                _ if a.starts_with('-') => {} // cargo passes e.g. --bench
+                _ if filter.is_none() && !a.is_empty() => filter = Some(a),
+                _ => {}
+            }
+        }
+        println!(
+            "# bench group: {group}{}",
+            if short { " (short)" } else { "" }
+        );
         Self {
             group: group.to_string(),
             filter,
+            short,
+            json_path,
+            entries: Vec::new(),
             ran: 0,
         }
     }
 
+    /// Whether `--short` was passed (benches may also shrink workloads).
+    pub fn is_short(&self) -> bool {
+        self.short
+    }
+
     /// Run one benchmark (skipped unless its name matches the filter).
-    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> Option<Measurement> {
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> Option<Measurement> {
+        self.bench_meta(name, BenchMeta::default(), f)
+    }
+
+    /// Run one benchmark carrying machine-readable metadata into the
+    /// `--json` output.
+    pub fn bench_meta<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        meta: BenchMeta,
+        mut f: F,
+    ) -> Option<Measurement> {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return None;
             }
         }
-        let mut b = Bencher::default();
+        let mut b = if self.short {
+            Bencher::short()
+        } else {
+            Bencher::default()
+        };
         f(&mut b);
         let m = b.result.unwrap_or_else(|| {
             panic!("benchmark {name} never called Bencher::iter");
         });
         self.ran += 1;
+        let gflops = gflops(&meta, &m)
+            .map(|g| format!("   {g:7.2} GFLOP/s"))
+            .unwrap_or_default();
         println!(
-            "{:<40} {:>14} /iter   (min {}, {} iters)",
+            "{:<40} {:>14} /iter   (min {}, {} iters){gflops}",
             name,
             format_ns(m.median_ns),
             format_ns(m.min_ns),
             m.iters
         );
+        self.entries.push((name.to_string(), meta, m));
         Some(m)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::arr(
+            self.entries
+                .iter()
+                .map(|(name, meta, m)| {
+                    Json::obj(vec![
+                        ("group", Json::Str(self.group.clone())),
+                        ("name", Json::Str(name.clone())),
+                        ("op", Json::Str(meta.op.clone())),
+                        ("shape", Json::Str(meta.shape.clone())),
+                        ("threads", Json::Num(meta.threads as f64)),
+                        ("median_ns", Json::Num(m.median_ns)),
+                        ("min_ns", Json::Num(m.min_ns)),
+                        ("iters", Json::Num(m.iters as f64)),
+                        (
+                            "gflops",
+                            gflops(meta, m).map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
     }
 }
 
@@ -132,7 +261,20 @@ impl Drop for Harness {
                 self.group, self.filter
             );
         }
+        if let Some(path) = &self.json_path {
+            let mut text = self.to_json().pretty();
+            text.push('\n');
+            match std::fs::write(path, text) {
+                Ok(()) => println!("(measurements written to {path})"),
+                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            }
+        }
     }
+}
+
+/// GFLOP/s for a FLOP-counted workload (`flops / ns` ≡ `Gflop / s`).
+fn gflops(meta: &BenchMeta, m: &Measurement) -> Option<f64> {
+    (meta.flops > 0 && m.median_ns > 0.0).then(|| meta.flops as f64 / m.median_ns)
 }
 
 /// Human-friendly duration from nanoseconds.
@@ -178,6 +320,47 @@ mod tests {
             s.median_ns,
             f.median_ns
         );
+    }
+
+    #[test]
+    fn short_bencher_is_cheaper() {
+        let b = Bencher::short();
+        assert!(b.warmup < WARMUP && b.batch < BATCH && b.batches < BATCHES);
+    }
+
+    #[test]
+    fn gflops_derivation() {
+        let m = Measurement {
+            median_ns: 1000.0,
+            min_ns: 900.0,
+            iters: 10,
+        };
+        let meta = BenchMeta::op("matmul", "10x10x10", 1, 2000);
+        assert_eq!(gflops(&meta, &m), Some(2.0));
+        assert_eq!(gflops(&BenchMeta::default(), &m), None);
+    }
+
+    #[test]
+    fn json_entries_round_trip() {
+        let mut h = Harness {
+            group: "g".into(),
+            filter: None,
+            short: true,
+            json_path: None,
+            entries: Vec::new(),
+            ran: 0,
+        };
+        h.bench_meta("fast_op", BenchMeta::op("op", "2x2", 1, 8), |b| {
+            b.iter(|| black_box(1u32))
+        });
+        let text = h.to_json().pretty();
+        let parsed = niid_json::parse(&text).expect("harness JSON parses");
+        let arr = parsed.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        let e = &arr[0];
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("fast_op"));
+        assert_eq!(e.get("threads").and_then(Json::as_f64), Some(1.0));
+        assert!(e.get("gflops").is_some_and(|g| !g.is_null()));
     }
 
     #[test]

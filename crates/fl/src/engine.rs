@@ -12,6 +12,9 @@ use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use niid_data::Dataset;
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Pcg64};
+use niid_tensor::{configured_threads, set_thread_budget};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// How the server treats BatchNorm running statistics at aggregation.
@@ -48,8 +51,11 @@ pub struct FlConfig {
     pub server_lr: f32,
     /// Master seed for the run.
     pub seed: u64,
-    /// Worker threads for parallel local training (0 = one per CPU core,
-    /// capped by the number of sampled parties).
+    /// Worker threads for parallel local training (0 = the global thread
+    /// configuration: `NIID_THREADS` if set, else one per CPU core; always
+    /// capped by the number of sampled parties). Each worker's kernel-level
+    /// parallelism is budgeted to `configured / threads` so party × kernel
+    /// threads never oversubscribe the machine.
     pub threads: usize,
 }
 
@@ -365,11 +371,19 @@ impl FedSim {
                 client_c: std::mem::take(&mut client_c[party_id]),
             })
             .collect();
+        // Longest-processing-time-first: under quantity skew one party can
+        // hold most of the data, so workers should start the big parties
+        // first and backfill with small ones. Party id breaks ties so the
+        // queue order is deterministic.
+        jobs.sort_by_key(|j| {
+            (
+                std::cmp::Reverse(self.parties[j.party_id].num_samples()),
+                j.party_id,
+            )
+        });
 
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            configured_threads()
         } else {
             self.config.threads
         }
@@ -427,28 +441,50 @@ impl FedSim {
                 results[job.slot] = Some(out);
             }
         } else {
-            // Split jobs into contiguous chunks, one worker per chunk; each
-            // worker builds a single reusable model and runs the same
-            // `run_job` the sequential path uses.
-            let chunk_size = jobs.len().div_ceil(threads);
+            // Work-stealing over the LPT-ordered queue: workers claim jobs
+            // one at a time through an atomic cursor, so a worker that draws
+            // a huge party under quantity skew doesn't also get stuck with a
+            // pre-assigned chunk of stragglers behind it. Each worker builds
+            // a single reusable model and runs the same `run_job` the
+            // sequential path uses, and caps its kernel-level parallelism so
+            // party × kernel threads never oversubscribe the configured
+            // budget.
+            let queue: Vec<Mutex<Option<Job>>> =
+                jobs.drain(..).map(|j| Mutex::new(Some(j))).collect();
+            let cursor = AtomicUsize::new(0);
+            let kernel_budget = (configured_threads() / threads).max(1);
             let run_job = &run_job;
+            let queue = &queue;
+            let cursor = &cursor;
             std::thread::scope(|s| {
-                let handles: Vec<_> = jobs
-                    .chunks_mut(chunk_size)
-                    .map(|chunk| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
                         s.spawn(move || {
+                            set_thread_budget(kernel_budget);
                             let mut model = spec.build(classes, 0);
-                            chunk
-                                .iter_mut()
-                                .map(|job| (job.slot, run_job(job, &mut model)))
-                                .collect::<Vec<(usize, LocalOutcome)>>()
+                            let mut done: Vec<(usize, Job, LocalOutcome)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= queue.len() {
+                                    break;
+                                }
+                                let mut job = queue[i]
+                                    .lock()
+                                    .expect("job slot poisoned")
+                                    .take()
+                                    .expect("job claimed twice");
+                                let out = run_job(&mut job, &mut model);
+                                done.push((job.slot, job, out));
+                            }
+                            done
                         })
                     })
                     .collect();
                 for handle in handles {
                     let outputs = handle.join().expect("local-training worker panicked");
-                    for (slot, outcome) in outputs {
+                    for (slot, job, outcome) in outputs {
                         results[slot] = Some(outcome);
+                        jobs.push(job);
                     }
                 }
             });

@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Phase};
 use crate::param::ParamReader;
 use niid_stats::Pcg64;
-use niid_tensor::{conv2d, conv2d_backward, Conv2dShape, Tensor};
+use niid_tensor::{conv2d_backward_ws, conv2d_forward, Conv2dShape, ConvScratch, Tensor};
 
 /// 2-D convolution over NCHW activations with a fixed input geometry.
 pub struct Conv2d {
@@ -12,7 +12,11 @@ pub struct Conv2d {
     bias: Tensor,   // [out_c]
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cached_cols: Option<Tensor>,
+    /// Reusable im2col / backward workspace, held across batches so the
+    /// hot path performs no per-batch allocation.
+    scratch: ConvScratch,
+    /// Whether `scratch` holds the lowering of a training-phase forward.
+    cols_cached: bool,
 }
 
 impl Conv2d {
@@ -26,7 +30,8 @@ impl Conv2d {
             bias: Tensor::zeros(&[shape.out_channels]),
             grad_weight: Tensor::zeros(&[shape.out_channels, cw]),
             grad_bias: Tensor::zeros(&[shape.out_channels]),
-            cached_cols: None,
+            scratch: ConvScratch::new(),
+            cols_cached: false,
         }
     }
 
@@ -42,19 +47,24 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: Tensor, phase: Phase) -> Tensor {
-        let (y, cols) = conv2d(&x, &self.weight, Some(&self.bias), &self.shape);
-        if phase == Phase::Train {
-            self.cached_cols = Some(cols);
-        }
+        let y = conv2d_forward(
+            &x,
+            &self.weight,
+            Some(&self.bias),
+            &self.shape,
+            &mut self.scratch,
+        );
+        self.cols_cached = phase == Phase::Train;
         y
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let cols = self
-            .cached_cols
-            .take()
-            .expect("Conv2d::backward without cached forward");
-        let (gx, gw, gb) = conv2d_backward(&cols, &self.weight, &grad_out, &self.shape);
+        assert!(
+            std::mem::take(&mut self.cols_cached),
+            "Conv2d::backward without cached forward"
+        );
+        let (gx, gw, gb) =
+            conv2d_backward_ws(&mut self.scratch, &self.weight, &grad_out, &self.shape);
         self.grad_weight.add_assign(&gw);
         self.grad_bias.add_assign(&gb);
         gx

@@ -11,8 +11,20 @@
 //!
 //! Padding is zero-padding; stride is symmetric. Dilation and grouped
 //! convolution are not implemented — no model in the paper needs them.
+//!
+//! ## Workspace reuse
+//!
+//! The hot path is [`conv2d_forward`] / [`conv2d_backward_ws`], which
+//! operate on a caller-owned [`ConvScratch`]: the im2col lowering, the
+//! backward column gradients and the transposed output gradients all live
+//! in buffers that persist across batches, so a training step performs no
+//! per-sample allocation or copying. Samples are processed in parallel
+//! (each owns disjoint regions of every buffer), which keeps results
+//! bit-identical at any thread count. The allocating [`conv2d`] /
+//! [`conv2d_backward`] wrappers remain for tests and one-off callers.
 
-use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::matmul::{matmul_a_bt_slices, matmul_at_b_slices};
+use crate::parallel::{parallel_for_threshold, SharedMut};
 use crate::tensor::Tensor;
 
 /// Static geometry of a conv layer applied to a fixed input size.
@@ -150,20 +162,21 @@ pub fn im2col(input: &[f32], s: &Conv2dShape) -> Tensor {
     Tensor::from_vec(cols, &[s.out_positions(), s.col_width()])
 }
 
-/// Inverse of im2col for gradients: scatter-add the columns matrix back
-/// into an input-shaped buffer `[C, H, W]`.
-pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
+/// Inverse of im2col for gradients: scatter-add the columns matrix
+/// (`[out_positions, col_width]`, flat) into an input-shaped buffer
+/// `[C, H, W]`. `out` is overwritten (zeroed first).
+pub fn col2im_into(cols: &[f32], s: &Conv2dShape, out: &mut [f32]) {
     s.validate();
     assert_eq!(
-        cols.shape(),
-        &[s.out_positions(), s.col_width()],
-        "col2im: bad cols shape"
+        cols.len(),
+        s.out_positions() * s.col_width(),
+        "col2im: bad cols length"
     );
-    let mut out = vec![0.0f32; s.input_numel()];
+    assert_eq!(out.len(), s.input_numel(), "col2im: bad output length");
+    out.fill(0.0);
     let (oh, ow) = (s.out_h(), s.out_w());
     let cw = s.col_width();
     let (ih, iw) = (s.in_h as isize, s.in_w as isize);
-    let data = cols.as_slice();
     let mut row = 0usize;
     for oy in 0..oh {
         for ox in 0..ow {
@@ -182,7 +195,7 @@ pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
                     for kx in 0..s.kernel_w {
                         let x = x0 + kx as isize;
                         if x >= 0 && x < iw {
-                            out[plane_off + y as usize * s.in_w + x as usize] += data[base + k];
+                            out[plane_off + y as usize * s.in_w + x as usize] += cols[base + k];
                         }
                         k += 1;
                     }
@@ -191,23 +204,78 @@ pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
             row += 1;
         }
     }
+}
+
+/// Allocating wrapper over [`col2im_into`].
+pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
+    assert_eq!(
+        cols.shape(),
+        &[s.out_positions(), s.col_width()],
+        "col2im: bad cols shape"
+    );
+    let mut out = vec![0.0f32; s.input_numel()];
+    col2im_into(cols.as_slice(), s, &mut out);
     out
 }
 
-/// Forward convolution over a batch.
+/// Reusable convolution workspace: every buffer a forward/backward pass
+/// needs, grown on demand and never shrunk, so a layer that holds one
+/// across batches performs no allocation in steady state.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    /// im2col lowering of the last forward batch: `[batch·positions, cw]`.
+    cols: Vec<f32>,
+    /// Backward scratch for per-sample column gradients (same extent).
+    dcols: Vec<f32>,
+    /// Output gradients transposed to `[batch·positions, out_channels]`
+    /// so the weight gradient is one tall GEMM.
+    gy_t: Vec<f32>,
+    /// Samples lowered into `cols` by the last forward pass.
+    batch: usize,
+}
+
+impl ConvScratch {
+    /// An empty workspace; buffers are sized lazily by the first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batch size of the last lowered forward pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The im2col lowering of the last forward pass, as a flat slice of
+    /// `[batch·positions, col_width]`.
+    pub fn cols(&self, s: &Conv2dShape) -> &[f32] {
+        &self.cols[..self.batch * s.out_positions() * s.col_width()]
+    }
+
+    fn ensure(buf: &mut Vec<f32>, len: usize) {
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+    }
+}
+
+/// Forward convolution over a batch, writing the im2col lowering into
+/// `scratch` for reuse by [`conv2d_backward_ws`].
 ///
 /// * `input`: `[N, C, H, W]`
 /// * `weight`: `[out_channels, C*kh*kw]`
 /// * `bias`: optional `[out_channels]`
 ///
-/// Returns `(output [N, out_c, oh, ow], cols [N * oh*ow, C*kh*kw])`; the
-/// cols buffer is the cached lowering reused by [`conv2d_backward`].
-pub fn conv2d(
+/// Returns the output `[N, out_c, oh, ow]`. Samples are processed in
+/// parallel when the batch is large enough; each sample owns disjoint
+/// regions of `scratch.cols` and the output, so results are bit-identical
+/// at any thread count.
+pub fn conv2d_forward(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     s: &Conv2dShape,
-) -> (Tensor, Tensor) {
+    scratch: &mut ConvScratch,
+) -> Tensor {
     s.validate();
     assert_eq!(input.ndim(), 4, "conv2d: input must be NCHW");
     let n = input.shape()[0];
@@ -232,41 +300,47 @@ pub fn conv2d(
 
     let positions = s.out_positions();
     let cw = s.col_width();
-    let mut all_cols = vec![0.0f32; n * positions * cw];
-    let mut out = Vec::with_capacity(n * s.output_numel());
     let in_numel = s.input_numel();
-    for i in 0..n {
-        let sample = &input.as_slice()[i * in_numel..(i + 1) * in_numel];
-        let cols_slice = &mut all_cols[i * positions * cw..(i + 1) * positions * cw];
-        im2col_into(sample, s, cols_slice);
+    let out_numel = s.output_numel();
+    ConvScratch::ensure(&mut scratch.cols, n * positions * cw);
+    scratch.batch = n;
+
+    let mut out = vec![0.0f32; n * out_numel];
+    let xs = input.as_slice();
+    let wv = weight.as_slice();
+    let bv = bias.map(Tensor::as_slice);
+    let cols_ptr = SharedMut(scratch.cols.as_mut_ptr());
+    let out_ptr = SharedMut(out.as_mut_ptr());
+    parallel_for_threshold(n, n * 2 * out_numel * cw, &|i| {
+        // SAFETY: sample `i` exclusively owns its regions of cols/out.
+        let cols_i = unsafe { cols_ptr.slice(i * positions * cw, positions * cw) };
+        let out_i = unsafe { out_ptr.slice(i * out_numel, out_numel) };
+        im2col_into(&xs[i * in_numel..(i + 1) * in_numel], s, cols_i);
         // W [outc, cw] · colsᵀ [cw, positions] = [outc, positions]
-        let cols_t = Tensor::from_vec(cols_slice.to_vec(), &[positions, cw]);
-        let mut y = matmul_a_bt(weight, &cols_t); // [outc, positions]
-        if let Some(b) = bias {
-            let yv = y.as_mut_slice();
-            for (c, &bv) in b.as_slice().iter().enumerate() {
-                for v in &mut yv[c * positions..(c + 1) * positions] {
-                    *v += bv;
+        matmul_a_bt_slices(wv, cols_i, out_i, s.out_channels, cw, positions);
+        if let Some(b) = bv {
+            for (c, &b_c) in b.iter().enumerate() {
+                for v in &mut out_i[c * positions..(c + 1) * positions] {
+                    *v += b_c;
                 }
             }
         }
-        out.extend_from_slice(y.as_slice());
-    }
-    (
-        Tensor::from_vec(out, &[n, s.out_channels, s.out_h(), s.out_w()]),
-        Tensor::from_vec(all_cols, &[n * positions, cw]),
-    )
+    });
+    Tensor::from_vec(out, &[n, s.out_channels, s.out_h(), s.out_w()])
 }
 
-/// Backward convolution.
+/// Backward convolution against the lowering cached in `scratch` by the
+/// preceding [`conv2d_forward`] call.
 ///
-/// * `cols`: the lowering cached by [`conv2d`] (`[N*oh*ow, C*kh*kw]`)
 /// * `weight`: `[out_c, C*kh*kw]`
 /// * `grad_out`: `[N, out_c, oh, ow]`
 ///
-/// Returns `(grad_input [N,C,H,W], grad_weight, grad_bias)`.
-pub fn conv2d_backward(
-    cols: &Tensor,
+/// Returns `(grad_input [N,C,H,W], grad_weight, grad_bias)`. All
+/// per-sample work reads borrowed views of the batch buffers — no
+/// per-sample `Tensor` clones — and writes disjoint regions, so results
+/// are bit-identical at any thread count.
+pub fn conv2d_backward_ws(
+    scratch: &mut ConvScratch,
     weight: &Tensor,
     grad_out: &Tensor,
     s: &Conv2dShape,
@@ -274,61 +348,147 @@ pub fn conv2d_backward(
     let n = grad_out.shape()[0];
     let positions = s.out_positions();
     let cw = s.col_width();
+    let out_numel = s.output_numel();
+    let in_numel = s.input_numel();
     assert_eq!(
         grad_out.shape(),
         &[n, s.out_channels, s.out_h(), s.out_w()],
         "conv2d_backward: grad_out shape mismatch"
     );
     assert_eq!(
-        cols.shape(),
-        &[n * positions, cw],
-        "conv2d_backward: cols shape mismatch"
+        scratch.batch, n,
+        "conv2d_backward: scratch holds {} lowered samples, grad_out has {}",
+        scratch.batch, n
     );
-
-    let mut grad_weight = Tensor::zeros(&[s.out_channels, cw]);
-    let mut grad_bias = Tensor::zeros(&[s.out_channels]);
-    let mut grad_input = Vec::with_capacity(n * s.input_numel());
+    let ConvScratch {
+        cols, dcols, gy_t, ..
+    } = scratch;
+    let cols = &cols[..n * positions * cw];
+    ConvScratch::ensure(dcols, n * positions * cw);
+    ConvScratch::ensure(gy_t, n * positions * s.out_channels);
 
     let go = grad_out.as_slice();
-    let out_numel = s.output_numel();
-    for i in 0..n {
-        let gy = Tensor::from_vec(
-            go[i * out_numel..(i + 1) * out_numel].to_vec(),
-            &[s.out_channels, positions],
-        );
-        let cols_i = Tensor::from_vec(
-            cols.as_slice()[i * positions * cw..(i + 1) * positions * cw].to_vec(),
-            &[positions, cw],
-        );
-        // dW += gy [outc, pos] · cols_i [pos, cw]
-        grad_weight.add_assign(&matmul(&gy, &cols_i));
-        // db += row sums of gy
-        {
-            let gb = grad_bias.as_mut_slice();
-            let gys = gy.as_slice();
+    let wv = weight.as_slice();
+
+    // Transpose each sample's [outc, positions] gradient to
+    // [positions, outc] so dW becomes one tall Aᵀ·B GEMM below.
+    {
+        let gy_t_ptr = SharedMut(gy_t.as_mut_ptr());
+        parallel_for_threshold(n, n * out_numel, &|i| {
+            let go_i = &go[i * out_numel..(i + 1) * out_numel];
+            // SAFETY: sample `i` exclusively owns its gy_t region.
+            let gy_t_i = unsafe {
+                gy_t_ptr.slice(i * positions * s.out_channels, positions * s.out_channels)
+            };
             for c in 0..s.out_channels {
-                let mut acc = 0.0f32;
-                for &v in &gys[c * positions..(c + 1) * positions] {
-                    acc += v;
+                for (p, &g) in go_i[c * positions..(c + 1) * positions].iter().enumerate() {
+                    gy_t_i[p * s.out_channels + c] = g;
                 }
-                gb[c] += acc;
             }
+        });
+    }
+
+    // dW[outc, cw] = gy_tᵀ [outc, N·pos] · cols [N·pos, cw]: one GEMM over
+    // the whole batch, accumulating input rows in ascending order.
+    let mut grad_weight = vec![0.0f32; s.out_channels * cw];
+    matmul_at_b_slices(
+        &gy_t[..n * positions * s.out_channels],
+        cols,
+        &mut grad_weight,
+        n * positions,
+        s.out_channels,
+        cw,
+    );
+
+    // db: per-channel sums of grad_out, samples in ascending order.
+    let mut grad_bias = vec![0.0f32; s.out_channels];
+    for i in 0..n {
+        let go_i = &go[i * out_numel..(i + 1) * out_numel];
+        for (c, gb) in grad_bias.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for &v in &go_i[c * positions..(c + 1) * positions] {
+                acc += v;
+            }
+            *gb += acc;
         }
-        // dcols = gyᵀ [pos, outc] · W [outc, cw]
-        let dcols = matmul_at_b(&gy, weight);
-        grad_input.extend_from_slice(&col2im(&dcols, s));
+    }
+
+    // dX: per sample, dcols = gyᵀ · W then scatter-add back to the input
+    // geometry. Disjoint regions per sample.
+    let mut grad_input = vec![0.0f32; n * in_numel];
+    {
+        let dcols_ptr = SharedMut(dcols.as_mut_ptr());
+        let gx_ptr = SharedMut(grad_input.as_mut_ptr());
+        parallel_for_threshold(n, n * 2 * out_numel * cw, &|i| {
+            let go_i = &go[i * out_numel..(i + 1) * out_numel];
+            // SAFETY: sample `i` exclusively owns its dcols/grad_input regions.
+            let dcols_i = unsafe { dcols_ptr.slice(i * positions * cw, positions * cw) };
+            let gx_i = unsafe { gx_ptr.slice(i * in_numel, in_numel) };
+            // dcols [pos, cw] = gy_iᵀ [pos, outc] · W [outc, cw]; the GEMM
+            // accumulates, so clear the reused scratch region first.
+            dcols_i.fill(0.0);
+            matmul_at_b_slices(go_i, wv, dcols_i, s.out_channels, positions, cw);
+            col2im_into(dcols_i, s, gx_i);
+        });
     }
 
     (
         Tensor::from_vec(grad_input, &[n, s.in_channels, s.in_h, s.in_w]),
-        grad_weight,
-        grad_bias,
+        Tensor::from_vec(grad_weight, &[s.out_channels, cw]),
+        Tensor::from_vec(grad_bias, &[s.out_channels]),
     )
+}
+
+/// Allocating forward convolution (tests and one-off callers).
+///
+/// Returns `(output [N, out_c, oh, ow], cols [N * oh*ow, C*kh*kw])`; the
+/// cols buffer is the cached lowering accepted by [`conv2d_backward`].
+/// Training loops should hold a [`ConvScratch`] and call
+/// [`conv2d_forward`] instead.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    s: &Conv2dShape,
+) -> (Tensor, Tensor) {
+    let mut scratch = ConvScratch::new();
+    let out = conv2d_forward(input, weight, bias, s, &mut scratch);
+    let n = input.shape()[0];
+    let extent = n * s.out_positions() * s.col_width();
+    let mut cols = scratch.cols;
+    cols.truncate(extent);
+    (
+        out,
+        Tensor::from_vec(cols, &[n * s.out_positions(), s.col_width()]),
+    )
+}
+
+/// Allocating backward convolution against an explicit cols tensor
+/// (`[N*oh*ow, C*kh*kw]`, as returned by [`conv2d`]).
+pub fn conv2d_backward(
+    cols: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: &Conv2dShape,
+) -> (Tensor, Tensor, Tensor) {
+    let n = grad_out.shape()[0];
+    assert_eq!(
+        cols.shape(),
+        &[n * s.out_positions(), s.col_width()],
+        "conv2d_backward: cols shape mismatch"
+    );
+    let mut scratch = ConvScratch {
+        cols: cols.as_slice().to_vec(),
+        batch: n,
+        ..ConvScratch::default()
+    };
+    conv2d_backward_ws(&mut scratch, weight, grad_out, s)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_thread_budget;
     use niid_stats::Pcg64;
 
     fn shape_3x3() -> Conv2dShape {
@@ -567,6 +727,88 @@ mod tests {
             let ana = gb.as_slice()[1] as f64;
             assert!((num - ana).abs() < 1e-2 * (1.0 + ana.abs()));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_across_batch_sizes_matches_fresh() {
+        let s = Conv2dShape {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 6,
+            in_w: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut rng = Pcg64::new(21);
+        let w = Tensor::randn(&[3, s.col_width()], 0.3, &mut rng);
+        let b = Tensor::randn(&[3], 0.1, &mut rng);
+        let mut scratch = ConvScratch::new();
+        // Big batch, then a smaller one, then bigger again: the reused
+        // (never-shrunk) buffers must behave exactly like fresh ones.
+        for &batch in &[5usize, 2, 7] {
+            let x = Tensor::randn(&[batch, 2, 6, 6], 1.0, &mut rng);
+            let y_ws = conv2d_forward(&x, &w, Some(&b), &s, &mut scratch);
+            let gy = Tensor::ones(y_ws.shape());
+            let (gx_ws, gw_ws, gb_ws) = conv2d_backward_ws(&mut scratch, &w, &gy, &s);
+
+            let (y_fresh, cols) = conv2d(&x, &w, Some(&b), &s);
+            let (gx, gw, gb) = conv2d_backward(&cols, &w, &gy, &s);
+            assert_eq!(y_ws.as_slice(), y_fresh.as_slice(), "batch {batch}");
+            assert_eq!(gx_ws.as_slice(), gx.as_slice(), "batch {batch}");
+            assert_eq!(gw_ws.as_slice(), gw.as_slice(), "batch {batch}");
+            assert_eq!(gb_ws.as_slice(), gb.as_slice(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn forward_backward_bit_identical_across_thread_budgets() {
+        // CNN-sized: 6→16 channels over 12x12, batch 32 — large enough to
+        // cross the parallel threshold.
+        let s = Conv2dShape {
+            in_channels: 6,
+            out_channels: 16,
+            in_h: 12,
+            in_w: 12,
+            kernel_h: 5,
+            kernel_w: 5,
+            stride: 1,
+            padding: 0,
+        };
+        let mut rng = Pcg64::new(22);
+        let x = Tensor::randn(&[32, 6, 12, 12], 1.0, &mut rng);
+        let w = Tensor::randn(&[16, s.col_width()], 0.2, &mut rng);
+        let b = Tensor::randn(&[16], 0.1, &mut rng);
+        let run = || {
+            let mut scratch = ConvScratch::new();
+            let y = conv2d_forward(&x, &w, Some(&b), &s, &mut scratch);
+            let gy = Tensor::ones(y.shape());
+            let (gx, gw, gb) = conv2d_backward_ws(&mut scratch, &w, &gy, &s);
+            (y, gx, gw, gb)
+        };
+        let base = run();
+        for budget in [1usize, 2, 7] {
+            let got = with_thread_budget(budget, run);
+            assert_eq!(got.0.as_slice(), base.0.as_slice(), "y @{budget}");
+            assert_eq!(got.1.as_slice(), base.1.as_slice(), "gx @{budget}");
+            assert_eq!(got.2.as_slice(), base.2.as_slice(), "gw @{budget}");
+            assert_eq!(got.3.as_slice(), base.3.as_slice(), "gb @{budget}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch holds")]
+    fn backward_with_stale_scratch_batch_panics() {
+        let s = shape_3x3();
+        let mut rng = Pcg64::new(23);
+        let x = Tensor::randn(&[2, 1, 3, 3], 1.0, &mut rng);
+        let w = Tensor::randn(&[1, 4], 0.3, &mut rng);
+        let mut scratch = ConvScratch::new();
+        let _ = conv2d_forward(&x, &w, None, &s, &mut scratch);
+        // grad_out claims a different batch than the lowering.
+        let gy = Tensor::ones(&[3, 1, 2, 2]);
+        let _ = conv2d_backward_ws(&mut scratch, &w, &gy, &s);
     }
 
     #[test]

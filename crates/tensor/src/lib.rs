@@ -6,12 +6,15 @@
 //! 1. **Correctness**: shapes are checked on every operation; kernels are
 //!    validated against naive reference implementations and finite
 //!    differences in `niid-nn`.
-//! 2. **Determinism**: no threading inside kernels, no fast-math; the same
-//!    inputs always produce the same bits. Parallelism in the workspace
-//!    lives one level up (parties train concurrently in `niid-fl`).
-//! 3. **Adequate speed**: GEMM uses an `i-k-j` loop order that vectorizes
-//!    well, convolution lowers to GEMM via im2col, and hot paths avoid
-//!    per-element allocation.
+//! 2. **Determinism**: no fast-math, and every kernel's floating-point
+//!    accumulation order is a function of shapes alone — the same inputs
+//!    always produce the same bits, *at any thread count*. Multi-threaded
+//!    kernels assign each output region to exactly one task (see
+//!    [`parallel`]).
+//! 3. **Speed**: GEMM is cache-blocked (tiled over M/N/K) and splits
+//!    row-blocks across a persistent worker pool sized by `NIID_THREADS`;
+//!    convolution lowers to GEMM via im2col with a reusable
+//!    [`ConvScratch`] workspace so hot paths allocate nothing per batch.
 //!
 //! The tensor is row-major over a `Vec<f32>` with an explicit shape; there
 //! are no strides or views. That costs some copies but removes an entire
@@ -20,11 +23,21 @@
 pub mod conv;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod pool;
 pub mod tensor;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dShape};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use conv::{
+    col2im, col2im_into, conv2d, conv2d_backward, conv2d_backward_ws, conv2d_forward, im2col,
+    Conv2dShape, ConvScratch,
+};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_slices, matmul_at_b, matmul_at_b_slices, matmul_slices,
+};
 pub use ops::{argmax_rows, log_softmax_rows, relu, relu_backward, softmax_rows};
+pub use parallel::{
+    configured_threads, parallel_for, set_thread_budget, thread_budget, with_thread_budget,
+    ENV_THREADS,
+};
 pub use pool::{maxpool2d, maxpool2d_backward, Pool2dShape};
 pub use tensor::Tensor;

@@ -1,18 +1,130 @@
-//! Matrix multiplication kernels.
+//! Cache-blocked, multi-threaded matrix multiplication kernels.
 //!
-//! Three entry points cover everything backprop needs without materializing
-//! transposes:
+//! Three entry points cover everything backprop needs without
+//! materializing transposes:
 //!
 //! * [`matmul`]      — `C = A · B`       (forward passes, im2col conv)
 //! * [`matmul_at_b`] — `C = Aᵀ · B`      (weight gradients)
 //! * [`matmul_a_bt`] — `C = A · Bᵀ`      (input gradients)
 //!
-//! All use an `i-k-j` loop order so the innermost loop walks both `B` and
-//! `C` contiguously — this auto-vectorizes well and is an order of magnitude
-//! faster than the textbook `i-j-k` order for the sizes our models use
-//! (hundreds to a few thousand per dimension).
+//! Each has a slice-level sibling (`*_slices`) that writes into a
+//! caller-owned buffer, which is what `conv2d` and the workspace-reuse
+//! paths call to avoid intermediate `Tensor` allocations.
+//!
+//! ## Blocking scheme
+//!
+//! `matmul` tiles over N (`NC`), K (`KC`) and splits M into fixed
+//! `MB`-row blocks that are distributed over the worker pool
+//! ([`crate::parallel`]). The innermost loop is the `i-k-j` order that
+//! walks `B` and `C` contiguously and auto-vectorizes; the `KC × NC`
+//! panel of `B` stays hot in cache while every row of a block sweeps it.
+//! `matmul_at_b` parallelizes over `KB`-row blocks of the *output* (each
+//! output row is owned by exactly one task) and falls back to fixed-size
+//! row-block partial sums when the output is too short to split;
+//! `matmul_a_bt` computes register-blocked dot products over `MB`-row
+//! blocks of `A`.
+//!
+//! ## Determinism
+//!
+//! Every task owns an exclusive region of `C`, and every accumulation
+//! order is a function of the shapes alone (never the thread count), so
+//! all kernels are **bit-identical for any `NIID_THREADS`** — the
+//! property the federated engine's thread-invariance tests pin down.
+//!
+//! ## NaN/inf propagation and the zero-skip
+//!
+//! Skipping `a == 0.0` terms (profitable for one-hot and post-ReLU
+//! inputs) is only exact when the skipped `B` entries are finite (IEEE:
+//! `0 · NaN = 0 · inf = NaN`). Instead of the old whole-matrix `O(k·n)`
+//! pre-scan on every call, finiteness is now established lazily — only
+//! when a zero is actually hit — and per B-tile (resp. per B-row), then
+//! memoized for the rest of that tile pass. Dense inputs pay nothing.
 
+use crate::parallel::{parallel_for_threshold as maybe_parallel, SharedMut};
 use crate::tensor::Tensor;
+
+/// Rows of `C` per parallel task in [`matmul`] / [`matmul_a_bt`].
+const MB: usize = 32;
+/// K-tile: rows of `B` kept hot per panel pass.
+const KC: usize = 256;
+/// N-tile: columns of `B`/`C` per panel pass (`KC·NC` f32 ≈ 128 KiB).
+const NC: usize = 128;
+/// Output rows of `Aᵀ·B` per parallel task.
+const KB: usize = 32;
+/// Fixed row-block length for the partial-sum path of [`matmul_at_b`]
+/// (engaged when the output has too few rows to split across tasks).
+const ATB_BLOCK_M: usize = 1024;
+
+#[inline]
+fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv += a * bv;
+    }
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]` over flat row-major slices.
+///
+/// Accumulates into `c` (pass a zeroed buffer for a plain product).
+pub fn matmul_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(av.len(), m * k, "matmul_slices: bad A length");
+    assert_eq!(bv.len(), k * n, "matmul_slices: bad B length");
+    assert_eq!(c.len(), m * n, "matmul_slices: bad C length");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let tasks = m.div_ceil(MB);
+    let cptr = SharedMut(c.as_mut_ptr());
+    maybe_parallel(tasks, 2 * m * k * n, &|t| {
+        let r0 = t * MB;
+        let r1 = (r0 + MB).min(m);
+        // SAFETY: task `t` exclusively owns rows `r0..r1` of `C`.
+        let c_rows = unsafe { cptr.slice(r0 * n, (r1 - r0) * n) };
+        mm_row_block(av, bv, c_rows, r0, r1, k, n);
+    });
+}
+
+/// The single-task body of [`matmul_slices`]: rows `r0..r1` of `C`,
+/// tiled `jj → kk → i` so the `B` panel is reused across the block.
+fn mm_row_block(
+    av: &[f32],
+    bv: &[f32],
+    c_rows: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut jj0 = 0;
+    while jj0 < n {
+        let jj1 = (jj0 + NC).min(n);
+        let mut kk0 = 0;
+        while kk0 < k {
+            let kk1 = (kk0 + KC).min(k);
+            // Lazily established once per B-panel, only if a zero is hit.
+            let mut panel_finite: Option<bool> = None;
+            for i in r0..r1 {
+                let a_seg = &av[i * k + kk0..i * k + kk1];
+                let c_seg = &mut c_rows[(i - r0) * n + jj0..(i - r0) * n + jj1];
+                for (dk, &a_ik) in a_seg.iter().enumerate() {
+                    if a_ik == 0.0 {
+                        let finite = *panel_finite.get_or_insert_with(|| {
+                            (kk0..kk1).all(|kk| {
+                                bv[kk * n + jj0..kk * n + jj1].iter().all(|v| v.is_finite())
+                            })
+                        });
+                        if finite {
+                            continue; // 0 · finite contributes exactly 0
+                        }
+                    }
+                    let b_seg = &bv[(kk0 + dk) * n + jj0..(kk0 + dk) * n + jj1];
+                    axpy(c_seg, a_ik, b_seg);
+                }
+            }
+            kk0 = kk1;
+        }
+        jj0 = jj1;
+    }
+}
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 ///
@@ -31,26 +143,85 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut c = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    // The zero-skip below assumes 0 · b == 0, which is false for NaN/inf in
-    // B (IEEE: 0 · NaN = 0 · inf = NaN). One O(kn) scan gates the fast path
-    // so non-finite values still propagate instead of being masked.
-    let skip_zeros = bv.iter().all(|v| v.is_finite());
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if skip_zeros && a_ik == 0.0 {
-                continue; // sparse-ish inputs (one-hot, post-ReLU) are common
+    matmul_slices(a.as_slice(), b.as_slice(), &mut c, m, k, n);
+    Tensor::from_vec(c, &[m, n])
+}
+
+/// `C[k,n] += Aᵀ[k,m] · B[m,n]` over flat slices (`A` is `[m,k]`).
+///
+/// Accumulates into `c` (pass a zeroed buffer for a plain product).
+pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(av.len(), m * k, "matmul_at_b_slices: bad A length");
+    assert_eq!(bv.len(), m * n, "matmul_at_b_slices: bad B length");
+    assert_eq!(c.len(), k * n, "matmul_at_b_slices: bad C length");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let flops = 2 * m * k * n;
+    // Wide outputs: split the k output rows across tasks; each task sweeps
+    // all m input rows but touches only its own rows of C, so per-element
+    // accumulation order (ascending input row) matches the sequential
+    // kernel bit-for-bit.
+    if k >= 2 * KB || m < ATB_BLOCK_M {
+        let tasks = k.div_ceil(KB);
+        let cptr = SharedMut(c.as_mut_ptr());
+        maybe_parallel(tasks, flops, &|t| {
+            let kk0 = t * KB;
+            let kk1 = (kk0 + KB).min(k);
+            // SAFETY: task `t` exclusively owns output rows `kk0..kk1`.
+            let c_rows = unsafe { cptr.slice(kk0 * n, (kk1 - kk0) * n) };
+            atb_rows(av, bv, c_rows, 0, m, kk0, kk1, k, n);
+        });
+        return;
+    }
+    // Short-and-tall outputs (the conv weight gradient: k = out_channels,
+    // m = batch · positions): fixed ATB_BLOCK_M-row partial sums reduced
+    // in block order. The block structure depends on shape only, so the
+    // result is still thread-count invariant.
+    let blocks = m.div_ceil(ATB_BLOCK_M);
+    let mut partials = vec![0.0f32; blocks * k * n];
+    let pptr = SharedMut(partials.as_mut_ptr());
+    maybe_parallel(blocks, flops, &|blk| {
+        let r0 = blk * ATB_BLOCK_M;
+        let r1 = (r0 + ATB_BLOCK_M).min(m);
+        // SAFETY: block `blk` exclusively owns its partial buffer.
+        let part = unsafe { pptr.slice(blk * k * n, k * n) };
+        atb_rows(av, bv, part, r0, r1, 0, k, k, n);
+    });
+    for blk in 0..blocks {
+        axpy(c, 1.0, &partials[blk * k * n..(blk + 1) * k * n]);
+    }
+}
+
+/// Accumulate rows `r0..r1` of the rank-1 updates into output rows
+/// `kk0..kk1` (`c` holds exactly those rows).
+#[allow(clippy::too_many_arguments)]
+fn atb_rows(
+    av: &[f32],
+    bv: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    kk0: usize,
+    kk1: usize,
+    k: usize,
+    n: usize,
+) {
+    for row in r0..r1 {
+        let a_seg = &av[row * k + kk0..row * k + kk1];
+        let b_row = &bv[row * n..(row + 1) * n];
+        // Established once per row, only if a zero is hit in this k-range.
+        let mut row_finite: Option<bool> = None;
+        for (dk, &a_rk) in a_seg.iter().enumerate() {
+            if a_rk == 0.0 {
+                let finite = *row_finite.get_or_insert_with(|| b_row.iter().all(|v| v.is_finite()));
+                if finite {
+                    continue;
+                }
             }
-            let b_row = &bv[kk * n..(kk + 1) * n];
-            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_ik * b_kj;
-            }
+            axpy(&mut c[dk * n..(dk + 1) * n], a_rk, b_row);
         }
     }
-    Tensor::from_vec(c, &[m, n])
 }
 
 /// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, without materializing `Aᵀ`.
@@ -69,26 +240,46 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut c = vec![0.0f32; k * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    // Same NaN/inf guard as `matmul`: only skip zero entries of A when B is
-    // entirely finite, so 0 · NaN still surfaces as NaN.
-    let skip_zeros = bv.iter().all(|v| v.is_finite());
-    // Accumulate rank-1 updates row by row of A/B; inner loops contiguous.
-    for row in 0..m {
-        let a_row = &av[row * k..(row + 1) * k];
-        let b_row = &bv[row * n..(row + 1) * n];
-        for (kk, &a_rk) in a_row.iter().enumerate() {
-            if skip_zeros && a_rk == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[kk * n..(kk + 1) * n];
-            for (c_kn, &b_rn) in c_row.iter_mut().zip(b_row) {
-                *c_kn += a_rk * b_rn;
+    matmul_at_b_slices(a.as_slice(), b.as_slice(), &mut c, m, k, n);
+    Tensor::from_vec(c, &[k, n])
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` over flat slices (`B` is `[k,n]`).
+///
+/// **Assigns** (does not accumulate): each `C` element is a single dot
+/// product, so stale contents of `c` are overwritten.
+pub fn matmul_a_bt_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(av.len(), m * n, "matmul_a_bt_slices: bad A length");
+    assert_eq!(bv.len(), k * n, "matmul_a_bt_slices: bad B length");
+    assert_eq!(c.len(), m * k, "matmul_a_bt_slices: bad C length");
+    if m == 0 || k == 0 {
+        return;
+    }
+    if n == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let tasks = m.div_ceil(MB);
+    let cptr = SharedMut(c.as_mut_ptr());
+    maybe_parallel(tasks, 2 * m * k * n, &|t| {
+        let r0 = t * MB;
+        let r1 = (r0 + MB).min(m);
+        // SAFETY: task `t` exclusively owns rows `r0..r1` of `C`.
+        let c_rows = unsafe { cptr.slice(r0 * k, (r1 - r0) * k) };
+        // `j` outer / `i` inner: one load of `b_row` serves the whole
+        // row-block, whose `A` rows stay cached.
+        for j in 0..k {
+            let b_row = &bv[j * n..(j + 1) * n];
+            for i in r0..r1 {
+                let a_row = &av[i * n..(i + 1) * n];
+                let mut acc = 0.0f32;
+                for (a_v, b_v) in a_row.iter().zip(b_row) {
+                    acc += a_v * b_v;
+                }
+                c_rows[(i - r0) * k + j] = acc;
             }
         }
-    }
-    Tensor::from_vec(c, &[k, n])
+    });
 }
 
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `B[k,n]`, without materializing `Bᵀ`.
@@ -108,26 +299,14 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut c = vec![0.0f32; m * k];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for i in 0..m {
-        let a_row = &av[i * n..(i + 1) * n];
-        let c_row = &mut c[i * k..(i + 1) * k];
-        for (j, c_ij) in c_row.iter_mut().enumerate() {
-            let b_row = &bv[j * n..(j + 1) * n];
-            let mut acc = 0.0f32;
-            for (a_v, b_v) in a_row.iter().zip(b_row) {
-                acc += a_v * b_v;
-            }
-            *c_ij = acc;
-        }
-    }
+    matmul_a_bt_slices(a.as_slice(), b.as_slice(), &mut c, m, n, k);
     Tensor::from_vec(c, &[m, k])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_thread_budget;
     use niid_stats::Pcg64;
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -169,12 +348,20 @@ mod tests {
     #[test]
     fn matmul_matches_naive_rectangular() {
         let mut rng = Pcg64::new(2);
-        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (16, 33, 9), (64, 10, 17)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (16, 33, 9),
+            (64, 10, 17),
+            // Straddle the MB/KC/NC tile boundaries.
+            (33, 257, 129),
+            (65, 300, 131),
+        ] {
             let a = Tensor::randn(&[m, k], 1.0, &mut rng);
             let b = Tensor::randn(&[k, n], 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive_matmul(&a, &b);
-            assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch at ({m},{k},{n})");
+            assert!(fast.max_abs_diff(&slow) < 1e-3, "mismatch at ({m},{k},{n})");
         }
     }
 
@@ -187,6 +374,20 @@ mod tests {
         let explicit = matmul(&a.transpose2(), &b);
         assert_eq!(fused.shape(), &[5, 11]);
         assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn at_b_partial_sum_path_matches_transpose() {
+        // m ≥ ATB_BLOCK_M with few output rows exercises the fixed
+        // row-block partial-sum path.
+        let mut rng = Pcg64::new(31);
+        let m = ATB_BLOCK_M + 300;
+        let a = Tensor::randn(&[m, 6], 1.0, &mut rng);
+        let b = Tensor::randn(&[m, 17], 1.0, &mut rng);
+        let fused = matmul_at_b(&a, &b);
+        let explicit = matmul(&a.transpose2(), &b);
+        assert_eq!(fused.shape(), &[6, 17]);
+        assert!(fused.max_abs_diff(&explicit) < 1e-2);
     }
 
     #[test]
@@ -241,5 +442,61 @@ mod tests {
         }
         // Column 1 of Aᵀ·B multiplies [1, 0] into B's NaN row: NaN everywhere.
         assert!(fused.as_slice()[2].is_nan());
+    }
+
+    #[test]
+    fn nan_propagates_across_tile_boundaries() {
+        // A zero in A aligned against a NaN sitting deep inside a later
+        // K-tile of B: the lazy per-panel finiteness check must still
+        // refuse the skip there.
+        let (m, k, n) = (3, KC + 40, NC + 20);
+        let mut rng = Pcg64::new(77);
+        let mut a = Tensor::rand_uniform(&[m, k], 0.5, 1.5, &mut rng);
+        let mut b = Tensor::rand_uniform(&[k, n], 0.5, 1.5, &mut rng);
+        // Zero in A row 1 at the k-position of B's NaN row; NaN in the
+        // second K-tile and second N-tile of B.
+        let k_nan = KC + 10;
+        let n_nan = NC + 5;
+        a.as_mut_slice()[k + k_nan] = 0.0; // A[1, k_nan]
+        b.as_mut_slice()[k_nan * n + n_nan] = f32::NAN;
+        let c = matmul(&a, &b);
+        assert!(c.at2(1, n_nan).is_nan(), "NaN masked by the zero-skip");
+        assert!(c.at2(0, n_nan).is_nan(), "dense row must also see the NaN");
+        // Columns in finite tiles stay finite.
+        assert!(c.at2(1, 0).is_finite());
+    }
+
+    #[test]
+    fn kernels_bit_identical_across_thread_budgets() {
+        let mut rng = Pcg64::new(9);
+        // Big enough to clear PAR_MIN_FLOPS and span several tiles; ~30%
+        // zeros to exercise the lazy finiteness path.
+        let (m, k, n) = (130, 140, 150);
+        let mut a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        for v in a.as_mut_slice().iter_mut() {
+            if *v < -0.5 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let b_lead = Tensor::randn(&[m, n], 1.0, &mut rng); // for Aᵀ·B
+        let b_t = Tensor::randn(&[n, k], 1.0, &mut rng); // for A·Bᵀ
+        let base = (
+            matmul(&a, &b),
+            matmul_at_b(&a, &b_lead),
+            matmul_a_bt(&a, &b_t),
+        );
+        for budget in [1usize, 2, 7] {
+            let got = with_thread_budget(budget, || {
+                (
+                    matmul(&a, &b),
+                    matmul_at_b(&a, &b_lead),
+                    matmul_a_bt(&a, &b_t),
+                )
+            });
+            assert_eq!(got.0.as_slice(), base.0.as_slice(), "matmul @{budget}");
+            assert_eq!(got.1.as_slice(), base.1.as_slice(), "at_b @{budget}");
+            assert_eq!(got.2.as_slice(), base.2.as_slice(), "a_bt @{budget}");
+        }
     }
 }

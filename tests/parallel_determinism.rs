@@ -1,0 +1,172 @@
+//! Cross-crate determinism guarantees of the threading substrate: the
+//! GEMM kernels and the whole federated simulation must produce
+//! bit-identical results at any thread count, and the work-stealing party
+//! scheduler must train every selected party exactly once even under
+//! extreme quantity skew.
+
+use niid_bench_rs::data::Dataset;
+use niid_bench_rs::fl::engine::{BufferPolicy, FedSim, FlConfig};
+use niid_bench_rs::fl::local::LocalConfig;
+use niid_bench_rs::fl::party::Party;
+use niid_bench_rs::fl::trace::{MemorySink, TraceEvent};
+use niid_bench_rs::fl::Algorithm;
+use niid_bench_rs::nn::ModelSpec;
+use niid_bench_rs::stats::Pcg64;
+use niid_bench_rs::tensor::{matmul, matmul_a_bt, matmul_at_b, with_thread_budget, Tensor};
+
+/// The thread counts the satellites pin down: sequential, even split, and
+/// an odd width exceeding the job/tile counts of the small workloads.
+const THREADS: [usize; 3] = [1, 2, 7];
+
+#[test]
+fn matmul_kernels_bit_identical_across_thread_counts() {
+    let mut rng = Pcg64::new(0xDE7);
+    // Odd sizes so blocks straddle every tile boundary.
+    let (m, k, n) = (97, 161, 83);
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let b_lead = Tensor::randn(&[m, n], 1.0, &mut rng); // for AᵀB
+    let b_t = Tensor::randn(&[n, k], 1.0, &mut rng); // for ABᵀ
+
+    let base = (
+        matmul(&a, &b),
+        matmul_at_b(&a, &b_lead),
+        matmul_a_bt(&a, &b_t),
+    );
+    for t in THREADS {
+        let got = with_thread_budget(t, || {
+            (
+                matmul(&a, &b),
+                matmul_at_b(&a, &b_lead),
+                matmul_a_bt(&a, &b_t),
+            )
+        });
+        assert_eq!(got.0.as_slice(), base.0.as_slice(), "matmul @{t} threads");
+        assert_eq!(got.1.as_slice(), base.1.as_slice(), "at_b @{t} threads");
+        assert_eq!(got.2.as_slice(), base.2.as_slice(), "a_bt @{t} threads");
+    }
+}
+
+/// Two-feature separable task; `sizes[i]` samples for party `i`.
+fn skewed_setup(sizes: &[usize], seed: u64) -> (Vec<Party>, Dataset) {
+    let mut rng = Pcg64::new(seed);
+    let make = |n: usize, rng: &mut Pcg64, name: &str| -> Dataset {
+        let x = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, rng);
+        let labels = (0..n)
+            .map(|i| usize::from(x.at2(i, 0) + 0.5 * x.at2(i, 1) > 0.0))
+            .collect();
+        Dataset::new(name, x, labels, 2, vec![4], None)
+    };
+    let parties = sizes
+        .iter()
+        .enumerate()
+        .map(|(id, &n)| Party::new(id, make(n, &mut rng, "local")))
+        .collect();
+    let test = make(200, &mut rng, "test");
+    (parties, test)
+}
+
+fn config(threads: usize, seed: u64) -> FlConfig {
+    FlConfig {
+        algorithm: Algorithm::FedAvg,
+        rounds: 3,
+        local: LocalConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        sample_fraction: 1.0,
+        buffer_policy: BufferPolicy::Average,
+        eval_batch_size: 64,
+        eval_every: 1,
+        server_lr: 1.0,
+        seed,
+        threads,
+    }
+}
+
+#[test]
+fn fedsim_metrics_bit_identical_across_thread_counts() {
+    let (parties, test) = skewed_setup(&[40, 40, 40, 40, 40, 40], 31);
+    let run = |threads: usize| {
+        FedSim::new(
+            ModelSpec::Mlp { in_dim: 4 },
+            parties.clone(),
+            test.clone(),
+            config(threads, 32),
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    };
+    let base = run(THREADS[0]);
+    for &t in &THREADS[1..] {
+        let got = run(t);
+        assert_eq!(got.final_accuracy, base.final_accuracy, "@{t} threads");
+        assert_eq!(got.best_accuracy, base.best_accuracy, "@{t} threads");
+        for (a, b) in base.rounds.iter().zip(&got.rounds) {
+            assert_eq!(a.test_accuracy, b.test_accuracy, "@{t} threads");
+            assert_eq!(a.avg_local_loss, b.avg_local_loss, "@{t} threads");
+        }
+    }
+}
+
+/// Under the paper's quantity-skew partitions one party can dwarf the
+/// rest. The work-stealing scheduler must still train every selected
+/// party exactly once per round — no drops, no duplicates — and produce
+/// the same metrics as the sequential path.
+#[test]
+fn quantity_skew_work_stealing_trains_each_party_exactly_once() {
+    let sizes = [400usize, 16, 16, 16, 16, 16, 16];
+    let (parties, test) = skewed_setup(&sizes, 33);
+    let n_parties = sizes.len();
+
+    let run = |threads: usize| {
+        let sink = MemorySink::new();
+        let result = FedSim::new(
+            ModelSpec::Mlp { in_dim: 4 },
+            parties.clone(),
+            test.clone(),
+            config(threads, 34),
+        )
+        .unwrap()
+        .run_traced(&sink)
+        .unwrap();
+        (result, sink.events())
+    };
+
+    let (seq, _) = run(1);
+    let (stolen, events) = run(3);
+
+    // Exactly one PartyTrained per (round, party), with the advertised
+    // sample count.
+    let mut trained = vec![vec![0usize; n_parties]; 3];
+    for e in &events {
+        if let TraceEvent::PartyTrained {
+            round,
+            party_id,
+            n_samples,
+            ..
+        } = e
+        {
+            trained[*round][*party_id] += 1;
+            assert_eq!(*n_samples, sizes[*party_id], "party {party_id} size");
+        }
+    }
+    for (round, counts) in trained.iter().enumerate() {
+        for (party, &count) in counts.iter().enumerate() {
+            assert_eq!(
+                count, 1,
+                "round {round}: party {party} trained {count} times"
+            );
+        }
+    }
+
+    // Scheduling must not change the math.
+    assert_eq!(seq.final_accuracy, stolen.final_accuracy);
+    for (a, b) in seq.rounds.iter().zip(&stolen.rounds) {
+        assert_eq!(a.avg_local_loss, b.avg_local_loss);
+    }
+}

@@ -10,8 +10,9 @@ use niid_core::partition::{build_parties, partition, Strategy};
 use niid_data::{generate, DatasetId, GenConfig};
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
-use niid_fl::trace::MemorySink;
-use niid_fl::Algorithm;
+use niid_fl::trace::{MemorySink, NoopSink};
+use niid_fl::{Algorithm, DynamicsRecorder};
+use niid_metrics::Registry;
 use niid_nn::ModelSpec;
 
 fn one_round_config(algorithm: Algorithm, threads: usize) -> FlConfig {
@@ -112,6 +113,30 @@ fn main() {
                 let sink = MemorySink::new();
                 let result = sim.run_traced(&sink).expect("run");
                 black_box((result, sink.len()))
+            })
+        },
+    );
+
+    // Full dynamics instrumentation (divergence, per-layer grad norms,
+    // registry gauges) into a private registry — the metered counterpart
+    // of the untraced FedAvg/t1 baseline. The recorder is built once, like
+    // a real run: rounds are many, recorders are one.
+    let layout = model.build(split.test.num_classes, 0).state_layout();
+    let recorder = DynamicsRecorder::new(std::sync::Arc::new(Registry::new()), &layout, None);
+    h.bench_meta(
+        "FedAvg_metered",
+        BenchMeta::op("fl_round_metered", "adult 10 parties", 1, 0),
+        |bench| {
+            bench.iter(|| {
+                let sim = FedSim::new(
+                    model.clone(),
+                    parties.clone(),
+                    split.test.clone(),
+                    one_round_config(Algorithm::FedAvg, 1),
+                )
+                .expect("sim");
+                let result = sim.run_observed(&NoopSink, Some(&recorder)).expect("run");
+                black_box((result, recorder.summary().rounds))
             })
         },
     );

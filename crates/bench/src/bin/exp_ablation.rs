@@ -10,7 +10,10 @@
 //! 3. **Server learning rate** η (Algorithm 1 line 9): the paper fixes
 //!    η = 1; damped server steps trade convergence speed for stability.
 
-use niid_bench::{curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args};
+use niid_bench::{
+    curve_line, maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json,
+    print_header, Args,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -96,4 +99,5 @@ fn main() {
     );
     maybe_write_json(&args, &all);
     maybe_print_trace_summary(&args);
+    maybe_print_metrics_summary(&args);
 }

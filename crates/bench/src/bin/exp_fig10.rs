@@ -2,7 +2,10 @@
 //! CIFAR-10 under `p_k ~ Dir(0.5)` — larger batches learn slower, and the
 //! batch-size behaviour does not interact with the heterogeneity.
 
-use niid_bench::{curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args};
+use niid_bench::{
+    curve_line, maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json,
+    print_header, Args,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -41,4 +44,5 @@ fn main() {
     );
     maybe_write_json(&args, &all);
     maybe_print_trace_summary(&args);
+    maybe_print_metrics_summary(&args);
 }

@@ -2,7 +2,10 @@
 //! six partitions (five non-IID + IID). Curves are rendered as sparklines;
 //! `--json` dumps the full per-round series.
 
-use niid_bench::{curve_line, maybe_print_trace_summary, maybe_write_json, print_header, Args};
+use niid_bench::{
+    curve_line, maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json,
+    print_header, Args,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -43,4 +46,5 @@ fn main() {
     );
     maybe_write_json(&args, &all);
     maybe_print_trace_summary(&args);
+    maybe_print_metrics_summary(&args);
 }

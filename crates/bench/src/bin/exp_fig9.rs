@@ -3,7 +3,10 @@
 //! uses {2, 5, 10, 20}, preserving the 1:2:4:8 ratios) across four label
 //! partitions of CIFAR-10.
 
-use niid_bench::{maybe_print_trace_summary, maybe_write_json, print_header, Args, Scale};
+use niid_bench::{
+    maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json, print_header, Args,
+    Scale,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_core::Table;
@@ -53,4 +56,5 @@ fn main() {
     );
     maybe_write_json(&args, &all);
     maybe_print_trace_summary(&args);
+    maybe_print_metrics_summary(&args);
 }

@@ -7,7 +7,9 @@
 //! FedProx μ = 0.01 fixed; `--paper-scale` restores 50 rounds, E = 10,
 //! B = 64 and 3 trials (μ tuning is covered separately by `exp_fig8`).
 
-use niid_bench::{maybe_print_trace_summary, maybe_write_json, print_header, Args};
+use niid_bench::{
+    maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json, print_header, Args,
+};
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_core::{Leaderboard, Table};
@@ -117,4 +119,5 @@ fn main() {
     println!("{table}");
     maybe_write_json(&args, &all_results);
     maybe_print_trace_summary(&args);
+    maybe_print_metrics_summary(&args);
 }

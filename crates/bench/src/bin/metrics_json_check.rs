@@ -1,0 +1,184 @@
+//! Validate `metrics.jsonl` series emitted by `--metrics-dir` /
+//! `NIID_METRICS`: used by the CI metrics-smoke step so a broken exporter
+//! (or an instrumentation path that silently stops emitting a series)
+//! fails the workflow.
+//!
+//! Usage: `metrics_json_check [--expect NAME]... <file.jsonl>...` — every
+//! line must be a well-formed sample object, and every `--expect`ed metric
+//! name must appear at least once per file. Exits non-zero with a
+//! description of the first malformed file.
+
+use niid_json::Json;
+use std::collections::HashSet;
+
+fn check_line(line: &Json, idx: usize) -> Result<String, String> {
+    let name = line
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {idx}: missing string field \"name\""))?;
+    if name.is_empty() {
+        return Err(format!("line {idx}: empty metric name"));
+    }
+    let value = line
+        .get("value")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("line {idx}: missing numeric field \"value\""))?;
+    if !value.is_finite() {
+        return Err(format!("line {idx}: {name} value {value} is not finite"));
+    }
+    if let Some(round) = line.get("round") {
+        let r = round
+            .as_f64()
+            .ok_or_else(|| format!("line {idx}: round must be numeric"))?;
+        if r < 0.0 || r.fract() != 0.0 {
+            return Err(format!("line {idx}: round {r} is not a round index"));
+        }
+    }
+    match line.get("labels") {
+        None => {}
+        Some(labels) => {
+            let pairs = labels
+                .as_obj()
+                .ok_or_else(|| format!("line {idx}: labels must be an object"))?;
+            for (k, v) in pairs {
+                if v.as_str().is_none() {
+                    return Err(format!("line {idx}: label {k:?} must be a string"));
+                }
+            }
+        }
+    }
+    if let Some(buckets) = line.get("buckets") {
+        let arr = buckets
+            .as_arr()
+            .ok_or_else(|| format!("line {idx}: buckets must be an array"))?;
+        let mut prev = 0.0f64;
+        for b in arr {
+            let pair = b
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("line {idx}: each bucket must be a [le, count] pair"))?;
+            let count = pair[1]
+                .as_f64()
+                .ok_or_else(|| format!("line {idx}: bucket count must be numeric"))?;
+            if count < prev {
+                return Err(format!("line {idx}: bucket counts must be cumulative"));
+            }
+            prev = count;
+        }
+    }
+    Ok(name.to_string())
+}
+
+fn check_file(path: &str, expect: &[String]) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let lines = niid_json::parse_jsonl(&text).map_err(|e| format!("invalid JSONL: {e}"))?;
+    if lines.is_empty() {
+        return Err("no samples recorded".into());
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        seen.insert(check_line(line, idx)?);
+    }
+    for name in expect {
+        if !seen.contains(name) {
+            return Err(format!("expected metric {name:?} never appeared"));
+        }
+    }
+    Ok(lines.len())
+}
+
+fn main() {
+    let mut expect = Vec::new();
+    let mut paths = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--expect" {
+            match it.next() {
+                Some(name) => expect.push(name),
+                None => {
+                    eprintln!("missing value for --expect");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: metrics_json_check [--expect NAME]... <file.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path, &expect) {
+            Ok(n) => println!("{path}: ok ({n} samples)"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, value: f64) -> Json {
+        Json::obj(vec![
+            ("round", Json::Num(3.0)),
+            ("name", Json::Str(name.into())),
+            ("labels", Json::obj(vec![("party", Json::Str("0".into()))])),
+            ("value", Json::Num(value)),
+        ])
+    }
+
+    #[test]
+    fn valid_line_passes() {
+        assert_eq!(
+            check_line(&sample("niid_weight_divergence_l2", 1.5), 0),
+            Ok("niid_weight_divergence_l2".into())
+        );
+    }
+
+    #[test]
+    fn bad_lines_fail() {
+        assert!(check_line(&Json::obj(vec![("value", Json::Num(1.0))]), 0).is_err());
+        let mut no_value = sample("x", 0.0);
+        if let Json::Obj(fields) = &mut no_value {
+            fields.retain(|(k, _)| k != "value");
+        }
+        assert!(check_line(&no_value, 0).is_err());
+        let bad_labels = Json::obj(vec![
+            ("name", Json::Str("x".into())),
+            ("value", Json::Num(1.0)),
+            ("labels", Json::obj(vec![("party", Json::Num(3.0))])),
+        ]);
+        assert!(check_line(&bad_labels, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_must_be_cumulative() {
+        let hist = |counts: &[f64]| {
+            Json::obj(vec![
+                ("name", Json::Str("h".into())),
+                ("value", Json::Num(1.0)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        counts
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        assert!(check_line(&hist(&[1.0, 3.0, 3.0]), 0).is_ok());
+        assert!(check_line(&hist(&[3.0, 1.0]), 0).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end smoke test of the training-dynamics metrics subsystem,
+//! run by the CI metrics-smoke job.
+//!
+//! Drives a tiny CIFAR-10-shaped Dirichlet(β=0.1) experiment on the
+//! BatchNorm ResNet with `--metrics-dir` + an ephemeral `--metrics-port`,
+//! then asserts that (a) the live `/metrics` endpoint serves parseable
+//! Prometheus text containing the divergence series, and (b) the JSONL
+//! series on disk carries per-party weight divergence, per-layer gradient
+//! norms, and BN drift. Exits non-zero on any failure so the workflow
+//! catches a silently-broken instrumentation path.
+
+use niid_core::experiment::{metrics_server_addr, run_experiment, ExperimentSpec};
+use niid_core::partition::Strategy;
+use niid_data::{DatasetId, GenConfig};
+use niid_fl::{Algorithm, DynamicsSummary};
+use niid_nn::ModelSpec;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("metrics_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn probe_prometheus(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .unwrap_or_else(|e| fail(&format!("cannot send request: {e}")));
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .unwrap_or_else(|e| fail(&format!("cannot read response: {e}")));
+    response
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("niid-metrics-smoke-{}", std::process::id()));
+    let dir_str = dir.to_string_lossy().into_owned();
+
+    let mut spec = ExperimentSpec::new(
+        DatasetId::Cifar10,
+        Strategy::DirichletLabelSkew { beta: 0.1 },
+        Algorithm::FedAvg,
+        GenConfig::tiny(42),
+    );
+    // The BatchNorm model so the BN-drift series is exercised.
+    spec.model = Some(ModelSpec::ResNetLite {
+        in_channels: 3,
+        side: 16,
+        width: 8,
+        blocks_per_stage: 1,
+    });
+    spec.rounds = 2;
+    spec.local_epochs = 1;
+    spec.batch_size = 16;
+    spec.trials = 1;
+    spec.metrics_dir = Some(dir_str.clone());
+    spec.metrics_port = Some(0);
+
+    println!("metrics_smoke: running tiny CIFAR-10 Dirichlet(0.1) with metrics in {dir_str}");
+    let result = run_experiment(&spec).unwrap_or_else(|e| fail(&format!("experiment: {e}")));
+    println!(
+        "metrics_smoke: run finished, final accuracy {:.3}",
+        result.mean_accuracy
+    );
+
+    // Live endpoint: the server outlives the run, its gauges hold the
+    // last round's values.
+    let addr = metrics_server_addr()
+        .unwrap_or_else(|| fail("no live metrics server despite metrics_port = Some(0)"));
+    let response = probe_prometheus(addr);
+    if !response.starts_with("HTTP/1.1 200") {
+        fail(&format!("unexpected /metrics response:\n{response}"));
+    }
+    for needle in [
+        "# TYPE niid_weight_divergence_l2 gauge",
+        "niid_weight_divergence_l2{party=\"0\"}",
+        "niid_grad_norm_l2{",
+        "niid_round",
+        "niid_pool_tasks",
+    ] {
+        if !response.contains(needle) {
+            fail(&format!("/metrics missing {needle:?}:\n{response}"));
+        }
+    }
+    println!("metrics_smoke: live /metrics at {addr} serves the divergence series");
+
+    // JSONL series on disk.
+    let path = dir.join("metrics.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let lines = niid_json::parse_jsonl(&text)
+        .unwrap_or_else(|e| fail(&format!("metrics.jsonl is not valid JSONL: {e}")));
+    for series in [
+        "niid_weight_divergence_l2",
+        "niid_weight_cosine",
+        "niid_update_norm_l2",
+        "niid_grad_norm_l2",
+        "niid_bn_mean_drift_l2",
+        "niid_bn_var_drift_l2",
+        "niid_train_loss",
+        "niid_comm_bytes_total",
+    ] {
+        if !lines
+            .iter()
+            .any(|l| l.get("name").and_then(niid_json::Json::as_str) == Some(series))
+        {
+            fail(&format!("metrics.jsonl is missing the {series} series"));
+        }
+    }
+    println!(
+        "metrics_smoke: {} samples across the expected series",
+        lines.len()
+    );
+
+    let summary = DynamicsSummary::from_jsonl_file(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot summarize: {e}")));
+    print!("{}", summary.render());
+    if summary.rounds != spec.rounds {
+        fail(&format!(
+            "summary saw {} rounds, expected {}",
+            summary.rounds, spec.rounds
+        ));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("metrics_smoke: PASS");
+}

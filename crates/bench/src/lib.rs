@@ -12,6 +12,10 @@
 //! --json <path>  also write results as JSON
 //! --trace <path> append round-level trace events (JSON Lines) and print
 //!                a phase-timing summary at exit
+//! --metrics-dir <dir>  write training-dynamics metrics (JSON Lines) to
+//!                      <dir>/metrics.jsonl and print a dynamics summary
+//! --metrics-port <p>   serve live Prometheus metrics on 127.0.0.1:<p>
+//!                      (0 picks an ephemeral port, printed at startup)
 //! ```
 //!
 //! The default (no flag) is the `bench` scale recorded in EXPERIMENTS.md.
@@ -50,6 +54,10 @@ pub struct Args {
     pub json: Option<String>,
     /// Optional JSONL trace-output path.
     pub trace: Option<String>,
+    /// Optional training-dynamics metrics directory.
+    pub metrics_dir: Option<String>,
+    /// Optional live-metrics port (0 = ephemeral).
+    pub metrics_port: Option<u16>,
 }
 
 impl Args {
@@ -67,6 +75,8 @@ impl Args {
             trials: None,
             json: None,
             trace: None,
+            metrics_dir: None,
+            metrics_port: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -99,10 +109,18 @@ impl Args {
                 }
                 "--json" => out.json = Some(take("--json")),
                 "--trace" => out.trace = Some(take("--trace")),
+                "--metrics-dir" => out.metrics_dir = Some(take("--metrics-dir")),
+                "--metrics-port" => {
+                    out.metrics_port = Some(take("--metrics-port").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --metrics-port: {e}");
+                        std::process::exit(2);
+                    }))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick | --paper-scale] [--seed N] [--rounds N] \
-                         [--trials N] [--json PATH] [--trace PATH]"
+                         [--trials N] [--json PATH] [--trace PATH] \
+                         [--metrics-dir DIR] [--metrics-port PORT]"
                     );
                     std::process::exit(0);
                 }
@@ -159,6 +177,20 @@ impl Args {
             // ExperimentSpec::new.
             spec.trace_path = self.trace.clone();
         }
+        if self.metrics_dir.is_some() {
+            // Same precedence: the flag beats NIID_METRICS.
+            spec.metrics_dir = self.metrics_dir.clone();
+        }
+        if self.metrics_port.is_some() {
+            spec.metrics_port = self.metrics_port;
+        }
+    }
+
+    /// Path of the metrics JSONL series, when `--metrics-dir` was given.
+    pub fn metrics_jsonl_path(&self) -> Option<std::path::PathBuf> {
+        self.metrics_dir
+            .as_ref()
+            .map(|d| std::path::Path::new(d).join("metrics.jsonl"))
     }
 }
 
@@ -178,6 +210,25 @@ pub fn print_header(what: &str, args: &Args) {
             Ok(_) => println!("tracing rounds to {path}"),
             Err(e) => eprintln!("warning: cannot create trace file {path}: {e}"),
         }
+    }
+    if let Some(path) = args.metrics_jsonl_path() {
+        // Same append-per-cell convention as the trace file: truncate once
+        // per invocation so the series belongs to this run alone.
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::File::create(&path) {
+            Ok(_) => println!("metrics series to {}", path.display()),
+            Err(e) => eprintln!(
+                "warning: cannot create metrics file {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    if args.metrics_dir.is_some() || args.metrics_port.is_some() {
+        // Ctrl-C during a long run still leaves flushed, parseable
+        // trace/metrics files.
+        niid_metrics::install_signal_flush();
     }
     println!();
 }
@@ -204,6 +255,23 @@ pub fn maybe_print_trace_summary(args: &Args) {
             }
             Err(e) => eprintln!("warning: cannot summarize trace {path}: {e}"),
         }
+    }
+}
+
+/// Fold the `--metrics-dir` series (if any) into the one-screen training-
+/// dynamics summary — top-diverging parties, BN drift, substrate stats —
+/// and print it after the last experiment.
+pub fn maybe_print_metrics_summary(args: &Args) {
+    let Some(path) = args.metrics_jsonl_path() else {
+        return;
+    };
+    niid_metrics::flush_all();
+    match niid_fl::DynamicsSummary::from_jsonl_file(&path) {
+        Ok(summary) => {
+            println!();
+            print!("{}", summary.render());
+        }
+        Err(e) => eprintln!("warning: cannot summarize metrics {}: {e}", path.display()),
     }
 }
 

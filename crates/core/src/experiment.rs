@@ -3,14 +3,20 @@
 
 use crate::partition::{build_parties, partition, PartitionError, Strategy};
 use niid_data::{generate, DatasetId, GenConfig};
+use niid_fl::dynamics::{DynamicsRecorder, RoundObserver};
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
-use niid_fl::trace::JsonlSink;
+use niid_fl::trace::{JsonlSink, NoopSink};
 use niid_fl::{Algorithm, FlError, RunResult};
 use niid_json::{FromJson, Json, JsonError, ToJson};
+use niid_metrics::{
+    global_registry, install_signal_flush, register_flusher, JsonlExporter, MetricsServer,
+};
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Summary};
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
 /// The model the paper assigns to each dataset: the LeNet-style CNN for
 /// the six image datasets, the 32/16/8 MLP for tabular data and FCUBE.
@@ -90,6 +96,16 @@ pub struct ExperimentSpec {
     /// Defaults from the `NIID_TRACE` environment variable; `None`
     /// disables tracing.
     pub trace_path: Option<String>,
+    /// Directory for training-dynamics metrics series
+    /// (`<dir>/metrics.jsonl`). Defaults from the `NIID_METRICS`
+    /// environment variable; `None` disables the JSONL series (the live
+    /// endpoint can still be enabled via `metrics_port`).
+    pub metrics_dir: Option<String>,
+    /// Serve live Prometheus metrics on `127.0.0.1:<port>` (0 picks an
+    /// ephemeral port; see [`metrics_server_addr`]). Defaults from the
+    /// `NIID_METRICS_PORT` environment variable; `None` disables the
+    /// endpoint.
+    pub metrics_port: Option<u16>,
 }
 
 impl ExperimentSpec {
@@ -121,7 +137,18 @@ impl ExperimentSpec {
             seed: gen.seed,
             threads: 0,
             trace_path: std::env::var("NIID_TRACE").ok().filter(|p| !p.is_empty()),
+            metrics_dir: std::env::var("NIID_METRICS").ok().filter(|p| !p.is_empty()),
+            metrics_port: std::env::var("NIID_METRICS_PORT")
+                .ok()
+                .and_then(|p| p.parse().ok()),
         }
+    }
+
+    /// Path of the metrics JSONL series for this spec, when enabled.
+    pub fn metrics_jsonl_path(&self) -> Option<PathBuf> {
+        self.metrics_dir
+            .as_ref()
+            .map(|d| PathBuf::from(d).join("metrics.jsonl"))
     }
 
     /// Resolved model spec.
@@ -227,6 +254,78 @@ impl FromJson for ExperimentResult {
     }
 }
 
+/// The process-wide live metrics server, started at most once by the
+/// first observed experiment that asks for a port (later `metrics_port`
+/// values are ignored — one process, one endpoint). Held here so it
+/// serves for the remainder of the process.
+static METRICS_SERVER: OnceLock<Option<MetricsServer>> = OnceLock::new();
+
+/// Address of the live `/metrics` endpoint, if one is serving. Useful
+/// when the server was started with port 0 (ephemeral).
+pub fn metrics_server_addr() -> Option<std::net::SocketAddr> {
+    METRICS_SERVER
+        .get()
+        .and_then(|s| s.as_ref())
+        .map(MetricsServer::addr)
+}
+
+/// Build the training-dynamics recorder for a spec, when metrics are
+/// enabled. Publishes into the process-global registry, appends the JSONL
+/// series under `metrics_dir`, registers the exporter for signal-time
+/// flushing, and (once per process) starts the live endpoint.
+fn build_recorder(
+    spec: &ExperimentSpec,
+    model: &ModelSpec,
+    classes: usize,
+) -> Option<DynamicsRecorder> {
+    if spec.metrics_dir.is_none() && spec.metrics_port.is_none() {
+        return None;
+    }
+    let registry = global_registry().clone();
+    let jsonl = spec.metrics_jsonl_path().and_then(|path| {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "warning: metrics dir {}: {e}; series disabled",
+                    dir.display()
+                );
+                return None;
+            }
+        }
+        match JsonlExporter::append(&path) {
+            Ok(exporter) => {
+                let exporter = Arc::new(exporter);
+                register_flusher(Arc::downgrade(&exporter) as _);
+                install_signal_flush();
+                Some(exporter)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: metrics file {}: {e}; series disabled",
+                    path.display()
+                );
+                None
+            }
+        }
+    });
+    if let Some(port) = spec.metrics_port {
+        METRICS_SERVER.get_or_init(|| match MetricsServer::start(port, registry.clone()) {
+            Ok(server) => {
+                eprintln!("metrics: serving http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("warning: metrics port {port}: {e}; endpoint disabled");
+                None
+            }
+        });
+    }
+    // Probe build to learn the flat-vector layout (cheap relative to any
+    // training run; the seed is irrelevant for the layout).
+    let layout = model.build(classes, 0).state_layout();
+    Some(DynamicsRecorder::new(registry, &layout, jsonl))
+}
+
 /// Run one experiment cell: generate the dataset once, then for each trial
 /// partition + train with trial-specific seeds.
 pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, ExperimentError> {
@@ -242,6 +341,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, Experim
             .map_err(|e| eprintln!("warning: trace file {path}: {e}; tracing disabled"))
             .ok()
     });
+    let recorder = build_recorder(spec, &model, split.test.num_classes);
+    let observer = recorder.as_ref().map(|r| r as &dyn RoundObserver);
     let mut accuracies = Vec::with_capacity(spec.trials);
     let mut runs = Vec::with_capacity(spec.trials);
     for trial in 0..spec.trials {
@@ -267,15 +368,19 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, Experim
             threads: spec.threads,
         };
         let sim = FedSim::new(model.clone(), parties, split.test.clone(), config)?;
-        let result = match &sink {
-            Some(s) => sim.run_traced(s)?,
-            None => sim.run()?,
+        let result = match (&sink, observer) {
+            (Some(s), obs) => sim.run_observed(s, obs)?,
+            (None, Some(obs)) => sim.run_observed(&NoopSink, Some(obs))?,
+            (None, None) => sim.run()?,
         };
         accuracies.push(result.final_accuracy);
         runs.push(result);
     }
     if let Some(s) = &sink {
         let _ = s.flush();
+    }
+    if let Some(r) = &recorder {
+        r.flush();
     }
     let summary = Summary::of(&accuracies);
     Ok(ExperimentResult {

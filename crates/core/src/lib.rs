@@ -30,7 +30,8 @@ pub mod skew;
 pub mod table;
 
 pub use experiment::{
-    default_lr, default_model_for, run_experiment, ExperimentResult, ExperimentSpec,
+    default_lr, default_model_for, metrics_server_addr, run_experiment, ExperimentResult,
+    ExperimentSpec,
 };
 pub use leaderboard::Leaderboard;
 pub use partition::{build_parties, partition, Partition, PartitionError, Strategy};

@@ -117,6 +117,7 @@ mod tests {
             buffers: Vec::new(),
             delta_c: Vec::new(),
             wall_ms: 0.0,
+            layer_grad_sq: Vec::new(),
         }
     }
 
@@ -191,6 +192,7 @@ mod tests {
             buffers: Vec::new(),
             delta_c: vec![10.0, -10.0],
             wall_ms: 0.0,
+            layer_grad_sq: Vec::new(),
         }];
         scaffold_update_c(&mut c, &outcomes, 10);
         assert!((c[0] - 1.0).abs() < 1e-6);

@@ -1,0 +1,747 @@
+//! Training-dynamics instrumentation: weight divergence, per-layer
+//! gradient/update norms, and BatchNorm statistic drift.
+//!
+//! The paper's central explanation for non-IID degradation is *weight
+//! divergence* between local and global models, and its Finding 7 pins
+//! SCAFFOLD/FedNova failures on BatchNorm statistic drift. This module
+//! makes both observable: [`DynamicsRecorder`] implements
+//! [`RoundObserver`], receives a [`RoundObservation`] from
+//! [`FedSim::run_observed`](crate::FedSim::run_observed) after every
+//! round, and publishes the derived series into a `niid-metrics`
+//! [`Registry`] (live `/metrics`) and an optional JSONL exporter.
+//!
+//! Metric names and label sets (all gauges unless noted):
+//!
+//! | name | labels | meaning |
+//! |---|---|---|
+//! | `niid_round` | — | last completed round index |
+//! | `niid_train_loss` | — | sample-weighted mean local loss |
+//! | `niid_test_accuracy` | — | top-1 test accuracy (when evaluated) |
+//! | `niid_comm_bytes_total` | — | counter: cumulative round traffic |
+//! | `niid_weight_divergence_l2{party}` | party id | `‖wᵢ − w_global‖₂` |
+//! | `niid_weight_cosine{party}` | party id | cos(wᵢ, w_global) |
+//! | `niid_update_norm_l2{layer}` | leaf layer | weighted `‖Δw‖₂` per layer |
+//! | `niid_grad_norm_l2{layer}` | leaf layer | weighted RMS grad norm per layer |
+//! | `niid_bn_mean_drift_l2{party}` | party id | `‖μᵢ − μ_global‖₂` over BN layers |
+//! | `niid_bn_var_drift_l2{party}` | party id | `‖σ²ᵢ − σ²_global‖₂` over BN layers |
+//! | `niid_party_train_wall_ms` | — | histogram: per-party local-training time |
+//! | `niid_pool_*`, `niid_gemm_*`, `niid_conv_scratch_*` | — | substrate collector |
+//!
+//! Divergence compares each party's **post-training** local model
+//! `wᵢ = w_global_before − Δwᵢ` against the **aggregated** model of the
+//! same round, which is the quantity the paper's §5.1 narrative tracks.
+
+use crate::local::LocalOutcome;
+use niid_metrics::registry::Registry;
+use niid_metrics::{Counter, Gauge, Histogram, JsonlExporter};
+use niid_nn::LayerSpan;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// `‖a − b‖₂` in f64 accumulation.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x as f64) - (y as f64);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `‖a‖₂` in f64 accumulation.
+pub fn l2_norm(a: &[f32]) -> f64 {
+    a.iter()
+        .map(|&x| {
+            let v = x as f64;
+            v * v
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cosine similarity `⟨a,b⟩ / (‖a‖‖b‖)`; NaN when either vector is zero
+/// (exporters skip non-finite values).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum();
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return f64::NAN;
+    }
+    dot / (na * nb)
+}
+
+/// One BatchNorm layer's slice of the flat buffer vector. The buffer
+/// layout per BN layer is `[running_mean(C); running_var(C)]`, so the
+/// first half of the range is the mean and the second half the variance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BnSpan {
+    /// Leaf-layer path (diagnostics).
+    pub name: String,
+    /// Range into `buffers_flat`.
+    pub range: Range<usize>,
+}
+
+/// `(‖μ_a − μ_b‖₂, ‖σ²_a − σ²_b‖₂)` across all BN layers of two flat
+/// buffer vectors.
+pub fn bn_drift(a: &[f32], b: &[f32], spans: &[BnSpan]) -> (f64, f64) {
+    let mut mean_sq = 0.0f64;
+    let mut var_sq = 0.0f64;
+    for span in spans {
+        let half = span.range.len() / 2;
+        let mid = span.range.start + half;
+        for i in span.range.start..mid {
+            let d = (a[i] as f64) - (b[i] as f64);
+            mean_sq += d * d;
+        }
+        for i in mid..span.range.end {
+            let d = (a[i] as f64) - (b[i] as f64);
+            var_sq += d * d;
+        }
+    }
+    (mean_sq.sqrt(), var_sq.sqrt())
+}
+
+/// Everything the engine hands the observer at the end of a round.
+/// Slices borrow the engine's state — observers must copy what they keep.
+pub struct RoundObservation<'a> {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Ids of the parties that trained this round, in outcome order.
+    pub selected: &'a [usize],
+    /// The parties' local-training outcomes (same order as `selected`).
+    pub outcomes: &'a [LocalOutcome],
+    /// Global parameters the round *started* from (`wᵗ`).
+    pub global_before: &'a [f32],
+    /// Global parameters after aggregation (`wᵗ⁺¹`).
+    pub global_after: &'a [f32],
+    /// Global buffers after aggregation (empty for buffer-free models).
+    pub buffers_after: &'a [f32],
+    /// Sample-weighted mean local training loss.
+    pub avg_local_loss: f64,
+    /// Test accuracy, when this round was evaluated.
+    pub test_accuracy: Option<f64>,
+    /// Bytes "communicated" this round (down + up).
+    pub round_bytes: usize,
+}
+
+/// Observer hook of [`FedSim::run_observed`](crate::FedSim::run_observed).
+pub trait RoundObserver: Sync {
+    /// Per-layer flat-parameter ranges to accumulate gradient norms over
+    /// during local training, or `None` to skip the grad probe.
+    fn grad_spans(&self) -> Option<&[Range<usize>]> {
+        None
+    }
+
+    /// Called once per round, after aggregation and evaluation.
+    fn observe_round(&self, obs: &RoundObservation<'_>);
+}
+
+/// Histogram bounds for per-party local-training wall time (ms).
+const TRAIN_MS_BOUNDS: &[f64] = &[
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// Per-party running aggregates for the end-of-run summary.
+#[derive(Default, Clone)]
+struct PartyAgg {
+    div_sum: f64,
+    rounds: usize,
+    last_div: f64,
+}
+
+/// The four per-party gauge handles, cached so hot-path observation
+/// never re-walks the registry's family lists.
+struct PartyGauges {
+    divergence: Arc<Gauge>,
+    cosine: Arc<Gauge>,
+    bn_mean: Arc<Gauge>,
+    bn_var: Arc<Gauge>,
+}
+
+struct RecorderState {
+    rounds_seen: usize,
+    parties: HashMap<usize, PartyAgg>,
+    bn_mean_drift_max: f64,
+    bn_var_drift_max: f64,
+    last_loss: Option<f64>,
+    last_accuracy: Option<f64>,
+    party_gauges: HashMap<usize, PartyGauges>,
+    layer_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)>,
+    substrate_at_start: niid_tensor::SubstrateStats,
+}
+
+/// Records training dynamics into a metrics [`Registry`] (and optionally
+/// a JSONL series file). One recorder instruments one model family; it
+/// may observe several sequential runs (trials), whose rounds then share
+/// the same series (round indices restart per trial, like the trace
+/// convention).
+pub struct DynamicsRecorder {
+    registry: Arc<Registry>,
+    grad_spans: Vec<Range<usize>>,
+    layer_names: Vec<String>,
+    bn_spans: Vec<BnSpan>,
+    jsonl: Option<Arc<JsonlExporter>>,
+    round_gauge: Arc<Gauge>,
+    loss_gauge: Arc<Gauge>,
+    acc_gauge: Arc<Gauge>,
+    bytes_counter: Arc<Counter>,
+    train_ms_hist: Arc<Histogram>,
+    state: Mutex<RecorderState>,
+}
+
+impl DynamicsRecorder {
+    /// Build a recorder for a model with the given
+    /// [`state_layout`](niid_nn::Network::state_layout), publishing into
+    /// `registry` and, when given, appending per-round snapshots to
+    /// `jsonl`. Also installs the substrate collector that mirrors
+    /// `niid_tensor::stats` counters into the registry.
+    pub fn new(
+        registry: Arc<Registry>,
+        layout: &[LayerSpan],
+        jsonl: Option<Arc<JsonlExporter>>,
+    ) -> Self {
+        let mut grad_spans = Vec::new();
+        let mut layer_names = Vec::new();
+        let mut bn_spans = Vec::new();
+        let mut p_off = 0usize;
+        let mut b_off = 0usize;
+        for span in layout {
+            if span.params > 0 {
+                grad_spans.push(p_off..p_off + span.params);
+                layer_names.push(span.name.clone());
+            }
+            if span.buffers > 0 {
+                bn_spans.push(BnSpan {
+                    name: span.name.clone(),
+                    range: b_off..b_off + span.buffers,
+                });
+            }
+            p_off += span.params;
+            b_off += span.buffers;
+        }
+        install_substrate_collector(&registry);
+        let round_gauge = registry.gauge("niid_round", "Last completed round index", &[]);
+        let loss_gauge = registry.gauge(
+            "niid_train_loss",
+            "Sample-weighted mean local training loss",
+            &[],
+        );
+        let acc_gauge = registry.gauge("niid_test_accuracy", "Top-1 test accuracy", &[]);
+        let bytes_counter = registry.counter(
+            "niid_comm_bytes_total",
+            "Cumulative bytes communicated (down + up)",
+            &[],
+        );
+        let train_ms_hist = registry.histogram(
+            "niid_party_train_wall_ms",
+            "Per-party local-training wall time (ms)",
+            TRAIN_MS_BOUNDS,
+            &[],
+        );
+        let layer_gauges = layer_names
+            .iter()
+            .map(|name| {
+                (
+                    registry.gauge(
+                        "niid_update_norm_l2",
+                        "Sample-weighted L2 norm of the aggregated-weighting local updates, per leaf layer",
+                        &[("layer", name)],
+                    ),
+                    registry.gauge(
+                        "niid_grad_norm_l2",
+                        "Sample-weighted RMS per-step data-gradient L2 norm, per leaf layer",
+                        &[("layer", name)],
+                    ),
+                )
+            })
+            .collect();
+        DynamicsRecorder {
+            registry,
+            grad_spans,
+            layer_names,
+            bn_spans,
+            jsonl,
+            round_gauge,
+            loss_gauge,
+            acc_gauge,
+            bytes_counter,
+            train_ms_hist,
+            state: Mutex::new(RecorderState {
+                rounds_seen: 0,
+                parties: HashMap::new(),
+                bn_mean_drift_max: 0.0,
+                bn_var_drift_max: 0.0,
+                last_loss: None,
+                last_accuracy: None,
+                party_gauges: HashMap::new(),
+                layer_gauges,
+                substrate_at_start: niid_tensor::stats::snapshot(),
+            }),
+        }
+    }
+
+    /// The registry this recorder publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The BN buffer spans derived from the layout (empty for BN-free
+    /// models — BN drift is then skipped).
+    pub fn bn_spans(&self) -> &[BnSpan] {
+        &self.bn_spans
+    }
+
+    /// Flush the JSONL exporter, if any.
+    pub fn flush(&self) {
+        if let Some(j) = &self.jsonl {
+            j.sync();
+        }
+    }
+
+    /// Fold the recorder's accumulated state into a printable summary.
+    pub fn summary(&self) -> DynamicsSummary {
+        let state = self.state.lock().expect("recorder state poisoned");
+        let mut parties: Vec<(String, f64, f64)> = state
+            .parties
+            .iter()
+            .map(|(id, agg)| {
+                (
+                    id.to_string(),
+                    agg.div_sum / agg.rounds.max(1) as f64,
+                    agg.last_div,
+                )
+            })
+            .collect();
+        parties.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let substrate = niid_tensor::stats::snapshot().since(&state.substrate_at_start);
+        DynamicsSummary {
+            rounds: state.rounds_seen,
+            top_divergent: parties.into_iter().take(5).collect(),
+            bn_mean_drift_max: state.bn_mean_drift_max,
+            bn_var_drift_max: state.bn_var_drift_max,
+            last_train_loss: state.last_loss,
+            final_test_accuracy: state.last_accuracy,
+            pool_utilization: substrate.pool_utilization(),
+            gemm_gflops: substrate.gemm_flops as f64 / 1e9,
+            scratch_reuse_rate: substrate.scratch_reuse_rate(),
+        }
+    }
+}
+
+impl RoundObserver for DynamicsRecorder {
+    fn grad_spans(&self) -> Option<&[Range<usize>]> {
+        Some(&self.grad_spans)
+    }
+
+    fn observe_round(&self, obs: &RoundObservation<'_>) {
+        let mut state = self.state.lock().expect("recorder state poisoned");
+        state.rounds_seen += 1;
+        self.round_gauge.set(obs.round as f64);
+        self.loss_gauge.set(obs.avg_local_loss);
+        state.last_loss = Some(obs.avg_local_loss);
+        if let Some(acc) = obs.test_accuracy {
+            self.acc_gauge.set(acc);
+            state.last_accuracy = Some(acc);
+        }
+        self.bytes_counter.add(obs.round_bytes as u64);
+
+        let total_n: f64 = obs.outcomes.iter().map(|o| o.n_samples as f64).sum();
+        let mut w_local = vec![0.0f32; obs.global_before.len()];
+        let mut layer_update_sq = vec![0.0f64; self.grad_spans.len()];
+        let mut layer_grad = vec![0.0f64; self.grad_spans.len()];
+
+        for (&party_id, out) in obs.selected.iter().zip(obs.outcomes) {
+            self.train_ms_hist.observe(out.wall_ms);
+            // wᵢ = wᵗ − Δwᵢ (local_train returns Δw = global − local).
+            for ((w, &g), &d) in w_local.iter_mut().zip(obs.global_before).zip(&out.delta) {
+                *w = g - d;
+            }
+            let div = l2_distance(&w_local, obs.global_after);
+            let cos = cosine_similarity(&w_local, obs.global_after);
+            let weight = out.n_samples as f64 / total_n.max(1.0);
+
+            let agg = state.parties.entry(party_id).or_default();
+            agg.div_sum += div;
+            agg.rounds += 1;
+            agg.last_div = div;
+
+            let gauges = state.party_gauges.entry(party_id).or_insert_with(|| {
+                let party = party_id.to_string();
+                let labels: &[(&str, &str)] = &[("party", &party)];
+                PartyGauges {
+                    divergence: self.registry.gauge(
+                        "niid_weight_divergence_l2",
+                        "L2 distance between the party's post-training model and the aggregated global model",
+                        labels,
+                    ),
+                    cosine: self.registry.gauge(
+                        "niid_weight_cosine",
+                        "Cosine similarity between the party's post-training model and the aggregated global model",
+                        labels,
+                    ),
+                    bn_mean: self.registry.gauge(
+                        "niid_bn_mean_drift_l2",
+                        "L2 distance between party and aggregated BatchNorm running means",
+                        labels,
+                    ),
+                    bn_var: self.registry.gauge(
+                        "niid_bn_var_drift_l2",
+                        "L2 distance between party and aggregated BatchNorm running variances",
+                        labels,
+                    ),
+                }
+            });
+            gauges.divergence.set(div);
+            gauges.cosine.set(cos);
+
+            if !self.bn_spans.is_empty()
+                && !out.buffers.is_empty()
+                && out.buffers.len() == obs.buffers_after.len()
+            {
+                let (mean_d, var_d) = bn_drift(&out.buffers, obs.buffers_after, &self.bn_spans);
+                gauges.bn_mean.set(mean_d);
+                gauges.bn_var.set(var_d);
+                state.bn_mean_drift_max = state.bn_mean_drift_max.max(mean_d);
+                state.bn_var_drift_max = state.bn_var_drift_max.max(var_d);
+            }
+
+            // Per-layer aggregates, weighted like the server's average.
+            for (l, span) in self.grad_spans.iter().enumerate() {
+                let mut s = 0.0f64;
+                for &d in &out.delta[span.clone()] {
+                    s += (d as f64) * (d as f64);
+                }
+                layer_update_sq[l] += weight * s;
+                if let Some(&gsq) = out.layer_grad_sq.get(l) {
+                    layer_grad[l] += weight * (gsq / out.tau.max(1) as f64).sqrt();
+                }
+            }
+        }
+
+        for (l, (update_g, grad_g)) in state.layer_gauges.iter().enumerate() {
+            update_g.set(layer_update_sq[l].sqrt());
+            grad_g.set(layer_grad[l]);
+        }
+        debug_assert_eq!(self.layer_names.len(), state.layer_gauges.len());
+        drop(state);
+
+        if let Some(jsonl) = &self.jsonl {
+            jsonl.write_snapshot(Some(obs.round as u64), &self.registry.gather());
+        }
+    }
+}
+
+/// Mirror `niid_tensor::stats` counters into registry gauges; registered
+/// once per registry (the collector key deduplicates).
+pub fn install_substrate_collector(registry: &Arc<Registry>) {
+    registry.register_collector("niid_tensor_substrate", |r| {
+        let s = niid_tensor::stats::snapshot();
+        r.gauge(
+            "niid_pool_tasks",
+            "Total worker-pool tasks issued (cumulative)",
+            &[],
+        )
+        .set(s.pool_tasks as f64);
+        r.gauge(
+            "niid_pool_stolen_tasks",
+            "Tasks executed by pool workers rather than the issuing thread (cumulative)",
+            &[],
+        )
+        .set(s.pool_stolen_tasks as f64);
+        r.gauge(
+            "niid_pool_regions",
+            "Fork-join regions dispatched through the pool (cumulative)",
+            &[],
+        )
+        .set(s.pool_regions as f64);
+        r.gauge(
+            "niid_pool_inline_regions",
+            "Fork-join regions that ran inline (cumulative)",
+            &[],
+        )
+        .set(s.pool_inline_regions as f64);
+        r.gauge(
+            "niid_pool_utilization",
+            "Fraction of issued tasks executed by pool workers",
+            &[],
+        )
+        .set(s.pool_utilization());
+        r.gauge("niid_gemm_flops", "Cumulative GEMM FLOPs", &[])
+            .set(s.gemm_flops as f64);
+        for (kernel, calls) in [
+            ("ab", s.gemm_ab_calls),
+            ("atb", s.gemm_atb_calls),
+            ("abt", s.gemm_abt_calls),
+        ] {
+            r.gauge(
+                "niid_gemm_calls",
+                "GEMM kernel invocations by kernel path (cumulative)",
+                &[("kernel", kernel)],
+            )
+            .set(calls as f64);
+        }
+        r.gauge(
+            "niid_conv_scratch_allocs",
+            "Conv scratch buffers grown (fresh allocations, cumulative)",
+            &[],
+        )
+        .set(s.conv_scratch_allocs as f64);
+        r.gauge(
+            "niid_conv_scratch_reuses",
+            "Conv scratch requests served without reallocating (cumulative)",
+            &[],
+        )
+        .set(s.conv_scratch_reuses as f64);
+    });
+}
+
+/// One-screen end-of-run dynamics summary — the metrics analogue of
+/// [`TraceSummary`](crate::TraceSummary).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynamicsSummary {
+    /// Rounds observed.
+    pub rounds: usize,
+    /// Top parties by mean weight divergence:
+    /// `(party, mean_divergence, last_divergence)`, worst first.
+    pub top_divergent: Vec<(String, f64, f64)>,
+    /// Maximum observed BN running-mean drift.
+    pub bn_mean_drift_max: f64,
+    /// Maximum observed BN running-variance drift.
+    pub bn_var_drift_max: f64,
+    /// Last recorded training loss.
+    pub last_train_loss: Option<f64>,
+    /// Last recorded test accuracy.
+    pub final_test_accuracy: Option<f64>,
+    /// Worker-pool stolen-task fraction over the observed window.
+    pub pool_utilization: f64,
+    /// GEMM work over the observed window, in GFLOPs (not per second).
+    pub gemm_gflops: f64,
+    /// Conv scratch reuse fraction over the observed window.
+    pub scratch_reuse_rate: f64,
+}
+
+impl DynamicsSummary {
+    /// Rebuild a summary from a metrics JSONL file written by
+    /// [`JsonlExporter`] — what the experiment bins print after a run.
+    pub fn from_jsonl_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let lines = niid_json::parse_jsonl(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut rounds: Vec<u64> = Vec::new();
+        let mut parties: HashMap<String, PartyAgg> = HashMap::new();
+        let mut out = DynamicsSummary::default();
+        let mut last_pool_util = 0.0f64;
+        let mut last_gflops = 0.0f64;
+        let mut last_reuse: (f64, f64) = (0.0, 0.0);
+        for line in &lines {
+            let name = line.get("name").and_then(niid_json::Json::as_str);
+            let value = line.get("value").and_then(niid_json::Json::as_f64);
+            let (Some(name), Some(value)) = (name, value) else {
+                continue;
+            };
+            if let Some(r) = line.get("round").and_then(niid_json::Json::as_f64) {
+                let r = r as u64;
+                if !rounds.contains(&r) {
+                    rounds.push(r);
+                }
+            }
+            let party = line
+                .get("labels")
+                .and_then(|l| l.get("party"))
+                .and_then(niid_json::Json::as_str);
+            match name {
+                "niid_weight_divergence_l2" => {
+                    if let Some(p) = party {
+                        let agg = parties.entry(p.to_string()).or_default();
+                        agg.div_sum += value;
+                        agg.rounds += 1;
+                        agg.last_div = value;
+                    }
+                }
+                "niid_bn_mean_drift_l2" => out.bn_mean_drift_max = out.bn_mean_drift_max.max(value),
+                "niid_bn_var_drift_l2" => out.bn_var_drift_max = out.bn_var_drift_max.max(value),
+                "niid_train_loss" => out.last_train_loss = Some(value),
+                "niid_test_accuracy" => out.final_test_accuracy = Some(value),
+                "niid_pool_utilization" => last_pool_util = value,
+                "niid_gemm_flops" => last_gflops = value / 1e9,
+                "niid_conv_scratch_allocs" => last_reuse.0 = value,
+                "niid_conv_scratch_reuses" => last_reuse.1 = value,
+                _ => {}
+            }
+        }
+        let mut top: Vec<(String, f64, f64)> = parties
+            .into_iter()
+            .map(|(p, agg)| (p, agg.div_sum / agg.rounds.max(1) as f64, agg.last_div))
+            .collect();
+        top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(5);
+        out.rounds = rounds.len();
+        out.top_divergent = top;
+        out.pool_utilization = last_pool_util;
+        out.gemm_gflops = last_gflops;
+        out.scratch_reuse_rate = if last_reuse.0 + last_reuse.1 > 0.0 {
+            last_reuse.1 / (last_reuse.0 + last_reuse.1)
+        } else {
+            0.0
+        };
+        Ok(out)
+    }
+
+    /// Render the one-screen summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("metrics summary: {} round(s)\n", self.rounds));
+        if let Some(loss) = self.last_train_loss {
+            out.push_str(&format!("  last train loss      {loss:.4}\n"));
+        }
+        if let Some(acc) = self.final_test_accuracy {
+            out.push_str(&format!("  final test accuracy  {acc:.4}\n"));
+        }
+        if !self.top_divergent.is_empty() {
+            out.push_str("  top diverging parties (mean ‖w_i − w_global‖₂, last):\n");
+            for (p, mean, last) in &self.top_divergent {
+                out.push_str(&format!("    party {p:<4} {mean:>10.4} {last:>10.4}\n"));
+            }
+        }
+        if self.bn_mean_drift_max > 0.0 || self.bn_var_drift_max > 0.0 {
+            out.push_str(&format!(
+                "  BN drift (max): mean {:.4}, var {:.4}\n",
+                self.bn_mean_drift_max, self.bn_var_drift_max
+            ));
+        }
+        out.push_str(&format!(
+            "  substrate: pool utilization {:.1}%, {:.2} GFLOPs GEMM, scratch reuse {:.1}%\n",
+            self.pool_utilization * 100.0,
+            self.gemm_gflops,
+            self.scratch_reuse_rate * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_distance_hand_computed() {
+        // ‖(1,2,3) − (0,0,3)‖ = √(1 + 4) = √5.
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [0.0f32, 0.0, 3.0];
+        assert!((l2_distance(&a, &b) - 5.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l2_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_hand_computed() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_hand_computed() {
+        // (1,0)·(0,1) = 0; (1,1)·(2,2) = 1; (1,0)·(-1,0) = -1.
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 1.0], &[2.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        // 45°: (1,0)·(1,1)/√2 = 1/√2.
+        let c = cosine_similarity(&[1.0, 0.0], &[1.0, 1.0]);
+        assert!((c - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn bn_drift_splits_mean_and_var_halves() {
+        // One BN layer with 2 channels: buffers = [m0, m1, v0, v1].
+        let spans = vec![BnSpan {
+            name: "bn".into(),
+            range: 0..4,
+        }];
+        let a = [1.0f32, 2.0, 10.0, 20.0];
+        let b = [1.0f32, 0.0, 10.0, 17.0];
+        let (mean_d, var_d) = bn_drift(&a, &b, &spans);
+        assert!((mean_d - 2.0).abs() < 1e-12, "mean half: |2-0| = 2");
+        assert!((var_d - 3.0).abs() < 1e-12, "var half: |20-17| = 3");
+        // Two layers accumulate into one distance.
+        let spans2 = vec![
+            BnSpan {
+                name: "bn1".into(),
+                range: 0..2,
+            },
+            BnSpan {
+                name: "bn2".into(),
+                range: 2..4,
+            },
+        ];
+        let (m2, v2) = bn_drift(&a, &b, &spans2);
+        // bn1: mean |1-1|, var |2-0| → mean 0, var 2; bn2: mean 0, var 3.
+        assert!((m2 - 0.0).abs() < 1e-12);
+        assert!((v2 - (4.0f64 + 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_layout_derivation() {
+        let layout = vec![
+            LayerSpan {
+                name: "0.conv".into(),
+                params: 10,
+                buffers: 0,
+            },
+            LayerSpan {
+                name: "1.bn".into(),
+                params: 4,
+                buffers: 4,
+            },
+            LayerSpan {
+                name: "3.linear".into(),
+                params: 20,
+                buffers: 0,
+            },
+        ];
+        let rec = DynamicsRecorder::new(Arc::new(Registry::new()), &layout, None);
+        assert_eq!(
+            rec.grad_spans().unwrap(),
+            &[0..10, 10..14, 14..34],
+            "param spans are prefix sums over the layout"
+        );
+        assert_eq!(
+            rec.bn_spans(),
+            &[BnSpan {
+                name: "1.bn".into(),
+                range: 0..4
+            }]
+        );
+    }
+
+    #[test]
+    fn summary_render_is_one_screen() {
+        let s = DynamicsSummary {
+            rounds: 3,
+            top_divergent: vec![("7".into(), 1.25, 1.5), ("2".into(), 0.5, 0.25)],
+            bn_mean_drift_max: 0.75,
+            bn_var_drift_max: 1.5,
+            last_train_loss: Some(0.42),
+            final_test_accuracy: Some(0.9),
+            pool_utilization: 0.5,
+            gemm_gflops: 2.0,
+            scratch_reuse_rate: 0.9,
+        };
+        let text = s.render();
+        assert!(text.contains("3 round(s)"), "{text}");
+        assert!(text.contains("party 7"), "{text}");
+        assert!(text.contains("BN drift"), "{text}");
+        assert!(text.contains("pool utilization 50.0%"), "{text}");
+        assert!(text.lines().count() < 15, "must fit one screen:\n{text}");
+    }
+}

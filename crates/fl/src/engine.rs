@@ -4,6 +4,7 @@
 use crate::aggregate::{average_buffers, fednova_average, scaffold_update_c, weighted_average};
 use crate::algorithm::Algorithm;
 use crate::comm::RoundTraffic;
+use crate::dynamics::{RoundObservation, RoundObserver};
 use crate::error::FlError;
 use crate::local::{local_train, LocalConfig, LocalOutcome, ScaffoldCtx};
 use crate::metrics::{RoundRecord, RunResult};
@@ -211,6 +212,22 @@ impl FedSim {
     /// one `RoundFinished`. The same phase timings land in each
     /// [`RoundRecord`].
     pub fn run_traced(&self, sink: &dyn TraceSink) -> Result<RunResult, FlError> {
+        self.run_observed(sink, None)
+    }
+
+    /// Run the simulation with tracing plus an optional training-dynamics
+    /// observer (see [`crate::dynamics`]). When an observer is present,
+    /// the engine keeps a copy of the pre-aggregation global parameters
+    /// each round and hands the observer a [`RoundObservation`] after
+    /// aggregation and evaluation; the observer's
+    /// [`grad_spans`](RoundObserver::grad_spans) are threaded into local
+    /// training so per-layer gradient norms get accumulated. Observation
+    /// never changes the numerical trajectory of the run.
+    pub fn run_observed(
+        &self,
+        sink: &dyn TraceSink,
+        observer: Option<&dyn RoundObserver>,
+    ) -> Result<RunResult, FlError> {
         let start = Instant::now();
         let cfg = &self.config;
         let classes = self.test.num_classes;
@@ -242,6 +259,7 @@ impl FedSim {
                 participants: selected.len(),
             });
 
+            let grad_spans = observer.and_then(RoundObserver::grad_spans);
             let outcomes = self.train_selected(
                 &selected,
                 &global_params,
@@ -250,8 +268,12 @@ impl FedSim {
                 &mut client_c,
                 round,
                 sink,
+                grad_spans,
             );
             let local_wall_ms = round_started.elapsed().as_secs_f64() * 1e3;
+
+            // Only observed runs pay for the pre-aggregation copy.
+            let global_before = observer.map(|_| global_params.clone());
 
             let agg_started = Instant::now();
             match cfg.algorithm {
@@ -311,6 +333,19 @@ impl FedSim {
                 .map(|o| o.avg_loss * o.n_samples as f64)
                 .sum::<f64>()
                 / total_n as f64;
+            if let Some(obs) = observer {
+                obs.observe_round(&RoundObservation {
+                    round,
+                    selected: &selected,
+                    outcomes: &outcomes,
+                    global_before: global_before.as_deref().unwrap_or(&global_params),
+                    global_after: &global_params,
+                    buffers_after: &global_buffers,
+                    avg_local_loss,
+                    test_accuracy,
+                    round_bytes: traffic.total(),
+                });
+            }
             sink.record(&TraceEvent::RoundFinished {
                 round,
                 wall_ms: round_started.elapsed().as_secs_f64() * 1e3,
@@ -351,6 +386,7 @@ impl FedSim {
         client_c: &mut [Vec<f32>],
         round: usize,
         sink: &dyn TraceSink,
+        grad_spans: Option<&[std::ops::Range<usize>]>,
     ) -> Vec<LocalOutcome> {
         struct Job {
             slot: usize,
@@ -420,6 +456,7 @@ impl FedSim {
                 local_cfg,
                 algorithm,
                 ctx,
+                grad_spans,
                 &mut rng,
             );
             sink.record(&TraceEvent::PartyTrained {

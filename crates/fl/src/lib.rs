@@ -26,6 +26,7 @@
 pub mod aggregate;
 pub mod algorithm;
 pub mod comm;
+pub mod dynamics;
 pub mod engine;
 pub mod error;
 pub mod local;
@@ -34,6 +35,10 @@ pub mod party;
 pub mod trace;
 
 pub use algorithm::{Algorithm, ControlVariateUpdate};
+pub use dynamics::{
+    bn_drift, cosine_similarity, l2_distance, l2_norm, BnSpan, DynamicsRecorder, DynamicsSummary,
+    RoundObservation, RoundObserver,
+};
 pub use engine::{BufferPolicy, FedSim, FlConfig};
 pub use error::FlError;
 pub use metrics::{RoundRecord, RunResult};

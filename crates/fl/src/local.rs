@@ -54,6 +54,10 @@ pub struct LocalOutcome {
     /// Wall time this party spent in local training, in milliseconds
     /// (feeds the `party_trained` trace event and straggler histogram).
     pub wall_ms: f64,
+    /// Per-layer sums of squared data-gradient L2 norms across the local
+    /// steps, one entry per span passed as `grad_spans`; empty when the
+    /// probe was off. `sqrt(sum / tau)` gives the RMS per-step norm.
+    pub layer_grad_sq: Vec<f64>,
 }
 
 /// SCAFFOLD state passed into local training.
@@ -70,7 +74,12 @@ pub struct ScaffoldCtx<'a> {
 /// `global_params` / `global_buffers`.
 ///
 /// `model` must match the global architecture; its state is overwritten.
-/// `rng` drives batch shuffling only.
+/// `rng` drives batch shuffling only. `grad_spans` optionally requests
+/// per-layer gradient-norm accumulation: each range indexes the flat
+/// parameter vector, and the squared L2 norm of the *data* gradient
+/// (before FedProx's proximal term) over each range is summed across
+/// steps into [`LocalOutcome::layer_grad_sq`]. The probe reads the
+/// gradients the step computes anyway, so it never perturbs training.
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1/2's LocalTraining signature
 pub fn local_train(
     model: &mut Network,
@@ -80,6 +89,7 @@ pub fn local_train(
     cfg: &LocalConfig,
     algorithm: &Algorithm,
     mut scaffold: Option<ScaffoldCtx<'_>>,
+    grad_spans: Option<&[std::ops::Range<usize>]>,
     rng: &mut Pcg64,
 ) -> LocalOutcome {
     let started = std::time::Instant::now();
@@ -121,6 +131,7 @@ pub fn local_train(
     let mut tau = 0usize;
     let mut loss_sum = 0.0f64;
     let mut params = global_params.to_vec();
+    let mut layer_grad_sq: Vec<f64> = grad_spans.map_or(Vec::new(), |s| vec![0.0; s.len()]);
 
     for _epoch in 0..cfg.epochs {
         rng.shuffle(&mut indices);
@@ -129,6 +140,27 @@ pub fn local_train(
             model.zero_grads();
             loss_sum += model.forward_backward(x, &y);
             let mut grads = model.grads_flat();
+            if let Some(spans) = grad_spans {
+                for (acc, span) in layer_grad_sq.iter_mut().zip(spans) {
+                    // Four independent accumulators: the serial `s += g*g`
+                    // dependency chain would otherwise dominate small models
+                    // (this probe runs every step over every parameter).
+                    let g = &grads[span.clone()];
+                    let mut sums = [0.0f64; 4];
+                    let mut chunks = g.chunks_exact(4);
+                    for c in chunks.by_ref() {
+                        sums[0] += (c[0] as f64) * (c[0] as f64);
+                        sums[1] += (c[1] as f64) * (c[1] as f64);
+                        sums[2] += (c[2] as f64) * (c[2] as f64);
+                        sums[3] += (c[3] as f64) * (c[3] as f64);
+                    }
+                    let mut s = sums[0] + sums[1] + sums[2] + sums[3];
+                    for &v in chunks.remainder() {
+                        s += (v as f64) * (v as f64);
+                    }
+                    *acc += s;
+                }
+            }
             if mu != 0.0 {
                 // FedProx: the proximal term is part of the local
                 // objective, so its gradient goes through the optimizer.
@@ -210,6 +242,7 @@ pub fn local_train(
         buffers: model.buffers_flat(),
         delta_c,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        layer_grad_sq,
     }
 }
 
@@ -252,6 +285,7 @@ mod tests {
             &cfg(),
             &Algorithm::FedAvg,
             None,
+            None,
             &mut Pcg64::new(2),
         );
         // 20 samples, batch 8 -> 3 batches per epoch, 2 epochs.
@@ -273,6 +307,7 @@ mod tests {
             &[],
             &cfg(),
             &Algorithm::FedAvg,
+            None,
             None,
             &mut Pcg64::new(4),
         );
@@ -297,6 +332,7 @@ mod tests {
                 &cfg(),
                 &Algorithm::FedAvg,
                 None,
+                None,
                 &mut Pcg64::new(seed),
             )
             .delta
@@ -319,6 +355,7 @@ mod tests {
                 &[],
                 &cfg(),
                 &algo,
+                None,
                 None,
                 &mut Pcg64::new(11),
             );
@@ -361,6 +398,7 @@ mod tests {
                 client_c: &mut client_c,
                 variant: ControlVariateUpdate::Reuse,
             }),
+            None,
             &mut Pcg64::new(13),
         );
         assert_eq!(out.delta_c.len(), p_len);
@@ -399,6 +437,7 @@ mod tests {
                 client_c: &mut client_c,
                 variant: ControlVariateUpdate::GradientAtGlobal,
             }),
+            None,
             &mut Pcg64::new(15),
         );
         // cᵢ* should equal the full-batch gradient at the global model.
@@ -435,6 +474,7 @@ mod tests {
             &cfg(),
             &Algorithm::FedAvg,
             None,
+            None,
             &mut Pcg64::new(17),
         );
 
@@ -455,6 +495,7 @@ mod tests {
                 client_c: &mut client_c,
                 variant: ControlVariateUpdate::Reuse,
             }),
+            None,
             &mut Pcg64::new(17),
         );
         let diff: f64 = plain
@@ -491,6 +532,7 @@ mod tests {
                 weight_decay: 0.0,
             },
             &Algorithm::FedAvg,
+            None,
             None,
             &mut Pcg64::new(22),
         );

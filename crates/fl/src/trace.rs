@@ -25,6 +25,7 @@
 //! PRs diff against.
 
 use niid_json::{parse_jsonl, FromJson, Json, JsonError, ToJson};
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read as _, Write as _};
 use std::path::Path;
@@ -206,28 +207,69 @@ impl TraceSink for NoopSink {
 }
 
 /// Buffers events in memory; the test and in-process-analysis sink.
-#[derive(Debug, Default)]
+///
+/// The buffer is a bounded ring: once `capacity` events are held, each
+/// new event evicts the oldest one (and is counted in
+/// [`MemorySink::dropped`]), so a long run can never grow the sink
+/// without bound. The default capacity of 65 536 events comfortably
+/// covers any paper-scale run (50 rounds × 100 parties ≈ 5 300 events).
+#[derive(Debug)]
 pub struct MemorySink {
-    events: Mutex<Vec<TraceEvent>>,
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: Mutex<usize>,
+}
+
+/// Ring capacity used by [`MemorySink::new`].
+pub const MEMORY_SINK_DEFAULT_CAPACITY: usize = 1 << 16;
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::with_capacity(MEMORY_SINK_DEFAULT_CAPACITY)
+    }
 }
 
 impl MemorySink {
-    /// An empty sink.
+    /// An empty sink with the default ring capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// A snapshot of the events recorded so far.
-    pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("trace sink poisoned").clone()
+    /// An empty sink keeping at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: Mutex::new(0),
+        }
     }
 
-    /// Number of events recorded so far.
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been evicted to make room for newer ones.
+    pub fn dropped(&self) -> usize {
+        *self.dropped.lock().expect("trace sink poisoned")
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently retained (≤ capacity).
     pub fn len(&self) -> usize {
         self.events.lock().expect("trace sink poisoned").len()
     }
 
-    /// True if nothing was recorded.
+    /// True if nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -235,10 +277,12 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn record(&self, event: &TraceEvent) {
-        self.events
-            .lock()
-            .expect("trace sink poisoned")
-            .push(event.clone());
+        let mut events = self.events.lock().expect("trace sink poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+            *self.dropped.lock().expect("trace sink poisoned") += 1;
+        }
+        events.push_back(event.clone());
     }
 }
 
@@ -271,6 +315,21 @@ impl JsonlSink {
     /// Flush buffered events to disk.
     pub fn flush(&self) -> std::io::Result<()> {
         self.out.lock().expect("trace sink poisoned").flush()
+    }
+
+    /// Flush and fsync — what the Ctrl-C shutdown guard calls so partial
+    /// runs still leave valid JSONL.
+    pub fn sync(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+            let _ = out.get_ref().sync_all();
+        }
+    }
+}
+
+impl niid_metrics::Flush for JsonlSink {
+    fn flush_now(&self) {
+        self.sync();
     }
 }
 
@@ -527,6 +586,35 @@ mod tests {
             sink.record(&ev);
         }
         assert_eq!(sink.events(), sample_events());
+    }
+
+    #[test]
+    fn memory_sink_ring_wraps_and_counts_drops() {
+        let sink = MemorySink::with_capacity(4);
+        assert_eq!(sink.capacity(), 4);
+        for round in 0..10 {
+            sink.record(&TraceEvent::RoundStarted {
+                round,
+                participants: 1,
+            });
+        }
+        assert_eq!(sink.len(), 4, "ring must not outgrow its capacity");
+        assert_eq!(sink.dropped(), 6);
+        // The newest four events survive, oldest first.
+        let rounds: Vec<usize> = sink.events().iter().map(TraceEvent::round).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9]);
+        // Zero capacity clamps to one slot rather than panicking.
+        let tiny = MemorySink::with_capacity(0);
+        tiny.record(&TraceEvent::RoundStarted {
+            round: 0,
+            participants: 1,
+        });
+        tiny.record(&TraceEvent::RoundStarted {
+            round: 1,
+            participants: 1,
+        });
+        assert_eq!(tiny.len(), 1);
+        assert_eq!(tiny.dropped(), 1);
     }
 
     #[test]

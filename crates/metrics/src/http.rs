@@ -1,0 +1,170 @@
+//! A minimal live metrics endpoint on `std::net::TcpListener`.
+//!
+//! Serves `GET /metrics` (Prometheus text format 0.0.4) and
+//! `GET /healthz` (a one-line JSON liveness probe) from a single
+//! background thread. The server binds `127.0.0.1` only — it is a local
+//! observability window, not a public API — and is dependency-free so it
+//! works in the fully offline build environment.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expo::render_prometheus;
+use crate::registry::Registry;
+
+/// Handle to the background exposition thread; dropping it stops the
+/// server and joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `127.0.0.1:port` (`port = 0` picks an ephemeral port; see
+    /// [`MetricsServer::addr`]) and start serving `registry`.
+    pub fn start(port: u16, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("niid-metrics-http".into())
+            .spawn(move || serve(listener, registry, stop_thread))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with `port = 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        // One connection at a time: scrapers are rare and the handler is
+        // fast, so there is no need for a thread-per-connection model.
+        handle_conn(stream, &registry);
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    // Read until end-of-headers; request bodies are not supported.
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let line = String::from_utf8_lossy(&req);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => {
+            let text = render_prometheus(&registry.gather());
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", text)
+        }
+        ("GET", "/healthz") => (
+            "200 OK",
+            "application/json",
+            "{\"status\":\"ok\"}\n".to_string(),
+        ),
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let r = Arc::new(Registry::new());
+        r.gauge("up", "", &[("job", "test")]).set(1.0);
+        let server = MetricsServer::start(0, Arc::clone(&r)).unwrap();
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("up{job=\"test\"} 1\n"));
+
+        let (head, body) = get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn drop_stops_the_server() {
+        let r = Arc::new(Registry::new());
+        let server = MetricsServer::start(0, r).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The listener is gone: either the connect fails outright or the
+        // socket is closed without a response.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(out.is_empty(), "server answered after drop: {out}");
+        }
+    }
+}

@@ -16,6 +16,21 @@ pub enum Phase {
     Eval,
 }
 
+/// One leaf layer's contribution to the flat state vectors: how many
+/// values it owns in the `params_flat`/`grads_flat` ordering and in the
+/// `buffers_flat` ordering. Produced by [`Layer::state_layout`]; offsets
+/// follow from a prefix sum over the list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpan {
+    /// Dotted path of the layer inside the model tree, e.g.
+    /// `"4.conv1/conv2d"`.
+    pub name: String,
+    /// Trainable parameter count (also the gradient count).
+    pub params: usize,
+    /// Non-trainable buffer count (BatchNorm running statistics).
+    pub buffers: usize,
+}
+
 /// A neural-network layer with hand-derived backprop and flat state I/O.
 ///
 /// Contract:
@@ -64,4 +79,19 @@ pub trait Layer: Send {
 
     /// Reset accumulated gradients to zero.
     fn zero_grads(&mut self) {}
+
+    /// Append one [`LayerSpan`] per *leaf* layer that owns state, in
+    /// exactly the order `write_params` / `write_buffers` traverse the
+    /// tree. Stateless leaves (activations, pooling) are omitted;
+    /// containers override this to recurse with a path prefix.
+    fn state_layout(&self, prefix: &str, out: &mut Vec<LayerSpan>) {
+        let (params, buffers) = (self.param_count(), self.buffer_count());
+        if params + buffers > 0 {
+            out.push(LayerSpan {
+                name: format!("{prefix}{}", self.name()),
+                params,
+                buffers,
+            });
+        }
+    }
 }

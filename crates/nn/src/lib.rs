@@ -34,7 +34,7 @@ pub mod sgd;
 pub use activation::{Flatten, Relu};
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
-pub use layer::{Layer, Phase};
+pub use layer::{Layer, LayerSpan, Phase};
 pub use linear::Linear;
 pub use loss::SoftmaxCrossEntropy;
 pub use models::{lenet_cnn, mlp, resnet_lite, vgg9, ModelSpec};

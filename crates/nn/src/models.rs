@@ -393,4 +393,47 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
+
+    #[test]
+    fn state_layout_covers_flat_vectors_for_every_model() {
+        let specs = [
+            ModelSpec::Mlp { in_dim: 7 },
+            ModelSpec::LenetCnn {
+                in_channels: 1,
+                side: 16,
+            },
+            ModelSpec::Vgg9 {
+                in_channels: 3,
+                side: 16,
+                width: 2,
+            },
+            ModelSpec::ResNetLite {
+                in_channels: 3,
+                side: 16,
+                width: 4,
+                blocks_per_stage: 1,
+            },
+        ];
+        for spec in specs {
+            let net = spec.build(5, 11);
+            let layout = net.state_layout();
+            let params: usize = layout.iter().map(|s| s.params).sum();
+            let buffers: usize = layout.iter().map(|s| s.buffers).sum();
+            assert_eq!(params, net.param_count(), "spec {spec:?}");
+            assert_eq!(buffers, net.buffer_count(), "spec {spec:?}");
+            assert!(
+                layout.iter().all(|s| s.params + s.buffers > 0),
+                "stateless leaves must be omitted"
+            );
+            let bn_leaves = layout.iter().filter(|s| s.buffers > 0).count();
+            assert_eq!(spec.has_batchnorm(), bn_leaves > 0, "spec {spec:?}");
+            if spec.has_batchnorm() {
+                // BN buffers are [running_mean; running_var] per layer.
+                assert!(layout
+                    .iter()
+                    .filter(|s| s.buffers > 0)
+                    .all(|s| s.buffers % 2 == 0 && s.name.contains("batchnorm")));
+            }
+        }
+    }
 }

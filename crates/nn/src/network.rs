@@ -39,6 +39,15 @@ impl Network {
         self.root.buffer_count()
     }
 
+    /// Per-leaf-layer spans of the flat state vectors, in traversal
+    /// order; prefix sums give each layer's offset into
+    /// [`Network::params_flat`] / [`Network::buffers_flat`].
+    pub fn state_layout(&self) -> Vec<crate::layer::LayerSpan> {
+        let mut out = Vec::new();
+        self.root.state_layout("", &mut out);
+        out
+    }
+
     /// Forward pass to logits.
     pub fn forward(&mut self, x: Tensor, phase: Phase) -> Tensor {
         let y = self.root.forward(x, phase);

@@ -214,6 +214,21 @@ impl Layer for BasicBlock {
             b.zero_grads();
         }
     }
+
+    // One leaf-ordered list is consistent with both traversals: convs
+    // contribute no buffers, so filtering this order down to
+    // buffer-owning leaves reproduces the write_buffers order
+    // (bn1, bn2, shortcut-bn).
+    fn state_layout(&self, prefix: &str, out: &mut Vec<crate::layer::LayerSpan>) {
+        self.conv1.state_layout(&format!("{prefix}conv1/"), out);
+        self.bn1.state_layout(&format!("{prefix}bn1/"), out);
+        self.conv2.state_layout(&format!("{prefix}conv2/"), out);
+        self.bn2.state_layout(&format!("{prefix}bn2/"), out);
+        if let Some((c, b)) = &self.shortcut {
+            c.state_layout(&format!("{prefix}shortcut/"), out);
+            b.state_layout(&format!("{prefix}shortcut/"), out);
+        }
+    }
 }
 
 #[cfg(test)]

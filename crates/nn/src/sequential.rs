@@ -106,6 +106,12 @@ impl Layer for Sequential {
             l.zero_grads();
         }
     }
+
+    fn state_layout(&self, prefix: &str, out: &mut Vec<crate::layer::LayerSpan>) {
+        for (i, l) in self.layers.iter().enumerate() {
+            l.state_layout(&format!("{prefix}{i}."), out);
+        }
+    }
 }
 
 #[cfg(test)]

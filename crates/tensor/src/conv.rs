@@ -25,6 +25,7 @@
 
 use crate::matmul::{matmul_a_bt_slices, matmul_at_b_slices};
 use crate::parallel::{parallel_for_threshold, SharedMut};
+use crate::stats;
 use crate::tensor::Tensor;
 
 /// Static geometry of a conv layer applied to a fixed input size.
@@ -253,7 +254,10 @@ impl ConvScratch {
 
     fn ensure(buf: &mut Vec<f32>, len: usize) {
         if buf.len() < len {
+            stats::bump(&stats::CONV_SCRATCH_ALLOCS, 1);
             buf.resize(len, 0.0);
+        } else if len > 0 {
+            stats::bump(&stats::CONV_SCRATCH_REUSES, 1);
         }
     }
 }

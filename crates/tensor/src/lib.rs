@@ -25,6 +25,7 @@ pub mod matmul;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod stats;
 pub mod tensor;
 
 pub use conv::{
@@ -40,4 +41,5 @@ pub use parallel::{
     ENV_THREADS,
 };
 pub use pool::{maxpool2d, maxpool2d_backward, Pool2dShape};
+pub use stats::SubstrateStats;
 pub use tensor::Tensor;

@@ -41,6 +41,7 @@
 //! memoized for the rest of that tile pass. Dense inputs pay nothing.
 
 use crate::parallel::{parallel_for_threshold as maybe_parallel, SharedMut};
+use crate::stats;
 use crate::tensor::Tensor;
 
 /// Rows of `C` per parallel task in [`matmul`] / [`matmul_a_bt`].
@@ -72,6 +73,8 @@ pub fn matmul_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, 
     if m == 0 || k == 0 || n == 0 {
         return;
     }
+    stats::bump(&stats::GEMM_AB_CALLS, 1);
+    stats::bump(&stats::GEMM_FLOPS, (2 * m * k * n) as u64);
     let tasks = m.div_ceil(MB);
     let cptr = SharedMut(c.as_mut_ptr());
     maybe_parallel(tasks, 2 * m * k * n, &|t| {
@@ -158,6 +161,8 @@ pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: us
         return;
     }
     let flops = 2 * m * k * n;
+    stats::bump(&stats::GEMM_ATB_CALLS, 1);
+    stats::bump(&stats::GEMM_FLOPS, flops as u64);
     // Wide outputs: split the k output rows across tasks; each task sweeps
     // all m input rows but touches only its own rows of C, so per-element
     // accumulation order (ascending input row) matches the sequential
@@ -259,6 +264,8 @@ pub fn matmul_a_bt_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: us
         c.fill(0.0);
         return;
     }
+    stats::bump(&stats::GEMM_ABT_CALLS, 1);
+    stats::bump(&stats::GEMM_FLOPS, (2 * m * k * n) as u64);
     let tasks = m.div_ceil(MB);
     let cptr = SharedMut(c.as_mut_ptr());
     maybe_parallel(tasks, 2 * m * k * n, &|t| {

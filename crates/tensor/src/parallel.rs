@@ -30,6 +30,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
+use crate::stats;
+
 /// Environment variable overriding the detected core count.
 pub const ENV_THREADS: &str = "NIID_THREADS";
 
@@ -111,15 +113,18 @@ unsafe impl Send for Region {}
 unsafe impl Sync for Region {}
 
 impl Region {
-    /// Claim and run tasks until the shared counter is exhausted.
-    fn work(&self) {
+    /// Claim and run tasks until the shared counter is exhausted;
+    /// returns how many tasks this thread claimed.
+    fn work(&self) -> usize {
         IN_REGION.with(|flag| {
             let was = flag.replace(true);
+            let mut claimed = 0;
             loop {
                 let idx = self.next.fetch_add(1, Ordering::Relaxed);
                 if idx >= self.tasks {
                     break;
                 }
+                claimed += 1;
                 // SAFETY: see the struct-level invariant.
                 let body = unsafe { &*self.body };
                 if catch_unwind(AssertUnwindSafe(|| body(idx))).is_err() {
@@ -127,7 +132,8 @@ impl Region {
                 }
             }
             flag.set(was);
-        });
+            claimed
+        })
     }
 }
 
@@ -153,7 +159,10 @@ impl ThreadPool {
                     let Ok(region) = region else {
                         return; // pool dropped (process exit)
                     };
-                    region.work();
+                    let claimed = region.work();
+                    if claimed > 0 {
+                        stats::bump(&stats::POOL_STOLEN_TASKS, claimed as u64);
+                    }
                     let mut rem = region.remaining.lock().unwrap();
                     *rem -= 1;
                     if *rem == 0 {
@@ -195,6 +204,8 @@ pub fn parallel_for(tasks: usize, body: &(dyn Fn(usize) + Sync)) {
     let width = thread_budget();
     let nested = IN_REGION.with(Cell::get);
     if tasks == 1 || width <= 1 || nested {
+        stats::bump(&stats::POOL_INLINE_REGIONS, 1);
+        stats::bump(&stats::POOL_TASKS, tasks as u64);
         for i in 0..tasks {
             body(i);
         }
@@ -203,11 +214,15 @@ pub fn parallel_for(tasks: usize, body: &(dyn Fn(usize) + Sync)) {
     let pool = pool();
     let helpers = (width - 1).min(tasks - 1).min(pool.workers);
     if helpers == 0 {
+        stats::bump(&stats::POOL_INLINE_REGIONS, 1);
+        stats::bump(&stats::POOL_TASKS, tasks as u64);
         for i in 0..tasks {
             body(i);
         }
         return;
     }
+    stats::bump(&stats::POOL_REGIONS, 1);
+    stats::bump(&stats::POOL_TASKS, tasks as u64);
     // SAFETY: the borrow outlives the region because this frame blocks on
     // `remaining == 0` before returning.
     let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
@@ -250,6 +265,8 @@ pub(crate) fn parallel_for_threshold(tasks: usize, flops: usize, body: &(dyn Fn(
     if flops >= PAR_MIN_FLOPS && tasks > 1 {
         parallel_for(tasks, body);
     } else {
+        stats::bump(&stats::POOL_INLINE_REGIONS, 1);
+        stats::bump(&stats::POOL_TASKS, tasks as u64);
         for t in 0..tasks {
             body(t);
         }

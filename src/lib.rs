@@ -15,13 +15,16 @@
 //! * [`core`] — NIID-Bench itself: the six partitioning strategies, skew
 //!   quantification, the Figure 6 decision tree, the experiment runner and
 //!   leaderboard,
-//! * [`json`] — the serde-free JSON layer used for results and round traces.
+//! * [`json`] — the serde-free JSON layer used for results and round traces,
+//! * [`metrics`] — the training-dynamics metrics registry: counters, gauges,
+//!   histograms, JSONL / Prometheus-text / live-HTTP exposition.
 //!
 //! See `examples/quickstart.rs` for a three-step end-to-end run.
 pub use niid_core as core;
 pub use niid_data as data;
 pub use niid_fl as fl;
 pub use niid_json as json;
+pub use niid_metrics as metrics;
 pub use niid_nn as nn;
 pub use niid_stats as stats;
 pub use niid_tensor as tensor;

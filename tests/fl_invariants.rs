@@ -23,6 +23,7 @@ fn outcome(delta: Vec<f32>, tau: usize, n: usize) -> LocalOutcome {
         buffers: Vec::new(),
         delta_c: Vec::new(),
         wall_ms: 0.0,
+        layer_grad_sq: Vec::new(),
     }
 }
 

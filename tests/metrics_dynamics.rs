@@ -1,0 +1,195 @@
+//! Integration tests for the training-dynamics metrics subsystem: the
+//! observer leaves the numerical trajectory untouched, the divergence
+//! instrumentation reproduces the paper's IID-vs-non-IID ordering, and the
+//! JSONL + live-HTTP exposition paths emit what the tooling expects.
+
+use niid_bench_rs::core::experiment::{metrics_server_addr, run_experiment, ExperimentSpec};
+use niid_bench_rs::core::partition::{build_parties, partition, Strategy};
+use niid_bench_rs::data::{generate, DatasetId, GenConfig};
+use niid_bench_rs::fl::engine::{BufferPolicy, FedSim, FlConfig};
+use niid_bench_rs::fl::local::LocalConfig;
+use niid_bench_rs::fl::{Algorithm, DynamicsRecorder, NoopSink};
+use niid_bench_rs::metrics::registry::Registry;
+use niid_bench_rs::nn::ModelSpec;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+fn quick_config(seed: u64, rounds: usize) -> FlConfig {
+    FlConfig {
+        algorithm: Algorithm::FedAvg,
+        rounds,
+        local: LocalConfig {
+            epochs: 1,
+            batch_size: 16,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        sample_fraction: 1.0,
+        buffer_policy: BufferPolicy::Average,
+        eval_batch_size: 128,
+        eval_every: 1,
+        server_lr: 1.0,
+        seed,
+        threads: 2,
+    }
+}
+
+/// Build a tiny MNIST-shaped federation and run it with a fresh recorder
+/// on a private registry, returning the recorder.
+fn run_recorded(strategy: Strategy, seed: u64) -> DynamicsRecorder {
+    let split = generate(DatasetId::Mnist, &GenConfig::tiny(31));
+    let part = partition(&split.train, 8, strategy, seed).expect("partition");
+    let parties = build_parties(&split.train, &part, seed ^ 0x9E37);
+    let model = ModelSpec::LenetCnn {
+        in_channels: 1,
+        side: 16,
+    };
+    let layout = model.build(split.test.num_classes, 0).state_layout();
+    let recorder = DynamicsRecorder::new(Arc::new(Registry::new()), &layout, None);
+    let sim = FedSim::new(model, parties, split.test, quick_config(seed, 3)).expect("sim");
+    sim.run_observed(&NoopSink, Some(&recorder)).expect("run");
+    recorder
+}
+
+#[test]
+fn observer_does_not_change_the_numerical_trajectory() {
+    let split = generate(DatasetId::Adult, &GenConfig::tiny(33));
+    let part = partition(
+        &split.train,
+        6,
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        5,
+    )
+    .expect("partition");
+    let parties = build_parties(&split.train, &part, 6);
+    let model = ModelSpec::Mlp { in_dim: 32 };
+    let run = |observed: bool| {
+        let sim = FedSim::new(
+            model.clone(),
+            parties.clone(),
+            split.test.clone(),
+            quick_config(7, 3),
+        )
+        .expect("sim");
+        if observed {
+            let layout = model.build(split.test.num_classes, 0).state_layout();
+            let recorder = DynamicsRecorder::new(Arc::new(Registry::new()), &layout, None);
+            sim.run_observed(&NoopSink, Some(&recorder)).expect("run")
+        } else {
+            sim.run().expect("run")
+        }
+    };
+    let plain = run(false);
+    let observed = run(true);
+    assert_eq!(plain.final_accuracy, observed.final_accuracy);
+    assert_eq!(plain.rounds.len(), observed.rounds.len());
+    for (a, b) in plain.rounds.iter().zip(&observed.rounds) {
+        assert_eq!(a.avg_local_loss, b.avg_local_loss, "round {}", a.round);
+        assert_eq!(a.test_accuracy, b.test_accuracy, "round {}", a.round);
+    }
+}
+
+#[test]
+fn iid_weight_divergence_is_strictly_below_dirichlet() {
+    // The paper's §5.1 mechanism: heterogeneous local distributions push
+    // local models further from the global model. Same seeds, same model,
+    // same data — only the partition differs.
+    let mean_div = |strategy: Strategy| {
+        let summary = run_recorded(strategy, 11).summary();
+        assert_eq!(summary.rounds, 3);
+        assert!(!summary.top_divergent.is_empty(), "recorder saw no parties");
+        summary.top_divergent.iter().map(|(_, m, _)| m).sum::<f64>()
+            / summary.top_divergent.len() as f64
+    };
+    let iid = mean_div(Strategy::Homogeneous);
+    let dirichlet = mean_div(Strategy::DirichletLabelSkew { beta: 0.1 });
+    assert!(
+        iid < dirichlet,
+        "IID divergence {iid} should be strictly below Dirichlet(0.1) {dirichlet}"
+    );
+}
+
+#[test]
+fn recorder_tracks_every_selected_party_and_finite_series() {
+    let recorder = run_recorded(Strategy::DirichletLabelSkew { beta: 0.5 }, 13);
+    let summary = recorder.summary();
+    assert_eq!(summary.rounds, 3);
+    assert_eq!(summary.top_divergent.len(), 5, "top-5 of 8 parties");
+    for (party, mean, last) in &summary.top_divergent {
+        assert!(party.parse::<usize>().is_ok(), "party label {party:?}");
+        assert!(mean.is_finite() && *mean > 0.0, "mean divergence {mean}");
+        assert!(last.is_finite() && *last > 0.0, "last divergence {last}");
+    }
+    assert!(summary.last_train_loss.is_some());
+    assert!(summary.final_test_accuracy.is_some());
+
+    // The registry carries the per-layer series for every parameterized
+    // leaf of the LeNet CNN (2 conv + 3 linear layers).
+    let families = recorder.registry().gather();
+    let series = |name: &str| {
+        families
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("missing family {name}"))
+            .samples
+            .len()
+    };
+    assert_eq!(series("niid_grad_norm_l2"), 5);
+    assert_eq!(series("niid_update_norm_l2"), 5);
+    assert_eq!(series("niid_weight_divergence_l2"), 8);
+    assert_eq!(series("niid_weight_cosine"), 8);
+}
+
+#[test]
+fn experiment_runner_emits_jsonl_and_serves_live_metrics() {
+    let dir = std::env::temp_dir().join(format!("niid-metrics-test-{}", std::process::id()));
+    let mut spec = ExperimentSpec::new(
+        DatasetId::Adult,
+        Strategy::DirichletLabelSkew { beta: 0.5 },
+        Algorithm::FedAvg,
+        GenConfig::tiny(35),
+    );
+    spec.rounds = 2;
+    spec.local_epochs = 1;
+    spec.metrics_dir = Some(dir.to_string_lossy().into_owned());
+    spec.metrics_port = Some(0);
+    run_experiment(&spec).expect("experiment");
+
+    // JSONL series: schema-valid lines carrying the divergence series.
+    let path = dir.join("metrics.jsonl");
+    let text = std::fs::read_to_string(&path).expect("metrics.jsonl written");
+    let lines = niid_bench_rs::json::parse_jsonl(&text).expect("valid JSONL");
+    assert!(!lines.is_empty());
+    let mut saw_divergence = false;
+    for line in &lines {
+        let name = line
+            .get("name")
+            .and_then(niid_bench_rs::json::Json::as_str)
+            .expect("name field");
+        let value = line
+            .get("value")
+            .and_then(niid_bench_rs::json::Json::as_f64)
+            .expect("value field");
+        assert!(value.is_finite(), "{name} = {value}");
+        saw_divergence |= name == "niid_weight_divergence_l2";
+    }
+    assert!(saw_divergence, "per-party divergence series missing");
+
+    // Live endpoint: plain HTTP GET returns Prometheus text.
+    let addr = metrics_server_addr().expect("live server started");
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("# TYPE niid_round gauge"), "{response}");
+    assert!(
+        response.contains("niid_weight_divergence_l2{"),
+        "{response}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,7 +10,8 @@ use niid_bench::harness::{black_box, BenchMeta, Harness};
 use niid_stats::Pcg64;
 use niid_tensor::{
     conv2d, conv2d_backward, conv2d_backward_ws, conv2d_forward, matmul, matmul_a_bt, matmul_at_b,
-    maxpool2d, softmax_rows, with_thread_budget, Conv2dShape, ConvScratch, Pool2dShape, Tensor,
+    maxpool2d, softmax_rows, with_forced_kernel, with_thread_budget, Conv2dShape, ConvScratch,
+    Kernel, Pool2dShape, Tensor,
 };
 
 /// Kernel thread budgets swept on the large workloads.
@@ -53,6 +54,39 @@ fn main() {
                     })
                 },
             );
+        }
+        // Forced-scalar rows on the large square: the committed baseline
+        // for the SIMD speedup claim (compare against the same shape's
+        // default rows above).
+        if n == 256 {
+            with_forced_kernel(Kernel::Scalar, || {
+                h.bench_meta(
+                    &format!("matmul/a_b/{n}/t1/scalar"),
+                    BenchMeta::op("matmul/a_b", &shape, 1, flops),
+                    |bench| {
+                        bench
+                            .iter(|| with_thread_budget(1, || matmul(black_box(&a), black_box(&b))))
+                    },
+                );
+                h.bench_meta(
+                    &format!("matmul/at_b/{n}/t1/scalar"),
+                    BenchMeta::op("matmul/at_b", &shape, 1, flops),
+                    |bench| {
+                        bench.iter(|| {
+                            with_thread_budget(1, || matmul_at_b(black_box(&a), black_box(&b)))
+                        })
+                    },
+                );
+                h.bench_meta(
+                    &format!("matmul/a_bt/{n}/t1/scalar"),
+                    BenchMeta::op("matmul/a_bt", &shape, 1, flops),
+                    |bench| {
+                        bench.iter(|| {
+                            with_thread_budget(1, || matmul_a_bt(black_box(&a), black_box(&b)))
+                        })
+                    },
+                );
+            });
         }
     }
 

@@ -13,6 +13,11 @@ fn check_entry(e: &Json, idx: usize) -> Result<(), String> {
             return Err(format!("entry {idx}: missing string field {key:?}"));
         }
     }
+    match e.get("simd").and_then(Json::as_str) {
+        Some(s) if !s.is_empty() => {}
+        Some(_) => return Err(format!("entry {idx}: simd must be a non-empty kernel tag")),
+        None => return Err(format!("entry {idx}: missing string field \"simd\"")),
+    }
     for key in ["threads", "median_ns", "min_ns", "iters"] {
         let v = e
             .get(key)
@@ -82,6 +87,7 @@ mod tests {
             ("name", Json::Str("n".into())),
             ("op", Json::Str("matmul".into())),
             ("shape", Json::Str("8x8x8".into())),
+            ("simd", Json::Str("avx2/avx2+fma".into())),
             ("threads", Json::Num(2.0)),
             ("median_ns", Json::Num(10.0)),
             ("min_ns", Json::Num(9.0)),
@@ -95,5 +101,23 @@ mod tests {
     fn missing_field_fails() {
         let e = Json::obj(vec![("group", Json::Str("g".into()))]);
         assert!(check_entry(&e, 0).is_err());
+    }
+
+    #[test]
+    fn empty_simd_tag_fails() {
+        let e = Json::obj(vec![
+            ("group", Json::Str("g".into())),
+            ("name", Json::Str("n".into())),
+            ("op", Json::Str("matmul".into())),
+            ("shape", Json::Str("8x8x8".into())),
+            ("simd", Json::Str(String::new())),
+            ("threads", Json::Num(2.0)),
+            ("median_ns", Json::Num(10.0)),
+            ("min_ns", Json::Num(9.0)),
+            ("iters", Json::Num(100.0)),
+            ("gflops", Json::Null),
+        ]);
+        let err = check_entry(&e, 0).unwrap_err();
+        assert!(err.contains("simd"), "{err}");
     }
 }

@@ -63,6 +63,11 @@ pub struct BenchMeta {
     /// Floating-point operations per iteration (0 = not a FLOP workload);
     /// `flops / median_ns` is GFLOP/s.
     pub flops: u64,
+    /// SIMD micro-kernel the measurement ran under, as
+    /// `<kernel>/<detected features>` (e.g. `avx2/avx2+fma`,
+    /// `scalar/none`). Left empty by constructors and resolved from the
+    /// active dispatch at record time; set it explicitly only to override.
+    pub simd: String,
 }
 
 impl BenchMeta {
@@ -73,6 +78,7 @@ impl BenchMeta {
             shape: shape.into(),
             threads,
             flops,
+            simd: String::new(),
         }
     }
 }
@@ -196,13 +202,22 @@ impl Harness {
     pub fn bench_meta<F: FnMut(&mut Bencher)>(
         &mut self,
         name: &str,
-        meta: BenchMeta,
+        mut meta: BenchMeta,
         mut f: F,
     ) -> Option<Measurement> {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return None;
             }
+        }
+        if meta.simd.is_empty() {
+            // Resolved here, on the thread running the workload, so a bench
+            // wrapped in `with_forced_kernel` reports the forced kernel.
+            meta.simd = format!(
+                "{}/{}",
+                niid_tensor::active_kernel().name(),
+                niid_tensor::detected_features()
+            );
         }
         let mut b = if self.short {
             Bencher::short()
@@ -239,6 +254,7 @@ impl Harness {
                         ("op", Json::Str(meta.op.clone())),
                         ("shape", Json::Str(meta.shape.clone())),
                         ("threads", Json::Num(meta.threads as f64)),
+                        ("simd", Json::Str(meta.simd.clone())),
                         ("median_ns", Json::Num(m.median_ns)),
                         ("min_ns", Json::Num(m.min_ns)),
                         ("iters", Json::Num(m.iters as f64)),
@@ -361,6 +377,11 @@ mod tests {
         assert_eq!(e.get("name").and_then(Json::as_str), Some("fast_op"));
         assert_eq!(e.get("threads").and_then(Json::as_f64), Some(1.0));
         assert!(e.get("gflops").is_some_and(|g| !g.is_null()));
+        let simd = e.get("simd").and_then(Json::as_str).expect("simd field");
+        assert!(
+            simd.contains('/') && !simd.is_empty(),
+            "simd field should be <kernel>/<features>, got {simd:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! | `niid_bn_var_drift_l2{party}` | party id | `‖σ²ᵢ − σ²_global‖₂` over BN layers |
 //! | `niid_party_train_wall_ms` | — | histogram: per-party local-training time |
 //! | `niid_pool_*`, `niid_gemm_*`, `niid_conv_scratch_*` | — | substrate collector |
+//! | `niid_gemm_dispatch_calls{variant,path}` | GEMM variant × kernel | simd vs scalar dispatch |
+//! | `niid_simd_active_kernel{kernel}` | kernel name | process-wide micro-kernel selection |
 //!
 //! Divergence compares each party's **post-training** local model
 //! `wᵢ = w_global_before − Δwᵢ` against the **aggregated** model of the
@@ -335,6 +337,8 @@ impl DynamicsRecorder {
             pool_utilization: substrate.pool_utilization(),
             gemm_gflops: substrate.gemm_flops as f64 / 1e9,
             scratch_reuse_rate: substrate.scratch_reuse_rate(),
+            simd_kernel: niid_tensor::configured_kernel().name().to_string(),
+            simd_dispatch_rate: substrate.simd_dispatch_rate(),
         }
     }
 }
@@ -491,6 +495,26 @@ pub fn install_substrate_collector(registry: &Arc<Registry>) {
             )
             .set(calls as f64);
         }
+        for (variant, simd, scalar) in [
+            ("ab", s.gemm_ab_simd_calls, s.gemm_ab_scalar_calls),
+            ("atb", s.gemm_atb_simd_calls, s.gemm_atb_scalar_calls),
+            ("abt", s.gemm_abt_simd_calls, s.gemm_abt_scalar_calls),
+        ] {
+            for (path, calls) in [("simd", simd), ("scalar", scalar)] {
+                r.gauge(
+                    "niid_gemm_dispatch_calls",
+                    "GEMM invocations by variant and dispatched micro-kernel (cumulative)",
+                    &[("variant", variant), ("path", path)],
+                )
+                .set(calls as f64);
+            }
+        }
+        r.gauge(
+            "niid_simd_active_kernel",
+            "Process-wide SIMD micro-kernel selection (value is always 1; the kernel label carries the information)",
+            &[("kernel", niid_tensor::configured_kernel().name())],
+        )
+        .set(1.0);
         r.gauge(
             "niid_conv_scratch_allocs",
             "Conv scratch buffers grown (fresh allocations, cumulative)",
@@ -529,6 +553,11 @@ pub struct DynamicsSummary {
     pub gemm_gflops: f64,
     /// Conv scratch reuse fraction over the observed window.
     pub scratch_reuse_rate: f64,
+    /// SIMD micro-kernel the run dispatched to (`"avx2"`, `"scalar"`);
+    /// empty when the run predates the dispatch gauges.
+    pub simd_kernel: String,
+    /// Fraction of GEMM calls that took a SIMD micro-kernel.
+    pub simd_dispatch_rate: f64,
 }
 
 impl DynamicsSummary {
@@ -544,6 +573,7 @@ impl DynamicsSummary {
         let mut last_pool_util = 0.0f64;
         let mut last_gflops = 0.0f64;
         let mut last_reuse: (f64, f64) = (0.0, 0.0);
+        let mut last_dispatch: HashMap<(String, String), f64> = HashMap::new();
         for line in &lines {
             let name = line.get("name").and_then(niid_json::Json::as_str);
             let value = line.get("value").and_then(niid_json::Json::as_f64);
@@ -577,6 +607,27 @@ impl DynamicsSummary {
                 "niid_gemm_flops" => last_gflops = value / 1e9,
                 "niid_conv_scratch_allocs" => last_reuse.0 = value,
                 "niid_conv_scratch_reuses" => last_reuse.1 = value,
+                "niid_gemm_dispatch_calls" => {
+                    let labels = line.get("labels");
+                    let variant = labels
+                        .and_then(|l| l.get("variant"))
+                        .and_then(niid_json::Json::as_str);
+                    let path = labels
+                        .and_then(|l| l.get("path"))
+                        .and_then(niid_json::Json::as_str);
+                    if let (Some(v), Some(p)) = (variant, path) {
+                        last_dispatch.insert((v.to_string(), p.to_string()), value);
+                    }
+                }
+                "niid_simd_active_kernel" => {
+                    if let Some(k) = line
+                        .get("labels")
+                        .and_then(|l| l.get("kernel"))
+                        .and_then(niid_json::Json::as_str)
+                    {
+                        out.simd_kernel = k.to_string();
+                    }
+                }
                 _ => {}
             }
         }
@@ -592,6 +643,18 @@ impl DynamicsSummary {
         out.gemm_gflops = last_gflops;
         out.scratch_reuse_rate = if last_reuse.0 + last_reuse.1 > 0.0 {
             last_reuse.1 / (last_reuse.0 + last_reuse.1)
+        } else {
+            0.0
+        };
+        let (mut simd_calls, mut total_calls) = (0.0f64, 0.0f64);
+        for ((_, path), calls) in &last_dispatch {
+            total_calls += calls;
+            if path == "simd" {
+                simd_calls += calls;
+            }
+        }
+        out.simd_dispatch_rate = if total_calls > 0.0 {
+            simd_calls / total_calls
         } else {
             0.0
         };
@@ -626,6 +689,13 @@ impl DynamicsSummary {
             self.gemm_gflops,
             self.scratch_reuse_rate * 100.0
         ));
+        if !self.simd_kernel.is_empty() {
+            out.push_str(&format!(
+                "  simd: kernel {}, {:.1}% of GEMM calls dispatched to simd\n",
+                self.simd_kernel,
+                self.simd_dispatch_rate * 100.0
+            ));
+        }
         out
     }
 }
@@ -736,12 +806,16 @@ mod tests {
             pool_utilization: 0.5,
             gemm_gflops: 2.0,
             scratch_reuse_rate: 0.9,
+            simd_kernel: "avx2".into(),
+            simd_dispatch_rate: 0.995,
         };
         let text = s.render();
         assert!(text.contains("3 round(s)"), "{text}");
         assert!(text.contains("party 7"), "{text}");
         assert!(text.contains("BN drift"), "{text}");
         assert!(text.contains("pool utilization 50.0%"), "{text}");
+        assert!(text.contains("kernel avx2"), "{text}");
+        assert!(text.contains("99.5% of GEMM calls"), "{text}");
         assert!(text.lines().count() < 15, "must fit one screen:\n{text}");
     }
 }

@@ -13,7 +13,7 @@ use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use niid_data::Dataset;
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Pcg64};
-use niid_tensor::{configured_threads, set_thread_budget};
+use niid_tensor::{active_kernel, configured_threads, set_thread_budget, with_forced_kernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -490,6 +490,11 @@ impl FedSim {
                 jobs.drain(..).map(|j| Mutex::new(Some(j))).collect();
             let cursor = AtomicUsize::new(0);
             let kernel_budget = (configured_threads() / threads).max(1);
+            // The SIMD micro-kernel is resolved once per round on the
+            // calling thread and pinned into every worker, so a round
+            // running under `with_forced_kernel` (determinism tests) uses
+            // that kernel for all parties regardless of thread count.
+            let kern = active_kernel();
             let run_job = &run_job;
             let queue = &queue;
             let cursor = &cursor;
@@ -498,22 +503,24 @@ impl FedSim {
                     .map(|_| {
                         s.spawn(move || {
                             set_thread_budget(kernel_budget);
-                            let mut model = spec.build(classes, 0);
-                            let mut done: Vec<(usize, Job, LocalOutcome)> = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                if i >= queue.len() {
-                                    break;
+                            with_forced_kernel(kern, || {
+                                let mut model = spec.build(classes, 0);
+                                let mut done: Vec<(usize, Job, LocalOutcome)> = Vec::new();
+                                loop {
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if i >= queue.len() {
+                                        break;
+                                    }
+                                    let mut job = queue[i]
+                                        .lock()
+                                        .expect("job slot poisoned")
+                                        .take()
+                                        .expect("job claimed twice");
+                                    let out = run_job(&mut job, &mut model);
+                                    done.push((job.slot, job, out));
                                 }
-                                let mut job = queue[i]
-                                    .lock()
-                                    .expect("job slot poisoned")
-                                    .take()
-                                    .expect("job claimed twice");
-                                let out = run_job(&mut job, &mut model);
-                                done.push((job.slot, job, out));
-                            }
-                            done
+                                done
+                            })
                         })
                     })
                     .collect();

@@ -141,24 +141,14 @@ pub fn local_train(
             loss_sum += model.forward_backward(x, &y);
             let mut grads = model.grads_flat();
             if let Some(spans) = grad_spans {
+                // `sum_sq_f64` keeps four independent f64 accumulators (the
+                // serial `s += g*g` chain would otherwise dominate small
+                // models — this probe runs every step over every parameter)
+                // and its AVX2 variant reproduces the scalar bits exactly,
+                // so the probe stays kernel-invariant.
+                let kern = niid_tensor::active_kernel();
                 for (acc, span) in layer_grad_sq.iter_mut().zip(spans) {
-                    // Four independent accumulators: the serial `s += g*g`
-                    // dependency chain would otherwise dominate small models
-                    // (this probe runs every step over every parameter).
-                    let g = &grads[span.clone()];
-                    let mut sums = [0.0f64; 4];
-                    let mut chunks = g.chunks_exact(4);
-                    for c in chunks.by_ref() {
-                        sums[0] += (c[0] as f64) * (c[0] as f64);
-                        sums[1] += (c[1] as f64) * (c[1] as f64);
-                        sums[2] += (c[2] as f64) * (c[2] as f64);
-                        sums[3] += (c[3] as f64) * (c[3] as f64);
-                    }
-                    let mut s = sums[0] + sums[1] + sums[2] + sums[3];
-                    for &v in chunks.remainder() {
-                        s += (v as f64) * (v as f64);
-                    }
-                    *acc += s;
+                    *acc += niid_tensor::simd::sum_sq_f64(kern, &grads[span.clone()]);
                 }
             }
             if mu != 0.0 {

@@ -1,7 +1,7 @@
 //! Parameter-free layers: ReLU and Flatten.
 
 use crate::layer::{Layer, Phase};
-use niid_tensor::{relu, relu_backward, Tensor};
+use niid_tensor::{relu, relu_assign, relu_backward, Tensor};
 
 /// Elementwise rectified linear unit.
 pub struct Relu {
@@ -26,12 +26,18 @@ impl Layer for Relu {
         "relu"
     }
 
-    fn forward(&mut self, x: Tensor, phase: Phase) -> Tensor {
-        let y = relu(&x);
+    fn forward(&mut self, mut x: Tensor, phase: Phase) -> Tensor {
         if phase == Phase::Train {
+            // Training needs the pre-activation input for backward, so the
+            // output is a fresh tensor.
+            let y = relu(&x);
             self.cached_input = Some(x);
+            y
+        } else {
+            // Inference rectifies the owned input in place: no allocation.
+            relu_assign(&mut x);
+            x
         }
-        y
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {

@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Phase};
 use crate::param::ParamReader;
 use niid_stats::Pcg64;
-use niid_tensor::{conv2d_backward_ws, conv2d_forward, Conv2dShape, ConvScratch, Tensor};
+use niid_tensor::{conv2d_backward_accum, conv2d_forward, Conv2dShape, ConvScratch, Tensor};
 
 /// 2-D convolution over NCHW activations with a fixed input geometry.
 pub struct Conv2d {
@@ -63,11 +63,16 @@ impl Layer for Conv2d {
             std::mem::take(&mut self.cols_cached),
             "Conv2d::backward without cached forward"
         );
-        let (gx, gw, gb) =
-            conv2d_backward_ws(&mut self.scratch, &self.weight, &grad_out, &self.shape);
-        self.grad_weight.add_assign(&gw);
-        self.grad_bias.add_assign(&gb);
-        gx
+        // dW and db accumulate straight into the layer's gradient buffers
+        // — no weight-sized temporaries per batch.
+        conv2d_backward_accum(
+            &mut self.scratch,
+            &self.weight,
+            &grad_out,
+            &self.shape,
+            self.grad_weight.as_mut_slice(),
+            self.grad_bias.as_mut_slice(),
+        )
     }
 
     fn param_count(&self) -> usize {

@@ -36,7 +36,7 @@ pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use layer::{Layer, LayerSpan, Phase};
 pub use linear::Linear;
-pub use loss::SoftmaxCrossEntropy;
+pub use loss::{LossScratch, SoftmaxCrossEntropy};
 pub use models::{lenet_cnn, mlp, resnet_lite, vgg9, ModelSpec};
 pub use network::Network;
 pub use param::ParamReader;

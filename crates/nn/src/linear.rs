@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Phase};
 use crate::param::ParamReader;
 use niid_stats::Pcg64;
-use niid_tensor::{matmul, matmul_a_bt, matmul_at_b, Tensor};
+use niid_tensor::{matmul, matmul_a_bt, matmul_at_b_slices, simd, Tensor};
 
 /// `y = x · W + b` over a batch: `x [N, in]`, `W [in, out]`, `b [out]`.
 pub struct Linear {
@@ -79,9 +79,23 @@ impl Layer for Linear {
             .cached_input
             .take()
             .expect("Linear::backward without cached forward");
-        // dW += xᵀ · dy ; db += column sums of dy ; dx = dy · Wᵀ.
-        self.grad_weight.add_assign(&matmul_at_b(&x, &grad_out));
-        self.grad_bias.add_assign(&grad_out.sum_axis0());
+        // dW += xᵀ · dy ; db += column sums of dy ; dx = dy · Wᵀ. The GEMM
+        // and the bias reduction accumulate straight into the gradient
+        // buffers — no `[in, out]`-sized temporary per batch.
+        let batch = grad_out.shape()[0];
+        matmul_at_b_slices(
+            x.as_slice(),
+            grad_out.as_slice(),
+            self.grad_weight.as_mut_slice(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
+        let kern = simd::active_kernel();
+        let gb = self.grad_bias.as_mut_slice();
+        for r in 0..batch {
+            simd::add_assign(kern, gb, grad_out.row(r));
+        }
         matmul_a_bt(&grad_out, &self.weight)
     }
 

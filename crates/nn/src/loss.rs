@@ -1,7 +1,38 @@
 //! Softmax cross-entropy loss (the classification head for every task in
 //! the paper).
+//!
+//! The training hot path is [`SoftmaxCrossEntropy::loss_and_grad_ws`]:
+//! softmax, the loss reduction and the `(p − onehot)/batch` gradient are
+//! fused over a caller-owned [`LossScratch`] (the `ConvScratch` pattern —
+//! grown on demand, never shrunk), so the only per-call allocation left is
+//! the gradient tensor itself, which the backward pass consumes by value.
+//! The allocating [`SoftmaxCrossEntropy::loss_and_grad`] wrapper remains
+//! for tests and one-off callers and produces identical bits.
 
-use niid_tensor::{log_softmax_rows, softmax_rows, Tensor};
+use niid_tensor::{log_softmax_rows, simd, Tensor};
+
+/// Reusable workspace for [`SoftmaxCrossEntropy::loss_and_grad_ws`]: the
+/// softmax probabilities of the last batch, grown on demand and never
+/// shrunk, so a training loop that holds one (see `Network`) performs no
+/// probability-buffer allocation in steady state.
+#[derive(Debug, Default)]
+pub struct LossScratch {
+    probs: Vec<f32>,
+}
+
+impl LossScratch {
+    /// An empty workspace; the buffer is sized lazily by the first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, len: usize) -> &mut [f32] {
+        if self.probs.len() < len {
+            self.probs.resize(len, 0.0);
+        }
+        &mut self.probs[..len]
+    }
+}
 
 /// Combined softmax + cross-entropy, numerically stable and with the usual
 /// compact gradient `(softmax(logits) - onehot(labels)) / batch`.
@@ -28,24 +59,58 @@ impl SoftmaxCrossEntropy {
         total / batch as f64
     }
 
-    /// Loss and gradient w.r.t. logits in one pass.
+    /// Loss and gradient w.r.t. logits (allocating wrapper over
+    /// [`Self::loss_and_grad_ws`]; same bits).
     pub fn loss_and_grad(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+        Self::loss_and_grad_ws(logits, labels, &mut LossScratch::new())
+    }
+
+    /// Loss and gradient w.r.t. logits, fused over a reused workspace.
+    ///
+    /// One pass computes each row's stabilized softmax into
+    /// `scratch.probs` and folds the label's `−ln p` into the loss; a
+    /// second pass materializes `(p − onehot) / batch` directly into the
+    /// gradient tensor. Every per-element operation and its order match
+    /// the historical softmax + clone + subtract + scale sequence, so the
+    /// fusion is bit-exact — and since the surviving ops are elementwise
+    /// (exp/mul/sub), the result is identical under every [`simd`] kernel.
+    pub fn loss_and_grad_ws(
+        logits: &Tensor,
+        labels: &[usize],
+        scratch: &mut LossScratch,
+    ) -> (f64, Tensor) {
         assert_eq!(logits.ndim(), 2, "loss: logits must be [batch, classes]");
         let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
         assert_eq!(batch, labels.len(), "loss: batch/labels length mismatch");
         assert!(batch > 0, "loss: empty batch");
-        let probs = softmax_rows(logits);
-        let mut grad = probs.clone();
+        let kern = simd::active_kernel();
+        let probs = scratch.ensure(batch * classes);
         let mut total = 0.0f64;
-        let inv_batch = 1.0 / batch as f32;
         for (r, &y) in labels.iter().enumerate() {
             assert!(y < classes, "loss: label {y} out of {classes} classes");
-            let p = probs.at2(r, y).max(1e-12);
+            let row = logits.row(r);
+            let dst = &mut probs[r * classes..(r + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (d, &v) in dst.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *d = e;
+                sum += e;
+            }
+            simd::scale_assign(kern, dst, 1.0 / sum);
+            let p = dst[y].max(1e-12);
             total -= (p as f64).ln();
-            *grad.at2_mut(r, y) -= 1.0;
         }
-        grad.scale_assign(inv_batch);
-        (total / batch as f64, grad)
+        let inv_batch = 1.0 / batch as f32;
+        let mut grad = Vec::with_capacity(batch * classes);
+        for (r, &y) in labels.iter().enumerate() {
+            let row = &probs[r * classes..(r + 1) * classes];
+            for (c, &p) in row.iter().enumerate() {
+                let v = if c == y { p - 1.0 } else { p };
+                grad.push(v * inv_batch);
+            }
+        }
+        (total / batch as f64, Tensor::from_vec(grad, logits.shape()))
     }
 }
 
@@ -120,5 +185,33 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn out_of_range_label_panics() {
         SoftmaxCrossEntropy::loss(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+
+    #[test]
+    fn fused_ws_path_is_bit_identical_to_reference_sequence() {
+        use niid_tensor::softmax_rows;
+        let mut rng = Pcg64::new(53);
+        let mut scratch = LossScratch::new();
+        // Varied batch sizes so the reused (never-shrunk) buffer is
+        // exercised both growing and oversized.
+        for &batch in &[4usize, 2, 6] {
+            let logits = Tensor::randn(&[batch, 5], 2.0, &mut rng);
+            let labels: Vec<usize> = (0..batch).map(|i| i % 5).collect();
+            // The historical softmax + clone + subtract + scale sequence.
+            let probs = softmax_rows(&logits);
+            let mut want = probs.clone();
+            let mut want_loss = 0.0f64;
+            for (r, &y) in labels.iter().enumerate() {
+                want_loss -= (probs.at2(r, y).max(1e-12) as f64).ln();
+                *want.at2_mut(r, y) -= 1.0;
+            }
+            want.scale_assign(1.0 / batch as f32);
+            want_loss /= batch as f64;
+
+            let (loss, grad) =
+                SoftmaxCrossEntropy::loss_and_grad_ws(&logits, &labels, &mut scratch);
+            assert_eq!(grad.as_slice(), want.as_slice(), "batch {batch}");
+            assert_eq!(loss.to_bits(), want_loss.to_bits(), "batch {batch}");
+        }
     }
 }

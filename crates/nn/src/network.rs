@@ -2,7 +2,7 @@
 //! helpers. This is the unit that federated parties exchange.
 
 use crate::layer::{Layer, Phase};
-use crate::loss::SoftmaxCrossEntropy;
+use crate::loss::{LossScratch, SoftmaxCrossEntropy};
 use crate::param::ParamReader;
 use niid_tensor::{argmax_rows, Tensor};
 
@@ -12,6 +12,8 @@ use niid_tensor::{argmax_rows, Tensor};
 pub struct Network {
     root: Box<dyn Layer>,
     num_classes: usize,
+    /// Reused softmax/loss workspace for [`Self::forward_backward`].
+    loss_scratch: LossScratch,
 }
 
 impl Network {
@@ -21,6 +23,7 @@ impl Network {
         Self {
             root: Box::new(root),
             num_classes,
+            loss_scratch: LossScratch::new(),
         }
     }
 
@@ -66,7 +69,8 @@ impl Network {
     /// the caller owns the optimizer (see `niid-fl`'s local trainers).
     pub fn forward_backward(&mut self, x: Tensor, labels: &[usize]) -> f64 {
         let logits = self.forward(x, Phase::Train);
-        let (loss, grad) = SoftmaxCrossEntropy::loss_and_grad(&logits, labels);
+        let (loss, grad) =
+            SoftmaxCrossEntropy::loss_and_grad_ws(&logits, labels, &mut self.loss_scratch);
         self.root.backward(grad);
         loss
     }

@@ -14,17 +14,21 @@
 //!
 //! ## Workspace reuse
 //!
-//! The hot path is [`conv2d_forward`] / [`conv2d_backward_ws`], which
+//! The hot path is [`conv2d_forward`] / [`conv2d_backward_accum`], which
 //! operate on a caller-owned [`ConvScratch`]: the im2col lowering, the
 //! backward column gradients and the transposed output gradients all live
 //! in buffers that persist across batches, so a training step performs no
-//! per-sample allocation or copying. Samples are processed in parallel
-//! (each owns disjoint regions of every buffer), which keeps results
-//! bit-identical at any thread count. The allocating [`conv2d`] /
-//! [`conv2d_backward`] wrappers remain for tests and one-off callers.
+//! per-sample allocation or copying, and the weight/bias gradients
+//! accumulate straight into the layer's persistent gradient buffers.
+//! Samples are processed in parallel (each owns disjoint regions of every
+//! buffer), which keeps results bit-identical at any thread count. The
+//! allocating [`conv2d`] / [`conv2d_backward`] / [`conv2d_backward_ws`]
+//! wrappers remain for tests and one-off callers. Bias broadcast and the
+//! bias-gradient reduction dispatch through [`crate::simd`].
 
 use crate::matmul::{matmul_a_bt_slices, matmul_at_b_slices};
 use crate::parallel::{parallel_for_threshold, SharedMut};
+use crate::simd;
 use crate::stats;
 use crate::tensor::Tensor;
 
@@ -315,40 +319,53 @@ pub fn conv2d_forward(
     let bv = bias.map(Tensor::as_slice);
     let cols_ptr = SharedMut(scratch.cols.as_mut_ptr());
     let out_ptr = SharedMut(out.as_mut_ptr());
+    // Resolved on the calling thread so per-thread kernel forcing covers
+    // every sample regardless of which pool worker runs it.
+    let kern = simd::active_kernel();
     parallel_for_threshold(n, n * 2 * out_numel * cw, &|i| {
         // SAFETY: sample `i` exclusively owns its regions of cols/out.
         let cols_i = unsafe { cols_ptr.slice(i * positions * cw, positions * cw) };
         let out_i = unsafe { out_ptr.slice(i * out_numel, out_numel) };
         im2col_into(&xs[i * in_numel..(i + 1) * in_numel], s, cols_i);
-        // W [outc, cw] · colsᵀ [cw, positions] = [outc, positions]
-        matmul_a_bt_slices(wv, cols_i, out_i, s.out_channels, cw, positions);
+        // W [outc, cw] · colsᵀ [cw, positions] = [outc, positions]. The
+        // nested GEMM may execute on a pool worker, so re-pin the kernel
+        // resolved at entry for its dispatch.
+        simd::with_forced_kernel(kern, || {
+            matmul_a_bt_slices(wv, cols_i, out_i, s.out_channels, cw, positions);
+        });
         if let Some(b) = bv {
             for (c, &b_c) in b.iter().enumerate() {
-                for v in &mut out_i[c * positions..(c + 1) * positions] {
-                    *v += b_c;
-                }
+                simd::add_scalar_assign(kern, &mut out_i[c * positions..(c + 1) * positions], b_c);
             }
         }
     });
     Tensor::from_vec(out, &[n, s.out_channels, s.out_h(), s.out_w()])
 }
 
-/// Backward convolution against the lowering cached in `scratch` by the
-/// preceding [`conv2d_forward`] call.
+/// Backward convolution against the lowering cached in `scratch`,
+/// **accumulating** the weight and bias gradients directly into
+/// caller-owned buffers (the layer's persistent `grad_weight` /
+/// `grad_bias` slices) — no intermediate gradient tensors, no extra
+/// add pass.
 ///
 /// * `weight`: `[out_c, C*kh*kw]`
 /// * `grad_out`: `[N, out_c, oh, ow]`
+/// * `grad_weight`: flat `[out_c · C·kh·kw]`, accumulated (`+=`)
+/// * `grad_bias`: flat `[out_c]`, accumulated (`+=`)
 ///
-/// Returns `(grad_input [N,C,H,W], grad_weight, grad_bias)`. All
-/// per-sample work reads borrowed views of the batch buffers — no
-/// per-sample `Tensor` clones — and writes disjoint regions, so results
-/// are bit-identical at any thread count.
-pub fn conv2d_backward_ws(
+/// Returns `grad_input [N,C,H,W]`. Accumulating into zeroed buffers
+/// produces the same bits as the allocating path, so training steps
+/// (which zero grads first) are unchanged by the fusion. All per-sample
+/// work reads borrowed views of the batch buffers and writes disjoint
+/// regions, so results are bit-identical at any thread count.
+pub fn conv2d_backward_accum(
     scratch: &mut ConvScratch,
     weight: &Tensor,
     grad_out: &Tensor,
     s: &Conv2dShape,
-) -> (Tensor, Tensor, Tensor) {
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+) -> Tensor {
     let n = grad_out.shape()[0];
     let positions = s.out_positions();
     let cw = s.col_width();
@@ -364,6 +381,16 @@ pub fn conv2d_backward_ws(
         "conv2d_backward: scratch holds {} lowered samples, grad_out has {}",
         scratch.batch, n
     );
+    assert_eq!(
+        grad_weight.len(),
+        s.out_channels * cw,
+        "conv2d_backward: bad grad_weight length"
+    );
+    assert_eq!(
+        grad_bias.len(),
+        s.out_channels,
+        "conv2d_backward: bad grad_bias length"
+    );
     let ConvScratch {
         cols, dcols, gy_t, ..
     } = scratch;
@@ -373,6 +400,8 @@ pub fn conv2d_backward_ws(
 
     let go = grad_out.as_slice();
     let wv = weight.as_slice();
+    // Resolved on the calling thread; re-pinned inside pool tasks below.
+    let kern = simd::active_kernel();
 
     // Transpose each sample's [outc, positions] gradient to
     // [positions, outc] so dW becomes one tall Aᵀ·B GEMM below.
@@ -392,28 +421,23 @@ pub fn conv2d_backward_ws(
         });
     }
 
-    // dW[outc, cw] = gy_tᵀ [outc, N·pos] · cols [N·pos, cw]: one GEMM over
-    // the whole batch, accumulating input rows in ascending order.
-    let mut grad_weight = vec![0.0f32; s.out_channels * cw];
+    // dW[outc, cw] += gy_tᵀ [outc, N·pos] · cols [N·pos, cw]: one GEMM
+    // over the whole batch, accumulating input rows in ascending order
+    // straight into the caller's gradient buffer.
     matmul_at_b_slices(
         &gy_t[..n * positions * s.out_channels],
         cols,
-        &mut grad_weight,
+        grad_weight,
         n * positions,
         s.out_channels,
         cw,
     );
 
     // db: per-channel sums of grad_out, samples in ascending order.
-    let mut grad_bias = vec![0.0f32; s.out_channels];
     for i in 0..n {
         let go_i = &go[i * out_numel..(i + 1) * out_numel];
         for (c, gb) in grad_bias.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for &v in &go_i[c * positions..(c + 1) * positions] {
-                acc += v;
-            }
-            *gb += acc;
+            *gb += simd::sum(kern, &go_i[c * positions..(c + 1) * positions]);
         }
     }
 
@@ -429,15 +453,43 @@ pub fn conv2d_backward_ws(
             let dcols_i = unsafe { dcols_ptr.slice(i * positions * cw, positions * cw) };
             let gx_i = unsafe { gx_ptr.slice(i * in_numel, in_numel) };
             // dcols [pos, cw] = gy_iᵀ [pos, outc] · W [outc, cw]; the GEMM
-            // accumulates, so clear the reused scratch region first.
+            // accumulates, so clear the reused scratch region first. The
+            // nested GEMM may run on a pool worker — re-pin the kernel.
             dcols_i.fill(0.0);
-            matmul_at_b_slices(go_i, wv, dcols_i, s.out_channels, positions, cw);
+            simd::with_forced_kernel(kern, || {
+                matmul_at_b_slices(go_i, wv, dcols_i, s.out_channels, positions, cw);
+            });
             col2im_into(dcols_i, s, gx_i);
         });
     }
 
+    Tensor::from_vec(grad_input, &[n, s.in_channels, s.in_h, s.in_w])
+}
+
+/// Backward convolution against the lowering cached in `scratch` by the
+/// preceding [`conv2d_forward`] call.
+///
+/// Allocating wrapper over [`conv2d_backward_accum`]: returns
+/// `(grad_input [N,C,H,W], grad_weight, grad_bias)` as fresh tensors.
+pub fn conv2d_backward_ws(
+    scratch: &mut ConvScratch,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: &Conv2dShape,
+) -> (Tensor, Tensor, Tensor) {
+    let cw = s.col_width();
+    let mut grad_weight = vec![0.0f32; s.out_channels * cw];
+    let mut grad_bias = vec![0.0f32; s.out_channels];
+    let grad_input = conv2d_backward_accum(
+        scratch,
+        weight,
+        grad_out,
+        s,
+        &mut grad_weight,
+        &mut grad_bias,
+    );
     (
-        Tensor::from_vec(grad_input, &[n, s.in_channels, s.in_h, s.in_w]),
+        grad_input,
         Tensor::from_vec(grad_weight, &[s.out_channels, cw]),
         Tensor::from_vec(grad_bias, &[s.out_channels]),
     )
@@ -763,6 +815,39 @@ mod tests {
             assert_eq!(gx_ws.as_slice(), gx.as_slice(), "batch {batch}");
             assert_eq!(gw_ws.as_slice(), gw.as_slice(), "batch {batch}");
             assert_eq!(gb_ws.as_slice(), gb.as_slice(), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn backward_accum_adds_onto_existing_gradients() {
+        let s = Conv2dShape {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 5,
+            in_w: 5,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut rng = Pcg64::new(41);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, s.col_width()], 0.3, &mut rng);
+        let mut scratch = ConvScratch::new();
+        let y = conv2d_forward(&x, &w, None, &s, &mut scratch);
+        let gy = Tensor::ones(y.shape());
+        let (gx_ref, gw_ref, gb_ref) = conv2d_backward_ws(&mut scratch, &w, &gy, &s);
+
+        // Pre-seeded buffers: accum must add the same gradient on top.
+        let mut gw = vec![1.0f32; 3 * s.col_width()];
+        let mut gb = vec![2.0f32; 3];
+        let gx = conv2d_backward_accum(&mut scratch, &w, &gy, &s, &mut gw, &mut gb);
+        assert_eq!(gx.as_slice(), gx_ref.as_slice());
+        for (got, want) in gw.iter().zip(gw_ref.as_slice()) {
+            assert!((got - (want + 1.0)).abs() < 1e-5);
+        }
+        for (got, want) in gb.iter().zip(gb_ref.as_slice()) {
+            assert!((got - (want + 2.0)).abs() < 1e-5);
         }
     }
 

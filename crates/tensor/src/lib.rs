@@ -25,21 +25,25 @@ pub mod matmul;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod simd;
 pub mod stats;
 pub mod tensor;
 
 pub use conv::{
-    col2im, col2im_into, conv2d, conv2d_backward, conv2d_backward_ws, conv2d_forward, im2col,
-    Conv2dShape, ConvScratch,
+    col2im, col2im_into, conv2d, conv2d_backward, conv2d_backward_accum, conv2d_backward_ws,
+    conv2d_forward, im2col, Conv2dShape, ConvScratch,
 };
 pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_slices, matmul_at_b, matmul_at_b_slices, matmul_slices,
 };
-pub use ops::{argmax_rows, log_softmax_rows, relu, relu_backward, softmax_rows};
+pub use ops::{argmax_rows, log_softmax_rows, relu, relu_assign, relu_backward, softmax_rows};
 pub use parallel::{
     configured_threads, parallel_for, set_thread_budget, thread_budget, with_thread_budget,
     ENV_THREADS,
 };
 pub use pool::{maxpool2d, maxpool2d_backward, Pool2dShape};
+pub use simd::{
+    active_kernel, configured_kernel, detected_features, with_forced_kernel, Kernel, ENV_SIMD,
+};
 pub use stats::SubstrateStats;
 pub use tensor::Tensor;

@@ -24,12 +24,27 @@
 //! `matmul_a_bt` computes register-blocked dot products over `MB`-row
 //! blocks of `A`.
 //!
+//! The innermost panels dispatch through [`crate::simd`]: the
+//! micro-kernel (AVX2+FMA or the scalar fallback) is resolved **once per
+//! GEMM call on the calling thread** and threaded down into every pool
+//! task, so blocking, threading and vector width compose and per-thread
+//! kernel forcing governs the whole operation. On the AVX2 arm the two
+//! axpy-shaped variants (`A·B`, `Aᵀ·B`) run the register-tiled
+//! [`crate::simd::gemm_panel_avx2`] outer-product kernel — groups of ≤4
+//! `C` rows held in `ymm` accumulators across a whole panel — while
+//! `A·Bᵀ` keeps the 4-accumulator dot kernel; the scalar arm keeps the
+//! historical axpy/dot loops.
+//!
 //! ## Determinism
 //!
 //! Every task owns an exclusive region of `C`, and every accumulation
 //! order is a function of the shapes alone (never the thread count), so
-//! all kernels are **bit-identical for any `NIID_THREADS`** — the
-//! property the federated engine's thread-invariance tests pin down.
+//! all kernels are **bit-identical for any `NIID_THREADS`** *for a fixed
+//! micro-kernel selection* — the property the federated engine's
+//! thread-invariance tests pin down. `NIID_SIMD=scalar` reproduces the
+//! pre-SIMD trajectories bit-for-bit; AVX2 results differ from scalar
+//! only by FMA contraction and lane-reduction rounding (tolerance-tested
+//! in `tests/simd_kernels.rs`).
 //!
 //! ## NaN/inf propagation and the zero-skip
 //!
@@ -39,8 +54,14 @@
 //! pre-scan on every call, finiteness is now established lazily — only
 //! when a zero is actually hit — and per B-tile (resp. per B-row), then
 //! memoized for the rest of that tile pass. Dense inputs pay nothing.
+//!
+//! The zero-skip lives on the **scalar arm only**: the AVX2 register-tiled
+//! panels always compute every term (a vector FMA is cheaper than the
+//! branch), which is the IEEE-exact result and therefore propagates NaN/∞
+//! without needing any finiteness bookkeeping.
 
 use crate::parallel::{parallel_for_threshold as maybe_parallel, SharedMut};
+use crate::simd::{self, Kernel};
 use crate::stats;
 use crate::tensor::Tensor;
 
@@ -56,11 +77,21 @@ const KB: usize = 32;
 /// (engaged when the output has too few rows to split across tasks).
 const ATB_BLOCK_M: usize = 1024;
 
+/// Resolve the micro-kernel for one GEMM call and record the dispatch.
+///
+/// Called **once per entry point, on the calling thread**, and the
+/// resolved [`Kernel`] is passed down into pool tasks — so a per-thread
+/// forced kernel ([`simd::with_forced_kernel`]) governs the whole
+/// operation no matter which worker executes a tile, and the dispatch
+/// decision never sits in an inner loop.
 #[inline]
-fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
-    for (cv, &bv) in c.iter_mut().zip(b) {
-        *cv += a * bv;
-    }
+fn dispatch_kernel(
+    simd_ctr: &'static std::sync::atomic::AtomicU64,
+    scalar_ctr: &'static std::sync::atomic::AtomicU64,
+) -> Kernel {
+    let kern = simd::active_kernel();
+    stats::bump(if kern.is_simd() { simd_ctr } else { scalar_ctr }, 1);
+    kern
 }
 
 /// `C[m,n] += A[m,k] · B[k,n]` over flat row-major slices.
@@ -75,6 +106,7 @@ pub fn matmul_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, 
     }
     stats::bump(&stats::GEMM_AB_CALLS, 1);
     stats::bump(&stats::GEMM_FLOPS, (2 * m * k * n) as u64);
+    let kern = dispatch_kernel(&stats::GEMM_AB_SIMD_CALLS, &stats::GEMM_AB_SCALAR_CALLS);
     let tasks = m.div_ceil(MB);
     let cptr = SharedMut(c.as_mut_ptr());
     maybe_parallel(tasks, 2 * m * k * n, &|t| {
@@ -82,13 +114,15 @@ pub fn matmul_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, 
         let r1 = (r0 + MB).min(m);
         // SAFETY: task `t` exclusively owns rows `r0..r1` of `C`.
         let c_rows = unsafe { cptr.slice(r0 * n, (r1 - r0) * n) };
-        mm_row_block(av, bv, c_rows, r0, r1, k, n);
+        mm_row_block(kern, av, bv, c_rows, r0, r1, k, n);
     });
 }
 
 /// The single-task body of [`matmul_slices`]: rows `r0..r1` of `C`,
 /// tiled `jj → kk → i` so the `B` panel is reused across the block.
+#[allow(clippy::too_many_arguments)]
 fn mm_row_block(
+    kern: Kernel,
     av: &[f32],
     bv: &[f32],
     c_rows: &mut [f32],
@@ -103,24 +137,59 @@ fn mm_row_block(
         let mut kk0 = 0;
         while kk0 < k {
             let kk1 = (kk0 + KC).min(k);
-            // Lazily established once per B-panel, only if a zero is hit.
-            let mut panel_finite: Option<bool> = None;
-            for i in r0..r1 {
-                let a_seg = &av[i * k + kk0..i * k + kk1];
-                let c_seg = &mut c_rows[(i - r0) * n + jj0..(i - r0) * n + jj1];
-                for (dk, &a_ik) in a_seg.iter().enumerate() {
-                    if a_ik == 0.0 {
-                        let finite = *panel_finite.get_or_insert_with(|| {
-                            (kk0..kk1).all(|kk| {
-                                bv[kk * n + jj0..kk * n + jj1].iter().all(|v| v.is_finite())
-                            })
-                        });
-                        if finite {
-                            continue; // 0 · finite contributes exactly 0
-                        }
+            if kern.is_simd() {
+                // Register-tiled always-compute path: groups of ≤4 C rows
+                // stay in ymm accumulators across the whole B panel, so C
+                // traffic drops 4× vs the per-row axpy formulation. The
+                // group partition depends on the block bounds alone, and
+                // each element's t-ascending FMA chain matches the axpy
+                // order — threading cannot change either. Computing zero
+                // alphas (instead of skipping) is the IEEE-exact result,
+                // so NaN/∞ propagation is preserved by construction.
+                #[cfg(target_arch = "x86_64")]
+                {
+                    let (width, depth) = (jj1 - jj0, kk1 - kk0);
+                    let mut i = r0;
+                    while i < r1 {
+                        let rows = (r1 - i).min(4);
+                        simd::gemm_panel_avx2(
+                            &av[i * k + kk0..],
+                            k,
+                            1,
+                            rows,
+                            depth,
+                            &bv[kk0 * n + jj0..],
+                            n,
+                            &mut c_rows[(i - r0) * n + jj0..],
+                            n,
+                            width,
+                        );
+                        i += rows;
                     }
-                    let b_seg = &bv[(kk0 + dk) * n + jj0..(kk0 + dk) * n + jj1];
-                    axpy(c_seg, a_ik, b_seg);
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                unreachable!("SIMD kernel selected on non-x86_64");
+            } else {
+                // Lazily established once per B-panel, only if a zero is
+                // hit.
+                let mut panel_finite: Option<bool> = None;
+                for i in r0..r1 {
+                    let a_seg = &av[i * k + kk0..i * k + kk1];
+                    let c_seg = &mut c_rows[(i - r0) * n + jj0..(i - r0) * n + jj1];
+                    for (dk, &a_ik) in a_seg.iter().enumerate() {
+                        if a_ik == 0.0 {
+                            let finite = *panel_finite.get_or_insert_with(|| {
+                                (kk0..kk1).all(|kk| {
+                                    bv[kk * n + jj0..kk * n + jj1].iter().all(|v| v.is_finite())
+                                })
+                            });
+                            if finite {
+                                continue; // 0 · finite contributes exactly 0
+                            }
+                        }
+                        let b_seg = &bv[(kk0 + dk) * n + jj0..(kk0 + dk) * n + jj1];
+                        simd::axpy(kern, c_seg, a_ik, b_seg);
+                    }
                 }
             }
             kk0 = kk1;
@@ -163,6 +232,7 @@ pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: us
     let flops = 2 * m * k * n;
     stats::bump(&stats::GEMM_ATB_CALLS, 1);
     stats::bump(&stats::GEMM_FLOPS, flops as u64);
+    let kern = dispatch_kernel(&stats::GEMM_ATB_SIMD_CALLS, &stats::GEMM_ATB_SCALAR_CALLS);
     // Wide outputs: split the k output rows across tasks; each task sweeps
     // all m input rows but touches only its own rows of C, so per-element
     // accumulation order (ascending input row) matches the sequential
@@ -175,7 +245,7 @@ pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: us
             let kk1 = (kk0 + KB).min(k);
             // SAFETY: task `t` exclusively owns output rows `kk0..kk1`.
             let c_rows = unsafe { cptr.slice(kk0 * n, (kk1 - kk0) * n) };
-            atb_rows(av, bv, c_rows, 0, m, kk0, kk1, k, n);
+            atb_rows(kern, av, bv, c_rows, 0, m, kk0, kk1, k, n);
         });
         return;
     }
@@ -191,10 +261,12 @@ pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: us
         let r1 = (r0 + ATB_BLOCK_M).min(m);
         // SAFETY: block `blk` exclusively owns its partial buffer.
         let part = unsafe { pptr.slice(blk * k * n, k * n) };
-        atb_rows(av, bv, part, r0, r1, 0, k, k, n);
+        atb_rows(kern, av, bv, part, r0, r1, 0, k, k, n);
     });
     for blk in 0..blocks {
-        axpy(c, 1.0, &partials[blk * k * n..(blk + 1) * k * n]);
+        // `c += 1.0 · part` and `c += part` are the same IEEE operation,
+        // so this reduction is bit-identical to the historical axpy.
+        simd::add_assign(kern, c, &partials[blk * k * n..(blk + 1) * k * n]);
     }
 }
 
@@ -202,6 +274,7 @@ pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: us
 /// `kk0..kk1` (`c` holds exactly those rows).
 #[allow(clippy::too_many_arguments)]
 fn atb_rows(
+    kern: Kernel,
     av: &[f32],
     bv: &[f32],
     c: &mut [f32],
@@ -212,6 +285,37 @@ fn atb_rows(
     k: usize,
     n: usize,
 ) {
+    if kern.is_simd() {
+        // Register-tiled always-compute path (see `mm_row_block`): ≤4
+        // output rows per ymm group, alphas walking a *column* of A
+        // (`rs = 1, ts = k`), B streamed once per 16-column chunk instead
+        // of once per (input row × output row) pair.
+        #[cfg(target_arch = "x86_64")]
+        {
+            let depth = r1 - r0;
+            let nrows = kk1 - kk0;
+            let mut r = 0;
+            while r < nrows {
+                let rows = (nrows - r).min(4);
+                simd::gemm_panel_avx2(
+                    &av[r0 * k + kk0 + r..],
+                    1,
+                    k,
+                    rows,
+                    depth,
+                    &bv[r0 * n..],
+                    n,
+                    &mut c[r * n..],
+                    n,
+                    n,
+                );
+                r += rows;
+            }
+            return;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        unreachable!("SIMD kernel selected on non-x86_64");
+    }
     for row in r0..r1 {
         let a_seg = &av[row * k + kk0..row * k + kk1];
         let b_row = &bv[row * n..(row + 1) * n];
@@ -224,7 +328,7 @@ fn atb_rows(
                     continue;
                 }
             }
-            axpy(&mut c[dk * n..(dk + 1) * n], a_rk, b_row);
+            simd::axpy(kern, &mut c[dk * n..(dk + 1) * n], a_rk, b_row);
         }
     }
 }
@@ -266,6 +370,7 @@ pub fn matmul_a_bt_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: us
     }
     stats::bump(&stats::GEMM_ABT_CALLS, 1);
     stats::bump(&stats::GEMM_FLOPS, (2 * m * k * n) as u64);
+    let kern = dispatch_kernel(&stats::GEMM_ABT_SIMD_CALLS, &stats::GEMM_ABT_SCALAR_CALLS);
     let tasks = m.div_ceil(MB);
     let cptr = SharedMut(c.as_mut_ptr());
     maybe_parallel(tasks, 2 * m * k * n, &|t| {
@@ -279,11 +384,7 @@ pub fn matmul_a_bt_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: us
             let b_row = &bv[j * n..(j + 1) * n];
             for i in r0..r1 {
                 let a_row = &av[i * n..(i + 1) * n];
-                let mut acc = 0.0f32;
-                for (a_v, b_v) in a_row.iter().zip(b_row) {
-                    acc += a_v * b_v;
-                }
-                c_rows[(i - r0) * k + j] = acc;
+                c_rows[(i - r0) * k + j] = simd::dot(kern, a_row, b_row);
             }
         }
     });

@@ -1,10 +1,21 @@
 //! Activation and classification-head primitives.
+//!
+//! The ReLU family dispatches through [`crate::simd`] (bit-identical to
+//! the scalar loops on every kernel, NaN mapped to 0 either way).
 
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Elementwise ReLU into a new tensor.
 pub fn relu(x: &Tensor) -> Tensor {
-    x.map(|v| if v > 0.0 { v } else { 0.0 })
+    let mut data = vec![0.0f32; x.numel()];
+    simd::relu_into(simd::active_kernel(), x.as_slice(), &mut data);
+    Tensor::from_vec(data, x.shape())
+}
+
+/// Elementwise ReLU in place (the allocation-free eval path).
+pub fn relu_assign(x: &mut Tensor) {
+    simd::relu_assign(simd::active_kernel(), x.as_mut_slice());
 }
 
 /// Backward of ReLU: pass gradient where the *input* was positive.
@@ -14,12 +25,13 @@ pub fn relu_backward(grad_out: &Tensor, input: &Tensor) -> Tensor {
         input.shape(),
         "relu_backward: shape mismatch"
     );
-    let data = grad_out
-        .as_slice()
-        .iter()
-        .zip(input.as_slice())
-        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
-        .collect();
+    let mut data = vec![0.0f32; input.numel()];
+    simd::relu_backward_into(
+        simd::active_kernel(),
+        grad_out.as_slice(),
+        input.as_slice(),
+        &mut data,
+    );
     Tensor::from_vec(data, input.shape())
 }
 
@@ -28,6 +40,7 @@ pub fn relu_backward(grad_out: &Tensor, input: &Tensor) -> Tensor {
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.ndim(), 2, "softmax_rows: input must be rank-2");
     let (rows, cols) = (logits.shape()[0], logits.shape()[1]);
+    let kern = simd::active_kernel();
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
         let row = logits.row(r);
@@ -39,10 +52,7 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
             *d = e;
             sum += e;
         }
-        let inv = 1.0 / sum;
-        for d in dst {
-            *d *= inv;
-        }
+        simd::scale_assign(kern, dst, 1.0 / sum);
     }
     Tensor::from_vec(out, logits.shape())
 }
@@ -90,6 +100,14 @@ mod tests {
     fn relu_clamps_negatives() {
         let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
         assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_assign_matches_relu() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, f32::NAN, -0.0], &[5]);
+        let mut y = x.clone();
+        relu_assign(&mut y);
+        assert_eq!(y.as_slice(), relu(&x).as_slice());
     }
 
     #[test]

@@ -1,0 +1,1213 @@
+//! Runtime-dispatched SIMD micro-kernels for the training hot path.
+//!
+//! Every inner loop the models spend time in — the GEMM axpy/dot panels,
+//! elementwise activations, bias adds, reductions and the SGD momentum
+//! update — funnels through this module. At process start the dispatcher
+//! picks a [`Kernel`]:
+//!
+//! * **`Kernel::Avx2`** — explicit `std::arch` AVX2+FMA kernels: 8-wide
+//!   (256-bit) f32 lanes, fused multiply-add, 4× unrolled main loops and
+//!   masked tail handling (`_mm256_maskload_ps`/`_mm256_maskstore_ps`)
+//!   so odd lengths never fall off the vector path.
+//! * **`Kernel::Scalar`** — the portable fallback. Its loops are kept
+//!   **character-for-character identical** to the pre-SIMD kernels, so
+//!   `NIID_SIMD=scalar` reproduces historical training trajectories
+//!   bit-for-bit.
+//!
+//! ## Selection
+//!
+//! The kernel is chosen once per process, in this order:
+//!
+//! 1. `NIID_SIMD=off|scalar` forces the scalar fallback; `NIID_SIMD=avx2`
+//!    forces AVX2 (falling back with a warning when the CPU lacks it).
+//! 2. Otherwise `is_x86_feature_detected!("avx2")` + `("fma")` picks AVX2
+//!    on capable x86-64 hosts, scalar everywhere else.
+//!
+//! Tests pin a kernel per-thread with [`with_forced_kernel`]. Multi-level
+//! kernels (GEMM) resolve the kernel **once at their entry point, on the
+//! calling thread**, and pass the resolved [`Kernel`] value down into
+//! worker-pool tasks — so a forced kernel applies to the whole operation
+//! regardless of which pool thread executes a tile.
+//!
+//! ## Determinism contract
+//!
+//! For a **fixed kernel**, every primitive's floating-point evaluation
+//! order is a function of slice lengths alone, so results compose with the
+//! worker-pool blocking in [`crate::matmul`] to stay bit-identical at any
+//! `NIID_THREADS`. Across kernels the primitives fall in three classes:
+//!
+//! | primitive                         | AVX2 vs scalar |
+//! |-----------------------------------|----------------|
+//! | `add_assign`, `add_scalar_assign`, `scale_assign`, `relu_*` | bit-identical (lane ops have scalar IEEE semantics) |
+//! | `sum_sq_f64`                      | bit-identical (4 f64 lanes mirror the scalar 4-accumulator loop) |
+//! | `axpy`, `dot`, `sum`, `sgd_momentum_step` | tolerance-bounded (FMA contraction and/or lane-reduction reassociation) |
+//!
+//! NaN/∞ propagation matches the scalar kernels everywhere: FMA and lane
+//! arithmetic propagate non-finite values exactly like their scalar
+//! counterparts, and the ReLU kernels use compare/max forms whose
+//! NaN-maps-to-zero behaviour equals the scalar `if v > 0.0` branch.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Environment variable overriding kernel selection
+/// (`off` | `scalar` | `avx2`).
+pub const ENV_SIMD: &str = "NIID_SIMD";
+
+/// A micro-kernel implementation the dispatcher can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar loops (bit-identical to the pre-SIMD kernels).
+    Scalar,
+    /// AVX2 + FMA `std::arch` kernels (x86-64 only).
+    Avx2,
+}
+
+impl Kernel {
+    /// Stable lowercase name (`scalar` / `avx2`), used in metrics labels
+    /// and the bench JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this kernel uses SIMD instructions.
+    pub fn is_simd(self) -> bool {
+        self != Kernel::Scalar
+    }
+
+    /// Whether the running CPU can execute this kernel.
+    pub fn available(self) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            Kernel::Avx2 => avx2_available(),
+        }
+    }
+
+    /// Every kernel the running CPU supports (scalar first).
+    pub fn available_kernels() -> Vec<Kernel> {
+        let mut out = vec![Kernel::Scalar];
+        if Kernel::Avx2.available() {
+            out.push(Kernel::Avx2);
+        }
+        out
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// CPU vector features the dispatcher recognizes on this host
+/// (`"avx2+fma"` or `"none"`), for diagnostics and the bench JSON.
+pub fn detected_features() -> &'static str {
+    if avx2_available() {
+        "avx2+fma"
+    } else {
+        "none"
+    }
+}
+
+/// The process-wide kernel: the `NIID_SIMD` override if set, otherwise
+/// the best kernel the CPU supports. Resolved once and cached.
+pub fn configured_kernel() -> Kernel {
+    static CONFIGURED: OnceLock<Kernel> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        if let Ok(v) = std::env::var(ENV_SIMD) {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "off" | "scalar" => return Kernel::Scalar,
+                "avx2" => {
+                    if Kernel::Avx2.available() {
+                        return Kernel::Avx2;
+                    }
+                    eprintln!(
+                        "warning: {ENV_SIMD}=avx2 requested but CPU lacks avx2+fma; \
+                         using scalar kernels"
+                    );
+                    return Kernel::Scalar;
+                }
+                "" => {}
+                other => eprintln!("warning: ignoring invalid {ENV_SIMD}={other:?}"),
+            }
+        }
+        if Kernel::Avx2.available() {
+            Kernel::Avx2
+        } else {
+            Kernel::Scalar
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread kernel override installed by [`with_forced_kernel`].
+    static FORCED: Cell<Option<Kernel>> = const { Cell::new(None) };
+}
+
+/// The kernel in effect on the current thread: a forced override if one
+/// is installed, otherwise [`configured_kernel`]. Hot entry points call
+/// this **once** and pass the value down, so the thread-local lookup
+/// never sits in an inner loop (and forced kernels survive the hop onto
+/// worker-pool threads).
+pub fn active_kernel() -> Kernel {
+    FORCED.with(Cell::get).unwrap_or_else(configured_kernel)
+}
+
+/// Run `f` with the current thread's kernel pinned to `k`, restoring the
+/// previous state afterwards (even on panic).
+///
+/// # Panics
+/// Panics if `k` is not available on this CPU.
+pub fn with_forced_kernel<R>(k: Kernel, f: impl FnOnce() -> R) -> R {
+    assert!(
+        k.available(),
+        "with_forced_kernel: {} not available on this CPU",
+        k.name()
+    );
+    struct Restore(Option<Kernel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCED.with(|c| c.replace(Some(k))));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched primitives. Every function takes the resolved `Kernel` so the
+// dispatch decision is hoisted out of tile/row loops by the caller.
+// ---------------------------------------------------------------------------
+
+/// `c[i] += a * b[i]` — the GEMM panel update.
+///
+/// AVX2 uses 8-wide FMA (single rounding per element); scalar is the
+/// historical mul+add loop.
+#[inline]
+pub fn axpy(k: Kernel, c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    match k {
+        Kernel::Scalar => {
+            for (cv, &bv) in c.iter_mut().zip(b) {
+                *cv += a * bv;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::axpy(c, a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Dot product `Σ a[i]·b[i]` — the A·Bᵀ inner loop.
+///
+/// AVX2 accumulates in 4×8 lanes reduced in a fixed order; scalar is the
+/// historical serial accumulation.
+#[inline]
+pub fn dot(k: Kernel, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match k {
+        Kernel::Scalar => {
+            let mut acc = 0.0f32;
+            for (av, bv) in a.iter().zip(b) {
+                acc += av * bv;
+            }
+            acc
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Elementwise `c[i] += b[i]`. Bit-identical across kernels.
+#[inline]
+pub fn add_assign(k: Kernel, c: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    match k {
+        Kernel::Scalar => {
+            for (cv, &bv) in c.iter_mut().zip(b) {
+                *cv += bv;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::add_assign(c, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// `c[i] += a` — the conv bias broadcast. Bit-identical across kernels.
+#[inline]
+pub fn add_scalar_assign(k: Kernel, c: &mut [f32], a: f32) {
+    match k {
+        Kernel::Scalar => {
+            for cv in c.iter_mut() {
+                *cv += a;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::add_scalar_assign(c, a) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// `c[i] *= a` — softmax normalization, gradient scaling. Bit-identical
+/// across kernels.
+#[inline]
+pub fn scale_assign(k: Kernel, c: &mut [f32], a: f32) {
+    match k {
+        Kernel::Scalar => {
+            for cv in c.iter_mut() {
+                *cv *= a;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::scale_assign(c, a) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// `dst[i] = max(src[i], 0)`, with NaN mapped to `0.0` exactly like the
+/// scalar `if v > 0.0 { v } else { 0.0 }`. Bit-identical across kernels.
+#[inline]
+pub fn relu_into(k: Kernel, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match k {
+        Kernel::Scalar => {
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d = if v > 0.0 { v } else { 0.0 };
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::relu_into(src, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// In-place ReLU (`x[i] = max(x[i], 0)`, NaN → 0). Bit-identical across
+/// kernels.
+#[inline]
+pub fn relu_assign(k: Kernel, xs: &mut [f32]) {
+    match k {
+        Kernel::Scalar => {
+            for v in xs.iter_mut() {
+                *v = if *v > 0.0 { *v } else { 0.0 };
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::relu_assign(xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// `dst[i] = if input[i] > 0 { grad[i] } else { 0 }` — ReLU backward.
+/// Bit-identical across kernels (NaN input gates to 0, like scalar).
+#[inline]
+pub fn relu_backward_into(k: Kernel, grad: &[f32], input: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(grad.len(), input.len());
+    debug_assert_eq!(grad.len(), dst.len());
+    match k {
+        Kernel::Scalar => {
+            for ((d, &g), &x) in dst.iter_mut().zip(grad).zip(input) {
+                *d = if x > 0.0 { g } else { 0.0 };
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::relu_backward_into(grad, input, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Sum of a slice (f32 accumulation). AVX2 reduces 8 lanes in a fixed
+/// order (tolerance-bounded vs scalar's serial sum).
+#[inline]
+pub fn sum(k: Kernel, xs: &[f32]) -> f32 {
+    match k {
+        Kernel::Scalar => {
+            let mut acc = 0.0f32;
+            for &v in xs {
+                acc += v;
+            }
+            acc
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::sum(xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Sum of squares with f64 accumulation — the gradient-norm probe.
+///
+/// **Bit-identical across kernels**: the scalar path uses 4 independent
+/// accumulators over `chunks_exact(4)` (lane `j` takes elements
+/// `j, j+4, …`), combined as `s0+s1+s2+s3` plus a serial remainder; the
+/// AVX2 path maps the same 4 streams onto 4 f64 lanes with plain
+/// convert/multiply/add (no FMA), so every partial sum rounds identically.
+#[inline]
+pub fn sum_sq_f64(k: Kernel, xs: &[f32]) -> f64 {
+    match k {
+        Kernel::Scalar => {
+            let mut sums = [0.0f64; 4];
+            let mut chunks = xs.chunks_exact(4);
+            for c in chunks.by_ref() {
+                sums[0] += (c[0] as f64) * (c[0] as f64);
+                sums[1] += (c[1] as f64) * (c[1] as f64);
+                sums[2] += (c[2] as f64) * (c[2] as f64);
+                sums[3] += (c[3] as f64) * (c[3] as f64);
+            }
+            let mut s = sums[0] + sums[1] + sums[2] + sums[3];
+            for &v in chunks.remainder() {
+                s += (v as f64) * (v as f64);
+            }
+            s
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::sum_sq_f64(xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Register-tiled GEMM panel update (AVX2 only):
+///
+/// ```text
+/// C[r][j] += Σ_t alpha[r·rs + t·ts] · B[t·bs + j]    r < rows, j < width
+/// ```
+///
+/// Up to 4 C rows are held in `ymm` accumulators across the whole `t`
+/// loop (two 8-lane vectors per row while `width ≥ 16`, one while
+/// `width ≥ 8`, a masked vector for the final `width % 8` columns), so C
+/// is loaded and stored **once per panel** instead of once per `t` as in
+/// the [`axpy`] formulation. The `alpha` strides make the one kernel
+/// serve both axpy-shaped GEMMs: `A·B` passes `rs = k, ts = 1` (alphas
+/// are a row of A), `Aᵀ·B` passes `rs = 1, ts = k` (alphas are a column
+/// of A).
+///
+/// Per C element the evaluation is the same `t`-ascending FMA chain as
+/// the AVX2 [`axpy`] panel loop, so swapping the formulations does not
+/// change the cross-kernel tolerance class, and the order is a function
+/// of shapes alone (thread-count bit-identity holds). Unlike the scalar
+/// path this kernel never skips zero alphas — every term is computed, so
+/// NaN/∞ in either operand propagate exactly as IEEE arithmetic demands.
+///
+/// # Panics
+/// Panics when `rows ∉ 1..=4` or any index reaches outside its slice.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_panel_avx2(
+    alpha: &[f32],
+    rs: usize,
+    ts: usize,
+    rows: usize,
+    depth: usize,
+    b: &[f32],
+    bs: usize,
+    c: &mut [f32],
+    cs: usize,
+    width: usize,
+) {
+    if depth == 0 || width == 0 {
+        return;
+    }
+    assert!((1..=4).contains(&rows), "gemm_panel: rows = {rows}");
+    assert!(
+        (rows - 1) * rs + (depth - 1) * ts < alpha.len(),
+        "gemm_panel: alpha out of bounds"
+    );
+    assert!(
+        (depth - 1) * bs + width <= b.len(),
+        "gemm_panel: b out of bounds"
+    );
+    assert!(
+        (rows - 1) * cs + width <= c.len(),
+        "gemm_panel: c out of bounds"
+    );
+    // SAFETY: bounds asserted above; callers only select this kernel when
+    // avx2+fma are detected (enforced by `Kernel::Avx2.available()` at
+    // dispatch time).
+    unsafe {
+        avx2::gemm_panel(
+            alpha.as_ptr(),
+            rs,
+            ts,
+            rows,
+            depth,
+            b.as_ptr(),
+            bs,
+            c.as_mut_ptr(),
+            cs,
+            width,
+        )
+    }
+}
+
+/// Fused single-pass SGD momentum update over the flat parameter vector:
+///
+/// ```text
+/// g' = g + wd·p      (weight decay)
+/// v  = m·v + g'      (momentum)
+/// p  = p − lr·v      (descent)
+/// ```
+///
+/// One load/store pass over three arrays instead of three scalar
+/// read-modify-write chains. The scalar path is the historical
+/// [`Sgd::step`] loop verbatim; AVX2 contracts each line into an FMA
+/// (tolerance-bounded).
+#[inline]
+pub fn sgd_momentum_step(
+    k: Kernel,
+    params: &mut [f32],
+    grads: &[f32],
+    velocity: &mut [f32],
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+) {
+    assert_eq!(params.len(), grads.len(), "sgd step: grads length");
+    assert_eq!(params.len(), velocity.len(), "sgd step: velocity length");
+    match k {
+        Kernel::Scalar => {
+            let (m, wd) = (momentum, weight_decay);
+            for ((p, &g), v) in params.iter_mut().zip(grads).zip(velocity.iter_mut()) {
+                let g = g + wd * *p;
+                *v = m * *v + g;
+                *p -= lr * *v;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected;
+        // lengths checked above.
+        Kernel::Avx2 => unsafe {
+            avx2::sgd_momentum_step(params, grads, velocity, lr, momentum, weight_decay)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// The AVX2+FMA micro-kernels.
+///
+/// ## Register layout
+///
+/// All kernels stream 256-bit `ymm` registers over contiguous f32 slices:
+/// a 4× unrolled main loop (32 f32 per iteration, enough independent FMA
+/// chains to cover the 4-cycle FMA latency at 2 issues/cycle), an 8-wide
+/// cleanup loop, and a masked epilogue that `maskload`s/`maskstore`s the
+/// final `len % 8` lanes so tails never leave the vector unit or touch
+/// memory beyond the slice.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// `TAIL_MASKS[r]` enables the first `r` of 8 lanes (sign bit set).
+    #[rustfmt::skip]
+    static TAIL_MASKS: [[i32; 8]; 8] = [
+        [ 0,  0,  0,  0,  0,  0,  0,  0],
+        [-1,  0,  0,  0,  0,  0,  0,  0],
+        [-1, -1,  0,  0,  0,  0,  0,  0],
+        [-1, -1, -1,  0,  0,  0,  0,  0],
+        [-1, -1, -1, -1,  0,  0,  0,  0],
+        [-1, -1, -1, -1, -1,  0,  0,  0],
+        [-1, -1, -1, -1, -1, -1,  0,  0],
+        [-1, -1, -1, -1, -1, -1, -1,  0],
+    ];
+
+    /// Load the lane mask for a tail of `r` elements (`0 < r < 8`).
+    #[inline]
+    unsafe fn tail_mask(r: usize) -> __m256i {
+        debug_assert!(r < 8);
+        _mm256_loadu_si256(TAIL_MASKS[r].as_ptr() as *const __m256i)
+    }
+
+    /// Horizontal sum of 8 lanes in a fixed order:
+    /// `(l0+l4)+(l2+l6) + (l1+l5)+(l3+l7)` — deterministic per length.
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi); // [l0+l4, l1+l5, l2+l6, l3+l7]
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s)); // [02+46, 13+57, ..]
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+        let n = c.len();
+        let (cp, bp) = (c.as_mut_ptr(), b.as_ptr());
+        let va = _mm256_set1_ps(a);
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let c0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp.add(i)), _mm256_loadu_ps(cp.add(i)));
+            let c1 = _mm256_fmadd_ps(
+                va,
+                _mm256_loadu_ps(bp.add(i + 8)),
+                _mm256_loadu_ps(cp.add(i + 8)),
+            );
+            let c2 = _mm256_fmadd_ps(
+                va,
+                _mm256_loadu_ps(bp.add(i + 16)),
+                _mm256_loadu_ps(cp.add(i + 16)),
+            );
+            let c3 = _mm256_fmadd_ps(
+                va,
+                _mm256_loadu_ps(bp.add(i + 24)),
+                _mm256_loadu_ps(cp.add(i + 24)),
+            );
+            _mm256_storeu_ps(cp.add(i), c0);
+            _mm256_storeu_ps(cp.add(i + 8), c1);
+            _mm256_storeu_ps(cp.add(i + 16), c2);
+            _mm256_storeu_ps(cp.add(i + 24), c3);
+            i += 32;
+        }
+        while i + 8 <= n {
+            let cv = _mm256_fmadd_ps(va, _mm256_loadu_ps(bp.add(i)), _mm256_loadu_ps(cp.add(i)));
+            _mm256_storeu_ps(cp.add(i), cv);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let bv = _mm256_maskload_ps(bp.add(i), m);
+            let cv = _mm256_maskload_ps(cp.add(i), m);
+            _mm256_maskstore_ps(cp.add(i), m, _mm256_fmadd_ps(va, bv, cv));
+        }
+    }
+
+    /// Register-tiled panel update; see [`super::gemm_panel_avx2`] for the
+    /// contract. Monomorphizes the row count so the accumulator arrays
+    /// stay in `ymm` registers.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_panel(
+        alpha: *const f32,
+        rs: usize,
+        ts: usize,
+        rows: usize,
+        depth: usize,
+        b: *const f32,
+        bs: usize,
+        c: *mut f32,
+        cs: usize,
+        width: usize,
+    ) {
+        match rows {
+            4 => gemm_panel_rows::<4>(alpha, rs, ts, depth, b, bs, c, cs, width),
+            3 => gemm_panel_rows::<3>(alpha, rs, ts, depth, b, bs, c, cs, width),
+            2 => gemm_panel_rows::<2>(alpha, rs, ts, depth, b, bs, c, cs, width),
+            1 => gemm_panel_rows::<1>(alpha, rs, ts, depth, b, bs, c, cs, width),
+            _ => unreachable!("gemm_panel: rows must be 1..=4"),
+        }
+    }
+
+    // `for r in 0..R` + indexing keeps the accumulator arrays addressed by
+    // a const-propagated index, which is what lets LLVM allocate them to
+    // ymm registers; iterator chains obscure that.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    unsafe fn gemm_panel_rows<const R: usize>(
+        alpha: *const f32,
+        rs: usize,
+        ts: usize,
+        depth: usize,
+        b: *const f32,
+        bs: usize,
+        c: *mut f32,
+        cs: usize,
+        width: usize,
+    ) {
+        let mut j = 0usize;
+        // 16-column blocks: R×2 accumulators, one broadcast feeds two FMAs.
+        while j + 16 <= width {
+            let mut acc0 = [_mm256_setzero_ps(); R];
+            let mut acc1 = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc0[r] = _mm256_loadu_ps(c.add(r * cs + j));
+                acc1[r] = _mm256_loadu_ps(c.add(r * cs + j + 8));
+            }
+            for t in 0..depth {
+                let b0 = _mm256_loadu_ps(b.add(t * bs + j));
+                let b1 = _mm256_loadu_ps(b.add(t * bs + j + 8));
+                for r in 0..R {
+                    let av = _mm256_broadcast_ss(&*alpha.add(r * rs + t * ts));
+                    acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+                    acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(c.add(r * cs + j), acc0[r]);
+                _mm256_storeu_ps(c.add(r * cs + j + 8), acc1[r]);
+            }
+            j += 16;
+        }
+        while j + 8 <= width {
+            let mut acc = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc[r] = _mm256_loadu_ps(c.add(r * cs + j));
+            }
+            for t in 0..depth {
+                let bv = _mm256_loadu_ps(b.add(t * bs + j));
+                for r in 0..R {
+                    let av = _mm256_broadcast_ss(&*alpha.add(r * rs + t * ts));
+                    acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(c.add(r * cs + j), acc[r]);
+            }
+            j += 8;
+        }
+        let rem = width - j;
+        if rem > 0 {
+            // Masked-off B lanes load +0.0; whatever alpha·0 produces in
+            // the dead lanes is never stored back.
+            let m = tail_mask(rem);
+            let mut acc = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc[r] = _mm256_maskload_ps(c.add(r * cs + j), m);
+            }
+            for t in 0..depth {
+                let bv = _mm256_maskload_ps(b.add(t * bs + j), m);
+                for r in 0..R {
+                    let av = _mm256_broadcast_ss(&*alpha.add(r * rs + t * ts));
+                    acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
+                }
+            }
+            for r in 0..R {
+                _mm256_maskstore_ps(c.add(r * cs + j), m, acc[r]);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 16)),
+                _mm256_loadu_ps(bp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 24)),
+                _mm256_loadu_ps(bp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            // Masked lanes load as +0.0 on both sides: 0·0 contributes
+            // exactly 0 and cannot manufacture or swallow a NaN.
+            let m = tail_mask(rem);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_maskload_ps(ap.add(i), m),
+                _mm256_maskload_ps(bp.add(i), m),
+                acc1,
+            );
+        }
+        let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        hsum(acc)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn add_assign(c: &mut [f32], b: &[f32]) {
+        let n = c.len();
+        let (cp, bp) = (c.as_mut_ptr(), b.as_ptr());
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let cv = _mm256_add_ps(_mm256_loadu_ps(cp.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(cp.add(i), cv);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let cv = _mm256_add_ps(
+                _mm256_maskload_ps(cp.add(i), m),
+                _mm256_maskload_ps(bp.add(i), m),
+            );
+            _mm256_maskstore_ps(cp.add(i), m, cv);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn add_scalar_assign(c: &mut [f32], a: f32) {
+        let n = c.len();
+        let cp = c.as_mut_ptr();
+        let va = _mm256_set1_ps(a);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(cp.add(i), _mm256_add_ps(_mm256_loadu_ps(cp.add(i)), va));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let cv = _mm256_add_ps(_mm256_maskload_ps(cp.add(i), m), va);
+            _mm256_maskstore_ps(cp.add(i), m, cv);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn scale_assign(c: &mut [f32], a: f32) {
+        let n = c.len();
+        let cp = c.as_mut_ptr();
+        let va = _mm256_set1_ps(a);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(cp.add(i), _mm256_mul_ps(_mm256_loadu_ps(cp.add(i)), va));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let cv = _mm256_mul_ps(_mm256_maskload_ps(cp.add(i), m), va);
+            _mm256_maskstore_ps(cp.add(i), m, cv);
+        }
+    }
+
+    /// `max(x, 0)` with the NaN→0 convention: `MAXPS` returns the second
+    /// operand when either input is NaN, and zero is the second operand.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn relu_into(src: &[f32], dst: &mut [f32]) {
+        let n = src.len();
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let zero = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(dp.add(i), _mm256_max_ps(_mm256_loadu_ps(sp.add(i)), zero));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let v = _mm256_max_ps(_mm256_maskload_ps(sp.add(i), m), zero);
+            _mm256_maskstore_ps(dp.add(i), m, v);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn relu_assign(xs: &mut [f32]) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let zero = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(p.add(i), _mm256_max_ps(_mm256_loadu_ps(p.add(i)), zero));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let v = _mm256_max_ps(_mm256_maskload_ps(p.add(i), m), zero);
+            _mm256_maskstore_ps(p.add(i), m, v);
+        }
+    }
+
+    /// Gradient gated by `input > 0` via `CMP_GT_OQ` + bitwise AND; a NaN
+    /// input compares false (ordered, quiet) and gates the lane to 0,
+    /// matching the scalar branch.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn relu_backward_into(grad: &[f32], input: &[f32], dst: &mut [f32]) {
+        let n = grad.len();
+        let (gp, xp, dp) = (grad.as_ptr(), input.as_ptr(), dst.as_mut_ptr());
+        let zero = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let mask = _mm256_cmp_ps(_mm256_loadu_ps(xp.add(i)), zero, _CMP_GT_OQ);
+            let v = _mm256_and_ps(mask, _mm256_loadu_ps(gp.add(i)));
+            _mm256_storeu_ps(dp.add(i), v);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let mask = _mm256_cmp_ps(_mm256_maskload_ps(xp.add(i), m), zero, _CMP_GT_OQ);
+            let v = _mm256_and_ps(mask, _mm256_maskload_ps(gp.add(i), m));
+            _mm256_maskstore_ps(dp.add(i), m, v);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let p = xs.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            // Masked lanes read as +0.0, the additive identity.
+            acc = _mm256_add_ps(acc, _mm256_maskload_ps(p.add(i), tail_mask(rem)));
+        }
+        hsum(acc)
+    }
+
+    /// 4 f64 lanes mirror the scalar path's 4 accumulators exactly:
+    /// convert (exact), multiply and add (no FMA) round identically to the
+    /// scalar f64 ops, and lanes are combined in index order — so this is
+    /// bit-identical to the scalar kernel.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum_sq_f64(xs: &[f32]) -> f64 {
+        let n = xs.len();
+        let p = xs.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v = _mm256_cvtps_pd(_mm_loadu_ps(p.add(i)));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+            i += 4;
+        }
+        let lanes: [f64; 4] = std::mem::transmute(acc);
+        let mut s = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        while i < n {
+            let v = *p.add(i) as f64;
+            s += v * v;
+            i += 1;
+        }
+        s
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sgd_momentum_step(
+        params: &mut [f32],
+        grads: &[f32],
+        velocity: &mut [f32],
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+    ) {
+        let n = params.len();
+        let (pp, gp, vp) = (params.as_mut_ptr(), grads.as_ptr(), velocity.as_mut_ptr());
+        let vlr = _mm256_set1_ps(lr);
+        let vm = _mm256_set1_ps(momentum);
+        let vwd = _mm256_set1_ps(weight_decay);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let p = _mm256_loadu_ps(pp.add(i));
+            let g = _mm256_fmadd_ps(vwd, p, _mm256_loadu_ps(gp.add(i))); // g + wd·p
+            let v = _mm256_fmadd_ps(vm, _mm256_loadu_ps(vp.add(i)), g); // m·v + g
+            let p = _mm256_fnmadd_ps(vlr, v, p); // p − lr·v
+            _mm256_storeu_ps(vp.add(i), v);
+            _mm256_storeu_ps(pp.add(i), p);
+            i += 8;
+        }
+        let rem = n - i;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let p = _mm256_maskload_ps(pp.add(i), m);
+            let g = _mm256_fmadd_ps(vwd, p, _mm256_maskload_ps(gp.add(i), m));
+            let v = _mm256_fmadd_ps(vm, _mm256_maskload_ps(vp.add(i), m), g);
+            let p = _mm256_fnmadd_ps(vlr, v, p);
+            _mm256_maskstore_ps(vp.add(i), m, v);
+            _mm256_maskstore_ps(pp.add(i), m, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use niid_stats::Pcg64;
+
+    /// Lengths straddling the unroll (32), vector (8) and tail boundaries.
+    const LENS: [usize; 10] = [0, 1, 3, 7, 8, 9, 17, 31, 33, 100];
+
+    fn randv(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Pcg64::new(seed);
+        (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn scalar_always_available_and_named() {
+        assert!(Kernel::Scalar.available());
+        assert!(!Kernel::Scalar.is_simd());
+        assert_eq!(Kernel::Scalar.name(), "scalar");
+        assert_eq!(Kernel::Avx2.name(), "avx2");
+        assert_eq!(Kernel::available_kernels()[0], Kernel::Scalar);
+    }
+
+    #[test]
+    fn forced_kernel_is_scoped_and_restored() {
+        let outer = active_kernel();
+        with_forced_kernel(Kernel::Scalar, || {
+            assert_eq!(active_kernel(), Kernel::Scalar);
+        });
+        assert_eq!(active_kernel(), outer);
+        // Restored even when the closure panics.
+        let _ = std::panic::catch_unwind(|| {
+            with_forced_kernel(Kernel::Scalar, || panic!("boom"));
+        });
+        assert_eq!(active_kernel(), outer);
+    }
+
+    #[test]
+    fn elementwise_primitives_bit_identical_across_kernels() {
+        for k in Kernel::available_kernels() {
+            for &n in &LENS {
+                let b = randv(n, 7 + n as u64);
+                let base = randv(n, 90 + n as u64);
+
+                let mut want = base.clone();
+                for (c, &bv) in want.iter_mut().zip(&b) {
+                    *c += bv;
+                }
+                let mut got = base.clone();
+                add_assign(k, &mut got, &b);
+                assert_eq!(got, want, "add_assign {k:?} len {n}");
+
+                let mut want = base.clone();
+                for c in want.iter_mut() {
+                    *c *= 1.7;
+                }
+                let mut got = base.clone();
+                scale_assign(k, &mut got, 1.7);
+                assert_eq!(got, want, "scale_assign {k:?} len {n}");
+
+                let mut want = base.clone();
+                for c in want.iter_mut() {
+                    *c += -0.3;
+                }
+                let mut got = base.clone();
+                add_scalar_assign(k, &mut got, -0.3);
+                assert_eq!(got, want, "add_scalar_assign {k:?} len {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_matches_scalar_semantics_including_nan() {
+        for k in Kernel::available_kernels() {
+            for &n in &LENS {
+                let mut x = randv(n, 11 + n as u64);
+                if n > 2 {
+                    x[0] = f32::NAN;
+                    x[1] = f32::NEG_INFINITY;
+                    x[2] = -0.0;
+                }
+                let want: Vec<f32> = x.iter().map(|&v| if v > 0.0 { v } else { 0.0 }).collect();
+                let mut fwd = vec![9.0f32; n];
+                relu_into(k, &x, &mut fwd);
+                assert_eq!(fwd, want, "relu_into {k:?} len {n}");
+                let mut inplace = x.clone();
+                relu_assign(k, &mut inplace);
+                assert_eq!(inplace, want, "relu_assign {k:?} len {n}");
+
+                let g = randv(n, 13 + n as u64);
+                let want_b: Vec<f32> = g
+                    .iter()
+                    .zip(&x)
+                    .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+                    .collect();
+                let mut bwd = vec![9.0f32; n];
+                relu_backward_into(k, &g, &x, &mut bwd);
+                assert_eq!(bwd, want_b, "relu_backward {k:?} len {n}");
+            }
+        }
+    }
+
+    /// The register-tiled panel kernel against a naïve reference, for both
+    /// alpha-stride configurations (A·B rows: `rs = stride, ts = 1`;
+    /// Aᵀ·B columns: `rs = 1, ts = stride`), every row count and widths
+    /// straddling the 16-, 8- and masked-tail paths.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn gemm_panel_matches_reference_and_propagates_nan() {
+        if !Kernel::Avx2.available() {
+            return;
+        }
+        for rows in 1..=4usize {
+            for depth in [1usize, 2, 5, 33] {
+                for width in [1usize, 7, 8, 9, 16, 17, 33] {
+                    let stride = rows.max(depth) + 3;
+                    let alpha = randv(stride * stride, (rows * depth * width) as u64);
+                    let b = randv(depth * width, 23 + width as u64);
+                    let base = randv(rows * width, 29 + width as u64);
+                    for (rs, ts) in [(stride, 1), (1, stride)] {
+                        let mut want = base.clone();
+                        for r in 0..rows {
+                            for t in 0..depth {
+                                let a = alpha[r * rs + t * ts];
+                                for j in 0..width {
+                                    want[r * width + j] += a * b[t * width + j];
+                                }
+                            }
+                        }
+                        let mut got = base.clone();
+                        gemm_panel_avx2(
+                            &alpha, rs, ts, rows, depth, &b, width, &mut got, width, width,
+                        );
+                        for (g, w) in got.iter().zip(&want) {
+                            assert!(
+                                (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                                "panel rows={rows} depth={depth} width={width} \
+                                 rs={rs} ts={ts}: {g} vs {w}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Zero alphas are computed, not skipped: 0 · ∞ must surface NaN.
+        let alpha = vec![0.0f32; 4];
+        let b = vec![f32::INFINITY; 4];
+        let mut c = vec![1.0f32; 4];
+        gemm_panel_avx2(&alpha, 1, 1, 1, 1, &b, 4, &mut c, 4, 4);
+        assert!(
+            c.iter().all(|v| v.is_nan()),
+            "0·∞ must yield NaN, got {c:?}"
+        );
+    }
+
+    #[test]
+    fn axpy_and_dot_within_tolerance_of_scalar() {
+        for k in Kernel::available_kernels() {
+            for &n in &LENS {
+                let a = 0.37f32;
+                let b = randv(n, 17 + n as u64);
+                let base = randv(n, 19 + n as u64);
+                let mut want = base.clone();
+                axpy(Kernel::Scalar, &mut want, a, &b);
+                let mut got = base.clone();
+                axpy(k, &mut got, a, &b);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g - w).abs() <= 1e-5 * (1.0 + w.abs()),
+                        "axpy {k:?} len {n}"
+                    );
+                }
+
+                let x = randv(n, 23 + n as u64);
+                let y = randv(n, 29 + n as u64);
+                let want = dot(Kernel::Scalar, &x, &y);
+                let got = dot(k, &x, &y);
+                assert!(
+                    (got - want).abs() <= 1e-4 * (1.0 + want.abs()) * (n.max(1) as f32).sqrt(),
+                    "dot {k:?} len {n}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_propagate_non_finite() {
+        for k in Kernel::available_kernels() {
+            for &n in &[5usize, 9, 33] {
+                let mut b = randv(n, 31 + n as u64);
+                b[n - 1] = f32::NAN; // in the tail lanes
+                let mut c = vec![0.0f32; n];
+                axpy(k, &mut c, 1.0, &b);
+                assert!(c[n - 1].is_nan(), "axpy NaN lost {k:?} len {n}");
+                assert!(c[..n - 1].iter().all(|v| v.is_finite()));
+
+                let a = vec![1.0f32; n];
+                assert!(dot(k, &a, &b).is_nan(), "dot NaN lost {k:?} len {n}");
+                let mut inf = randv(n, 37 + n as u64);
+                inf[0] = f32::INFINITY;
+                assert!(dot(k, &a, &inf).is_infinite(), "dot inf lost {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sums_match_reference() {
+        for k in Kernel::available_kernels() {
+            for &n in &LENS {
+                let x = randv(n, 41 + n as u64);
+                let want: f64 = x.iter().map(|&v| v as f64).sum();
+                let got = sum(k, &x) as f64;
+                assert!(
+                    (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+                    "sum {k:?} len {n}"
+                );
+                // f64 sum-of-squares is bit-identical across kernels.
+                assert_eq!(
+                    sum_sq_f64(k, &x).to_bits(),
+                    sum_sq_f64(Kernel::Scalar, &x).to_bits(),
+                    "sum_sq_f64 {k:?} len {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_step_matches_scalar_within_tolerance() {
+        for k in Kernel::available_kernels() {
+            for &n in &LENS {
+                let g = randv(n, 43 + n as u64);
+                let p0 = randv(n, 47 + n as u64);
+                let (lr, m, wd) = (0.1f32, 0.9f32, 1e-4f32);
+
+                let mut p_ref = p0.clone();
+                let mut v_ref = vec![0.0f32; n];
+                let mut p = p0.clone();
+                let mut v = vec![0.0f32; n];
+                for _ in 0..3 {
+                    sgd_momentum_step(Kernel::Scalar, &mut p_ref, &g, &mut v_ref, lr, m, wd);
+                    sgd_momentum_step(k, &mut p, &g, &mut v, lr, m, wd);
+                }
+                for (a, b) in p.iter().zip(&p_ref) {
+                    assert!(
+                        (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                        "sgd {k:?} len {n}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn forcing_unavailable_kernel_panics() {
+        if Kernel::Avx2.available() {
+            // Can't demonstrate on AVX2 hardware; satisfy the expectation.
+            panic!("not available (simulated: all kernels available here)");
+        }
+        with_forced_kernel(Kernel::Avx2, || {});
+    }
+}

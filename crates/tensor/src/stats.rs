@@ -18,6 +18,12 @@ pub(crate) static GEMM_AB_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static GEMM_ATB_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static GEMM_ABT_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static GEMM_FLOPS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static GEMM_AB_SIMD_CALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static GEMM_AB_SCALAR_CALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static GEMM_ATB_SIMD_CALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static GEMM_ATB_SCALAR_CALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static GEMM_ABT_SIMD_CALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static GEMM_ABT_SCALAR_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
 
@@ -47,6 +53,18 @@ pub struct SubstrateStats {
     pub gemm_abt_calls: u64,
     /// Cumulative GEMM floating-point operations (2·m·k·n per call).
     pub gemm_flops: u64,
+    /// A·B calls dispatched to a SIMD micro-kernel (see [`crate::simd`]).
+    pub gemm_ab_simd_calls: u64,
+    /// A·B calls dispatched to the scalar fallback kernel.
+    pub gemm_ab_scalar_calls: u64,
+    /// Aᵀ·B calls dispatched to a SIMD micro-kernel.
+    pub gemm_atb_simd_calls: u64,
+    /// Aᵀ·B calls dispatched to the scalar fallback kernel.
+    pub gemm_atb_scalar_calls: u64,
+    /// A·Bᵀ calls dispatched to a SIMD micro-kernel.
+    pub gemm_abt_simd_calls: u64,
+    /// A·Bᵀ calls dispatched to the scalar fallback kernel.
+    pub gemm_abt_scalar_calls: u64,
     /// Conv scratch buffers that had to grow (fresh allocation).
     pub conv_scratch_allocs: u64,
     /// Conv scratch requests served from an already-large-enough buffer.
@@ -75,6 +93,21 @@ impl SubstrateStats {
         }
     }
 
+    /// Fraction of GEMM calls that ran on a SIMD micro-kernel (0 when no
+    /// GEMM ran). 1.0 on AVX2 hosts with default dispatch, 0.0 under
+    /// `NIID_SIMD=off` — anything in between means the kernel selection
+    /// changed mid-process (e.g. per-thread forcing in tests).
+    pub fn simd_dispatch_rate(&self) -> f64 {
+        let simd = self.gemm_ab_simd_calls + self.gemm_atb_simd_calls + self.gemm_abt_simd_calls;
+        let scalar =
+            self.gemm_ab_scalar_calls + self.gemm_atb_scalar_calls + self.gemm_abt_scalar_calls;
+        if simd + scalar == 0 {
+            0.0
+        } else {
+            simd as f64 / (simd + scalar) as f64
+        }
+    }
+
     /// Counter-wise difference `self - earlier` (saturating), for
     /// per-round rates from two cumulative snapshots.
     pub fn since(&self, earlier: &SubstrateStats) -> SubstrateStats {
@@ -91,6 +124,24 @@ impl SubstrateStats {
             gemm_atb_calls: self.gemm_atb_calls.saturating_sub(earlier.gemm_atb_calls),
             gemm_abt_calls: self.gemm_abt_calls.saturating_sub(earlier.gemm_abt_calls),
             gemm_flops: self.gemm_flops.saturating_sub(earlier.gemm_flops),
+            gemm_ab_simd_calls: self
+                .gemm_ab_simd_calls
+                .saturating_sub(earlier.gemm_ab_simd_calls),
+            gemm_ab_scalar_calls: self
+                .gemm_ab_scalar_calls
+                .saturating_sub(earlier.gemm_ab_scalar_calls),
+            gemm_atb_simd_calls: self
+                .gemm_atb_simd_calls
+                .saturating_sub(earlier.gemm_atb_simd_calls),
+            gemm_atb_scalar_calls: self
+                .gemm_atb_scalar_calls
+                .saturating_sub(earlier.gemm_atb_scalar_calls),
+            gemm_abt_simd_calls: self
+                .gemm_abt_simd_calls
+                .saturating_sub(earlier.gemm_abt_simd_calls),
+            gemm_abt_scalar_calls: self
+                .gemm_abt_scalar_calls
+                .saturating_sub(earlier.gemm_abt_scalar_calls),
             conv_scratch_allocs: self
                 .conv_scratch_allocs
                 .saturating_sub(earlier.conv_scratch_allocs),
@@ -101,8 +152,8 @@ impl SubstrateStats {
     }
 }
 
-/// Read every counter. Cheap (ten relaxed loads) and safe to call from
-/// any thread at any time.
+/// Read every counter. Cheap (a handful of relaxed loads) and safe to
+/// call from any thread at any time.
 pub fn snapshot() -> SubstrateStats {
     SubstrateStats {
         pool_regions: POOL_REGIONS.load(Ordering::Relaxed),
@@ -113,6 +164,12 @@ pub fn snapshot() -> SubstrateStats {
         gemm_atb_calls: GEMM_ATB_CALLS.load(Ordering::Relaxed),
         gemm_abt_calls: GEMM_ABT_CALLS.load(Ordering::Relaxed),
         gemm_flops: GEMM_FLOPS.load(Ordering::Relaxed),
+        gemm_ab_simd_calls: GEMM_AB_SIMD_CALLS.load(Ordering::Relaxed),
+        gemm_ab_scalar_calls: GEMM_AB_SCALAR_CALLS.load(Ordering::Relaxed),
+        gemm_atb_simd_calls: GEMM_ATB_SIMD_CALLS.load(Ordering::Relaxed),
+        gemm_atb_scalar_calls: GEMM_ATB_SCALAR_CALLS.load(Ordering::Relaxed),
+        gemm_abt_simd_calls: GEMM_ABT_SIMD_CALLS.load(Ordering::Relaxed),
+        gemm_abt_scalar_calls: GEMM_ABT_SCALAR_CALLS.load(Ordering::Relaxed),
         conv_scratch_allocs: CONV_SCRATCH_ALLOCS.load(Ordering::Relaxed),
         conv_scratch_reuses: CONV_SCRATCH_REUSES.load(Ordering::Relaxed),
     }
@@ -132,6 +189,12 @@ pub fn reset() {
         &GEMM_ATB_CALLS,
         &GEMM_ABT_CALLS,
         &GEMM_FLOPS,
+        &GEMM_AB_SIMD_CALLS,
+        &GEMM_AB_SCALAR_CALLS,
+        &GEMM_ATB_SIMD_CALLS,
+        &GEMM_ATB_SCALAR_CALLS,
+        &GEMM_ABT_SIMD_CALLS,
+        &GEMM_ABT_SCALAR_CALLS,
         &CONV_SCRATCH_ALLOCS,
         &CONV_SCRATCH_REUSES,
     ] {
@@ -162,6 +225,28 @@ mod tests {
         let d = snapshot().since(&before);
         assert!(d.pool_regions + d.pool_inline_regions >= 1);
         assert!(d.pool_tasks >= 5);
+    }
+
+    #[test]
+    fn dispatch_counters_track_forced_kernel() {
+        use crate::simd::{with_forced_kernel, Kernel};
+        let a = Tensor::zeros(&[4, 8]);
+        let b = Tensor::zeros(&[8, 3]);
+        let before = snapshot();
+        with_forced_kernel(Kernel::Scalar, || {
+            let _ = crate::matmul::matmul(&a, &b);
+        });
+        let d = snapshot().since(&before);
+        assert!(d.gemm_ab_scalar_calls >= 1);
+        if let Some(&simd) = Kernel::available_kernels().iter().find(|k| k.is_simd()) {
+            let before = snapshot();
+            with_forced_kernel(simd, || {
+                let _ = crate::matmul::matmul(&a, &b);
+            });
+            let d = snapshot().since(&before);
+            assert!(d.gemm_ab_simd_calls >= 1);
+            assert!(d.simd_dispatch_rate() > 0.0);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The core [`Tensor`] type: a row-major, owned, dense f32 array.
 
+use crate::simd;
 use niid_stats::{sample_standard_normal, Pcg64};
 use std::fmt;
 
@@ -253,27 +254,25 @@ impl Tensor {
         }
     }
 
-    /// In-place `self += other`.
+    /// In-place `self += other`. Dispatches through [`crate::simd`]
+    /// (bit-identical on every kernel).
     pub fn add_assign(&mut self, other: &Tensor) {
         self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        simd::add_assign(simd::active_kernel(), &mut self.data, &other.data);
     }
 
-    /// In-place `self += alpha * other` (axpy).
+    /// In-place `self += alpha * other` (axpy). Dispatches through
+    /// [`crate::simd`] (AVX2 fuses the multiply-add; tolerance-bounded
+    /// vs scalar).
     pub fn scaled_add_assign(&mut self, alpha: f32, other: &Tensor) {
         self.assert_same_shape(other, "scaled_add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        simd::axpy(simd::active_kernel(), &mut self.data, alpha, &other.data);
     }
 
-    /// In-place scalar multiply.
+    /// In-place scalar multiply. Dispatches through [`crate::simd`]
+    /// (bit-identical on every kernel).
     pub fn scale_assign(&mut self, alpha: f32) {
-        for a in &mut self.data {
-            *a *= alpha;
-        }
+        simd::scale_assign(simd::active_kernel(), &mut self.data, alpha);
     }
 
     /// Scalar multiply into a new tensor.
@@ -343,12 +342,11 @@ impl Tensor {
     pub fn sum_axis0(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "sum_axis0 on rank-{} tensor", self.ndim());
         let (rows, cols) = (self.shape[0], self.shape[1]);
+        let kern = simd::active_kernel();
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
             let row = &self.data[r * cols..(r + 1) * cols];
-            for (o, v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
+            simd::add_assign(kern, &mut out, row);
         }
         Tensor::from_vec(out, &[cols])
     }
@@ -365,10 +363,9 @@ impl Tensor {
             self.shape[1]
         );
         let cols = self.shape[1];
+        let kern = simd::active_kernel();
         for row in self.data.chunks_exact_mut(cols) {
-            for (v, b) in row.iter_mut().zip(&bias.data) {
-                *v += b;
-            }
+            simd::add_assign(kern, row, &bias.data);
         }
     }
 

@@ -12,7 +12,9 @@ use niid_bench_rs::fl::trace::{MemorySink, TraceEvent};
 use niid_bench_rs::fl::Algorithm;
 use niid_bench_rs::nn::ModelSpec;
 use niid_bench_rs::stats::Pcg64;
-use niid_bench_rs::tensor::{matmul, matmul_a_bt, matmul_at_b, with_thread_budget, Tensor};
+use niid_bench_rs::tensor::{
+    matmul, matmul_a_bt, matmul_at_b, with_forced_kernel, with_thread_budget, Kernel, Tensor,
+};
 
 /// The thread counts the satellites pin down: sequential, even split, and
 /// an odd width exceeding the job/tile counts of the small workloads.
@@ -44,6 +46,42 @@ fn matmul_kernels_bit_identical_across_thread_counts() {
         assert_eq!(got.0.as_slice(), base.0.as_slice(), "matmul @{t} threads");
         assert_eq!(got.1.as_slice(), base.1.as_slice(), "at_b @{t} threads");
         assert_eq!(got.2.as_slice(), base.2.as_slice(), "a_bt @{t} threads");
+    }
+}
+
+/// The thread-count guarantee holds *per micro-kernel*: forcing any
+/// available kernel (scalar fallback, AVX2 when detected) must still give
+/// bit-identical GEMM results at every thread budget.
+#[test]
+fn matmul_kernels_bit_identical_across_threads_for_each_simd_kernel() {
+    let mut rng = Pcg64::new(0xDE8);
+    let (m, k, n) = (97, 161, 83);
+    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+    let b_lead = Tensor::randn(&[m, n], 1.0, &mut rng);
+    let b_t = Tensor::randn(&[n, k], 1.0, &mut rng);
+
+    for kern in Kernel::available_kernels() {
+        with_forced_kernel(kern, || {
+            let base = (
+                matmul(&a, &b),
+                matmul_at_b(&a, &b_lead),
+                matmul_a_bt(&a, &b_t),
+            );
+            for t in THREADS {
+                let got = with_thread_budget(t, || {
+                    (
+                        matmul(&a, &b),
+                        matmul_at_b(&a, &b_lead),
+                        matmul_a_bt(&a, &b_t),
+                    )
+                });
+                let kn = kern.name();
+                assert_eq!(got.0.as_slice(), base.0.as_slice(), "matmul @{t} on {kn}");
+                assert_eq!(got.1.as_slice(), base.1.as_slice(), "at_b @{t} on {kn}");
+                assert_eq!(got.2.as_slice(), base.2.as_slice(), "a_bt @{t} on {kn}");
+            }
+        });
     }
 }
 
@@ -109,6 +147,39 @@ fn fedsim_metrics_bit_identical_across_thread_counts() {
         for (a, b) in base.rounds.iter().zip(&got.rounds) {
             assert_eq!(a.test_accuracy, b.test_accuracy, "@{t} threads");
             assert_eq!(a.avg_local_loss, b.avg_local_loss, "@{t} threads");
+        }
+    }
+}
+
+/// End-to-end version of the per-kernel guarantee: an entire federated
+/// run — local training on worker threads included, via the engine's
+/// kernel pinning — is bit-identical across thread counts under each
+/// forced micro-kernel.
+#[test]
+fn fedsim_metrics_bit_identical_across_threads_for_each_simd_kernel() {
+    let (parties, test) = skewed_setup(&[40, 40, 40, 40, 40, 40], 35);
+    for kern in Kernel::available_kernels() {
+        let run = |threads: usize| {
+            with_forced_kernel(kern, || {
+                FedSim::new(
+                    ModelSpec::Mlp { in_dim: 4 },
+                    parties.clone(),
+                    test.clone(),
+                    config(threads, 36),
+                )
+                .unwrap()
+                .run()
+                .unwrap()
+            })
+        };
+        let base = run(THREADS[0]);
+        for &t in &THREADS[1..] {
+            let got = run(t);
+            let kn = kern.name();
+            assert_eq!(got.final_accuracy, base.final_accuracy, "@{t} on {kn}");
+            for (a, b) in base.rounds.iter().zip(&got.rounds) {
+                assert_eq!(a.avg_local_loss, b.avg_local_loss, "@{t} on {kn}");
+            }
         }
     }
 }

@@ -33,6 +33,9 @@ fn one_round_config(algorithm: Algorithm, threads: usize) -> FlConfig {
         server_lr: 1.0,
         seed: 1,
         threads,
+        min_quorum: 0.5,
+        fault_plan: None,
+        checkpoint: None,
     }
 }
 

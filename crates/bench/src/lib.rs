@@ -16,6 +16,15 @@
 //!                      <dir>/metrics.jsonl and print a dynamics summary
 //! --metrics-port <p>   serve live Prometheus metrics on 127.0.0.1:<p>
 //!                      (0 picks an ephemeral port, printed at startup)
+//! --checkpoint-dir <dir>  write round-granular checkpoints under
+//!                         <dir>/trial<t>/checkpoint.json
+//! --checkpoint-every <k>  checkpoint cadence in rounds (default 5)
+//! --resume             resume each trial from its checkpoint when one
+//!                      exists (requires --checkpoint-dir or NIID_CHECKPOINT)
+//! --faults <spec>      deterministic fault injection, e.g.
+//!                      crash=0.3 or crash=0.2,drop=0.05,delay=0.1:50,seed=7
+//! --min-quorum <f>     minimum surviving fraction of each round's cohort
+//!                      before the run aborts with a quorum error (default 0.5)
 //! ```
 //!
 //! The default (no flag) is the `bench` scale recorded in EXPERIMENTS.md.
@@ -24,7 +33,7 @@ pub mod harness;
 
 use niid_core::experiment::ExperimentSpec;
 use niid_data::GenConfig;
-use niid_fl::TraceSummary;
+use niid_fl::{FaultPlan, TraceSummary};
 use niid_json::ToJson;
 use std::io::Write;
 
@@ -58,6 +67,16 @@ pub struct Args {
     pub metrics_dir: Option<String>,
     /// Optional live-metrics port (0 = ephemeral).
     pub metrics_port: Option<u16>,
+    /// Optional checkpoint root directory.
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence override (rounds).
+    pub checkpoint_every: Option<usize>,
+    /// Resume trials from their checkpoints when present.
+    pub resume: bool,
+    /// Optional deterministic fault-injection plan.
+    pub faults: Option<FaultPlan>,
+    /// Minimum surviving fraction of each round's selected cohort.
+    pub min_quorum: Option<f64>,
 }
 
 impl Args {
@@ -77,6 +96,11 @@ impl Args {
             trace: None,
             metrics_dir: None,
             metrics_port: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
+            faults: None,
+            min_quorum: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -116,11 +140,34 @@ impl Args {
                         std::process::exit(2);
                     }))
                 }
+                "--checkpoint-dir" => out.checkpoint_dir = Some(take("--checkpoint-dir")),
+                "--checkpoint-every" => {
+                    out.checkpoint_every =
+                        Some(take("--checkpoint-every").parse().unwrap_or_else(|e| {
+                            eprintln!("bad --checkpoint-every: {e}");
+                            std::process::exit(2);
+                        }))
+                }
+                "--resume" => out.resume = true,
+                "--faults" => {
+                    out.faults = Some(take("--faults").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --faults: {e}");
+                        std::process::exit(2);
+                    }))
+                }
+                "--min-quorum" => {
+                    out.min_quorum = Some(take("--min-quorum").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --min-quorum: {e}");
+                        std::process::exit(2);
+                    }))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick | --paper-scale] [--seed N] [--rounds N] \
                          [--trials N] [--json PATH] [--trace PATH] \
-                         [--metrics-dir DIR] [--metrics-port PORT]"
+                         [--metrics-dir DIR] [--metrics-port PORT] \
+                         [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] \
+                         [--faults SPEC] [--min-quorum F]"
                     );
                     std::process::exit(0);
                 }
@@ -183,6 +230,22 @@ impl Args {
         }
         if self.metrics_port.is_some() {
             spec.metrics_port = self.metrics_port;
+        }
+        if self.checkpoint_dir.is_some() {
+            // The flag beats the NIID_CHECKPOINT env default.
+            spec.checkpoint_dir = self.checkpoint_dir.clone();
+        }
+        if let Some(every) = self.checkpoint_every {
+            spec.checkpoint_every = every;
+        }
+        if self.resume {
+            spec.resume = true;
+        }
+        if self.faults.is_some() {
+            spec.faults = self.faults.clone();
+        }
+        if let Some(q) = self.min_quorum {
+            spec.min_quorum = q;
         }
     }
 
@@ -330,6 +393,51 @@ mod tests {
         a.apply(&mut spec, 50, 3);
         assert_eq!(spec.rounds, 4, "explicit --rounds wins");
         assert_eq!(spec.trials, 1, "bench scale default");
+    }
+
+    #[test]
+    fn fault_and_checkpoint_flags_parse() {
+        let a = parse(&[
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "3",
+            "--resume",
+            "--faults",
+            "crash=0.3,seed=7",
+            "--min-quorum",
+            "0.25",
+        ]);
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(a.checkpoint_every, Some(3));
+        assert!(a.resume);
+        let plan = a.faults.expect("fault plan parsed");
+        assert_eq!(plan.crash_prob, 0.3);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(a.min_quorum, Some(0.25));
+
+        use niid_core::partition::Strategy;
+        use niid_data::DatasetId;
+        use niid_fl::Algorithm;
+        let b = parse(&[
+            "--checkpoint-dir",
+            "/tmp/ck2",
+            "--faults",
+            "crash=0.1",
+            "--min-quorum",
+            "0.4",
+        ]);
+        let mut spec = ExperimentSpec::new(
+            DatasetId::Mnist,
+            Strategy::Homogeneous,
+            Algorithm::FedAvg,
+            b.gen_config(),
+        );
+        b.apply(&mut spec, 50, 3);
+        assert_eq!(spec.checkpoint_dir.as_deref(), Some("/tmp/ck2"));
+        assert!(!spec.resume);
+        assert_eq!(spec.faults.as_ref().map(|p| p.crash_prob), Some(0.1));
+        assert_eq!(spec.min_quorum, 0.4);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use niid_fl::dynamics::{DynamicsRecorder, RoundObserver};
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
 use niid_fl::trace::{JsonlSink, NoopSink};
-use niid_fl::{Algorithm, FlError, RunResult};
+use niid_fl::{Algorithm, CheckpointPolicy, FaultPlan, FlError, RunResult};
 use niid_json::{FromJson, Json, JsonError, ToJson};
 use niid_metrics::{
     global_registry, install_signal_flush, register_flusher, JsonlExporter, MetricsServer,
@@ -106,6 +106,20 @@ pub struct ExperimentSpec {
     /// `NIID_METRICS_PORT` environment variable; `None` disables the
     /// endpoint.
     pub metrics_port: Option<u16>,
+    /// Root directory for round-granular checkpoints; each trial writes
+    /// under `<dir>/trial<t>/checkpoint.json`. Defaults from the
+    /// `NIID_CHECKPOINT` environment variable; `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in rounds (the final round is always written).
+    pub checkpoint_every: usize,
+    /// Resume each trial from its checkpoint when one exists (fresh start
+    /// otherwise). Requires `checkpoint_dir`.
+    pub resume: bool,
+    /// Deterministic fault injection (`--faults` spec); `None` = clean.
+    pub faults: Option<FaultPlan>,
+    /// Minimum surviving fraction of each round's selected cohort.
+    pub min_quorum: f64,
 }
 
 impl ExperimentSpec {
@@ -141,7 +155,44 @@ impl ExperimentSpec {
             metrics_port: std::env::var("NIID_METRICS_PORT")
                 .ok()
                 .and_then(|p| p.parse().ok()),
+            checkpoint_dir: std::env::var("NIID_CHECKPOINT")
+                .ok()
+                .filter(|p| !p.is_empty()),
+            checkpoint_every: 5,
+            resume: false,
+            faults: None,
+            min_quorum: 0.5,
         }
+    }
+
+    /// The checkpoint policy for one trial, when checkpointing is on.
+    /// The path embeds a cell slug (dataset, strategy, algorithm — with
+    /// hyperparameters, so a FedProx μ-sweep gets five distinct dirs)
+    /// because the figure binaries drive several cells through one
+    /// invocation and their trials must not collide.
+    pub fn checkpoint_policy(&self, trial: usize) -> Option<CheckpointPolicy> {
+        self.checkpoint_dir.as_ref().map(|dir| {
+            let raw = format!(
+                "{:?}-{}-{:?}",
+                self.dataset,
+                self.strategy.label(),
+                self.algorithm
+            );
+            let slug: String = raw
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '.' {
+                        c
+                    } else {
+                        '-'
+                    }
+                })
+                .collect();
+            CheckpointPolicy::new(
+                PathBuf::from(dir).join(slug).join(format!("trial{trial}")),
+                self.checkpoint_every.max(1),
+            )
+        })
     }
 
     /// Path of the metrics JSONL series for this spec, when enabled.
@@ -366,12 +417,22 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, Experim
             server_lr: spec.server_lr,
             seed: tseed,
             threads: spec.threads,
+            min_quorum: spec.min_quorum,
+            fault_plan: spec.faults.clone(),
+            checkpoint: spec.checkpoint_policy(trial),
         };
         let sim = FedSim::new(model.clone(), parties, split.test.clone(), config)?;
-        let result = match (&sink, observer) {
-            (Some(s), obs) => sim.run_observed(s, obs)?,
-            (None, Some(obs)) => sim.run_observed(&NoopSink, Some(obs))?,
-            (None, None) => sim.run()?,
+        let result = if spec.resume {
+            match (&sink, observer) {
+                (Some(s), obs) => sim.run_or_resume_observed(s, obs)?,
+                (None, obs) => sim.run_or_resume_observed(&NoopSink, obs)?,
+            }
+        } else {
+            match (&sink, observer) {
+                (Some(s), obs) => sim.run_observed(s, obs)?,
+                (None, Some(obs)) => sim.run_observed(&NoopSink, Some(obs))?,
+                (None, None) => sim.run()?,
+            }
         };
         accuracies.push(result.final_accuracy);
         runs.push(result);
@@ -479,6 +540,63 @@ mod tests {
                 PartitionError::FcubeShape { .. }
             ))
         ));
+    }
+
+    #[test]
+    fn checkpoint_policy_separates_cells_and_trials() {
+        let gen = GenConfig::tiny(6);
+        let mut spec = ExperimentSpec::new(
+            DatasetId::Cifar10,
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            Algorithm::FedProx { mu: 0.01 },
+            gen,
+        );
+        assert!(spec.checkpoint_policy(0).is_none(), "off by default");
+        spec.checkpoint_dir = Some("/tmp/ck".into());
+        let a = spec.checkpoint_policy(0).unwrap();
+        let b = spec.checkpoint_policy(1).unwrap();
+        assert_ne!(a.dir, b.dir, "trials get distinct dirs");
+        // A μ-sweep through one binary must not collide on disk.
+        spec.algorithm = Algorithm::FedProx { mu: 0.1 };
+        let c = spec.checkpoint_policy(0).unwrap();
+        assert_ne!(a.dir, c.dir, "cells get distinct dirs");
+        assert!(a.dir.starts_with("/tmp/ck"));
+    }
+
+    #[test]
+    fn experiment_resumes_from_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("niid_exp_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let gen = GenConfig::tiny(7);
+        let mut spec = ExperimentSpec::new(
+            DatasetId::Fcube,
+            Strategy::FcubeSynthetic,
+            Algorithm::FedAvg,
+            gen,
+        );
+        spec.rounds = 3;
+        spec.local_epochs = 2;
+        let clean = run_experiment(&spec).unwrap();
+
+        spec.checkpoint_dir = Some(dir.to_string_lossy().into_owned());
+        spec.checkpoint_every = 2;
+        let first = run_experiment(&spec).unwrap();
+        assert_eq!(first.accuracies, clean.accuracies);
+        assert!(
+            spec.checkpoint_policy(0).unwrap().path().exists(),
+            "final-round checkpoint written"
+        );
+
+        // Second invocation with --resume loads the finished checkpoint
+        // and reproduces the recorded stream without retraining.
+        spec.resume = true;
+        let second = run_experiment(&spec).unwrap();
+        assert_eq!(second.accuracies, clean.accuracies);
+        let ra = &clean.runs[0];
+        let rb = &second.runs[0];
+        assert_eq!(ra.final_accuracy, rb.final_accuracy);
+        assert_eq!(ra.total_bytes, rb.total_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

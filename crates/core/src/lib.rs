@@ -34,7 +34,9 @@ pub use experiment::{
     ExperimentSpec,
 };
 pub use leaderboard::Leaderboard;
-pub use partition::{build_parties, partition, Partition, PartitionError, Strategy};
+pub use partition::{
+    build_parties, dirichlet_min_required, partition, Partition, PartitionError, Strategy,
+};
 pub use recommend::{recommend, recommend_from_report, SkewKind};
 pub use skew::{analyze, SkewReport};
 pub use table::Table;

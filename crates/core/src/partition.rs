@@ -397,6 +397,14 @@ fn top_up_empty_parties(assignments: &mut [Vec<usize>]) {
     }
 }
 
+/// The reference implementation's `min_size` redraw threshold:
+/// `min(10, n / (10·N)) + 1` samples per party. The `+1` keeps the
+/// threshold at least 1 even when `n / (10·N)` truncates to zero, so a
+/// draw with an empty party is never accepted.
+pub fn dirichlet_min_required(n: usize, parties: usize) -> usize {
+    (n / (10 * parties)).min(10) + 1
+}
+
 fn dirichlet_label_skew(
     train: &Dataset,
     parties: usize,
@@ -404,7 +412,7 @@ fn dirichlet_label_skew(
     rng: &mut Pcg64,
 ) -> Vec<Vec<usize>> {
     let n = train.len();
-    let min_required = (n / (10 * parties)).clamp(1, 10);
+    let min_required = dirichlet_min_required(n, parties);
     let by_class = train.indices_by_class();
     let mut best: Option<Vec<Vec<usize>>> = None;
     let mut best_min = 0usize;
@@ -457,7 +465,7 @@ fn distribute_by_proportions(rows: &[usize], props: &[f64], assignments: &mut [V
 }
 
 fn quantity_skew(n: usize, parties: usize, beta: f64, rng: &mut Pcg64) -> Vec<Vec<usize>> {
-    let min_required = (n / (10 * parties)).clamp(1, 10);
+    let min_required = dirichlet_min_required(n, parties);
     let mut idx: Vec<usize> = (0..n).collect();
     let mut best: Option<Vec<Vec<usize>>> = None;
     let mut best_min = 0usize;
@@ -568,6 +576,20 @@ mod tests {
         let features = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, &mut rng);
         let labels = (0..n).map(|i| i % classes).collect();
         Dataset::new("lab", features, labels, classes, vec![4], None)
+    }
+
+    #[test]
+    fn dirichlet_min_required_matches_documented_formula() {
+        // min(10, n / (10·N)) + 1, truncating division.
+        assert_eq!(dirichlet_min_required(1000, 10), 11, "cap engaged exactly");
+        assert_eq!(dirichlet_min_required(999, 10), 10, "just below the cap");
+        assert_eq!(
+            dirichlet_min_required(50, 10),
+            1,
+            "tiny data: threshold floors at one sample"
+        );
+        assert_eq!(dirichlet_min_required(100_000, 10), 11, "cap saturates");
+        assert_eq!(dirichlet_min_required(200, 10), 3);
     }
 
     #[test]

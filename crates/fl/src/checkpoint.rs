@@ -1,0 +1,283 @@
+//! Round-granular checkpoint/resume for the federated engine.
+//!
+//! Every `k` rounds (and at the final round) `FedSim` serializes the
+//! complete server-side state — next round index, global parameters and
+//! buffers, the SCAFFOLD control variates (server `c` and every party's
+//! `cᵢ`), the accumulated [`RoundRecord`]s and the running accuracy/byte
+//! folds — as one niid-json object. Because all of the engine's
+//! randomness is derived *statelessly* from `(run seed, round, party)`,
+//! this state is sufficient: [`FedSim::resume`](crate::FedSim::resume)
+//! reproduces the uninterrupted run's trajectory bit-for-bit.
+//!
+//! Floats survive the text round-trip exactly: niid-json prints `f64`
+//! with Rust's shortest-round-trip formatting and `f32` values pass
+//! through `f64` losslessly, so `f32 → text → f32` is the identity
+//! (regression-tested in the json crate).
+//!
+//! Writes are atomic-by-rename (`checkpoint.json.tmp` → fsync →
+//! `checkpoint.json`), so a kill mid-write leaves the previous checkpoint
+//! intact rather than a torn file.
+
+use crate::error::FlError;
+use crate::metrics::RoundRecord;
+use niid_json::{FromJson, Json, JsonError, ToJson};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Checkpoint format version written to / expected from the file.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// When and where `FedSim` writes checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Directory holding `checkpoint.json` (created on first write).
+    pub dir: PathBuf,
+    /// Write every `every` rounds (the final round is always written).
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing `dir/checkpoint.json` every `every` rounds.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every,
+        }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join("checkpoint.json")
+    }
+}
+
+/// A complete, resumable snapshot of a run after some round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The first round the resumed run must execute.
+    pub round_next: usize,
+    /// The run seed (resume refuses a mismatched config).
+    pub seed: u64,
+    /// Algorithm name (compatibility check).
+    pub algorithm: String,
+    /// Total party count (compatibility check).
+    pub n_parties: usize,
+    /// Aggregated global parameters after round `round_next - 1`.
+    pub global_params: Vec<f32>,
+    /// Aggregated global buffers (empty for buffer-free models).
+    pub global_buffers: Vec<f32>,
+    /// SCAFFOLD server control variate (empty otherwise).
+    pub server_c: Vec<f32>,
+    /// Every party's control variate, indexed by party id (empty vectors
+    /// for parties that never trained under SCAFFOLD).
+    pub client_c: Vec<Vec<f32>>,
+    /// Round records accumulated so far.
+    pub records: Vec<RoundRecord>,
+    /// Best evaluated accuracy so far.
+    pub best_accuracy: f64,
+    /// Most recent evaluated accuracy.
+    pub final_accuracy: f64,
+    /// Cumulative traffic so far.
+    pub total_bytes: usize,
+}
+
+impl ToJson for Checkpoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", CHECKPOINT_VERSION.to_json()),
+            ("round_next", self.round_next.to_json()),
+            // As a decimal string: JSON numbers are f64 here, and derived
+            // seeds routinely exceed 2^53, where f64 rounding would
+            // silently corrupt them.
+            ("seed", Json::Str(self.seed.to_string())),
+            ("algorithm", self.algorithm.to_json()),
+            ("n_parties", self.n_parties.to_json()),
+            ("global_params", self.global_params.to_json()),
+            ("global_buffers", self.global_buffers.to_json()),
+            ("server_c", self.server_c.to_json()),
+            ("client_c", self.client_c.to_json()),
+            ("records", self.records.to_json()),
+            ("best_accuracy", self.best_accuracy.to_json()),
+            ("final_accuracy", self.final_accuracy.to_json()),
+            ("total_bytes", self.total_bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let req = |key: &'static str| -> Result<&Json, JsonError> {
+            v.get(key)
+                .ok_or_else(|| JsonError::new(format!("checkpoint missing field {key}")))
+        };
+        let version = u64::from_json(req("version")?)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        Ok(Checkpoint {
+            round_next: usize::from_json(req("round_next")?)?,
+            seed: req("seed")?
+                .as_str()
+                .ok_or_else(|| JsonError::new("checkpoint seed must be a string"))?
+                .parse()
+                .map_err(|e| JsonError::new(format!("bad checkpoint seed: {e}")))?,
+            algorithm: String::from_json(req("algorithm")?)?,
+            n_parties: usize::from_json(req("n_parties")?)?,
+            global_params: Vec::from_json(req("global_params")?)?,
+            global_buffers: Vec::from_json(req("global_buffers")?)?,
+            server_c: Vec::from_json(req("server_c")?)?,
+            client_c: Vec::from_json(req("client_c")?)?,
+            records: Vec::from_json(req("records")?)?,
+            best_accuracy: f64::from_json(req("best_accuracy")?)?,
+            final_accuracy: f64::from_json(req("final_accuracy")?)?,
+            total_bytes: usize::from_json(req("total_bytes")?)?,
+        })
+    }
+}
+
+impl Checkpoint {
+    /// Atomically write the checkpoint to `path`: the JSON goes to
+    /// `path.tmp`, is fsynced, and renamed over `path` in one step.
+    pub fn save(&self, path: &Path) -> Result<(), FlError> {
+        let io_err = |stage: &str, e: std::io::Error| {
+            FlError::Checkpoint(format!("{stage} {}: {e}", path.display()))
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| io_err("create dir for", e))?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+            f.write_all(self.to_json_string().as_bytes())
+                .map_err(|e| io_err("write", e))?;
+            f.sync_all().map_err(|e| io_err("sync", e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| io_err("rename", e))
+    }
+
+    /// Load a checkpoint written by [`save`](Self::save).
+    pub fn load(path: &Path) -> Result<Self, FlError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FlError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        Checkpoint::from_json_str(&text)
+            .map_err(|e| FlError::Checkpoint(format!("parse {}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "niid_ckpt_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            round_next: 3,
+            seed: 42,
+            algorithm: "scaffold".into(),
+            n_parties: 4,
+            global_params: vec![0.5f32, -1.25, f32::MIN_POSITIVE, 3.0e-7],
+            global_buffers: vec![1.0f32, 0.999],
+            server_c: vec![0.125f32; 4],
+            client_c: vec![
+                vec![0.1f32, 0.2, 0.3, 0.4],
+                Vec::new(),
+                vec![-0.5; 4],
+                Vec::new(),
+            ],
+            records: vec![RoundRecord {
+                round: 2,
+                test_accuracy: Some(0.625),
+                avg_local_loss: 0.420_130_5,
+                participants: 4,
+                down_bytes: 100,
+                up_bytes: 75,
+                local_wall_ms: 1.5,
+                aggregate_wall_ms: 0.25,
+                eval_wall_ms: 0.5,
+                failures: 1,
+            }],
+            best_accuracy: 0.625,
+            final_accuracy: 0.625,
+            total_bytes: 175,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let ck = sample();
+        let back = Checkpoint::from_json_str(&ck.to_json_string()).unwrap();
+        assert_eq!(ck, back);
+        // f32 equality above is bitwise for these finite values; assert
+        // the awkward ones explicitly.
+        assert_eq!(back.global_params[2].to_bits(), f32::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn seeds_beyond_f64_precision_survive_the_round_trip() {
+        // Derived trial seeds routinely exceed 2^53; a numeric JSON field
+        // would round them (this exact value rounds to ...528) and resume
+        // would then refuse its own checkpoint as "mismatched seed".
+        let mut ck = sample();
+        ck.seed = 5_394_581_959_906_326_589;
+        let back = Checkpoint::from_json_str(&ck.to_json_string()).unwrap();
+        assert_eq!(back.seed, 5_394_581_959_906_326_589);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_is_atomic() {
+        let dir = temp_path("dir");
+        let path = dir.join("checkpoint.json");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "tmp renamed away"
+        );
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck, back);
+        // Overwrite keeps the newest state.
+        let mut ck2 = ck.clone();
+        ck2.round_next = 9;
+        ck2.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().round_next, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_errors_are_typed() {
+        let missing = temp_path("missing").join("checkpoint.json");
+        assert!(matches!(
+            Checkpoint::load(&missing),
+            Err(FlError::Checkpoint(_))
+        ));
+        let garbled = temp_path("garbled");
+        std::fs::write(&garbled, "{not json").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&garbled),
+            Err(FlError::Checkpoint(_))
+        ));
+        // Wrong version is rejected, not misread.
+        let mut j = sample().to_json_string();
+        j = j.replace("\"version\":1", "\"version\":99");
+        std::fs::write(&garbled, j).unwrap();
+        let err = Checkpoint::load(&garbled).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let _ = std::fs::remove_file(&garbled);
+    }
+
+    #[test]
+    fn policy_path_is_under_dir() {
+        let p = CheckpointPolicy::new("/tmp/run7", 5);
+        assert_eq!(p.path(), PathBuf::from("/tmp/run7/checkpoint.json"));
+        assert_eq!(p.every, 5);
+    }
+}

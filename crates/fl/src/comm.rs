@@ -33,6 +33,27 @@ impl RoundTraffic {
         buffer_len: usize,
         with_control_variates: bool,
     ) -> Self {
+        Self::for_round_degraded(
+            participants,
+            participants,
+            param_len,
+            buffer_len,
+            with_control_variates,
+        )
+    }
+
+    /// Traffic for a round where only `survivors` of the `selected`
+    /// parties reported back: the broadcast went to every selected party
+    /// (the server cannot know who will crash), but only survivors
+    /// upload.
+    pub fn for_round_degraded(
+        selected: usize,
+        survivors: usize,
+        param_len: usize,
+        buffer_len: usize,
+        with_control_variates: bool,
+    ) -> Self {
+        debug_assert!(survivors <= selected, "more survivors than selected");
         let per_model = f32_payload_bytes(param_len + buffer_len);
         let per_cv = if with_control_variates {
             f32_payload_bytes(param_len)
@@ -40,8 +61,8 @@ impl RoundTraffic {
             0
         };
         RoundTraffic {
-            down_bytes: participants * (per_model + per_cv),
-            up_bytes: participants * (per_model + per_cv),
+            down_bytes: selected * (per_model + per_cv),
+            up_bytes: survivors * (per_model + per_cv),
         }
     }
 
@@ -109,6 +130,18 @@ mod tests {
         let without = RoundTraffic::for_round(1, 100, 0, false);
         let with = RoundTraffic::for_round(1, 100, 20, false);
         assert_eq!(with.total() - without.total(), 2 * f32_payload_bytes(20));
+    }
+
+    #[test]
+    fn degraded_round_halves_only_the_upload() {
+        let clean = RoundTraffic::for_round(10, 1000, 8, false);
+        let degraded = RoundTraffic::for_round_degraded(10, 5, 1000, 8, false);
+        assert_eq!(degraded.down_bytes, clean.down_bytes, "broadcast unchanged");
+        assert_eq!(2 * degraded.up_bytes, clean.up_bytes);
+        // No survivors at all: the broadcast still happened.
+        let dead = RoundTraffic::for_round_degraded(10, 0, 1000, 8, true);
+        assert_eq!(dead.up_bytes, 0);
+        assert!(dead.down_bytes > 0);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! | `niid_bn_mean_drift_l2{party}` | party id | `‖μᵢ − μ_global‖₂` over BN layers |
 //! | `niid_bn_var_drift_l2{party}` | party id | `‖σ²ᵢ − σ²_global‖₂` over BN layers |
 //! | `niid_party_train_wall_ms` | — | histogram: per-party local-training time |
+//! | `niid_party_failures_total{kind}` | failure kind | counter: isolated party failures |
+//! | `niid_rounds_degraded_total` | — | counter: rounds that aggregated without a full cohort |
 //! | `niid_pool_*`, `niid_gemm_*`, `niid_conv_scratch_*` | — | substrate collector |
 //! | `niid_gemm_dispatch_calls{variant,path}` | GEMM variant × kernel | simd vs scalar dispatch |
 //! | `niid_simd_active_kernel{kernel}` | kernel name | process-wide micro-kernel selection |
@@ -33,6 +35,7 @@
 //! `wᵢ = w_global_before − Δwᵢ` against the **aggregated** model of the
 //! same round, which is the quantity the paper's §5.1 narrative tracks.
 
+use crate::fault::{FailureKind, PartyFailure};
 use crate::local::LocalOutcome;
 use niid_metrics::registry::Registry;
 use niid_metrics::{Counter, Gauge, Histogram, JsonlExporter};
@@ -123,6 +126,9 @@ pub struct RoundObservation<'a> {
     pub selected: &'a [usize],
     /// The parties' local-training outcomes (same order as `selected`).
     pub outcomes: &'a [LocalOutcome],
+    /// Parties that were selected but failed (panic or injected fault);
+    /// disjoint from `selected`. Empty on clean rounds.
+    pub failures: &'a [PartyFailure],
     /// Global parameters the round *started* from (`wᵗ`).
     pub global_before: &'a [f32],
     /// Global parameters after aggregation (`wᵗ⁺¹`).
@@ -173,6 +179,8 @@ struct PartyGauges {
 
 struct RecorderState {
     rounds_seen: usize,
+    party_failures: usize,
+    degraded_rounds: usize,
     parties: HashMap<usize, PartyAgg>,
     bn_mean_drift_max: f64,
     bn_var_drift_max: f64,
@@ -199,6 +207,8 @@ pub struct DynamicsRecorder {
     acc_gauge: Arc<Gauge>,
     bytes_counter: Arc<Counter>,
     train_ms_hist: Arc<Histogram>,
+    failure_counters: Vec<(FailureKind, Arc<Counter>)>,
+    degraded_counter: Arc<Counter>,
     state: Mutex<RecorderState>,
 }
 
@@ -251,6 +261,25 @@ impl DynamicsRecorder {
             TRAIN_MS_BOUNDS,
             &[],
         );
+        // Pre-created per kind so clean runs still export explicit zeros.
+        let failure_counters = FailureKind::all()
+            .into_iter()
+            .map(|kind| {
+                (
+                    kind,
+                    registry.counter(
+                        "niid_party_failures_total",
+                        "Isolated party failures by kind (panic, injected crash, injected drop)",
+                        &[("kind", kind.name())],
+                    ),
+                )
+            })
+            .collect();
+        let degraded_counter = registry.counter(
+            "niid_rounds_degraded_total",
+            "Rounds that aggregated a partial cohort after failures",
+            &[],
+        );
         let layer_gauges = layer_names
             .iter()
             .map(|name| {
@@ -279,8 +308,12 @@ impl DynamicsRecorder {
             acc_gauge,
             bytes_counter,
             train_ms_hist,
+            failure_counters,
+            degraded_counter,
             state: Mutex::new(RecorderState {
                 rounds_seen: 0,
+                party_failures: 0,
+                degraded_rounds: 0,
                 parties: HashMap::new(),
                 bn_mean_drift_max: 0.0,
                 bn_var_drift_max: 0.0,
@@ -329,6 +362,8 @@ impl DynamicsRecorder {
         let substrate = niid_tensor::stats::snapshot().since(&state.substrate_at_start);
         DynamicsSummary {
             rounds: state.rounds_seen,
+            party_failures: state.party_failures,
+            degraded_rounds: state.degraded_rounds,
             top_divergent: parties.into_iter().take(5).collect(),
             bn_mean_drift_max: state.bn_mean_drift_max,
             bn_var_drift_max: state.bn_var_drift_max,
@@ -351,6 +386,20 @@ impl RoundObserver for DynamicsRecorder {
     fn observe_round(&self, obs: &RoundObservation<'_>) {
         let mut state = self.state.lock().expect("recorder state poisoned");
         state.rounds_seen += 1;
+        if !obs.failures.is_empty() {
+            state.party_failures += obs.failures.len();
+            state.degraded_rounds += 1;
+            self.degraded_counter.add(1);
+            for failure in obs.failures {
+                if let Some((_, c)) = self
+                    .failure_counters
+                    .iter()
+                    .find(|(k, _)| *k == failure.kind)
+                {
+                    c.add(1);
+                }
+            }
+        }
         self.round_gauge.set(obs.round as f64);
         self.loss_gauge.set(obs.avg_local_loss);
         state.last_loss = Some(obs.avg_local_loss);
@@ -536,6 +585,10 @@ pub fn install_substrate_collector(registry: &Arc<Registry>) {
 pub struct DynamicsSummary {
     /// Rounds observed.
     pub rounds: usize,
+    /// Isolated party failures across the run (all kinds).
+    pub party_failures: usize,
+    /// Rounds that aggregated a partial cohort.
+    pub degraded_rounds: usize,
     /// Top parties by mean weight divergence:
     /// `(party, mean_divergence, last_divergence)`, worst first.
     pub top_divergent: Vec<(String, f64, f64)>,
@@ -574,6 +627,8 @@ impl DynamicsSummary {
         let mut last_gflops = 0.0f64;
         let mut last_reuse: (f64, f64) = (0.0, 0.0);
         let mut last_dispatch: HashMap<(String, String), f64> = HashMap::new();
+        let mut last_failures: HashMap<String, f64> = HashMap::new();
+        let mut last_degraded = 0.0f64;
         for line in &lines {
             let name = line.get("name").and_then(niid_json::Json::as_str);
             let value = line.get("value").and_then(niid_json::Json::as_f64);
@@ -603,6 +658,16 @@ impl DynamicsSummary {
                 "niid_bn_var_drift_l2" => out.bn_var_drift_max = out.bn_var_drift_max.max(value),
                 "niid_train_loss" => out.last_train_loss = Some(value),
                 "niid_test_accuracy" => out.final_test_accuracy = Some(value),
+                "niid_party_failures_total" => {
+                    if let Some(k) = line
+                        .get("labels")
+                        .and_then(|l| l.get("kind"))
+                        .and_then(niid_json::Json::as_str)
+                    {
+                        last_failures.insert(k.to_string(), value);
+                    }
+                }
+                "niid_rounds_degraded_total" => last_degraded = value,
                 "niid_pool_utilization" => last_pool_util = value,
                 "niid_gemm_flops" => last_gflops = value / 1e9,
                 "niid_conv_scratch_allocs" => last_reuse.0 = value,
@@ -639,6 +704,8 @@ impl DynamicsSummary {
         top.truncate(5);
         out.rounds = rounds.len();
         out.top_divergent = top;
+        out.party_failures = last_failures.values().sum::<f64>() as usize;
+        out.degraded_rounds = last_degraded as usize;
         out.pool_utilization = last_pool_util;
         out.gemm_gflops = last_gflops;
         out.scratch_reuse_rate = if last_reuse.0 + last_reuse.1 > 0.0 {
@@ -681,6 +748,12 @@ impl DynamicsSummary {
             out.push_str(&format!(
                 "  BN drift (max): mean {:.4}, var {:.4}\n",
                 self.bn_mean_drift_max, self.bn_var_drift_max
+            ));
+        }
+        if self.party_failures > 0 {
+            out.push_str(&format!(
+                "  faults: {} party failure(s) across {} degraded round(s)\n",
+                self.party_failures, self.degraded_rounds
             ));
         }
         out.push_str(&format!(
@@ -798,6 +871,8 @@ mod tests {
     fn summary_render_is_one_screen() {
         let s = DynamicsSummary {
             rounds: 3,
+            party_failures: 2,
+            degraded_rounds: 1,
             top_divergent: vec![("7".into(), 1.25, 1.5), ("2".into(), 0.5, 0.25)],
             bn_mean_drift_max: 0.75,
             bn_var_drift_max: 1.5,
@@ -813,6 +888,10 @@ mod tests {
         assert!(text.contains("3 round(s)"), "{text}");
         assert!(text.contains("party 7"), "{text}");
         assert!(text.contains("BN drift"), "{text}");
+        assert!(
+            text.contains("2 party failure(s) across 1 degraded round(s)"),
+            "{text}"
+        );
         assert!(text.contains("pool utilization 50.0%"), "{text}");
         assert!(text.contains("kernel avx2"), "{text}");
         assert!(text.contains("99.5% of GEMM calls"), "{text}");

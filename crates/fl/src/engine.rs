@@ -3,9 +3,11 @@
 
 use crate::aggregate::{average_buffers, fednova_average, scaffold_update_c, weighted_average};
 use crate::algorithm::Algorithm;
+use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::comm::RoundTraffic;
 use crate::dynamics::{RoundObservation, RoundObserver};
 use crate::error::FlError;
+use crate::fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
 use crate::local::{local_train, LocalConfig, LocalOutcome, ScaffoldCtx};
 use crate::metrics::{RoundRecord, RunResult};
 use crate::party::Party;
@@ -14,6 +16,7 @@ use niid_data::Dataset;
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Pcg64};
 use niid_tensor::{active_kernel, configured_threads, set_thread_budget, with_forced_kernel};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -58,6 +61,18 @@ pub struct FlConfig {
     /// parallelism is budgeted to `configured / threads` so party × kernel
     /// threads never oversubscribe the machine.
     pub threads: usize,
+    /// Minimum fraction of a round's *selected* parties that must produce
+    /// a usable update for the round to aggregate (in `(0, 1]`, at least
+    /// one survivor either way). Below it the run fails with a typed
+    /// [`FlError::QuorumLost`] — never a panic. Failures only arise from
+    /// local-training panics or an injected [`FaultPlan`]; fault-free runs
+    /// are unaffected by this setting.
+    pub min_quorum: f64,
+    /// Deterministic fault injection for chaos runs (`None` = no faults).
+    pub fault_plan: Option<FaultPlan>,
+    /// Round-granular checkpointing (`None` = no checkpoints). See
+    /// [`crate::checkpoint`] and [`FedSim::resume`].
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl FlConfig {
@@ -81,6 +96,9 @@ impl FlConfig {
             server_lr: 1.0,
             seed,
             threads: 0,
+            min_quorum: 0.5,
+            fault_plan: None,
+            checkpoint: None,
         }
     }
 }
@@ -96,6 +114,20 @@ pub struct FedSim {
 
 const SEED_INIT: u64 = 0xA11CE;
 const SEED_SAMPLE_BASE: u64 = 0x5A3F_0000_0000;
+
+/// Everything server-side that evolves across rounds — exactly the state
+/// a [`Checkpoint`] captures, so resume is "load this and keep driving".
+struct SimState {
+    round_next: usize,
+    global_params: Vec<f32>,
+    global_buffers: Vec<f32>,
+    server_c: Vec<f32>,
+    client_c: Vec<Vec<f32>>,
+    records: Vec<RoundRecord>,
+    best_accuracy: f64,
+    final_accuracy: f64,
+    total_bytes: usize,
+}
 
 impl FedSim {
     /// Validate and build a simulation.
@@ -165,6 +197,23 @@ impl FedSim {
                 message: format!("must be in (0, 1], got {}", config.sample_fraction),
             });
         }
+        if !(config.min_quorum > 0.0 && config.min_quorum <= 1.0) {
+            return Err(FlError::InvalidConfig {
+                field: "min_quorum",
+                message: format!("must be in (0, 1], got {}", config.min_quorum),
+            });
+        }
+        if let Some(plan) = &config.fault_plan {
+            if let Err(message) = plan.validate() {
+                return Err(FlError::InvalidConfig {
+                    field: "fault_plan",
+                    message,
+                });
+            }
+        }
+        if let Some(policy) = &config.checkpoint {
+            check_pos("checkpoint.every", policy.every)?;
+        }
         Ok(Self {
             model_spec,
             parties,
@@ -228,30 +277,214 @@ impl FedSim {
         sink: &dyn TraceSink,
         observer: Option<&dyn RoundObserver>,
     ) -> Result<RunResult, FlError> {
-        let start = Instant::now();
+        self.drive(self.initial_state(), sink, observer, self.config.rounds)
+    }
+
+    /// Resume from the checkpoint at `FlConfig::checkpoint` and run the
+    /// remaining rounds. Because every random draw is derived statelessly
+    /// from `(seed, round, party)`, the resumed trajectory — records,
+    /// accuracies, traffic — is bit-for-bit identical to the run that was
+    /// never interrupted. Fails with [`FlError::Checkpoint`] when no
+    /// checkpoint policy is configured, the file is missing/corrupt, or it
+    /// was written by an incompatible configuration.
+    pub fn resume(&self) -> Result<RunResult, FlError> {
+        self.resume_observed(&NoopSink, None)
+    }
+
+    /// [`resume`](Self::resume) with tracing and an optional observer
+    /// (mirrors [`run_observed`](Self::run_observed)).
+    pub fn resume_observed(
+        &self,
+        sink: &dyn TraceSink,
+        observer: Option<&dyn RoundObserver>,
+    ) -> Result<RunResult, FlError> {
+        let policy = self.config.checkpoint.as_ref().ok_or_else(|| {
+            FlError::Checkpoint(
+                "resume requires FlConfig::checkpoint to locate the checkpoint file".into(),
+            )
+        })?;
+        let ck = Checkpoint::load(&policy.path())?;
+        let state = self.state_from_checkpoint(ck)?;
+        self.drive(state, sink, observer, self.config.rounds)
+    }
+
+    /// Whether a checkpoint file exists at the configured policy path.
+    pub fn has_checkpoint(&self) -> bool {
+        self.config
+            .checkpoint
+            .as_ref()
+            .is_some_and(|p| p.path().exists())
+    }
+
+    /// Resume when a checkpoint exists, start fresh otherwise — the shape
+    /// experiment drivers want for `--resume`.
+    pub fn run_or_resume(&self) -> Result<RunResult, FlError> {
+        self.run_or_resume_observed(&NoopSink, None)
+    }
+
+    /// [`run_or_resume`](Self::run_or_resume) with tracing and observer.
+    pub fn run_or_resume_observed(
+        &self,
+        sink: &dyn TraceSink,
+        observer: Option<&dyn RoundObserver>,
+    ) -> Result<RunResult, FlError> {
+        if self.has_checkpoint() {
+            self.resume_observed(sink, observer)
+        } else {
+            self.run_observed(sink, observer)
+        }
+    }
+
+    /// Run from scratch but stop after `stop_after` rounds — a simulated
+    /// kill. Evaluation and checkpoint cadence stay tied to the *target*
+    /// round count (`FlConfig::rounds`), exactly as in a real run that
+    /// dies mid-flight, so a later [`resume`](Self::resume) continues the
+    /// same trajectory. Returns the partial result.
+    pub fn run_interrupted(
+        &self,
+        stop_after: usize,
+        sink: &dyn TraceSink,
+    ) -> Result<RunResult, FlError> {
+        self.drive(
+            self.initial_state(),
+            sink,
+            None,
+            stop_after.min(self.config.rounds),
+        )
+    }
+
+    /// Fresh server-side state for round 0.
+    fn initial_state(&self) -> SimState {
         let cfg = &self.config;
-        let classes = self.test.num_classes;
         let init_seed = derive_seed(cfg.seed, SEED_INIT);
-
-        let mut eval_model = self.model_spec.build(classes, init_seed);
-        let mut global_params = eval_model.params_flat();
-        let mut global_buffers = eval_model.buffers_flat();
-        let p_len = global_params.len();
-
-        let is_scaffold = cfg.algorithm.uses_control_variates();
-        let mut server_c = if is_scaffold {
-            vec![0.0f32; p_len]
+        let model = self.model_spec.build(self.test.num_classes, init_seed);
+        let global_params = model.params_flat();
+        let global_buffers = model.buffers_flat();
+        let server_c = if cfg.algorithm.uses_control_variates() {
+            vec![0.0f32; global_params.len()]
         } else {
             Vec::new()
         };
-        let mut client_c: Vec<Vec<f32>> = vec![Vec::new(); self.parties.len()];
+        SimState {
+            round_next: 0,
+            global_params,
+            global_buffers,
+            server_c,
+            client_c: vec![Vec::new(); self.parties.len()],
+            records: Vec::with_capacity(cfg.rounds),
+            best_accuracy: 0.0,
+            final_accuracy: 0.0,
+            total_bytes: 0,
+        }
+    }
 
-        let mut records = Vec::with_capacity(cfg.rounds);
-        let mut best_accuracy = 0.0f64;
-        let mut final_accuracy = 0.0f64;
-        let mut total_bytes = 0usize;
+    /// Validate a loaded checkpoint against this simulation's config and
+    /// turn it into resumable state.
+    fn state_from_checkpoint(&self, ck: Checkpoint) -> Result<SimState, FlError> {
+        let cfg = &self.config;
+        let mismatch =
+            |what: String| FlError::Checkpoint(format!("incompatible checkpoint: {what}"));
+        if ck.seed != cfg.seed {
+            return Err(mismatch(format!(
+                "seed {} vs configured {}",
+                ck.seed, cfg.seed
+            )));
+        }
+        if ck.algorithm != cfg.algorithm.name() {
+            return Err(mismatch(format!(
+                "algorithm {} vs configured {}",
+                ck.algorithm,
+                cfg.algorithm.name()
+            )));
+        }
+        if ck.n_parties != self.parties.len() {
+            return Err(mismatch(format!(
+                "{} parties vs configured {}",
+                ck.n_parties,
+                self.parties.len()
+            )));
+        }
+        if ck.round_next > cfg.rounds {
+            return Err(mismatch(format!(
+                "round_next {} beyond configured rounds {}",
+                ck.round_next, cfg.rounds
+            )));
+        }
+        let probe = self.model_spec.build(self.test.num_classes, 0);
+        let p_len = probe.params_flat().len();
+        let b_len = probe.buffers_flat().len();
+        if ck.global_params.len() != p_len {
+            return Err(mismatch(format!(
+                "{} global params vs model's {p_len}",
+                ck.global_params.len()
+            )));
+        }
+        if ck.global_buffers.len() != b_len {
+            return Err(mismatch(format!(
+                "{} global buffers vs model's {b_len}",
+                ck.global_buffers.len()
+            )));
+        }
+        let expect_c = if cfg.algorithm.uses_control_variates() {
+            p_len
+        } else {
+            0
+        };
+        if ck.server_c.len() != expect_c {
+            return Err(mismatch(format!(
+                "server_c length {} vs expected {expect_c}",
+                ck.server_c.len()
+            )));
+        }
+        if ck.client_c.len() != self.parties.len() {
+            return Err(mismatch(format!(
+                "client_c for {} parties vs configured {}",
+                ck.client_c.len(),
+                self.parties.len()
+            )));
+        }
+        if let Some(bad) = ck
+            .client_c
+            .iter()
+            .position(|c| !c.is_empty() && c.len() != expect_c)
+        {
+            return Err(mismatch(format!(
+                "client_c[{bad}] length {} vs expected {expect_c}",
+                ck.client_c[bad].len()
+            )));
+        }
+        Ok(SimState {
+            round_next: ck.round_next,
+            global_params: ck.global_params,
+            global_buffers: ck.global_buffers,
+            server_c: ck.server_c,
+            client_c: ck.client_c,
+            records: ck.records,
+            best_accuracy: ck.best_accuracy,
+            final_accuracy: ck.final_accuracy,
+            total_bytes: ck.total_bytes,
+        })
+    }
 
-        for round in 0..cfg.rounds {
+    /// The round loop: advance `st` from `st.round_next` up to (not
+    /// including) `stop_round`, which is `cfg.rounds` except for
+    /// [`run_interrupted`](Self::run_interrupted).
+    fn drive(
+        &self,
+        mut st: SimState,
+        sink: &dyn TraceSink,
+        observer: Option<&dyn RoundObserver>,
+        stop_round: usize,
+    ) -> Result<RunResult, FlError> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let classes = self.test.num_classes;
+
+        let mut eval_model = self.model_spec.build(classes, 0);
+        let p_len = st.global_params.len();
+        let is_scaffold = cfg.algorithm.uses_control_variates();
+
+        for round in st.round_next..stop_round {
             let round_started = Instant::now();
             let selected = self.sample_round(round);
             sink.record(&TraceEvent::RoundStarted {
@@ -260,32 +493,76 @@ impl FedSim {
             });
 
             let grad_spans = observer.and_then(RoundObserver::grad_spans);
-            let outcomes = self.train_selected(
+            let party_outcomes = self.train_selected(
                 &selected,
-                &global_params,
-                &global_buffers,
-                &server_c,
-                &mut client_c,
+                &st.global_params,
+                &st.global_buffers,
+                &st.server_c,
+                &mut st.client_c,
                 round,
                 sink,
                 grad_spans,
             );
             let local_wall_ms = round_started.elapsed().as_secs_f64() * 1e3;
 
+            // Split the cohort: survivors aggregate, failures are isolated
+            // and reported. A failed party's `client_c` was already handed
+            // back untouched by `train_selected`.
+            let mut survivors: Vec<usize> = Vec::with_capacity(selected.len());
+            let mut outcomes: Vec<LocalOutcome> = Vec::with_capacity(selected.len());
+            let mut failures: Vec<PartyFailure> = Vec::new();
+            for (party_id, outcome) in selected.iter().copied().zip(party_outcomes) {
+                match outcome {
+                    PartyOutcome::Trained(out) => {
+                        survivors.push(party_id);
+                        outcomes.push(out);
+                    }
+                    PartyOutcome::Failed(failure) => {
+                        debug_assert_eq!(failure.party_id, party_id);
+                        sink.record(&TraceEvent::PartyFailed {
+                            round,
+                            party_id: failure.party_id,
+                            kind: failure.kind.name().to_string(),
+                            message: failure.message.clone(),
+                        });
+                        failures.push(failure);
+                    }
+                }
+            }
+            let needed =
+                ((cfg.min_quorum * selected.len() as f64).ceil() as usize).clamp(1, selected.len());
+            if survivors.len() < needed {
+                return Err(FlError::QuorumLost {
+                    round,
+                    selected: selected.len(),
+                    survived: survivors.len(),
+                    needed,
+                });
+            }
+            if !failures.is_empty() {
+                sink.record(&TraceEvent::RoundDegraded {
+                    round,
+                    failed: failures.len(),
+                    survived: survivors.len(),
+                });
+            }
+
             // Only observed runs pay for the pre-aggregation copy.
-            let global_before = observer.map(|_| global_params.clone());
+            let global_before = observer.map(|_| st.global_params.clone());
 
             let agg_started = Instant::now();
             match cfg.algorithm {
-                Algorithm::FedNova => fednova_average(&mut global_params, &outcomes, cfg.server_lr),
-                _ => weighted_average(&mut global_params, &outcomes, cfg.server_lr),
+                Algorithm::FedNova => {
+                    fednova_average(&mut st.global_params, &outcomes, cfg.server_lr)
+                }
+                _ => weighted_average(&mut st.global_params, &outcomes, cfg.server_lr),
             }
             if is_scaffold {
-                scaffold_update_c(&mut server_c, &outcomes, self.parties.len());
+                scaffold_update_c(&mut st.server_c, &outcomes, self.parties.len());
             }
             if cfg.buffer_policy == BufferPolicy::Average {
                 if let Some(avg) = average_buffers(&outcomes) {
-                    global_buffers = avg;
+                    st.global_buffers = avg;
                 }
             }
             let aggregate_wall_ms = agg_started.elapsed().as_secs_f64() * 1e3;
@@ -294,17 +571,22 @@ impl FedSim {
                 wall_ms: aggregate_wall_ms,
             });
 
-            let traffic =
-                RoundTraffic::for_round(selected.len(), p_len, global_buffers.len(), is_scaffold);
-            total_bytes += traffic.total();
+            let traffic = RoundTraffic::for_round_degraded(
+                selected.len(),
+                survivors.len(),
+                p_len,
+                st.global_buffers.len(),
+                is_scaffold,
+            );
+            st.total_bytes += traffic.total();
 
             let is_last = round + 1 == cfg.rounds;
             let mut eval_wall_ms = 0.0;
             let test_accuracy = if (round + 1) % cfg.eval_every == 0 || is_last {
                 let eval_started = Instant::now();
-                eval_model.set_params_flat(&global_params);
-                if !global_buffers.is_empty() {
-                    eval_model.set_buffers_flat(&global_buffers);
+                eval_model.set_params_flat(&st.global_params);
+                if !st.global_buffers.is_empty() {
+                    eval_model.set_buffers_flat(&st.global_buffers);
                 }
                 let acc = eval_model.evaluate(
                     &self.test.features,
@@ -312,8 +594,8 @@ impl FedSim {
                     &self.test.input_shape,
                     cfg.eval_batch_size,
                 );
-                best_accuracy = best_accuracy.max(acc);
-                final_accuracy = acc;
+                st.best_accuracy = st.best_accuracy.max(acc);
+                st.final_accuracy = acc;
                 eval_wall_ms = eval_started.elapsed().as_secs_f64() * 1e3;
                 sink.record(&TraceEvent::Evaluated {
                     round,
@@ -327,6 +609,7 @@ impl FedSim {
 
             // Weighted by |Dᵢ| so the reported loss matches the federated
             // objective Σᵢ (nᵢ/n) Lᵢ rather than favoring small parties.
+            // Survivors only: failed parties contribute no loss estimate.
             let total_n: usize = outcomes.iter().map(|o| o.n_samples).sum();
             let avg_local_loss = outcomes
                 .iter()
@@ -336,11 +619,12 @@ impl FedSim {
             if let Some(obs) = observer {
                 obs.observe_round(&RoundObservation {
                     round,
-                    selected: &selected,
+                    selected: &survivors,
                     outcomes: &outcomes,
-                    global_before: global_before.as_deref().unwrap_or(&global_params),
-                    global_after: &global_params,
-                    buffers_after: &global_buffers,
+                    failures: &failures,
+                    global_before: global_before.as_deref().unwrap_or(&st.global_params),
+                    global_after: &st.global_params,
+                    buffers_after: &st.global_buffers,
                     avg_local_loss,
                     test_accuracy,
                     round_bytes: traffic.total(),
@@ -350,7 +634,7 @@ impl FedSim {
                 round,
                 wall_ms: round_started.elapsed().as_secs_f64() * 1e3,
             });
-            records.push(RoundRecord {
+            st.records.push(RoundRecord {
                 round,
                 test_accuracy,
                 avg_local_loss,
@@ -360,15 +644,41 @@ impl FedSim {
                 local_wall_ms,
                 aggregate_wall_ms,
                 eval_wall_ms,
+                failures: failures.len(),
             });
+
+            if let Some(policy) = &cfg.checkpoint {
+                if (round + 1) % policy.every == 0 || round + 1 == cfg.rounds {
+                    let path = policy.path();
+                    Checkpoint {
+                        round_next: round + 1,
+                        seed: cfg.seed,
+                        algorithm: cfg.algorithm.name().to_string(),
+                        n_parties: self.parties.len(),
+                        global_params: st.global_params.clone(),
+                        global_buffers: st.global_buffers.clone(),
+                        server_c: st.server_c.clone(),
+                        client_c: st.client_c.clone(),
+                        records: st.records.clone(),
+                        best_accuracy: st.best_accuracy,
+                        final_accuracy: st.final_accuracy,
+                        total_bytes: st.total_bytes,
+                    }
+                    .save(&path)?;
+                    sink.record(&TraceEvent::CheckpointWritten {
+                        round,
+                        path: path.display().to_string(),
+                    });
+                }
+            }
         }
 
         Ok(RunResult {
             algorithm: cfg.algorithm.name().to_string(),
-            rounds: records,
-            final_accuracy,
-            best_accuracy,
-            total_bytes,
+            rounds: st.records,
+            final_accuracy: st.final_accuracy,
+            best_accuracy: st.best_accuracy,
+            total_bytes: st.total_bytes,
             wall_seconds: start.elapsed().as_secs_f64(),
         })
     }
@@ -376,6 +686,12 @@ impl FedSim {
     /// Run local training for the selected parties, possibly in parallel.
     /// Outcomes are returned in `selected` order regardless of scheduling;
     /// `PartyTrained` events fire in completion order.
+    ///
+    /// Failure isolation: a party whose local training panics — real bug
+    /// or injected [`FaultAction::Crash`] — becomes a typed
+    /// [`PartyOutcome::Failed`] instead of unwinding the run, and its
+    /// SCAFFOLD `client_c` is returned to it untouched (`local_train`
+    /// only commits the refreshed variate at its very end).
     #[allow(clippy::too_many_arguments)]
     fn train_selected(
         &self,
@@ -387,7 +703,7 @@ impl FedSim {
         round: usize,
         sink: &dyn TraceSink,
         grad_spans: Option<&[std::ops::Range<usize>]>,
-    ) -> Vec<LocalOutcome> {
+    ) -> Vec<PartyOutcome> {
         struct Job {
             slot: usize,
             party_id: usize,
@@ -432,47 +748,98 @@ impl FedSim {
         let parties = &self.parties;
         let local_cfg = &self.config.local;
         let algorithm = &self.config.algorithm;
+        let fault_plan = self.config.fault_plan.as_ref();
+        if fault_plan.is_some() {
+            crate::fault::install_quiet_panic_hook();
+        }
 
-        let run_job = |job: &mut Job, model: &mut niid_nn::Network| -> LocalOutcome {
+        let run_job = |job: &mut Job, model_slot: &mut Option<niid_nn::Network>| -> PartyOutcome {
+            let action = fault_plan
+                .map(|p| p.action(round, job.party_id))
+                .unwrap_or(FaultAction::None);
+            match action {
+                FaultAction::Drop => {
+                    // The party "trains" but its upload is lost; skipping
+                    // the work entirely keeps the cell cheap and the
+                    // surviving trajectory untouched either way.
+                    return PartyOutcome::Failed(PartyFailure {
+                        party_id: job.party_id,
+                        kind: FailureKind::InjectedDrop,
+                        message: "update dropped by fault plan".into(),
+                    });
+                }
+                FaultAction::Delay(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                FaultAction::Crash | FaultAction::None => {}
+            }
+            let inject_crash = action == FaultAction::Crash;
             let party = &parties[job.party_id];
             let mut rng = Pcg64::new(derive_seed(
                 run_seed,
                 ((round as u64) << 24) ^ (job.party_id as u64 + 1),
             ));
-            let ctx = if is_scaffold {
-                Some(ScaffoldCtx {
-                    server_c,
-                    client_c: &mut job.client_c,
-                    variant: scaffold_variant.expect("scaffold variant"),
-                })
-            } else {
-                None
-            };
-            let out = local_train(
-                model,
-                party,
-                global_params,
-                global_buffers,
-                local_cfg,
-                algorithm,
-                ctx,
-                grad_spans,
-                &mut rng,
-            );
-            sink.record(&TraceEvent::PartyTrained {
-                round,
-                party_id: job.party_id,
-                tau: out.tau,
-                n_samples: out.n_samples,
-                avg_loss: out.avg_loss,
-                wall_ms: out.wall_ms,
-            });
-            out
+            // Panic isolation. The closure mutates only the job's own
+            // control variate and this worker's model slot, and both are
+            // handled on the unwind path — `local_train` commits its
+            // `client_c` refresh only at the very end, so a mid-panic
+            // leaves the variate at its pre-round value, and the
+            // half-trained model is torn down below — which is what makes
+            // the `AssertUnwindSafe` sound.
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if inject_crash {
+                    std::panic::panic_any(crate::fault::INJECTED_CRASH_MSG);
+                }
+                let model = model_slot.get_or_insert_with(|| spec.build(classes, 0));
+                let ctx = if is_scaffold {
+                    Some(ScaffoldCtx {
+                        server_c,
+                        client_c: &mut job.client_c,
+                        variant: scaffold_variant.expect("scaffold variant"),
+                    })
+                } else {
+                    None
+                };
+                local_train(
+                    model,
+                    party,
+                    global_params,
+                    global_buffers,
+                    local_cfg,
+                    algorithm,
+                    ctx,
+                    grad_spans,
+                    &mut rng,
+                )
+            }));
+            match caught {
+                Ok(out) => {
+                    sink.record(&TraceEvent::PartyTrained {
+                        round,
+                        party_id: job.party_id,
+                        tau: out.tau,
+                        n_samples: out.n_samples,
+                        avg_loss: out.avg_loss,
+                        wall_ms: out.wall_ms,
+                    });
+                    PartyOutcome::Trained(out)
+                }
+                Err(payload) => {
+                    *model_slot = None;
+                    PartyOutcome::Failed(PartyFailure {
+                        party_id: job.party_id,
+                        kind: if inject_crash {
+                            FailureKind::InjectedCrash
+                        } else {
+                            FailureKind::Panic
+                        },
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
         };
 
-        let mut results: Vec<Option<LocalOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<PartyOutcome>> = (0..jobs.len()).map(|_| None).collect();
         if threads <= 1 {
-            let mut model = spec.build(classes, 0);
+            let mut model: Option<niid_nn::Network> = None;
             for job in &mut jobs {
                 let out = run_job(job, &mut model);
                 results[job.slot] = Some(out);
@@ -504,8 +871,8 @@ impl FedSim {
                         s.spawn(move || {
                             set_thread_budget(kernel_budget);
                             with_forced_kernel(kern, || {
-                                let mut model = spec.build(classes, 0);
-                                let mut done: Vec<(usize, Job, LocalOutcome)> = Vec::new();
+                                let mut model: Option<niid_nn::Network> = None;
+                                let mut done: Vec<(usize, Job, PartyOutcome)> = Vec::new();
                                 loop {
                                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                                     if i >= queue.len() {
@@ -534,14 +901,26 @@ impl FedSim {
             });
         }
 
-        // Return control variates to their owners.
+        // Return control variates to their owners — including failed
+        // parties, whose variate comes back untouched.
         for job in jobs {
             client_c[job.party_id] = job.client_c;
         }
         results
             .into_iter()
-            .map(|o| o.expect("missing local outcome"))
+            .map(|o| o.expect("missing party outcome"))
             .collect()
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -586,6 +965,9 @@ mod tests {
             server_lr: 1.0,
             seed,
             threads: 2,
+            min_quorum: 0.5,
+            fault_plan: None,
+            checkpoint: None,
         }
     }
 
@@ -765,5 +1147,187 @@ mod tests {
             FedSim::new(spec(), parties, test, quick_config(Algorithm::FedAvg, 18)),
             Err(FlError::EmptyParty(1))
         ));
+    }
+
+    #[test]
+    fn fault_config_validation() {
+        let (parties, test) = toy_setup(2, 8, 19);
+        let mut cfg = quick_config(Algorithm::FedAvg, 20);
+        cfg.min_quorum = 0.0;
+        assert!(matches!(
+            FedSim::new(spec(), parties.clone(), test.clone(), cfg),
+            Err(FlError::InvalidConfig {
+                field: "min_quorum",
+                ..
+            })
+        ));
+        let mut cfg = quick_config(Algorithm::FedAvg, 20);
+        cfg.fault_plan = Some(crate::fault::FaultPlan::crash_only(1.5, 0));
+        assert!(matches!(
+            FedSim::new(spec(), parties.clone(), test.clone(), cfg),
+            Err(FlError::InvalidConfig {
+                field: "fault_plan",
+                ..
+            })
+        ));
+        let mut cfg = quick_config(Algorithm::FedAvg, 20);
+        cfg.checkpoint = Some(crate::checkpoint::CheckpointPolicy::new("/tmp/never", 0));
+        assert!(matches!(
+            FedSim::new(spec(), parties, test, cfg),
+            Err(FlError::InvalidConfig {
+                field: "checkpoint.every",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn quorum_loss_is_a_typed_error_not_a_panic() {
+        // Crash everyone: round 0 must fail with QuorumLost.
+        let (parties, test) = toy_setup(4, 16, 21);
+        let mut cfg = quick_config(Algorithm::FedAvg, 22);
+        cfg.fault_plan = Some(crate::fault::FaultPlan::crash_only(1.0, 5));
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        match sim.run() {
+            Err(FlError::QuorumLost {
+                round,
+                selected,
+                survived,
+                needed,
+            }) => {
+                assert_eq!(round, 0);
+                assert_eq!(selected, 4);
+                assert_eq!(survived, 0);
+                assert_eq!(needed, 2);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_updates_degrade_the_round_accounting() {
+        // A pure-drop plan: no panics involved, failures still recorded
+        // and upload traffic shrinks while the broadcast does not.
+        let (parties, test) = toy_setup(6, 16, 23);
+        let mut cfg = quick_config(Algorithm::FedAvg, 24);
+        cfg.rounds = 3;
+        cfg.min_quorum = 0.1;
+        cfg.fault_plan = Some(crate::fault::FaultPlan {
+            seed: 3,
+            crash_prob: 0.0,
+            drop_prob: 0.4,
+            delay_prob: 0.0,
+            delay_ms: 0,
+        });
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        let result = sim.run().unwrap();
+        assert_eq!(result.rounds.len(), 3);
+        let total_failures: usize = result.rounds.iter().map(|r| r.failures).sum();
+        assert!(total_failures > 0, "0.4 drop over 18 cells hit nobody");
+        for r in &result.rounds {
+            assert_eq!(r.participants, 6);
+            if r.failures > 0 {
+                assert!(r.up_bytes < r.down_bytes);
+            } else {
+                assert_eq!(r.up_bytes, r.down_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_policy_and_file() {
+        let (parties, test) = toy_setup(2, 8, 25);
+        let sim = FedSim::new(
+            spec(),
+            parties.clone(),
+            test.clone(),
+            quick_config(Algorithm::FedAvg, 26),
+        )
+        .unwrap();
+        assert!(!sim.has_checkpoint());
+        assert!(matches!(sim.resume(), Err(FlError::Checkpoint(_))));
+
+        let mut cfg = quick_config(Algorithm::FedAvg, 26);
+        cfg.checkpoint = Some(crate::checkpoint::CheckpointPolicy::new(
+            std::env::temp_dir().join(format!("niid_engine_nock_{}", std::process::id())),
+            1,
+        ));
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        assert!(!sim.has_checkpoint());
+        assert!(matches!(sim.resume(), Err(FlError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configs() {
+        let dir = std::env::temp_dir().join(format!("niid_engine_mismatch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (parties, test) = toy_setup(3, 16, 27);
+        let mut cfg = quick_config(Algorithm::FedAvg, 28);
+        cfg.rounds = 2;
+        cfg.checkpoint = Some(crate::checkpoint::CheckpointPolicy::new(&dir, 1));
+        FedSim::new(spec(), parties.clone(), test.clone(), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+
+        // Same config resumes cleanly (from the final checkpoint: no
+        // rounds left, result folds straight out of the records).
+        let sim = FedSim::new(spec(), parties.clone(), test.clone(), cfg.clone()).unwrap();
+        assert!(sim.has_checkpoint());
+        assert_eq!(sim.resume().unwrap().rounds.len(), 2);
+
+        // A different seed must be refused.
+        let mut other = cfg.clone();
+        other.seed = 999;
+        let sim = FedSim::new(spec(), parties.clone(), test.clone(), other).unwrap();
+        match sim.resume() {
+            Err(FlError::Checkpoint(msg)) => assert!(msg.contains("seed"), "{msg}"),
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+
+        // A different algorithm must be refused.
+        let mut other = cfg;
+        other.algorithm = Algorithm::FedProx { mu: 0.01 };
+        let sim = FedSim::new(spec(), parties, test, other).unwrap();
+        match sim.resume() {
+            Err(FlError::Checkpoint(msg)) => assert!(msg.contains("algorithm"), "{msg}"),
+            other => panic!("expected checkpoint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_or_resume_starts_fresh_then_resumes() {
+        let dir = std::env::temp_dir().join(format!("niid_engine_ror_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (parties, test) = toy_setup(3, 16, 29);
+        let mut cfg = quick_config(Algorithm::FedAvg, 30);
+        cfg.rounds = 4;
+        cfg.checkpoint = Some(crate::checkpoint::CheckpointPolicy::new(&dir, 2));
+        let uninterrupted = FedSim::new(spec(), parties.clone(), test.clone(), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+
+        // Kill after round 2: the periodic checkpoint at round 1 survives.
+        let _ = std::fs::remove_dir_all(&dir);
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        sim.run_interrupted(2, &NoopSink).unwrap();
+        assert!(sim.has_checkpoint());
+        let resumed = sim.run_or_resume().unwrap();
+        // Bit-for-bit trajectory; wall_seconds is the only field allowed
+        // to differ. Records carry wall-clock phases, so compare the
+        // numerical fields.
+        assert_eq!(resumed.final_accuracy, uninterrupted.final_accuracy);
+        assert_eq!(resumed.best_accuracy, uninterrupted.best_accuracy);
+        assert_eq!(resumed.total_bytes, uninterrupted.total_bytes);
+        assert_eq!(resumed.rounds.len(), uninterrupted.rounds.len());
+        for (a, b) in resumed.rounds.iter().zip(&uninterrupted.rounds) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.test_accuracy, b.test_accuracy);
+            assert_eq!(a.avg_local_loss, b.avg_local_loss);
+            assert_eq!(a.failures, b.failures);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,6 +18,21 @@ pub enum FlError {
     },
     /// Party datasets disagree on feature shape or class count.
     InconsistentParties(String),
+    /// Too few of a round's selected parties survived to aggregate: the
+    /// quorum policy (`FlConfig::min_quorum`) refused the round.
+    QuorumLost {
+        /// The round that failed.
+        round: usize,
+        /// How many parties were selected.
+        selected: usize,
+        /// How many produced a usable update.
+        survived: usize,
+        /// The minimum number of survivors the config required.
+        needed: usize,
+    },
+    /// Writing or reading a checkpoint failed (I/O or parse; the message
+    /// carries the path and cause).
+    Checkpoint(String),
 }
 
 impl fmt::Display for FlError {
@@ -33,6 +48,19 @@ impl fmt::Display for FlError {
             FlError::InconsistentParties(msg) => {
                 write!(f, "inconsistent party datasets: {msg}")
             }
+            FlError::QuorumLost {
+                round,
+                selected,
+                survived,
+                needed,
+            } => {
+                write!(
+                    f,
+                    "round {round} lost quorum: {survived}/{selected} selected parties \
+                     survived, needed {needed}"
+                )
+            }
+            FlError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
         }
     }
 }
@@ -54,5 +82,16 @@ mod tests {
             message: "must be positive".into(),
         };
         assert!(e.to_string().contains("rounds"));
+        let q = FlError::QuorumLost {
+            round: 4,
+            selected: 10,
+            survived: 3,
+            needed: 5,
+        };
+        assert!(q.to_string().contains("round 4"));
+        assert!(q.to_string().contains("3/10"));
+        assert!(FlError::Checkpoint("read /x: gone".into())
+            .to_string()
+            .contains("checkpoint"));
     }
 }

@@ -22,25 +22,34 @@
 //! batch shuffling) draws from a seed derived from the run seed, the round
 //! index and the party id — results are bit-identical regardless of how
 //! many threads execute the round.
+//!
+//! Fault tolerance: a [`fault::FaultPlan`] injects deterministic crashes,
+//! drops and delays; the engine isolates party failures (panics included),
+//! aggregates the surviving quorum, and checkpoints round-granular state
+//! ([`checkpoint`]) so an interrupted run resumes bit-for-bit.
 
 pub mod aggregate;
 pub mod algorithm;
+pub mod checkpoint;
 pub mod comm;
 pub mod dynamics;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod local;
 pub mod metrics;
 pub mod party;
 pub mod trace;
 
 pub use algorithm::{Algorithm, ControlVariateUpdate};
+pub use checkpoint::{Checkpoint, CheckpointPolicy};
 pub use dynamics::{
     bn_drift, cosine_similarity, l2_distance, l2_norm, BnSpan, DynamicsRecorder, DynamicsSummary,
     RoundObservation, RoundObserver,
 };
 pub use engine::{BufferPolicy, FedSim, FlConfig};
 pub use error::FlError;
+pub use fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
 pub use metrics::{RoundRecord, RunResult};
 pub use party::Party;
 pub use trace::{JsonlSink, MemorySink, NoopSink, PhaseStats, TraceEvent, TraceSink, TraceSummary};

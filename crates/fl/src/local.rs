@@ -45,7 +45,10 @@ pub struct LocalOutcome {
     pub tau: usize,
     /// Local dataset size `|Dᵢ|` (aggregation weight).
     pub n_samples: usize,
-    /// Mean training loss over the local steps (diagnostics/curves).
+    /// Sample-weighted mean training loss over the local pass: each
+    /// step's batch-mean loss weighted by its batch size. (A plain
+    /// step-mean would over-weight the ragged tail batch whenever
+    /// `|Dᵢ|` is not a multiple of `B`.)
     pub avg_loss: f64,
     /// Final local BatchNorm buffers (empty for buffer-free models).
     pub buffers: Vec<f32>,
@@ -129,7 +132,10 @@ pub fn local_train(
 
     let mut indices: Vec<usize> = (0..n).collect();
     let mut tau = 0usize;
+    // Σ batch_mean · batch_len and the matching sample count, so the
+    // reported loss is the per-sample mean regardless of ragged batches.
     let mut loss_sum = 0.0f64;
+    let mut loss_samples = 0usize;
     let mut params = global_params.to_vec();
     let mut layer_grad_sq: Vec<f64> = grad_spans.map_or(Vec::new(), |s| vec![0.0; s.len()]);
 
@@ -138,7 +144,8 @@ pub fn local_train(
         for batch_idx in indices.chunks(cfg.batch_size) {
             let (x, y) = party.batch(batch_idx);
             model.zero_grads();
-            loss_sum += model.forward_backward(x, &y);
+            loss_sum += model.forward_backward(x, &y) * batch_idx.len() as f64;
+            loss_samples += batch_idx.len();
             let mut grads = model.grads_flat();
             if let Some(spans) = grad_spans {
                 // `sum_sq_f64` keeps four independent f64 accumulators (the
@@ -178,6 +185,11 @@ pub fn local_train(
         .map(|(&g, &w)| g - w)
         .collect();
 
+    // Captured before the control-variate refresh: GradientAtGlobal runs
+    // extra forward passes below that would otherwise leak into the
+    // BatchNorm statistics this party reports.
+    let local_buffers = model.buffers_flat();
+
     // SCAFFOLD control-variate refresh (Algorithm 2 lines 23–25).
     let delta_c = match scaffold {
         Some(ctx) => {
@@ -193,8 +205,14 @@ pub fn local_train(
                         .collect()
                 }
                 ControlVariateUpdate::GradientAtGlobal => {
-                    // cᵢ* = ∇L(wᵗ) over the full local dataset.
+                    // cᵢ* = ∇L(wᵗ) over the full local dataset, at the
+                    // *full* global state — buffers restored along with
+                    // the parameters, not left at their post-training
+                    // local values.
                     model.set_params_flat(global_params);
+                    if !global_buffers.is_empty() {
+                        model.set_buffers_flat(global_buffers);
+                    }
                     model.zero_grads();
                     let all: Vec<usize> = (0..n).collect();
                     // Batched accumulation to bound memory; gradients sum,
@@ -228,8 +246,8 @@ pub fn local_train(
         delta,
         tau,
         n_samples: n,
-        avg_loss: loss_sum / tau.max(1) as f64,
-        buffers: model.buffers_flat(),
+        avg_loss: loss_sum / loss_samples.max(1) as f64,
+        buffers: local_buffers,
         delta_c,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         layer_grad_sq,
@@ -528,5 +546,117 @@ mod tests {
         );
         assert_eq!(out.buffers.len(), model.buffer_count());
         assert_ne!(out.buffers, global_buffers, "BN stats should move");
+    }
+
+    #[test]
+    fn avg_loss_is_sample_weighted_over_ragged_batches() {
+        // n = 20, B = 8 → batches of 8, 8, 4 per epoch: a plain step-mean
+        // would over-weight the tail batch. Replay the exact training
+        // loop and pin the sample-weighted value bit-for-bit.
+        let party = toy_party(20, 30);
+        let c = cfg();
+        let mut model = mlp(4, 2, 31);
+        let global = model.params_flat();
+        let out = local_train(
+            &mut model,
+            &party,
+            &global,
+            &[],
+            &c,
+            &Algorithm::FedAvg,
+            None,
+            None,
+            &mut Pcg64::new(32),
+        );
+
+        // Manual replay: same seed, same shuffles, same update rule.
+        let mut m = mlp(4, 2, 31);
+        m.set_params_flat(&global);
+        let mut opt = Sgd::new(global.len(), c.lr, c.momentum, c.weight_decay);
+        let mut params = global.clone();
+        let mut rng = Pcg64::new(32);
+        let mut indices: Vec<usize> = (0..20).collect();
+        let (mut weighted, mut seen) = (0.0f64, 0usize);
+        let (mut step_sum, mut steps) = (0.0f64, 0usize);
+        for _ in 0..c.epochs {
+            rng.shuffle(&mut indices);
+            for chunk in indices.chunks(c.batch_size) {
+                let (x, y) = party.batch(chunk);
+                m.zero_grads();
+                let loss = m.forward_backward(x, &y);
+                weighted += loss * chunk.len() as f64;
+                seen += chunk.len();
+                step_sum += loss;
+                steps += 1;
+                let grads = m.grads_flat();
+                opt.step(&mut params, &grads);
+                m.set_params_flat(&params);
+            }
+        }
+        assert_eq!(seen, 40);
+        assert_eq!(steps, out.tau);
+        assert_eq!(
+            out.avg_loss,
+            weighted / seen as f64,
+            "avg_loss must be the bit-exact sample-weighted mean"
+        );
+        // The ragged tail makes the two conventions actually differ.
+        assert_ne!(out.avg_loss, step_sum / steps as f64);
+    }
+
+    #[test]
+    fn gradient_at_global_refresh_does_not_leak_into_bn_buffers() {
+        use niid_nn::resnet_lite;
+        // With zero control variates the Reuse and GradientAtGlobal
+        // variants follow the identical training trajectory; only the
+        // post-training refresh differs. The refresh's extra forward
+        // passes at wᵗ must not leak into the returned BN statistics.
+        let mut rng = Pcg64::new(40);
+        let x = Tensor::randn(&[8, 3 * 16 * 16], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let party = Party::new(
+            0,
+            niid_data::Dataset::new("img", x, labels, 2, vec![3, 16, 16], None),
+        );
+        let lc = LocalConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let run = |variant: ControlVariateUpdate| {
+            let mut model = resnet_lite(3, 16, 2, 2, 1, 41);
+            let global = model.params_flat();
+            let global_buffers = model.buffers_flat();
+            let server_c = vec![0.0f32; global.len()];
+            let mut client_c = vec![0.0f32; global.len()];
+            local_train(
+                &mut model,
+                &party,
+                &global,
+                &global_buffers,
+                &lc,
+                &Algorithm::Scaffold { variant },
+                Some(ScaffoldCtx {
+                    server_c: &server_c,
+                    client_c: &mut client_c,
+                    variant,
+                }),
+                None,
+                &mut Pcg64::new(42),
+            )
+        };
+        let reuse = run(ControlVariateUpdate::Reuse);
+        let gag = run(ControlVariateUpdate::GradientAtGlobal);
+        assert_eq!(
+            reuse.delta, gag.delta,
+            "zero variates: trajectories must be identical"
+        );
+        assert!(!gag.buffers.is_empty());
+        assert_eq!(
+            reuse.buffers, gag.buffers,
+            "GradientAtGlobal refresh leaked into the returned BN buffers"
+        );
     }
 }

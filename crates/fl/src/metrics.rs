@@ -28,6 +28,10 @@ pub struct RoundRecord {
     pub aggregate_wall_ms: f64,
     /// Wall time of test-set evaluation; `0` for skipped rounds.
     pub eval_wall_ms: f64,
+    /// Selected parties that failed this round (panic or injected fault);
+    /// their updates were excluded from aggregation. `participants` still
+    /// counts the full selected cohort.
+    pub failures: usize,
 }
 
 /// The outcome of a full federated run.
@@ -59,6 +63,7 @@ impl ToJson for RoundRecord {
             ("local_wall_ms", self.local_wall_ms.to_json()),
             ("aggregate_wall_ms", self.aggregate_wall_ms.to_json()),
             ("eval_wall_ms", self.eval_wall_ms.to_json()),
+            ("failures", self.failures.to_json()),
         ])
     }
 }
@@ -81,6 +86,11 @@ impl FromJson for RoundRecord {
             local_wall_ms: f64::from_json(req(v, "local_wall_ms")?)?,
             aggregate_wall_ms: f64::from_json(req(v, "aggregate_wall_ms")?)?,
             eval_wall_ms: f64::from_json(req(v, "eval_wall_ms")?)?,
+            // Absent in records written before fault tolerance existed.
+            failures: match v.get("failures") {
+                Some(x) => usize::from_json(x)?,
+                None => 0,
+            },
         })
     }
 }
@@ -158,6 +168,7 @@ mod tests {
             local_wall_ms: 12.0,
             aggregate_wall_ms: 1.0,
             eval_wall_ms: 3.0,
+            failures: 0,
         }
     }
 
@@ -213,5 +224,19 @@ mod tests {
         assert_eq!(r, back);
         assert!(json.contains("\"test_accuracy\":null"));
         assert!(json.contains("\"local_wall_ms\":12"));
+    }
+
+    #[test]
+    fn records_without_failures_field_default_to_zero() {
+        // Round records written before the fault-tolerance layer carry no
+        // `failures` key; they must still parse.
+        let mut with = record(0, Some(0.5));
+        with.failures = 2;
+        let json = with.to_json_string();
+        let legacy = json.replace(",\"failures\":2", "");
+        assert_ne!(json, legacy, "failures key must have been present");
+        let back = RoundRecord::from_json_str(&legacy).unwrap();
+        assert_eq!(back.failures, 0);
+        assert_eq!(RoundRecord::from_json_str(&json).unwrap().failures, 2);
     }
 }

@@ -79,6 +79,35 @@ pub enum TraceEvent {
         /// Wall time of the whole round, in milliseconds.
         wall_ms: f64,
     },
+    /// One party failed to produce an update (panic or injected fault);
+    /// the round continues without it.
+    PartyFailed {
+        /// Round index.
+        round: usize,
+        /// The failed party's id.
+        party_id: usize,
+        /// Failure kind tag (`panic`, `injected_crash`, `injected_drop`).
+        kind: String,
+        /// The panic payload or injected-fault description.
+        message: String,
+    },
+    /// A round aggregated fewer parties than were selected (but met
+    /// quorum).
+    RoundDegraded {
+        /// Round index.
+        round: usize,
+        /// Parties that failed.
+        failed: usize,
+        /// Parties whose updates were aggregated.
+        survived: usize,
+    },
+    /// A resumable checkpoint was written after this round.
+    CheckpointWritten {
+        /// Round index (the checkpoint resumes at `round + 1`).
+        round: usize,
+        /// Where the checkpoint landed.
+        path: String,
+    },
 }
 
 impl TraceEvent {
@@ -89,7 +118,10 @@ impl TraceEvent {
             | TraceEvent::PartyTrained { round, .. }
             | TraceEvent::Aggregated { round, .. }
             | TraceEvent::Evaluated { round, .. }
-            | TraceEvent::RoundFinished { round, .. } => round,
+            | TraceEvent::RoundFinished { round, .. }
+            | TraceEvent::PartyFailed { round, .. }
+            | TraceEvent::RoundDegraded { round, .. }
+            | TraceEvent::CheckpointWritten { round, .. } => round,
         }
     }
 
@@ -101,6 +133,9 @@ impl TraceEvent {
             TraceEvent::Aggregated { .. } => "aggregated",
             TraceEvent::Evaluated { .. } => "evaluated",
             TraceEvent::RoundFinished { .. } => "round_finished",
+            TraceEvent::PartyFailed { .. } => "party_failed",
+            TraceEvent::RoundDegraded { .. } => "round_degraded",
+            TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
         }
     }
 }
@@ -141,6 +176,25 @@ impl ToJson for TraceEvent {
             TraceEvent::RoundFinished { wall_ms, .. } => {
                 fields.push(("wall_ms", wall_ms.to_json()));
             }
+            TraceEvent::PartyFailed {
+                party_id,
+                ref kind,
+                ref message,
+                ..
+            } => {
+                fields.push(("party_id", party_id.to_json()));
+                fields.push(("kind", kind.to_json()));
+                fields.push(("message", message.to_json()));
+            }
+            TraceEvent::RoundDegraded {
+                failed, survived, ..
+            } => {
+                fields.push(("failed", failed.to_json()));
+                fields.push(("survived", survived.to_json()));
+            }
+            TraceEvent::CheckpointWritten { ref path, .. } => {
+                fields.push(("path", path.to_json()));
+            }
         }
         Json::obj(fields)
     }
@@ -178,6 +232,21 @@ impl FromJson for TraceEvent {
             Some("round_finished") => Ok(TraceEvent::RoundFinished {
                 round,
                 wall_ms: f64::from_json(req("wall_ms")?)?,
+            }),
+            Some("party_failed") => Ok(TraceEvent::PartyFailed {
+                round,
+                party_id: usize::from_json(req("party_id")?)?,
+                kind: String::from_json(req("kind")?)?,
+                message: String::from_json(req("message")?)?,
+            }),
+            Some("round_degraded") => Ok(TraceEvent::RoundDegraded {
+                round,
+                failed: usize::from_json(req("failed")?)?,
+                survived: usize::from_json(req("survived")?)?,
+            }),
+            Some("checkpoint_written") => Ok(TraceEvent::CheckpointWritten {
+                round,
+                path: String::from_json(req("path")?)?,
             }),
             other => Err(JsonError::new(format!(
                 "unknown trace event tag: {other:?}"
@@ -396,6 +465,12 @@ pub struct TraceSummary {
     /// `(party_id, rounds_slowest)`, most frequent first — the straggler
     /// histogram.
     pub slowest_parties: Vec<(usize, usize)>,
+    /// Total party failures (one sample per `PartyFailed`).
+    pub party_failures: usize,
+    /// Rounds that aggregated a reduced cohort (one per `RoundDegraded`).
+    pub degraded_rounds: usize,
+    /// Checkpoints written (one per `CheckpointWritten`).
+    pub checkpoints: usize,
 }
 
 impl TraceSummary {
@@ -408,6 +483,9 @@ impl TraceSummary {
         let mut rounds_seen = Vec::new();
         // (round, party_id, wall_ms) of the slowest party per round.
         let mut slowest_by_round: Vec<(usize, usize, f64)> = Vec::new();
+        let mut party_failures = 0usize;
+        let mut degraded_rounds = 0usize;
+        let mut checkpoints = 0usize;
 
         for ev in events {
             let r = ev.round();
@@ -429,6 +507,9 @@ impl TraceSummary {
                 TraceEvent::Evaluated { wall_ms, .. } => eval.push(wall_ms),
                 TraceEvent::RoundFinished { wall_ms, .. } => round_times.push(wall_ms),
                 TraceEvent::RoundStarted { .. } => {}
+                TraceEvent::PartyFailed { .. } => party_failures += 1,
+                TraceEvent::RoundDegraded { .. } => degraded_rounds += 1,
+                TraceEvent::CheckpointWritten { .. } => checkpoints += 1,
             }
         }
 
@@ -448,6 +529,9 @@ impl TraceSummary {
             eval: PhaseStats::from_samples(&eval),
             round: PhaseStats::from_samples(&round_times),
             slowest_parties: counts,
+            party_failures,
+            degraded_rounds,
+            checkpoints,
         }
     }
 
@@ -488,6 +572,15 @@ impl TraceSummary {
                 .collect();
             out.push_str(&parts.join(", "));
             out.push('\n');
+        }
+        if self.party_failures > 0 || self.degraded_rounds > 0 {
+            out.push_str(&format!(
+                "faults: {} party failure(s) across {} degraded round(s)\n",
+                self.party_failures, self.degraded_rounds
+            ));
+        }
+        if self.checkpoints > 0 {
+            out.push_str(&format!("checkpoints written: {}\n", self.checkpoints));
         }
         out
     }
@@ -570,6 +663,47 @@ mod tests {
             let back = TraceEvent::from_json_str(&line).unwrap();
             assert_eq!(ev, back, "via {line}");
         }
+    }
+
+    #[test]
+    fn fault_events_round_trip_and_fold() {
+        let events = vec![
+            TraceEvent::PartyFailed {
+                round: 1,
+                party_id: 3,
+                kind: "injected_crash".into(),
+                message: "injected crash (fault plan)".into(),
+            },
+            TraceEvent::PartyFailed {
+                round: 1,
+                party_id: 5,
+                kind: "panic".into(),
+                message: "index out of bounds".into(),
+            },
+            TraceEvent::RoundDegraded {
+                round: 1,
+                failed: 2,
+                survived: 6,
+            },
+            TraceEvent::CheckpointWritten {
+                round: 1,
+                path: "/tmp/run/checkpoint.json".into(),
+            },
+        ];
+        for ev in &events {
+            let back = TraceEvent::from_json_str(&ev.to_json_string()).unwrap();
+            assert_eq!(*ev, back);
+        }
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.party_failures, 2);
+        assert_eq!(s.degraded_rounds, 1);
+        assert_eq!(s.checkpoints, 1);
+        let table = s.render();
+        assert!(table.contains("2 party failure(s)"), "{table}");
+        assert!(table.contains("checkpoints written: 1"), "{table}");
+        // Clean traces render no fault lines.
+        let clean = TraceSummary::from_events(&sample_events()).render();
+        assert!(!clean.contains("faults:"), "{clean}");
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Fault-tolerance guarantees of the round loop: injected party failures
+//! degrade rounds instead of aborting runs, failure handling is
+//! deterministic (SCAFFOLD control-variate state included), and a run
+//! killed mid-flight resumes from its checkpoint to a bit-identical
+//! record stream at any thread count.
+
+use niid_bench_rs::data::Dataset;
+use niid_bench_rs::fl::engine::{BufferPolicy, FedSim, FlConfig};
+use niid_bench_rs::fl::fault::FaultPlan;
+use niid_bench_rs::fl::local::LocalConfig;
+use niid_bench_rs::fl::party::Party;
+use niid_bench_rs::fl::trace::{MemorySink, NoopSink, TraceEvent};
+use niid_bench_rs::fl::{Algorithm, CheckpointPolicy, ControlVariateUpdate};
+use niid_bench_rs::nn::ModelSpec;
+use niid_bench_rs::stats::Pcg64;
+use niid_bench_rs::tensor::Tensor;
+
+/// Two-feature separable task; `n` samples per party.
+fn setup(parties: usize, per_party: usize, seed: u64) -> (Vec<Party>, Dataset) {
+    let mut rng = Pcg64::new(seed);
+    let make = |n: usize, rng: &mut Pcg64, name: &str| -> Dataset {
+        let x = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, rng);
+        let labels = (0..n)
+            .map(|i| usize::from(x.at2(i, 0) + 0.5 * x.at2(i, 1) > 0.0))
+            .collect();
+        Dataset::new(name, x, labels, 2, vec![4], None)
+    };
+    let locals = (0..parties)
+        .map(|id| Party::new(id, make(per_party, &mut rng, "local")))
+        .collect();
+    let test = make(200, &mut rng, "test");
+    (locals, test)
+}
+
+fn config(algorithm: Algorithm, rounds: usize, threads: usize, seed: u64) -> FlConfig {
+    FlConfig {
+        algorithm,
+        rounds,
+        local: LocalConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        sample_fraction: 1.0,
+        buffer_policy: BufferPolicy::Average,
+        eval_batch_size: 64,
+        eval_every: 1,
+        server_lr: 1.0,
+        seed,
+        threads,
+        min_quorum: 0.25,
+        fault_plan: None,
+        checkpoint: None,
+    }
+}
+
+/// The headline acceptance scenario: a 30% per-(round,party) crash rate
+/// must degrade rounds — never abort the run — and the degradation must
+/// be visible in the records, the trace, and the traffic accounting.
+#[test]
+fn thirty_percent_crash_plan_completes_all_rounds_degraded() {
+    let (parties, test) = setup(8, 40, 51);
+    let mut cfg = config(Algorithm::FedAvg, 6, 2, 52);
+    cfg.fault_plan = Some(FaultPlan::crash_only(0.3, 7));
+    let sink = MemorySink::new();
+    let result = FedSim::new(ModelSpec::Mlp { in_dim: 4 }, parties, test, cfg)
+        .unwrap()
+        .run_observed(&sink, None)
+        .expect("crash plan must degrade rounds, not abort the run");
+
+    assert_eq!(result.rounds.len(), 6, "every round completed");
+    let total_failures: usize = result.rounds.iter().map(|r| r.failures).sum();
+    assert!(total_failures > 0, "0.3 crash rate over 48 cells must hit");
+
+    let events = sink.events();
+    let failed = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::PartyFailed { .. }))
+        .count();
+    assert_eq!(failed, total_failures, "one PartyFailed event per failure");
+    for event in &events {
+        if let TraceEvent::RoundDegraded {
+            round,
+            failed,
+            survived,
+        } = event
+        {
+            let record = &result.rounds[*round];
+            assert_eq!(record.failures, *failed);
+            assert!(*survived > 0, "quorum passed, so survivors exist");
+            assert!(
+                record.up_bytes < record.down_bytes,
+                "failed parties upload nothing"
+            );
+        }
+    }
+}
+
+/// SCAFFOLD keeps per-party control variates across rounds; a mid-round
+/// failure must leave the failed party's variate untouched. The
+/// observable contract: the whole faulty run is a pure function of its
+/// seeds, so repeating it gives bit-identical accuracy and loss streams.
+#[test]
+fn scaffold_with_failures_is_deterministic() {
+    let run = || {
+        let (parties, test) = setup(6, 40, 61);
+        let algorithm = Algorithm::Scaffold {
+            variant: ControlVariateUpdate::Reuse,
+        };
+        let mut cfg = config(algorithm, 5, 2, 62);
+        cfg.fault_plan = Some("crash=0.2,drop=0.1,seed=3".parse::<FaultPlan>().unwrap());
+        FedSim::new(ModelSpec::Mlp { in_dim: 4 }, parties, test, cfg)
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.final_accuracy, b.final_accuracy);
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.test_accuracy, rb.test_accuracy);
+        assert_eq!(ra.avg_local_loss, rb.avg_local_loss);
+        assert_eq!(ra.failures, rb.failures);
+    }
+    let total: usize = a.rounds.iter().map(|r| r.failures).sum();
+    assert!(total > 0, "the plan must actually inject failures");
+}
+
+/// Kill the run after `k` rounds, then resume from the checkpoint: the
+/// stitched record stream must be bit-identical to the uninterrupted
+/// run's — at one worker thread and at four.
+#[test]
+fn kill_and_resume_is_bit_identical_across_thread_counts() {
+    for &threads in &[1usize, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "niid_fault_resume_t{threads}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let make_sim = |ck: Option<CheckpointPolicy>| {
+            let (parties, test) = setup(6, 40, 71);
+            let mut cfg = config(Algorithm::FedNova, 6, threads, 72);
+            cfg.checkpoint = ck;
+            FedSim::new(ModelSpec::Mlp { in_dim: 4 }, parties, test, cfg).unwrap()
+        };
+
+        let full = make_sim(None).run().unwrap();
+
+        let sim = make_sim(Some(CheckpointPolicy::new(&dir, 3)));
+        sim.run_interrupted(3, &NoopSink).unwrap(); // "killed" after round 3
+        assert!(
+            sim.has_checkpoint(),
+            "periodic checkpoint survived the kill"
+        );
+        let resumed = sim.resume().unwrap();
+
+        assert_eq!(
+            resumed.final_accuracy, full.final_accuracy,
+            "@{threads} threads"
+        );
+        assert_eq!(resumed.best_accuracy, full.best_accuracy);
+        assert_eq!(resumed.total_bytes, full.total_bytes);
+        assert_eq!(resumed.rounds.len(), full.rounds.len());
+        for (ra, rb) in resumed.rounds.iter().zip(&full.rounds) {
+            assert_eq!(ra.round, rb.round);
+            assert_eq!(ra.test_accuracy, rb.test_accuracy, "@{threads} threads");
+            assert_eq!(ra.avg_local_loss, rb.avg_local_loss, "@{threads} threads");
+            assert_eq!(ra.failures, rb.failures);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Resume under an active fault plan: the fault schedule is seeded per
+/// (round, party) cell, so the resumed half replays exactly the failures
+/// the uninterrupted run would have seen.
+#[test]
+fn resume_replays_the_fault_schedule_bit_exactly() {
+    let dir = std::env::temp_dir().join(format!("niid_fault_resume_plan_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let make_sim = |ck: Option<CheckpointPolicy>| {
+        let (parties, test) = setup(8, 40, 81);
+        let mut cfg = config(Algorithm::FedAvg, 6, 2, 82);
+        cfg.fault_plan = Some(FaultPlan::crash_only(0.3, 9));
+        cfg.checkpoint = ck;
+        FedSim::new(ModelSpec::Mlp { in_dim: 4 }, parties, test, cfg).unwrap()
+    };
+
+    let full = make_sim(None).run().unwrap();
+    let sim = make_sim(Some(CheckpointPolicy::new(&dir, 2)));
+    sim.run_interrupted(4, &NoopSink).unwrap();
+    let resumed = sim.run_or_resume().unwrap();
+
+    for (ra, rb) in resumed.rounds.iter().zip(&full.rounds) {
+        assert_eq!(ra.failures, rb.failures, "round {}", ra.round);
+        assert_eq!(ra.test_accuracy, rb.test_accuracy, "round {}", ra.round);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

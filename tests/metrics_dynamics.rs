@@ -32,6 +32,9 @@ fn quick_config(seed: u64, rounds: usize) -> FlConfig {
         server_lr: 1.0,
         seed,
         threads: 2,
+        min_quorum: 0.5,
+        fault_plan: None,
+        checkpoint: None,
     }
 }
 

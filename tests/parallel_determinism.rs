@@ -122,6 +122,9 @@ fn config(threads: usize, seed: u64) -> FlConfig {
         server_lr: 1.0,
         seed,
         threads,
+        min_quorum: 0.5,
+        fault_plan: None,
+        checkpoint: None,
     }
 }
 

@@ -51,6 +51,9 @@ fn config(rounds: usize, sample_fraction: f64, threads: usize) -> FlConfig {
         server_lr: 1.0,
         seed: 9,
         threads,
+        min_quorum: 0.5,
+        fault_plan: None,
+        checkpoint: None,
     }
 }
 

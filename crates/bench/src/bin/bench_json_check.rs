@@ -34,10 +34,43 @@ fn check_entry(e: &Json, idx: usize) -> Result<(), String> {
         return Err(format!("entry {idx}: median_ns must be positive"));
     }
     match e.get("gflops") {
-        Some(g) if g.is_null() || g.as_f64().is_some_and(f64::is_finite) => Ok(()),
-        Some(_) => Err(format!("entry {idx}: gflops must be null or finite")),
-        None => Err(format!("entry {idx}: missing field \"gflops\"")),
+        Some(g) if g.is_null() || g.as_f64().is_some_and(f64::is_finite) => {}
+        Some(_) => return Err(format!("entry {idx}: gflops must be null or finite")),
+        None => return Err(format!("entry {idx}: missing field \"gflops\"")),
     }
+    if e.get("op").and_then(Json::as_str) == Some("fl_scale") {
+        check_fl_scale_entry(e, idx)?;
+    }
+    Ok(())
+}
+
+/// Extra fields `exp_scale` records per population cell
+/// (`BENCH_fl_scale.json`): all must be present, finite and positive, and
+/// the cohort can never exceed the population.
+fn check_fl_scale_entry(e: &Json, idx: usize) -> Result<(), String> {
+    for key in [
+        "n_parties",
+        "cohort",
+        "rounds_per_sec",
+        "bytes_per_round",
+        "resident_party_bytes_peak",
+    ] {
+        let v = e
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {idx}: fl_scale missing numeric field {key:?}"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "entry {idx}: fl_scale {key} = {v} must be positive"
+            ));
+        }
+    }
+    let n = e.get("n_parties").and_then(Json::as_f64).unwrap_or(0.0);
+    let m = e.get("cohort").and_then(Json::as_f64).unwrap_or(0.0);
+    if m > n {
+        return Err(format!("entry {idx}: cohort {m} exceeds population {n}"));
+    }
+    Ok(())
 }
 
 fn check_file(path: &str) -> Result<usize, String> {
@@ -95,6 +128,47 @@ mod tests {
             ("gflops", Json::Null),
         ]);
         assert!(check_entry(&e, 0).is_ok());
+    }
+
+    fn fl_scale_entry(cohort: f64) -> Json {
+        Json::obj(vec![
+            ("group", Json::Str("fl_scale".into())),
+            ("name", Json::Str("N=10k".into())),
+            ("op", Json::Str("fl_scale".into())),
+            ("shape", Json::Str("N=10000 cohort=10 rounds=5".into())),
+            ("simd", Json::Str("avx2/avx2+fma".into())),
+            ("threads", Json::Num(8.0)),
+            ("median_ns", Json::Num(1e8)),
+            ("min_ns", Json::Num(9e7)),
+            ("iters", Json::Num(5.0)),
+            ("gflops", Json::Null),
+            ("n_parties", Json::Num(10_000.0)),
+            ("cohort", Json::Num(cohort)),
+            ("rounds_per_sec", Json::Num(12.5)),
+            ("bytes_per_round", Json::Num(65536.0)),
+            ("resident_party_bytes_peak", Json::Num(4096.0)),
+        ])
+    }
+
+    #[test]
+    fn fl_scale_entry_passes_with_extras() {
+        assert!(check_entry(&fl_scale_entry(10.0), 0).is_ok());
+    }
+
+    #[test]
+    fn fl_scale_entry_requires_scale_fields() {
+        let mut bad = fl_scale_entry(10.0);
+        if let Json::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "rounds_per_sec");
+        }
+        let err = check_entry(&bad, 0).unwrap_err();
+        assert!(err.contains("rounds_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn fl_scale_cohort_cannot_exceed_population() {
+        let err = check_entry(&fl_scale_entry(20_000.0), 0).unwrap_err();
+        assert!(err.contains("exceeds population"), "{err}");
     }
 
     #[test]

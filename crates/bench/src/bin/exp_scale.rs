@@ -1,0 +1,241 @@
+//! Cross-device scale sweep: federated rounds over populations of
+//! N ∈ {1k, 10k, 100k, 1M} parties with a sampled cohort ≪ N, driven
+//! through the cohort-on-demand engine path (`LazyPartition` +
+//! `FedSim::with_provider`).
+//!
+//! What it demonstrates (and records in `BENCH_fl_scale.json`): round
+//! throughput stays a function of the cohort size, per-round traffic
+//! scales with the cohort, and — the point of the lazy refactor — peak
+//! party-resident memory tracks the cohort, never the population.
+//!
+//! ```text
+//! exp_scale [--short] [--json PATH] [--seed N]
+//! ```
+//!
+//! `--short` restricts the sweep to N ∈ {1k, 10k} for the CI bench-smoke
+//! leg; the full sweep's 1M-party cell runs in minutes on a laptop
+//! because only the sampled cohort is ever materialized.
+//!
+//! Output schema: the bench harness's generic entry fields (group, name,
+//! op, shape, threads, simd, median_ns, min_ns, iters, gflops) plus the
+//! scale-specific numbers `n_parties`, `cohort`, `rounds_per_sec`,
+//! `bytes_per_round` and `resident_party_bytes_peak` — all validated by
+//! `bench_json_check`.
+
+use niid_core::partition::{LazyPartition, Strategy};
+use niid_data::Dataset;
+use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
+use niid_fl::local::LocalConfig;
+use niid_fl::{residency, Algorithm};
+use niid_json::Json;
+use niid_nn::ModelSpec;
+use niid_stats::{derive_seed, Pcg64};
+use niid_tensor::Tensor;
+use std::sync::Arc;
+
+/// Feature dimension of the synthetic task.
+const DIM: usize = 8;
+/// Rows per party — tiny on purpose: the sweep measures engine
+/// bookkeeping at population scale, not SGD throughput.
+const PER_PARTY: usize = 4;
+/// Communication rounds per cell (evaluation only on the last).
+const ROUNDS: usize = 5;
+/// Held-out test rows.
+const TEST_ROWS: usize = 512;
+
+/// The sampled cohort for a population: `N/1000` clamped to `[8, 200]`,
+/// so 100k parties run at the acceptance point `sample_fraction = 0.001`
+/// and 1M parties still aggregate only 200 updates per round.
+fn cohort(n_parties: usize) -> usize {
+    (n_parties / 1000).clamp(8, 200)
+}
+
+/// Linearly separable two-class task in `DIM` dimensions.
+fn synth(rows: usize, seed: u64, name: &str) -> Dataset {
+    let mut rng = Pcg64::new(seed);
+    let x = Tensor::rand_uniform(&[rows, DIM], -1.0, 1.0, &mut rng);
+    let labels = (0..rows)
+        .map(|i| usize::from(x.at2(i, 0) + 0.5 * x.at2(i, 1) > 0.0))
+        .collect();
+    Dataset::new(name, x, labels, 2, vec![DIM], None)
+}
+
+struct Cell {
+    n_parties: usize,
+    cohort: usize,
+    rounds_per_sec: f64,
+    bytes_per_round: f64,
+    resident_peak: usize,
+    wall_ns_per_round: f64,
+    final_accuracy: f64,
+}
+
+fn run_cell(n_parties: usize, seed: u64) -> Cell {
+    let m = cohort(n_parties);
+    let train = Arc::new(synth(
+        n_parties * PER_PARTY,
+        derive_seed(seed, 1),
+        "scale-train",
+    ));
+    let test = synth(TEST_ROWS, derive_seed(seed, 2), "scale-test");
+    let provider = LazyPartition::new(Arc::clone(&train), n_parties, Strategy::Homogeneous, seed)
+        .expect("homogeneous lazy partition");
+    let config = FlConfig {
+        algorithm: Algorithm::FedAvg,
+        rounds: ROUNDS,
+        local: LocalConfig {
+            epochs: 2,
+            batch_size: PER_PARTY,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        sample_fraction: m as f64 / n_parties as f64,
+        buffer_policy: BufferPolicy::Average,
+        eval_batch_size: 256,
+        eval_every: ROUNDS,
+        server_lr: 1.0,
+        seed,
+        threads: 0,
+        min_quorum: 0.5,
+        fault_plan: None,
+        checkpoint: None,
+    };
+    let sim = FedSim::with_provider(
+        ModelSpec::Mlp { in_dim: DIM },
+        Box::new(provider),
+        test,
+        config,
+    )
+    .expect("valid scale config");
+    residency::reset_peak();
+    let result = sim.run().expect("scale cell run");
+    let peak = residency::peak_bytes();
+    assert!(
+        result.rounds.iter().all(|r| r.participants == m),
+        "cohort size drifted"
+    );
+    Cell {
+        n_parties,
+        cohort: m,
+        rounds_per_sec: ROUNDS as f64 / result.wall_seconds,
+        bytes_per_round: result.total_bytes as f64 / ROUNDS as f64,
+        resident_peak: peak,
+        wall_ns_per_round: result.wall_seconds * 1e9 / ROUNDS as f64,
+        final_accuracy: result.final_accuracy,
+    }
+}
+
+/// Compact population label: `N=10k`, `N=1M`.
+fn label(n: usize) -> String {
+    if n.is_multiple_of(1_000_000) {
+        format!("N={}M", n / 1_000_000)
+    } else if n.is_multiple_of(1_000) {
+        format!("N={}k", n / 1_000)
+    } else {
+        format!("N={n}")
+    }
+}
+
+fn cell_json(c: &Cell, simd: &str, threads: usize) -> Json {
+    Json::obj(vec![
+        ("group", Json::Str("fl_scale".into())),
+        ("name", Json::Str(label(c.n_parties))),
+        ("op", Json::Str("fl_scale".into())),
+        (
+            "shape",
+            Json::Str(format!(
+                "N={} cohort={} rounds={ROUNDS}",
+                c.n_parties, c.cohort
+            )),
+        ),
+        ("threads", Json::Num(threads as f64)),
+        ("simd", Json::Str(simd.into())),
+        ("median_ns", Json::Num(c.wall_ns_per_round)),
+        ("min_ns", Json::Num(c.wall_ns_per_round)),
+        ("iters", Json::Num(ROUNDS as f64)),
+        ("gflops", Json::Null),
+        ("n_parties", Json::Num(c.n_parties as f64)),
+        ("cohort", Json::Num(c.cohort as f64)),
+        ("rounds_per_sec", Json::Num(c.rounds_per_sec)),
+        ("bytes_per_round", Json::Num(c.bytes_per_round)),
+        (
+            "resident_party_bytes_peak",
+            Json::Num(c.resident_peak as f64),
+        ),
+    ])
+}
+
+fn main() {
+    let mut short = false;
+    let mut json_path: Option<String> = None;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--short" => short = true,
+            "--json" => json_path = args.next(),
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --seed");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: exp_scale [--short] [--json PATH] [--seed N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let populations: &[usize] = if short {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    println!(
+        "=== exp_scale: cross-device cohort-on-demand sweep{} ===",
+        if short { " (short)" } else { "" }
+    );
+    println!(
+        "{:<8} {:>8} {:>12} {:>14} {:>16} {:>10}",
+        "N", "cohort", "rounds/s", "bytes/round", "resident peak", "final acc"
+    );
+
+    let threads = niid_tensor::configured_threads();
+    let simd = format!(
+        "{}/{}",
+        niid_tensor::active_kernel().name(),
+        niid_tensor::detected_features()
+    );
+    let mut entries = Vec::new();
+    for &n in populations {
+        let cell = run_cell(n, derive_seed(seed, n as u64));
+        println!(
+            "{:<8} {:>8} {:>12.2} {:>14.0} {:>16} {:>9.1}%",
+            label(cell.n_parties),
+            cell.cohort,
+            cell.rounds_per_sec,
+            cell.bytes_per_round,
+            cell.resident_peak,
+            cell.final_accuracy * 100.0
+        );
+        entries.push(cell_json(&cell, &simd, threads));
+    }
+
+    if let Some(path) = json_path {
+        let mut text = Json::arr(entries).pretty();
+        text.push('\n');
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("(measurements written to {path})"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

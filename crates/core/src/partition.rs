@@ -12,10 +12,11 @@
 //! | [`Strategy::QuantitySkew`] | `q ~ Dir(β)` | quantity |
 
 use niid_data::{add_gaussian_noise, fcube_octant, Dataset};
-use niid_fl::Party;
+use niid_fl::{Party, PartyProvider};
 use niid_json::{FromJson, Json, JsonError, ToJson};
 use niid_stats::{derive_seed, sample_dirichlet, Pcg64};
 use std::fmt;
+use std::sync::Arc;
 
 /// A data partitioning strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,6 +175,12 @@ pub enum PartitionError {
     },
     /// Zero parties requested.
     NoParties,
+    /// The strategy needs global label/feature statistics and cannot be
+    /// evaluated lazily per party (see [`LazyPartition`]).
+    UnsupportedLazy {
+        /// The strategy's paper-style label.
+        strategy: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -190,6 +197,11 @@ impl fmt::Display for PartitionError {
             PartitionError::NotEnoughData { message } => write!(f, "not enough data: {message}"),
             PartitionError::BadParameter { message } => write!(f, "bad parameter: {message}"),
             PartitionError::NoParties => write!(f, "cannot partition into zero parties"),
+            PartitionError::UnsupportedLazy { strategy } => write!(
+                f,
+                "strategy {strategy} needs global statistics and cannot be partitioned lazily \
+                 (lazy partitioning supports homogeneous and x^~Gau(sigma))"
+            ),
         }
     }
 }
@@ -565,6 +577,181 @@ pub fn build_parties(train: &Dataset, part: &Partition, seed: u64) -> Vec<Party>
         .collect()
 }
 
+/// A seeded format-preserving permutation over `[0, n)`: a 4-round
+/// Feistel network on the smallest even-bit-width domain covering `n`,
+/// cycle-walked back into range.
+///
+/// Why this and not a shuffled `Vec<usize>`: evaluating `perm(i)` is
+/// O(1) arithmetic from `(seed, i)` alone, so a million-party partition
+/// stores no index vectors at all — party `p`'s rows are
+/// `perm(start_p), perm(start_p + 1), …`, computed only when `p` is in a
+/// round's sampled cohort. The domain is at most `4n`, so cycle-walking
+/// terminates in < 4 expected steps per lookup.
+#[derive(Debug, Clone)]
+struct FeistelPerm {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl FeistelPerm {
+    fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "empty permutation domain");
+        // Smallest even bit-width whose domain 2^(2·half) covers n.
+        let bits = (u64::BITS - (n as u64 - 1).leading_zeros()).max(2);
+        let half_bits = bits.div_ceil(2);
+        let keys = std::array::from_fn(|r| derive_seed(seed, 0xFE15 + r as u64));
+        Self {
+            n: n as u64,
+            half_bits,
+            keys,
+        }
+    }
+
+    /// One pass of the Feistel network over the full domain (a bijection
+    /// on `[0, 2^(2·half_bits))` for any round keys).
+    fn permute_once(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let (mut l, mut r) = (x >> self.half_bits, x & mask);
+        for &k in &self.keys {
+            let f = derive_seed(k, r) & mask;
+            (l, r) = (r, l ^ f);
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// The permuted position of `x` in `[0, n)` (cycle-walking: keep
+    /// applying the domain bijection until the image lands in range,
+    /// which preserves bijectivity on the restriction).
+    fn permute(&self, x: u64) -> u64 {
+        debug_assert!(x < self.n);
+        let mut y = self.permute_once(x);
+        while y >= self.n {
+            y = self.permute_once(y);
+        }
+        y
+    }
+}
+
+/// A cohort-on-demand partition: the IID strategies' "shuffle all rows,
+/// split evenly" recipe, with the shuffle replaced by a seeded
+/// [`FeistelPerm`] so no per-party index vector is ever stored. Party
+/// `p` owns a contiguous span of the permuted row sequence; its dataset
+/// view is regenerated deterministically from `(partition seed, p)`
+/// each time [`PartyProvider::materialize`] is called and dropped when
+/// the engine's worker finishes with it.
+///
+/// Supports [`Strategy::Homogeneous`] and [`Strategy::NoiseFeatureSkew`]
+/// (the per-party noise transform is a pure function of `(seed, p)` and
+/// is applied at materialization, exactly as [`build_parties`] does).
+/// Label-, quantity- and writer-skewed strategies need global
+/// statistics — class inventories or Dirichlet draws over all parties —
+/// and are refused with [`PartitionError::UnsupportedLazy`].
+pub struct LazyPartition {
+    train: Arc<Dataset>,
+    n_parties: usize,
+    strategy: Strategy,
+    seed: u64,
+    perm: FeistelPerm,
+}
+
+impl LazyPartition {
+    /// Build a lazy partition of `train` into `n_parties` silos. O(1) in
+    /// `n_parties`: nothing is assigned until a party is materialized.
+    pub fn new(
+        train: Arc<Dataset>,
+        n_parties: usize,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Result<Self, PartitionError> {
+        if n_parties == 0 {
+            return Err(PartitionError::NoParties);
+        }
+        let n = train.len();
+        if n < n_parties {
+            return Err(PartitionError::NotEnoughData {
+                message: format!("{n} samples for {n_parties} parties"),
+            });
+        }
+        match strategy {
+            Strategy::Homogeneous => {}
+            Strategy::NoiseFeatureSkew { sigma } => {
+                if !(sigma.is_finite() && sigma >= 0.0) {
+                    return Err(PartitionError::BadParameter {
+                        message: format!("noise sigma must be non-negative, got {sigma}"),
+                    });
+                }
+            }
+            other => {
+                return Err(PartitionError::UnsupportedLazy {
+                    strategy: other.label(),
+                });
+            }
+        }
+        let perm = FeistelPerm::new(n, derive_seed(seed, 0x1A2F));
+        Ok(Self {
+            train,
+            n_parties,
+            strategy,
+            seed,
+            perm,
+        })
+    }
+
+    /// `(start, len)` of party `p`'s span in the permuted row sequence —
+    /// the same near-even split [`split_even`] produces for the resident
+    /// path: the first `n % N` parties take one extra row.
+    fn span(&self, p: usize) -> (usize, usize) {
+        let n = self.train.len();
+        let base = n / self.n_parties;
+        let extra = n % self.n_parties;
+        let start = p * base + p.min(extra);
+        (start, base + usize::from(p < extra))
+    }
+
+    /// Party `p`'s training-set row indices, regenerated on demand.
+    pub fn party_rows(&self, p: usize) -> Vec<usize> {
+        assert!(p < self.n_parties, "party {p} of {}", self.n_parties);
+        let (start, len) = self.span(p);
+        (start..start + len)
+            .map(|i| self.perm.permute(i as u64) as usize)
+            .collect()
+    }
+}
+
+impl PartyProvider for LazyPartition {
+    fn n_parties(&self) -> usize {
+        self.n_parties
+    }
+
+    fn num_samples(&self, id: usize) -> usize {
+        self.span(id).1
+    }
+
+    fn input_shape(&self) -> &[usize] {
+        &self.train.input_shape
+    }
+
+    fn num_classes(&self) -> usize {
+        self.train.num_classes
+    }
+
+    fn materialize(&self, id: usize) -> Party {
+        let rows = self.party_rows(id);
+        let local = self.train.subset(&rows);
+        let local = match self.strategy {
+            Strategy::NoiseFeatureSkew { sigma } => {
+                // Same per-party noise schedule (and seed derivation) as
+                // the resident `build_parties` path.
+                let variance = sigma * (id + 1) as f64 / self.n_parties as f64;
+                add_gaussian_noise(&local, variance, derive_seed(self.seed, 0xA05E + id as u64))
+            }
+            _ => local,
+        };
+        Party::new(id, local)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -843,6 +1030,93 @@ mod tests {
                 assert_eq!(p.assigned_count(), 2000);
             }
         }
+    }
+
+    #[test]
+    fn feistel_perm_is_a_bijection_on_awkward_domains() {
+        // Powers of two, one above/below, tiny, and prime-ish sizes.
+        for n in [1usize, 2, 3, 4, 5, 63, 64, 65, 1000, 4096, 4097] {
+            for seed in [0u64, 7, 0xDEAD] {
+                let perm = FeistelPerm::new(n, seed);
+                let mut seen = vec![false; n];
+                for i in 0..n {
+                    let y = perm.permute(i as u64) as usize;
+                    assert!(y < n, "n={n} seed={seed}: {i} -> {y} out of range");
+                    assert!(!seen[y], "n={n} seed={seed}: {y} hit twice");
+                    seen[y] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_partition_covers_every_row_exactly_once() {
+        let d = Arc::new(labelled_dataset(1003, 5, 50));
+        let lazy = LazyPartition::new(Arc::clone(&d), 10, Strategy::Homogeneous, 51).unwrap();
+        let mut seen = vec![false; 1003];
+        let mut sizes = Vec::new();
+        for p in 0..10 {
+            let rows = lazy.party_rows(p);
+            assert_eq!(rows.len(), lazy.num_samples(p), "span vs rows, party {p}");
+            sizes.push(rows.len());
+            for r in rows {
+                assert!(!seen[r], "row {r} owned twice");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unassigned rows");
+        // Near-even split, larger parties first — same shape split_even
+        // gives the resident path.
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+        assert!(sizes[0] >= sizes[9]);
+    }
+
+    #[test]
+    fn lazy_partition_materialization_is_deterministic() {
+        let d = Arc::new(labelled_dataset(400, 2, 52));
+        let lazy = LazyPartition::new(
+            Arc::clone(&d),
+            8,
+            Strategy::NoiseFeatureSkew { sigma: 0.5 },
+            53,
+        )
+        .unwrap();
+        let a = lazy.materialize(3);
+        let b = lazy.materialize(3);
+        assert_eq!(a.data.features.as_slice(), b.data.features.as_slice());
+        assert_eq!(a.data.labels, b.data.labels);
+        // Noise schedule matches build_parties: later parties noisier.
+        let var_of = |p: &Party| -> f64 {
+            let vals = p.data.features.as_slice();
+            let mean: f64 = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(var_of(&lazy.materialize(7)) > var_of(&lazy.materialize(0)) + 0.1);
+    }
+
+    #[test]
+    fn lazy_partition_refuses_global_statistics_strategies() {
+        let d = Arc::new(labelled_dataset(100, 5, 54));
+        for strategy in [
+            Strategy::DirichletLabelSkew { beta: 0.5 },
+            Strategy::QuantityLabelSkew { k: 2 },
+            Strategy::QuantitySkew { beta: 0.5 },
+            Strategy::ByWriter,
+            Strategy::FcubeSynthetic,
+        ] {
+            assert!(matches!(
+                LazyPartition::new(Arc::clone(&d), 4, strategy, 55),
+                Err(PartitionError::UnsupportedLazy { .. })
+            ));
+        }
+        assert!(matches!(
+            LazyPartition::new(Arc::clone(&d), 0, Strategy::Homogeneous, 55),
+            Err(PartitionError::NoParties)
+        ));
+        assert!(matches!(
+            LazyPartition::new(d, 101, Strategy::Homogeneous, 55),
+            Err(PartitionError::NotEnoughData { .. })
+        ));
     }
 
     #[test]

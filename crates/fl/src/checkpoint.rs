@@ -2,9 +2,12 @@
 //!
 //! Every `k` rounds (and at the final round) `FedSim` serializes the
 //! complete server-side state — next round index, global parameters and
-//! buffers, the SCAFFOLD control variates (server `c` and every party's
-//! `cᵢ`), the accumulated [`RoundRecord`]s and the running accuracy/byte
-//! folds — as one niid-json object. Because all of the engine's
+//! buffers, the SCAFFOLD control variates (server `c` plus a *sparse* map
+//! of the client `cᵢ` that have ever trained), the accumulated
+//! [`RoundRecord`]s and the running accuracy/byte folds — as one
+//! niid-json object. Parties absent from the sparse map hold the implicit
+//! all-zero variate, so checkpoint size scales with the participating
+//! cohort history, never with `N`. Because all of the engine's
 //! randomness is derived *statelessly* from `(run seed, round, party)`,
 //! this state is sufficient: [`FedSim::resume`](crate::FedSim::resume)
 //! reproduces the uninterrupted run's trajectory bit-for-bit.
@@ -25,7 +28,15 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Checkpoint format version written to / expected from the file.
-pub const CHECKPOINT_VERSION: u64 = 1;
+///
+/// Version history:
+/// * 1 — dense `client_c` (one array per party, empty for parties that
+///   never trained) and no cohort/fault configuration fields.
+/// * 2 — `client_c` is sparse (only parties holding a non-zero SCAFFOLD
+///   variate appear), so the file size tracks the set of parties ever
+///   selected instead of `N`; adds `sample_fraction`, `min_quorum` and
+///   `fault_plan` so resume can refuse a changed cohort/fault schedule.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// When and where `FedSim` writes checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,15 +73,27 @@ pub struct Checkpoint {
     pub algorithm: String,
     /// Total party count (compatibility check).
     pub n_parties: usize,
+    /// Per-round cohort fraction (compatibility check: a resume under a
+    /// different fraction would sample different parties every round).
+    pub sample_fraction: f64,
+    /// Quorum policy (compatibility check: a different quorum turns the
+    /// same fault schedule into a different pass/fail trajectory).
+    pub min_quorum: f64,
+    /// Fault-plan spec string ([`crate::fault::FaultPlan`]'s `Display`
+    /// form, `None` for fault-free runs) — compatibility check.
+    pub fault_plan: Option<String>,
     /// Aggregated global parameters after round `round_next - 1`.
     pub global_params: Vec<f32>,
     /// Aggregated global buffers (empty for buffer-free models).
     pub global_buffers: Vec<f32>,
     /// SCAFFOLD server control variate (empty otherwise).
     pub server_c: Vec<f32>,
-    /// Every party's control variate, indexed by party id (empty vectors
-    /// for parties that never trained under SCAFFOLD).
-    pub client_c: Vec<Vec<f32>>,
+    /// Sparse SCAFFOLD client variates: `(party id, cᵢ)` sorted by id,
+    /// holding only parties that have trained under SCAFFOLD. Every party
+    /// absent here has the implicit all-zero variate, so the checkpoint
+    /// carries no per-party residency for the never-selected majority of
+    /// a cross-device population.
+    pub client_c: Vec<(usize, Vec<f32>)>,
     /// Round records accumulated so far.
     pub records: Vec<RoundRecord>,
     /// Best evaluated accuracy so far.
@@ -92,10 +115,29 @@ impl ToJson for Checkpoint {
             ("seed", Json::Str(self.seed.to_string())),
             ("algorithm", self.algorithm.to_json()),
             ("n_parties", self.n_parties.to_json()),
+            ("sample_fraction", self.sample_fraction.to_json()),
+            ("min_quorum", self.min_quorum.to_json()),
+            (
+                "fault_plan",
+                match &self.fault_plan {
+                    Some(spec) => Json::Str(spec.clone()),
+                    None => Json::Null,
+                },
+            ),
             ("global_params", self.global_params.to_json()),
             ("global_buffers", self.global_buffers.to_json()),
             ("server_c", self.server_c.to_json()),
-            ("client_c", self.client_c.to_json()),
+            (
+                "client_c",
+                Json::Arr(
+                    self.client_c
+                        .iter()
+                        .map(|(party, c)| {
+                            Json::obj(vec![("party", party.to_json()), ("c", c.to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
             ("records", self.records.to_json()),
             ("best_accuracy", self.best_accuracy.to_json()),
             ("final_accuracy", self.final_accuracy.to_json()),
@@ -125,10 +167,46 @@ impl FromJson for Checkpoint {
                 .map_err(|e| JsonError::new(format!("bad checkpoint seed: {e}")))?,
             algorithm: String::from_json(req("algorithm")?)?,
             n_parties: usize::from_json(req("n_parties")?)?,
+            sample_fraction: f64::from_json(req("sample_fraction")?)?,
+            min_quorum: f64::from_json(req("min_quorum")?)?,
+            fault_plan: match req("fault_plan")? {
+                Json::Null => None,
+                other => Some(
+                    other
+                        .as_str()
+                        .ok_or_else(|| JsonError::new("fault_plan must be null or a spec string"))?
+                        .to_string(),
+                ),
+            },
             global_params: Vec::from_json(req("global_params")?)?,
             global_buffers: Vec::from_json(req("global_buffers")?)?,
             server_c: Vec::from_json(req("server_c")?)?,
-            client_c: Vec::from_json(req("client_c")?)?,
+            client_c: {
+                let arr = req("client_c")?
+                    .as_arr()
+                    .ok_or_else(|| JsonError::new("client_c must be an array"))?;
+                let mut out = Vec::with_capacity(arr.len());
+                for (i, entry) in arr.iter().enumerate() {
+                    let party = usize::from_json(entry.get("party").ok_or_else(|| {
+                        JsonError::new(format!("client_c[{i}] missing party id"))
+                    })?)?;
+                    let c: Vec<f32> = Vec::from_json(
+                        entry
+                            .get("c")
+                            .ok_or_else(|| JsonError::new(format!("client_c[{i}] missing c")))?,
+                    )?;
+                    if let Some(&(prev, _)) = out.last() {
+                        if party <= prev {
+                            return Err(JsonError::new(format!(
+                                "client_c ids must be strictly increasing \
+                                 (entry {i}: {party} after {prev})"
+                            )));
+                        }
+                    }
+                    out.push((party, c));
+                }
+                out
+            },
             records: Vec::from_json(req("records")?)?,
             best_accuracy: f64::from_json(req("best_accuracy")?)?,
             final_accuracy: f64::from_json(req("final_accuracy")?)?,
@@ -184,15 +262,13 @@ mod tests {
             seed: 42,
             algorithm: "scaffold".into(),
             n_parties: 4,
+            sample_fraction: 0.5,
+            min_quorum: 0.5,
+            fault_plan: Some("crash=0.3,seed=7".into()),
             global_params: vec![0.5f32, -1.25, f32::MIN_POSITIVE, 3.0e-7],
             global_buffers: vec![1.0f32, 0.999],
             server_c: vec![0.125f32; 4],
-            client_c: vec![
-                vec![0.1f32, 0.2, 0.3, 0.4],
-                Vec::new(),
-                vec![-0.5; 4],
-                Vec::new(),
-            ],
+            client_c: vec![(0, vec![0.1f32, 0.2, 0.3, 0.4]), (2, vec![-0.5; 4])],
             records: vec![RoundRecord {
                 round: 2,
                 test_accuracy: Some(0.625),
@@ -265,13 +341,35 @@ mod tests {
             Checkpoint::load(&garbled),
             Err(FlError::Checkpoint(_))
         ));
-        // Wrong version is rejected, not misread.
+        // Wrong version is rejected, not misread — including v1 files,
+        // whose dense client_c this reader no longer understands.
         let mut j = sample().to_json_string();
-        j = j.replace("\"version\":1", "\"version\":99");
+        j = j.replace("\"version\":2", "\"version\":1");
         std::fs::write(&garbled, j).unwrap();
         let err = Checkpoint::load(&garbled).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
         let _ = std::fs::remove_file(&garbled);
+    }
+
+    #[test]
+    fn sparse_client_c_rejects_unordered_ids() {
+        let mut ck = sample();
+        ck.client_c = vec![(2, vec![0.5; 4]), (0, vec![0.25; 4])];
+        let err = Checkpoint::from_json_str(&ck.to_json_string()).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+        // Duplicates are unordered too.
+        ck.client_c = vec![(1, vec![0.5; 4]), (1, vec![0.25; 4])];
+        assert!(Checkpoint::from_json_str(&ck.to_json_string()).is_err());
+    }
+
+    #[test]
+    fn fault_plan_none_round_trips_as_null() {
+        let mut ck = sample();
+        ck.fault_plan = None;
+        let text = ck.to_json_string();
+        assert!(text.contains("\"fault_plan\":null"), "{text}");
+        let back = Checkpoint::from_json_str(&text).unwrap();
+        assert_eq!(back.fault_plan, None);
     }
 
     #[test]

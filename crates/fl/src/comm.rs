@@ -43,9 +43,9 @@ impl RoundTraffic {
     }
 
     /// Traffic for a round where only `survivors` of the `selected`
-    /// parties reported back: the broadcast went to every selected party
-    /// (the server cannot know who will crash), but only survivors
-    /// upload.
+    /// parties reported back and none of the failures got an upload onto
+    /// the wire (crashes/panics). Equivalent to
+    /// [`for_round_faulted`](Self::for_round_faulted) with `dropped = 0`.
     pub fn for_round_degraded(
         selected: usize,
         survivors: usize,
@@ -53,7 +53,38 @@ impl RoundTraffic {
         buffer_len: usize,
         with_control_variates: bool,
     ) -> Self {
-        debug_assert!(survivors <= selected, "more survivors than selected");
+        Self::for_round_faulted(
+            selected,
+            survivors,
+            0,
+            param_len,
+            buffer_len,
+            with_control_variates,
+        )
+    }
+
+    /// Traffic for a round with failures split by kind. The broadcast went
+    /// to every selected party (the server cannot know who will fail), and
+    /// uploads are billed by what actually hit the wire:
+    ///
+    /// * `survivors` — parties whose update arrived and aggregated,
+    /// * `dropped` — parties whose update was **sent but lost in
+    ///   transit** ([`crate::fault::FailureKind::InjectedDrop`]): the
+    ///   upload bytes were spent even though the server never saw them,
+    /// * crashed/panicked parties (`selected - survivors - dropped`)
+    ///   never produced an update, so they upload nothing.
+    pub fn for_round_faulted(
+        selected: usize,
+        survivors: usize,
+        dropped: usize,
+        param_len: usize,
+        buffer_len: usize,
+        with_control_variates: bool,
+    ) -> Self {
+        debug_assert!(
+            survivors + dropped <= selected,
+            "more uploads than selected parties"
+        );
         let per_model = f32_payload_bytes(param_len + buffer_len);
         let per_cv = if with_control_variates {
             f32_payload_bytes(param_len)
@@ -62,7 +93,7 @@ impl RoundTraffic {
         };
         RoundTraffic {
             down_bytes: selected * (per_model + per_cv),
-            up_bytes: survivors * (per_model + per_cv),
+            up_bytes: (survivors + dropped) * (per_model + per_cv),
         }
     }
 
@@ -97,7 +128,9 @@ pub fn decode_update(payload: &[u8]) -> Option<(u32, u32, Vec<f32>)> {
     let tau = u32::from_le_bytes(payload[4..8].try_into().ok()?);
     let len = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
     let body = &payload[12..];
-    if body.len() != len * 4 {
+    // checked_mul: a hostile length prefix near u32::MAX must fail the
+    // consistency check, not overflow the byte count (usize may be 32-bit).
+    if Some(body.len()) != len.checked_mul(4) {
         return None;
     }
     let delta = body
@@ -145,6 +178,35 @@ mod tests {
     }
 
     #[test]
+    fn dropped_uploads_are_billed_crashed_are_not() {
+        // 10 selected: 6 aggregated, 3 dropped in transit, 1 crashed.
+        // The 3 dropped updates were sent — their bytes count — while the
+        // crashed party never produced one.
+        let t = RoundTraffic::for_round_faulted(10, 6, 3, 1000, 8, false);
+        let per = f32_payload_bytes(1000 + 8);
+        assert_eq!(t.down_bytes, 10 * per);
+        assert_eq!(t.up_bytes, 9 * per, "6 survivors + 3 dropped bill upload");
+
+        // A pure-drop round uploads exactly as much as a clean round.
+        let all_dropped = RoundTraffic::for_round_faulted(10, 0, 10, 1000, 8, false);
+        let clean = RoundTraffic::for_round(10, 1000, 8, false);
+        assert_eq!(all_dropped.up_bytes, clean.up_bytes);
+
+        // A pure-crash round uploads nothing (degraded == faulted with
+        // dropped = 0).
+        let all_crashed = RoundTraffic::for_round_faulted(10, 0, 0, 1000, 8, false);
+        assert_eq!(all_crashed.up_bytes, 0);
+        assert_eq!(
+            all_crashed,
+            RoundTraffic::for_round_degraded(10, 0, 1000, 8, false)
+        );
+
+        // SCAFFOLD's control variate rides on dropped uploads too.
+        let cv = RoundTraffic::for_round_faulted(4, 2, 2, 100, 0, true);
+        assert_eq!(cv.up_bytes, 4 * 2 * f32_payload_bytes(100));
+    }
+
+    #[test]
     fn encode_decode_round_trip() {
         let delta = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE];
         let payload = encode_update(7, 42, &delta);
@@ -155,11 +217,43 @@ mod tests {
     }
 
     #[test]
+    fn encode_decode_round_trips_awkward_values() {
+        // Empty update, extreme ids, and non-finite / denormal floats all
+        // survive the wire format bit-for-bit.
+        let (id, tau, back) = decode_update(&encode_update(0, 0, &[])).unwrap();
+        assert_eq!((id, tau), (0, 0));
+        assert!(back.is_empty());
+
+        let delta = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+            f32::MAX,
+        ];
+        let payload = encode_update(u32::MAX, u32::MAX, &delta);
+        assert_eq!(payload.len(), 12 + 4 * delta.len());
+        let (id, tau, back) = decode_update(&payload).unwrap();
+        assert_eq!((id, tau), (u32::MAX, u32::MAX));
+        assert_eq!(back.len(), delta.len());
+        for (a, b) in back.iter().zip(&delta) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wire format altered bits");
+        }
+    }
+
+    #[test]
     fn decode_rejects_truncated() {
         let payload = encode_update(1, 1, &[1.0, 2.0]);
-        assert!(decode_update(&payload[..payload.len() - 1]).is_none());
-        assert!(decode_update(&payload[..8]).is_none());
+        // Every strict prefix of a valid payload must be rejected.
+        for cut in 0..payload.len() {
+            assert!(decode_update(&payload[..cut]).is_none(), "prefix {cut}");
+        }
         assert!(decode_update(&[]).is_none());
+        // ... and so must a payload with trailing garbage.
+        let mut long = payload.clone();
+        long.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(decode_update(&long).is_none());
     }
 
     #[test]
@@ -167,5 +261,20 @@ mod tests {
         let mut bad = encode_update(1, 1, &[1.0]).to_vec();
         bad[8] = 9; // claim 9 floats, supply 1
         assert!(decode_update(&bad).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_length_prefix_overflow() {
+        // A hostile prefix claiming u32::MAX floats: `len * 4` would wrap
+        // on 32-bit usize (and previously compared against a tiny body
+        // only by luck). The checked multiply must reject it outright.
+        let mut bad = encode_update(1, 1, &[1.0]).to_vec();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_update(&bad).is_none());
+        // The 32-bit wrap case specifically: len = 2^30 makes len*4 == 0
+        // mod 2^32; an empty body must still be rejected.
+        let mut wrap = encode_update(1, 1, &[]).to_vec();
+        wrap[8..12].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(decode_update(&wrap).is_none());
     }
 }

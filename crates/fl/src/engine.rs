@@ -10,12 +10,13 @@ use crate::error::FlError;
 use crate::fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
 use crate::local::{local_train, LocalConfig, LocalOutcome, ScaffoldCtx};
 use crate::metrics::{RoundRecord, RunResult};
-use crate::party::Party;
+use crate::party::{OwnedParty, Party, PartyProvider, PartyRef};
 use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use niid_data::Dataset;
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Pcg64};
 use niid_tensor::{active_kernel, configured_threads, set_thread_budget, with_forced_kernel};
+use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -107,9 +108,48 @@ impl FlConfig {
 /// set.
 pub struct FedSim {
     model_spec: ModelSpec,
-    parties: Vec<Party>,
+    parties: PartyStore,
     test: Dataset,
     config: FlConfig,
+}
+
+/// Where party datasets live for the run's lifetime.
+///
+/// Cross-silo runs (tens of parties) keep every dataset resident, exactly
+/// as before. Cross-device runs hand the engine a [`PartyProvider`]
+/// instead, and a party's dataset view exists only while a worker is
+/// training it — peak party-resident memory is `O(workers)` datasets,
+/// not `O(N)`.
+enum PartyStore {
+    /// Every party's dataset held in memory for the whole run.
+    Resident(Vec<Party>),
+    /// Parties materialized per cohort and dropped after training.
+    OnDemand(Box<dyn PartyProvider>),
+}
+
+impl PartyStore {
+    fn len(&self) -> usize {
+        match self {
+            PartyStore::Resident(v) => v.len(),
+            PartyStore::OnDemand(p) => p.n_parties(),
+        }
+    }
+
+    /// `|Dᵢ|` without materializing anything.
+    fn num_samples(&self, id: usize) -> usize {
+        match self {
+            PartyStore::Resident(v) => v[id].num_samples(),
+            PartyStore::OnDemand(p) => p.num_samples(id),
+        }
+    }
+
+    /// Borrow (resident) or materialize (on-demand) party `id`.
+    fn party(&self, id: usize) -> PartyRef<'_> {
+        match self {
+            PartyStore::Resident(v) => PartyRef::Borrowed(&v[id]),
+            PartyStore::OnDemand(p) => PartyRef::Owned(OwnedParty::new(p.materialize(id))),
+        }
+    }
 }
 
 const SEED_INIT: u64 = 0xA11CE;
@@ -117,12 +157,17 @@ const SEED_SAMPLE_BASE: u64 = 0x5A3F_0000_0000;
 
 /// Everything server-side that evolves across rounds — exactly the state
 /// a [`Checkpoint`] captures, so resume is "load this and keep driving".
+///
+/// `client_c` is sparse: a party appears only once it has trained under
+/// SCAFFOLD; absence means the implicit all-zero variate of Algorithm 2's
+/// initialization. Server-side state is therefore proportional to the
+/// set of parties ever sampled, never to `N`.
 struct SimState {
     round_next: usize,
     global_params: Vec<f32>,
     global_buffers: Vec<f32>,
     server_c: Vec<f32>,
-    client_c: Vec<Vec<f32>>,
+    client_c: BTreeMap<usize, Vec<f32>>,
     records: Vec<RoundRecord>,
     best_accuracy: f64,
     final_accuracy: f64,
@@ -157,6 +202,49 @@ impl FedSim {
                 )));
             }
         }
+        Self::with_store(model_spec, PartyStore::Resident(parties), test, config)
+    }
+
+    /// Build a cohort-on-demand simulation over a [`PartyProvider`]
+    /// (cross-device scale: party datasets are materialized only while
+    /// their round's worker trains them).
+    ///
+    /// Per-party validation is the provider's contract — the engine
+    /// checks the provider-wide shape metadata once instead of touching
+    /// all `N` parties, which is the point of the lazy path.
+    pub fn with_provider(
+        model_spec: ModelSpec,
+        provider: Box<dyn PartyProvider>,
+        test: Dataset,
+        config: FlConfig,
+    ) -> Result<Self, FlError> {
+        if provider.n_parties() == 0 {
+            return Err(FlError::NoParties);
+        }
+        if provider.input_shape() != test.input_shape {
+            return Err(FlError::InconsistentParties(format!(
+                "provider input shape {:?} vs test {:?}",
+                provider.input_shape(),
+                test.input_shape
+            )));
+        }
+        if provider.num_classes() != test.num_classes {
+            return Err(FlError::InconsistentParties(format!(
+                "provider classes {} vs test {}",
+                provider.num_classes(),
+                test.num_classes
+            )));
+        }
+        Self::with_store(model_spec, PartyStore::OnDemand(provider), test, config)
+    }
+
+    /// Shared model/config validation behind both constructors.
+    fn with_store(
+        model_spec: ModelSpec,
+        parties: PartyStore,
+        test: Dataset,
+        config: FlConfig,
+    ) -> Result<Self, FlError> {
         if model_spec.input_shape() != test.input_shape {
             return Err(FlError::InconsistentParties(format!(
                 "model input shape {:?} vs data {:?}",
@@ -222,14 +310,19 @@ impl FedSim {
         })
     }
 
-    /// The parties (read-only).
-    pub fn parties(&self) -> &[Party] {
-        &self.parties
+    /// Total party count `N`.
+    pub fn n_parties(&self) -> usize {
+        self.parties.len()
     }
 
     /// Sample the round's participants (Algorithm 1 line 4): all parties
     /// at fraction 1, otherwise `max(1, round(frac · N))` without
     /// replacement, in ascending id order for deterministic aggregation.
+    ///
+    /// Uses the sparse partial Fisher–Yates walk, so cost is `O(m)` in
+    /// the cohort size — never `O(N)` — while drawing bit-for-bit the
+    /// picks the historical dense sampler produced (replay-pinned in
+    /// `niid-stats`).
     fn sample_round(&self, round: usize) -> Vec<usize> {
         let n = self.parties.len();
         if self.config.sample_fraction >= 1.0 {
@@ -240,7 +333,7 @@ impl FedSim {
             self.config.seed,
             SEED_SAMPLE_BASE + round as u64,
         ));
-        let mut picked = rng.sample_indices(n, m);
+        let mut picked = rng.sample_indices_sparse(n, m);
         picked.sort_unstable();
         picked
     }
@@ -370,7 +463,7 @@ impl FedSim {
             global_params,
             global_buffers,
             server_c,
-            client_c: vec![Vec::new(); self.parties.len()],
+            client_c: BTreeMap::new(),
             records: Vec::with_capacity(cfg.rounds),
             best_accuracy: 0.0,
             final_accuracy: 0.0,
@@ -379,51 +472,79 @@ impl FedSim {
     }
 
     /// Validate a loaded checkpoint against this simulation's config and
-    /// turn it into resumable state.
+    /// turn it into resumable state. Every disagreement that would change
+    /// the trajectory — identity fields, the cohort/fault schedule
+    /// (`sample_fraction`, `min_quorum`, fault-plan spec), or a state
+    /// vector of the wrong shape — is a typed
+    /// [`FlError::CheckpointMismatch`], never a silent divergence.
     fn state_from_checkpoint(&self, ck: Checkpoint) -> Result<SimState, FlError> {
         let cfg = &self.config;
-        let mismatch =
-            |what: String| FlError::Checkpoint(format!("incompatible checkpoint: {what}"));
+        let mismatch = |field: &'static str, expected: String, actual: String| {
+            Err(FlError::CheckpointMismatch {
+                field,
+                expected,
+                actual,
+            })
+        };
         if ck.seed != cfg.seed {
-            return Err(mismatch(format!(
-                "seed {} vs configured {}",
-                ck.seed, cfg.seed
-            )));
+            return mismatch("seed", cfg.seed.to_string(), ck.seed.to_string());
         }
         if ck.algorithm != cfg.algorithm.name() {
-            return Err(mismatch(format!(
-                "algorithm {} vs configured {}",
-                ck.algorithm,
-                cfg.algorithm.name()
-            )));
+            return mismatch(
+                "algorithm",
+                cfg.algorithm.name().to_string(),
+                ck.algorithm.clone(),
+            );
         }
         if ck.n_parties != self.parties.len() {
-            return Err(mismatch(format!(
-                "{} parties vs configured {}",
-                ck.n_parties,
-                self.parties.len()
-            )));
+            return mismatch(
+                "n_parties",
+                self.parties.len().to_string(),
+                ck.n_parties.to_string(),
+            );
+        }
+        if ck.sample_fraction != cfg.sample_fraction {
+            return mismatch(
+                "sample_fraction",
+                cfg.sample_fraction.to_string(),
+                ck.sample_fraction.to_string(),
+            );
+        }
+        if ck.min_quorum != cfg.min_quorum {
+            return mismatch(
+                "min_quorum",
+                cfg.min_quorum.to_string(),
+                ck.min_quorum.to_string(),
+            );
+        }
+        let cfg_plan = cfg.fault_plan.as_ref().map(ToString::to_string);
+        if ck.fault_plan != cfg_plan {
+            let show = |p: &Option<String>| p.clone().unwrap_or_else(|| "none".into());
+            return mismatch("fault_plan", show(&cfg_plan), show(&ck.fault_plan));
         }
         if ck.round_next > cfg.rounds {
-            return Err(mismatch(format!(
-                "round_next {} beyond configured rounds {}",
-                ck.round_next, cfg.rounds
-            )));
+            return mismatch(
+                "round_next",
+                format!("at most configured rounds {}", cfg.rounds),
+                ck.round_next.to_string(),
+            );
         }
         let probe = self.model_spec.build(self.test.num_classes, 0);
         let p_len = probe.params_flat().len();
         let b_len = probe.buffers_flat().len();
         if ck.global_params.len() != p_len {
-            return Err(mismatch(format!(
-                "{} global params vs model's {p_len}",
-                ck.global_params.len()
-            )));
+            return mismatch(
+                "global_params length",
+                p_len.to_string(),
+                ck.global_params.len().to_string(),
+            );
         }
         if ck.global_buffers.len() != b_len {
-            return Err(mismatch(format!(
-                "{} global buffers vs model's {b_len}",
-                ck.global_buffers.len()
-            )));
+            return mismatch(
+                "global_buffers length",
+                b_len.to_string(),
+                ck.global_buffers.len().to_string(),
+            );
         }
         let expect_c = if cfg.algorithm.uses_control_variates() {
             p_len
@@ -431,34 +552,36 @@ impl FedSim {
             0
         };
         if ck.server_c.len() != expect_c {
-            return Err(mismatch(format!(
-                "server_c length {} vs expected {expect_c}",
-                ck.server_c.len()
-            )));
+            return mismatch(
+                "server_c length",
+                expect_c.to_string(),
+                ck.server_c.len().to_string(),
+            );
         }
-        if ck.client_c.len() != self.parties.len() {
-            return Err(mismatch(format!(
-                "client_c for {} parties vs configured {}",
-                ck.client_c.len(),
-                self.parties.len()
-            )));
-        }
-        if let Some(bad) = ck
-            .client_c
-            .iter()
-            .position(|c| !c.is_empty() && c.len() != expect_c)
-        {
-            return Err(mismatch(format!(
-                "client_c[{bad}] length {} vs expected {expect_c}",
-                ck.client_c[bad].len()
-            )));
+        let mut client_c = BTreeMap::new();
+        for (id, c) in ck.client_c {
+            if id >= self.parties.len() {
+                return mismatch(
+                    "client_c party id",
+                    format!("below {}", self.parties.len()),
+                    id.to_string(),
+                );
+            }
+            if c.is_empty() || c.len() != expect_c {
+                return mismatch(
+                    "client_c entry length",
+                    format!("non-empty {expect_c} (party {id})"),
+                    c.len().to_string(),
+                );
+            }
+            client_c.insert(id, c);
         }
         Ok(SimState {
             round_next: ck.round_next,
             global_params: ck.global_params,
             global_buffers: ck.global_buffers,
             server_c: ck.server_c,
-            client_c: ck.client_c,
+            client_c,
             records: ck.records,
             best_accuracy: ck.best_accuracy,
             final_accuracy: ck.final_accuracy,
@@ -571,9 +694,17 @@ impl FedSim {
                 wall_ms: aggregate_wall_ms,
             });
 
-            let traffic = RoundTraffic::for_round_degraded(
+            // Billing by failure kind: a dropped update was trained and
+            // sent (the loss happened in flight), so it costs upload
+            // bytes; a crashed party never produced one.
+            let dropped = failures
+                .iter()
+                .filter(|f| matches!(f.kind, FailureKind::InjectedDrop))
+                .count();
+            let traffic = RoundTraffic::for_round_faulted(
                 selected.len(),
                 survivors.len(),
+                dropped,
                 p_len,
                 st.global_buffers.len(),
                 is_scaffold,
@@ -655,10 +786,13 @@ impl FedSim {
                         seed: cfg.seed,
                         algorithm: cfg.algorithm.name().to_string(),
                         n_parties: self.parties.len(),
+                        sample_fraction: cfg.sample_fraction,
+                        min_quorum: cfg.min_quorum,
+                        fault_plan: cfg.fault_plan.as_ref().map(ToString::to_string),
                         global_params: st.global_params.clone(),
                         global_buffers: st.global_buffers.clone(),
                         server_c: st.server_c.clone(),
-                        client_c: st.client_c.clone(),
+                        client_c: st.client_c.iter().map(|(&id, c)| (id, c.clone())).collect(),
                         records: st.records.clone(),
                         best_accuracy: st.best_accuracy,
                         final_accuracy: st.final_accuracy,
@@ -699,7 +833,7 @@ impl FedSim {
         global_params: &[f32],
         global_buffers: &[f32],
         server_c: &[f32],
-        client_c: &mut [Vec<f32>],
+        client_c: &mut BTreeMap<usize, Vec<f32>>,
         round: usize,
         sink: &dyn TraceSink,
         grad_spans: Option<&[std::ops::Range<usize>]>,
@@ -714,22 +848,26 @@ impl FedSim {
             Algorithm::Scaffold { variant } => Some(variant),
             _ => None,
         };
+        // A party absent from the sparse map has the implicit all-zero
+        // variate (`local_train` treats an empty Vec the same way), so
+        // never-before-sampled parties cost nothing here.
         let mut jobs: Vec<Job> = selected
             .iter()
             .enumerate()
             .map(|(slot, &party_id)| Job {
                 slot,
                 party_id,
-                client_c: std::mem::take(&mut client_c[party_id]),
+                client_c: client_c.remove(&party_id).unwrap_or_default(),
             })
             .collect();
         // Longest-processing-time-first: under quantity skew one party can
         // hold most of the data, so workers should start the big parties
         // first and backfill with small ones. Party id breaks ties so the
-        // queue order is deterministic.
+        // queue order is deterministic. `num_samples` never materializes a
+        // dataset, so this stays O(m) work even on the on-demand path.
         jobs.sort_by_key(|j| {
             (
-                std::cmp::Reverse(self.parties[j.party_id].num_samples()),
+                std::cmp::Reverse(self.parties.num_samples(j.party_id)),
                 j.party_id,
             )
         });
@@ -772,7 +910,6 @@ impl FedSim {
                 FaultAction::Crash | FaultAction::None => {}
             }
             let inject_crash = action == FaultAction::Crash;
-            let party = &parties[job.party_id];
             let mut rng = Pcg64::new(derive_seed(
                 run_seed,
                 ((round as u64) << 24) ^ (job.party_id as u64 + 1),
@@ -784,10 +921,16 @@ impl FedSim {
             // leaves the variate at its pre-round value, and the
             // half-trained model is torn down below — which is what makes
             // the `AssertUnwindSafe` sound.
+            //
+            // The party is materialized inside the guard (a lazy
+            // provider's dataset view exists only for this job's
+            // lifetime) and dropped — releasing its residency bytes — as
+            // soon as training ends, crash or not.
             let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 if inject_crash {
                     std::panic::panic_any(crate::fault::INJECTED_CRASH_MSG);
                 }
+                let party = parties.party(job.party_id);
                 let model = model_slot.get_or_insert_with(|| spec.build(classes, 0));
                 let ctx = if is_scaffold {
                     Some(ScaffoldCtx {
@@ -800,7 +943,7 @@ impl FedSim {
                 };
                 local_train(
                     model,
-                    party,
+                    &party,
                     global_params,
                     global_buffers,
                     local_cfg,
@@ -902,9 +1045,12 @@ impl FedSim {
         }
 
         // Return control variates to their owners — including failed
-        // parties, whose variate comes back untouched.
+        // parties, whose variate comes back untouched. Empty means "still
+        // the implicit zero variate" and stays out of the sparse map.
         for job in jobs {
-            client_c[job.party_id] = job.client_c;
+            if !job.client_c.is_empty() {
+                client_c.insert(job.party_id, job.client_c);
+            }
         }
         results
             .into_iter()
@@ -1206,8 +1352,12 @@ mod tests {
 
     #[test]
     fn dropped_updates_degrade_the_round_accounting() {
-        // A pure-drop plan: no panics involved, failures still recorded
-        // and upload traffic shrinks while the broadcast does not.
+        // A pure-drop plan: no panics involved, failures still recorded.
+        // A dropped update was *sent* and lost in flight, so upload
+        // traffic is billed in full — every round's up_bytes must match
+        // the broadcast even when failures > 0. (Only crashes, which
+        // never produce an update, shrink the upload; see
+        // `crashed_parties_skip_upload_billing`.)
         let (parties, test) = toy_setup(6, 16, 23);
         let mut cfg = quick_config(Algorithm::FedAvg, 24);
         cfg.rounds = 3;
@@ -1226,6 +1376,29 @@ mod tests {
         assert!(total_failures > 0, "0.4 drop over 18 cells hit nobody");
         for r in &result.rounds {
             assert_eq!(r.participants, 6);
+            assert_eq!(
+                r.up_bytes, r.down_bytes,
+                "round {}: dropped updates must still be billed",
+                r.round
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_parties_skip_upload_billing() {
+        // A pure-crash plan: the crashed party never produced an update,
+        // so rounds with failures bill strictly less upload than
+        // broadcast.
+        let (parties, test) = toy_setup(6, 16, 23);
+        let mut cfg = quick_config(Algorithm::FedAvg, 24);
+        cfg.rounds = 3;
+        cfg.min_quorum = 0.1;
+        cfg.fault_plan = Some(crate::fault::FaultPlan::crash_only(0.4, 3));
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        let result = sim.run().unwrap();
+        let total_failures: usize = result.rounds.iter().map(|r| r.failures).sum();
+        assert!(total_failures > 0, "0.4 crash over 18 cells hit nobody");
+        for r in &result.rounds {
             if r.failures > 0 {
                 assert!(r.up_bytes < r.down_bytes);
             } else {
@@ -1276,23 +1449,35 @@ mod tests {
         assert!(sim.has_checkpoint());
         assert_eq!(sim.resume().unwrap().rounds.len(), 2);
 
-        // A different seed must be refused.
-        let mut other = cfg.clone();
-        other.seed = 999;
-        let sim = FedSim::new(spec(), parties.clone(), test.clone(), other).unwrap();
-        match sim.resume() {
-            Err(FlError::Checkpoint(msg)) => assert!(msg.contains("seed"), "{msg}"),
-            other => panic!("expected checkpoint error, got {other:?}"),
-        }
-
-        // A different algorithm must be refused.
-        let mut other = cfg;
-        other.algorithm = Algorithm::FedProx { mu: 0.01 };
-        let sim = FedSim::new(spec(), parties, test, other).unwrap();
-        match sim.resume() {
-            Err(FlError::Checkpoint(msg)) => assert!(msg.contains("algorithm"), "{msg}"),
-            other => panic!("expected checkpoint error, got {other:?}"),
-        }
+        // Every trajectory-changing field mismatch must be refused with a
+        // typed error naming the field and both values.
+        let expect_mismatch = |mutate: &dyn Fn(&mut FlConfig), field: &str| {
+            let mut other = cfg.clone();
+            mutate(&mut other);
+            let sim = FedSim::new(spec(), parties.clone(), test.clone(), other).unwrap();
+            match sim.resume() {
+                Err(FlError::CheckpointMismatch {
+                    field: got,
+                    expected,
+                    actual,
+                }) => {
+                    assert_eq!(got, field);
+                    assert_ne!(expected, actual, "{field}: both sides {expected}");
+                }
+                other => panic!("expected {field} mismatch, got {other:?}"),
+            }
+        };
+        expect_mismatch(&|c| c.seed = 999, "seed");
+        expect_mismatch(
+            &|c| c.algorithm = Algorithm::FedProx { mu: 0.01 },
+            "algorithm",
+        );
+        expect_mismatch(&|c| c.sample_fraction = 0.5, "sample_fraction");
+        expect_mismatch(&|c| c.min_quorum = 0.9, "min_quorum");
+        expect_mismatch(
+            &|c| c.fault_plan = Some(crate::fault::FaultPlan::crash_only(0.1, 7)),
+            "fault_plan",
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

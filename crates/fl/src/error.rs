@@ -33,6 +33,18 @@ pub enum FlError {
     /// Writing or reading a checkpoint failed (I/O or parse; the message
     /// carries the path and cause).
     Checkpoint(String),
+    /// A loaded checkpoint disagrees with the configured run on a field
+    /// that would silently change the trajectory (seed, algorithm, party
+    /// count, `sample_fraction`, `min_quorum`, the fault-plan spec, or a
+    /// state-vector length). Resume refuses rather than diverging.
+    CheckpointMismatch {
+        /// Which field disagreed.
+        field: &'static str,
+        /// The value the current configuration expects.
+        expected: String,
+        /// The value the checkpoint actually recorded.
+        actual: String,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -61,6 +73,17 @@ impl fmt::Display for FlError {
                 )
             }
             FlError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            FlError::CheckpointMismatch {
+                field,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "incompatible checkpoint: {field} mismatch \
+                     (checkpoint has {actual}, configuration expects {expected})"
+                )
+            }
         }
     }
 }
@@ -93,5 +116,14 @@ mod tests {
         assert!(FlError::Checkpoint("read /x: gone".into())
             .to_string()
             .contains("checkpoint"));
+        let m = FlError::CheckpointMismatch {
+            field: "sample_fraction",
+            expected: "0.1".into(),
+            actual: "1".into(),
+        };
+        let msg = m.to_string();
+        assert!(msg.contains("sample_fraction"), "{msg}");
+        assert!(msg.contains("0.1"), "{msg}");
+        assert!(msg.contains("incompatible"), "{msg}");
     }
 }

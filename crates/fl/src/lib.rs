@@ -51,5 +51,5 @@ pub use engine::{BufferPolicy, FedSim, FlConfig};
 pub use error::FlError;
 pub use fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
 pub use metrics::{RoundRecord, RunResult};
-pub use party::Party;
+pub use party::{residency, OwnedParty, Party, PartyProvider, PartyRef};
 pub use trace::{JsonlSink, MemorySink, NoopSink, PhaseStats, TraceEvent, TraceSink, TraceSummary};

@@ -1,7 +1,11 @@
-//! A party (data silo) in the federation.
+//! A party (data silo) in the federation, plus the cohort-on-demand
+//! abstraction that lets the engine run cross-device populations
+//! (100k–1M parties) without holding per-party state for anyone outside
+//! the round's sampled cohort.
 
 use niid_data::Dataset;
 use niid_tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One data silo: an id plus its local training data. The local dataset is
 /// fully materialized (feature transforms such as the noise-based skew are
@@ -37,6 +41,122 @@ impl Party {
     }
 }
 
+/// A source of parties the engine can materialize on demand.
+///
+/// The engine only ever needs three things per party: its size (for the
+/// LPT schedule and the sample-weighted aggregation), its dataset when —
+/// and only when — it is in the round's sampled cohort, and the shared
+/// shape metadata. A provider backed by a seeded lazy partition
+/// regenerates a party's dataset view from `(partition seed, party id)`
+/// at materialization time, so peak memory is proportional to the cohort
+/// (workers hold at most one materialized party each), never to `N`.
+///
+/// Contract: `materialize(id)` must be deterministic in `id` (the engine
+/// may rebuild the same party in any round, on any thread, and expects
+/// bit-identical data), and every party must be non-empty with
+/// `input_shape()`/`num_classes()` matching the provider-wide values —
+/// the engine validates those once per run, not per party.
+pub trait PartyProvider: Send + Sync {
+    /// Total population size `N`.
+    fn n_parties(&self) -> usize;
+    /// `|Dᵢ|` without materializing the dataset (must be O(1)-ish: the
+    /// engine calls this for every sampled party every round).
+    fn num_samples(&self, id: usize) -> usize;
+    /// Per-sample feature shape shared by all parties.
+    fn input_shape(&self) -> &[usize];
+    /// Label-space size shared by all parties.
+    fn num_classes(&self) -> usize;
+    /// Build party `id`'s dataset view. Called only for sampled parties.
+    fn materialize(&self, id: usize) -> Party;
+}
+
+/// Bytes of party-resident state currently materialized on demand.
+static RESIDENT_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`RESIDENT_BYTES`] since the last reset.
+static RESIDENT_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide gauge of on-demand party residency — the "resident-set
+/// proxy" the `exp_scale` bench reports. Only parties materialized
+/// through a [`PartyProvider`] count; a fully resident `Vec<Party>`
+/// simulation contributes nothing (its residency is trivially `N`).
+pub mod residency {
+    use super::{Ordering, RESIDENT_BYTES, RESIDENT_PEAK};
+
+    /// Bytes of provider-materialized party data currently alive.
+    pub fn current_bytes() -> usize {
+        RESIDENT_BYTES.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`reset_peak`].
+    pub fn peak_bytes() -> usize {
+        RESIDENT_PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current residency.
+    pub fn reset_peak() {
+        RESIDENT_PEAK.store(RESIDENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub(super) fn add(bytes: usize) {
+        let now = RESIDENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        RESIDENT_PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(super) fn sub(bytes: usize) {
+        RESIDENT_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Approximate heap footprint of a party's dataset view (features +
+/// labels), for the residency gauge.
+fn party_bytes(p: &Party) -> usize {
+    p.data.features.numel() * std::mem::size_of::<f32>()
+        + p.data.labels.len() * std::mem::size_of::<usize>()
+}
+
+/// A party handle that is either borrowed from a resident `Vec<Party>`
+/// or owned because a [`PartyProvider`] just materialized it. Owned
+/// parties register with the [`residency`] gauge for their lifetime.
+pub enum PartyRef<'a> {
+    /// Borrowed from resident storage (classic cross-silo runs).
+    Borrowed(&'a Party),
+    /// Materialized on demand; dropped (and its bytes released) as soon
+    /// as the worker finishes the party's local training.
+    Owned(OwnedParty),
+}
+
+/// An on-demand party plus its gauge registration.
+pub struct OwnedParty {
+    party: Party,
+    bytes: usize,
+}
+
+impl OwnedParty {
+    /// Wrap a freshly materialized party, charging the residency gauge.
+    pub fn new(party: Party) -> Self {
+        let bytes = party_bytes(&party);
+        residency::add(bytes);
+        OwnedParty { party, bytes }
+    }
+}
+
+impl Drop for OwnedParty {
+    fn drop(&mut self) {
+        residency::sub(self.bytes);
+    }
+}
+
+impl std::ops::Deref for PartyRef<'_> {
+    type Target = Party;
+
+    fn deref(&self) -> &Party {
+        match self {
+            PartyRef::Borrowed(p) => p,
+            PartyRef::Owned(o) => &o.party,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +188,33 @@ mod tests {
         );
         let (x, _) = p.batch(&[1, 2, 3]);
         assert_eq!(x.shape(), &[3, 2, 2, 2]);
+    }
+
+    #[test]
+    fn owned_parties_charge_and_release_the_residency_gauge() {
+        residency::reset_peak();
+        let base = residency::current_bytes();
+        let expected = {
+            let p = toy_party();
+            p.data.features.numel() * 4 + p.data.labels.len() * std::mem::size_of::<usize>()
+        };
+        {
+            let owned = PartyRef::Owned(OwnedParty::new(toy_party()));
+            assert_eq!(owned.num_samples(), 6, "deref reaches the party");
+            assert!(residency::current_bytes() >= base + expected);
+            assert!(residency::peak_bytes() >= base + expected);
+        }
+        // Dropped: the bytes are released, the peak stays.
+        assert_eq!(residency::current_bytes(), base);
+        assert!(residency::peak_bytes() >= base + expected);
+    }
+
+    #[test]
+    fn borrowed_parties_do_not_touch_the_gauge() {
+        let p = toy_party();
+        let before = residency::current_bytes();
+        let r = PartyRef::Borrowed(&p);
+        assert_eq!(r.id, 3);
+        assert_eq!(residency::current_bytes(), before);
     }
 }

@@ -178,6 +178,33 @@ impl Pcg64 {
         pool.truncate(k);
         pool
     }
+
+    /// [`sample_indices`](Self::sample_indices) in `O(k)` time and space.
+    ///
+    /// Runs the same partial Fisher–Yates walk but stores only the pool
+    /// entries the swaps have displaced (a hash map instead of the full
+    /// `0..n` vector), so sampling a small cohort out of a million parties
+    /// never touches the other 999k. Consumes the identical
+    /// [`next_below`](Self::next_below) draw sequence, so the picks are
+    /// bit-for-bit the ones `sample_indices` returns from the same
+    /// generator state (replay-tested below).
+    pub fn sample_indices_sparse(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices_sparse: k={k} exceeds n={n}");
+        use std::collections::HashMap;
+        // Virtual pool: pool[x] == displaced[x] where present, else x.
+        let mut displaced: HashMap<usize, usize> = HashMap::with_capacity(2 * k);
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.next_below(n - i);
+            let vi = displaced.get(&i).copied().unwrap_or(i);
+            let vj = displaced.get(&j).copied().unwrap_or(j);
+            // pool.swap(i, j); position i is never revisited, so its value
+            // is final and goes straight to the output.
+            displaced.insert(j, vi);
+            out.push(vj);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +298,50 @@ mod tests {
         let mut picked = rng.sample_indices(10, 10);
         picked.sort_unstable();
         assert_eq!(picked, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_sampling_replays_dense_picks_bit_for_bit() {
+        // The engine switched to the sparse sampler; this replay pin is
+        // what guarantees existing record streams did not move.
+        for (n, k) in [
+            (1usize, 0usize),
+            (1, 1),
+            (2, 1),
+            (10, 3),
+            (57, 57),
+            (100, 1),
+            (100, 99),
+            (1000, 100),
+            (4096, 64),
+        ] {
+            for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+                let dense = Pcg64::new(seed).sample_indices(n, k);
+                let sparse = Pcg64::new(seed).sample_indices_sparse(n, k);
+                assert_eq!(dense, sparse, "n={n} k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_sampling_leaves_generator_in_identical_state() {
+        let mut a = Pcg64::new(77);
+        let mut b = Pcg64::new(77);
+        a.sample_indices(500, 20);
+        b.sample_indices_sparse(500, 20);
+        assert_eq!(a.next_u64(), b.next_u64(), "draw counts diverged");
+    }
+
+    #[test]
+    fn sparse_sampling_is_distinct_and_in_range_at_scale() {
+        let mut rng = Pcg64::new(31);
+        let picked = rng.sample_indices_sparse(1_000_000, 1000);
+        assert_eq!(picked.len(), 1000);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 1000, "sparse sample repeated an index");
+        assert!(picked.iter().all(|&i| i < 1_000_000));
     }
 
     #[test]

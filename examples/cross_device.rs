@@ -1,7 +1,10 @@
-//! Cross-device federated learning: many small parties, only a fraction
-//! participating each round (the paper's §5.6 scalability setting, scaled
-//! down). Shows party sampling, per-round participant counts, and the
-//! training instability that partial participation introduces.
+//! Cross-device federated learning: hundreds of small devices, only a
+//! handful participating each round (the paper's §5.6 scalability
+//! setting). Runs the cohort-on-demand engine path — `lazy_parties`
+//! regenerates each sampled device's shard deterministically from the
+//! partition seed, so peak party-resident memory tracks the cohort, not
+//! the population. For the full sweep up to one million devices see
+//! `cargo run --release -p niid-bench --bin exp_scale`.
 //!
 //! ```sh
 //! cargo run --release --example cross_device
@@ -10,23 +13,26 @@
 use niid_bench_rs::core::experiment::{run_experiment, ExperimentSpec};
 use niid_bench_rs::core::partition::Strategy;
 use niid_bench_rs::data::{DatasetId, GenConfig};
-use niid_bench_rs::fl::Algorithm;
+use niid_bench_rs::fl::{residency, Algorithm};
 
 fn main() {
-    let gen = GenConfig::tiny(11);
+    let gen = GenConfig::bench(11);
     let mut spec = ExperimentSpec::new(
-        DatasetId::Mnist,
-        Strategy::DirichletLabelSkew { beta: 0.5 },
+        DatasetId::Rcv1,
+        Strategy::NoiseFeatureSkew { sigma: 0.1 },
         Algorithm::FedAvg,
         gen,
     );
-    spec.n_parties = 20; // many devices...
-    spec.sample_fraction = 0.2; // ...but only 4 respond per round
+    spec.n_parties = 500; // hundreds of devices, ~4 samples each...
+    spec.sample_fraction = 0.02; // ...but only 10 respond per round
+    spec.lazy_parties = true; // materialize sampled shards on demand
     spec.rounds = 10;
     spec.local_epochs = 2;
+    spec.batch_size = 4;
 
+    residency::reset_peak();
     let result = run_experiment(&spec).expect("run failed");
-    println!("cross-device run: 20 devices, 20% sampled per round");
+    println!("cross-device run: 500 devices, 2% sampled per round");
     for r in &result.runs[0].rounds {
         println!(
             "round {:>2}: {} participants, local loss {:.3}, accuracy {}",
@@ -41,6 +47,10 @@ fn main() {
     println!(
         "volatility (mean |round-to-round accuracy change|): {:.4}",
         result.runs[0].accuracy_volatility(2)
+    );
+    println!(
+        "peak party-resident memory: {} B (cohort-sized, not population-sized)",
+        residency::peak_bytes()
     );
     println!(
         "paper Finding 8: partial participation makes curves unstable because\n\

@@ -9,9 +9,9 @@
 use niid_bench::harness::{black_box, BenchMeta, Harness};
 use niid_stats::Pcg64;
 use niid_tensor::{
-    conv2d, conv2d_backward, conv2d_backward_ws, conv2d_forward, matmul, matmul_a_bt, matmul_at_b,
-    maxpool2d, softmax_rows, with_forced_kernel, with_thread_budget, Conv2dShape, ConvScratch,
-    Kernel, Pool2dShape, Tensor,
+    conv2d, conv2d_backward, conv2d_backward_ws, conv2d_forward, conv2d_forward_implicit, matmul,
+    matmul_a_bt, matmul_at_b, maxpool2d, softmax_rows, with_forced_kernel, with_thread_budget,
+    Conv2dShape, ConvScratch, Kernel, Pool2dShape, Tensor,
 };
 
 /// Kernel thread budgets swept on the large workloads.
@@ -90,6 +90,29 @@ fn main() {
         }
     }
 
+    // FC-shaped `a · bᵀ` products — the dX GEMM of every Linear backward
+    // (`dy [batch, out] · Wᵀ`, weight stored `[in, out]`). Rectangular
+    // shapes from the paper's CNN/MLP heads; these run the NT-packed
+    // micro-kernel on the AVX2 arm (Bᵀ panels packed contiguously instead
+    // of striding row-major B on every FMA).
+    for &(m, out_f, in_f) in &[
+        (64usize, 120usize, 256usize),
+        (64, 84, 120),
+        (128, 512, 256),
+    ] {
+        let a = Tensor::randn(&[m, out_f], 1.0, &mut rng);
+        let b = Tensor::randn(&[in_f, out_f], 1.0, &mut rng);
+        let flops = (2 * m * in_f * out_f) as u64;
+        let shape = format!("{m}x{out_f} x ({in_f}x{out_f})T");
+        h.bench_meta(
+            &format!("matmul/a_bt_nt/b{m}_{out_f}to{in_f}/t1"),
+            BenchMeta::op("matmul/a_bt_nt", &shape, 1, flops),
+            |bench| {
+                bench.iter(|| with_thread_budget(1, || matmul_a_bt(black_box(&a), black_box(&b))))
+            },
+        );
+    }
+
     // LeNet-sized conv layer (6→16 channels, 5x5 kernel) over a batch of 32.
     let s = Conv2dShape {
         in_channels: 6,
@@ -134,7 +157,72 @@ fn main() {
             },
         );
     }
-    // Allocating wrappers, for the workspace-reuse delta.
+    // The fused (implicit-GEMM) forward, benched directly so the lowering
+    // shows up as its own tracked op. The kernel is pinned to AVX2 where
+    // the CPU supports it — this keeps the row present (and the fused path
+    // exercised) even when the smoke run sets `NIID_SIMD=scalar`.
+    if Kernel::Avx2.available() {
+        with_forced_kernel(Kernel::Avx2, || {
+            let mut scratch = ConvScratch::new();
+            h.bench_meta(
+                "conv2d/implicit_batch32/t1",
+                BenchMeta::op("conv2d/implicit", conv_shape, 1, conv_flops),
+                |bench| {
+                    bench.iter(|| {
+                        with_thread_budget(1, || {
+                            conv2d_forward_implicit(
+                                black_box(&x),
+                                black_box(&w),
+                                Some(&b),
+                                &s,
+                                &mut scratch,
+                            )
+                        })
+                    })
+                },
+            );
+            // First conv of the paper's CNN on CIFAR-10 geometry: 3→6
+            // channels, 5x5 kernel, 32x32 input.
+            let s_early = Conv2dShape {
+                in_channels: 3,
+                out_channels: 6,
+                in_h: 32,
+                in_w: 32,
+                kernel_h: 5,
+                kernel_w: 5,
+                stride: 1,
+                padding: 0,
+            };
+            let early_shape = "n32 3->6 32x32 k5";
+            let early_flops = (32 * 2 * s_early.output_numel() * s_early.col_width()) as u64;
+            let xe = Tensor::randn(&[32, 3, 32, 32], 1.0, &mut rng);
+            let we = Tensor::randn(&[6, s_early.col_width()], 0.2, &mut rng);
+            let be = Tensor::randn(&[6], 0.1, &mut rng);
+            let mut scratch_e = ConvScratch::new();
+            h.bench_meta(
+                "conv2d/implicit_early_batch32/t1",
+                BenchMeta::op("conv2d/implicit", early_shape, 1, early_flops),
+                |bench| {
+                    bench.iter(|| {
+                        with_thread_budget(1, || {
+                            conv2d_forward_implicit(
+                                black_box(&xe),
+                                black_box(&we),
+                                Some(&be),
+                                &s_early,
+                                &mut scratch_e,
+                            )
+                        })
+                    })
+                },
+            );
+        });
+    }
+
+    // Allocating wrappers, for the workspace-reuse delta. These now route
+    // through a thread-local scratch, so the delta against the `_ws` rows
+    // above is pure dispatch overhead rather than a per-call lowering
+    // allocation.
     h.bench_meta(
         "conv2d/forward_batch32/alloc",
         BenchMeta::op("conv2d/forward_alloc", conv_shape, 1, conv_flops),
@@ -144,7 +232,7 @@ fn main() {
             })
         },
     );
-    let (y, cols) = conv2d(&x, &w, Some(&b), &s);
+    let y = conv2d(&x, &w, Some(&b), &s);
     let gy = Tensor::ones(y.shape());
     h.bench_meta(
         "conv2d/backward_batch32/alloc",
@@ -152,7 +240,7 @@ fn main() {
         |bench| {
             bench.iter(|| {
                 with_thread_budget(1, || {
-                    conv2d_backward(black_box(&cols), black_box(&w), black_box(&gy), &s)
+                    conv2d_backward(black_box(&x), black_box(&w), black_box(&gy), &s)
                 })
             })
         },

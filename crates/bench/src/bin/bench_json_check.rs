@@ -2,8 +2,12 @@
 //! flag: used by the CI bench-smoke step so a broken emitter (or a bench
 //! that silently stops producing entries) fails the workflow.
 //!
-//! Usage: `bench_json_check <file.json>...` — exits non-zero with a
-//! description of the first malformed file.
+//! Usage: `bench_json_check [--require-op OP]... <file.json>...` — exits
+//! non-zero with a description of the first malformed file. Each
+//! `--require-op OP` demands that at least one entry across the checked
+//! files carries that `op` with a finite, positive `gflops` — the guard
+//! that keeps tracked kernels (e.g. `conv2d/implicit`, `matmul/a_bt_nt`)
+//! from silently dropping out of the committed baselines.
 
 use niid_json::Json;
 
@@ -73,7 +77,16 @@ fn check_fl_scale_entry(e: &Json, idx: usize) -> Result<(), String> {
     Ok(())
 }
 
-fn check_file(path: &str) -> Result<usize, String> {
+/// Whether an entry satisfies a `--require-op` demand: matching `op` tag
+/// and a finite, strictly positive `gflops` measurement.
+fn satisfies_required_op(e: &Json, op: &str) -> bool {
+    e.get("op").and_then(Json::as_str) == Some(op)
+        && e.get("gflops")
+            .and_then(Json::as_f64)
+            .is_some_and(|g| g.is_finite() && g > 0.0)
+}
+
+fn check_file(path: &str, seen_ops: &mut [(String, bool)]) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
     let json = niid_json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
     let entries = json
@@ -84,24 +97,54 @@ fn check_file(path: &str) -> Result<usize, String> {
     }
     for (idx, e) in entries.iter().enumerate() {
         check_entry(e, idx)?;
+        for (op, seen) in seen_ops.iter_mut() {
+            if !*seen && satisfies_required_op(e, op) {
+                *seen = true;
+            }
+        }
     }
     Ok(entries.len())
 }
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut required: Vec<(String, bool)> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--require-op" {
+            match args.next() {
+                Some(op) => required.push((op, false)),
+                None => {
+                    eprintln!("--require-op needs an op name");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: bench_json_check <file.json>...");
+        eprintln!("usage: bench_json_check [--require-op OP]... <file.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
     for path in &paths {
-        match check_file(path) {
+        match check_file(path, &mut required) {
             Ok(n) => println!("{path}: ok ({n} measurements)"),
             Err(e) => {
                 eprintln!("{path}: {e}");
                 failed = true;
             }
+        }
+    }
+    // Required ops are a union across every checked file: the tracked
+    // kernel must show up *somewhere* with a real throughput number.
+    for (op, seen) in &required {
+        if !seen {
+            eprintln!(
+                "required op {op:?}: no entry with finite positive gflops in any checked file"
+            );
+            failed = true;
         }
     }
     if failed {
@@ -169,6 +212,36 @@ mod tests {
     fn fl_scale_cohort_cannot_exceed_population() {
         let err = check_entry(&fl_scale_entry(20_000.0), 0).unwrap_err();
         assert!(err.contains("exceeds population"), "{err}");
+    }
+
+    #[test]
+    fn required_op_matches_on_op_and_positive_gflops() {
+        let mut e = Json::obj(vec![
+            ("op", Json::Str("conv2d/implicit".into())),
+            ("gflops", Json::Num(14.2)),
+        ]);
+        assert!(satisfies_required_op(&e, "conv2d/implicit"));
+        assert!(!satisfies_required_op(&e, "matmul/a_bt_nt"));
+        if let Json::Obj(pairs) = &mut e {
+            for (k, v) in pairs.iter_mut() {
+                if k == "gflops" {
+                    *v = Json::Null;
+                }
+            }
+        }
+        assert!(
+            !satisfies_required_op(&e, "conv2d/implicit"),
+            "null gflops must not satisfy a required op"
+        );
+    }
+
+    #[test]
+    fn required_op_rejects_zero_gflops() {
+        let e = Json::obj(vec![
+            ("op", Json::Str("matmul/a_bt_nt".into())),
+            ("gflops", Json::Num(0.0)),
+        ]);
+        assert!(!satisfies_required_op(&e, "matmul/a_bt_nt"));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | `niid_party_failures_total{kind}` | failure kind | counter: isolated party failures |
 //! | `niid_rounds_degraded_total` | — | counter: rounds that aggregated without a full cohort |
 //! | `niid_pool_*`, `niid_gemm_*`, `niid_conv_scratch_*` | — | substrate collector |
+//! | `niid_conv_lowering_calls{lowering}` | implicit / materialized | conv passes per lowering |
 //! | `niid_gemm_dispatch_calls{variant,path}` | GEMM variant × kernel | simd vs scalar dispatch |
 //! | `niid_simd_active_kernel{kernel}` | kernel name | process-wide micro-kernel selection |
 //!
@@ -576,6 +577,18 @@ pub fn install_substrate_collector(registry: &Arc<Registry>) {
             &[],
         )
         .set(s.conv_scratch_reuses as f64);
+        for (lowering, calls) in [
+            ("implicit", s.conv_implicit_calls),
+            ("materialized", s.conv_materialized_calls),
+        ] {
+            r.gauge(
+                "niid_conv_lowering_calls",
+                "Convolution passes per lowering (implicit fuses im2col into \
+                 the GEMM pack; materialized is the scalar arm / oracle)",
+                &[("lowering", lowering)],
+            )
+            .set(calls as f64);
+        }
     });
 }
 

@@ -1,4 +1,12 @@
-//! Convolution layer wrapping the im2col kernels from `niid-tensor`.
+//! Convolution layer over `niid-tensor`'s GEMM-lowered kernels.
+//!
+//! On the AVX2 arm the substrate runs the **implicit** lowering — the
+//! im2col mapping is fused into the GEMM panel pack, so no
+//! `[batch·positions, C·kh·kw]` buffer is materialized; the scalar arm
+//! keeps the historical materialized im2col pipeline (see
+//! `niid_tensor::conv`). The layer is agnostic: it hands the same
+//! [`ConvScratch`] to either path and the results are bit-identical
+//! under a fixed kernel.
 
 use crate::layer::{Layer, Phase};
 use crate::param::ParamReader;
@@ -12,10 +20,11 @@ pub struct Conv2d {
     bias: Tensor,   // [out_c]
     grad_weight: Tensor,
     grad_bias: Tensor,
-    /// Reusable im2col / backward workspace, held across batches so the
-    /// hot path performs no per-batch allocation.
+    /// Reusable lowering/backward workspace, held across batches so the
+    /// hot path performs no per-batch allocation. The substrate records
+    /// in it which lowering (implicit or materialized) the forward ran.
     scratch: ConvScratch,
-    /// Whether `scratch` holds the lowering of a training-phase forward.
+    /// Whether `scratch` holds the state of a training-phase forward.
     cols_cached: bool,
 }
 
@@ -179,6 +188,35 @@ mod tests {
         b.read_params(&mut ParamReader::new(&flat));
         let yb = b.forward(x, Phase::Eval);
         assert!(ya.max_abs_diff(&yb) < 1e-7);
+    }
+
+    #[test]
+    fn train_step_routes_through_expected_lowering() {
+        // Layer-level check that the substrate's conv dispatch is wired
+        // through: a Train forward + backward takes the implicit (fused)
+        // path on the SIMD arm and the materialized path on the scalar
+        // arm, as reported by the substrate counters.
+        let s = small_shape();
+        let mut rng = Pcg64::new(14);
+        let mut c = Conv2d::new(s, &mut rng);
+        let x = Tensor::randn(&[4, 2, 6, 6], 1.0, &mut rng);
+        let before = niid_tensor::stats::snapshot();
+        let y = c.forward(x, Phase::Train);
+        c.backward(Tensor::ones(y.shape()));
+        let d = niid_tensor::stats::snapshot().since(&before);
+        if niid_tensor::active_kernel().is_simd() {
+            assert!(
+                d.conv_implicit_calls >= 2,
+                "expected fused forward+backward, got {d:?}"
+            );
+            assert_eq!(d.conv_materialized_calls, 0, "unexpected materialization");
+        } else {
+            assert!(
+                d.conv_materialized_calls >= 1,
+                "expected materialized forward on the scalar arm, got {d:?}"
+            );
+            assert_eq!(d.conv_implicit_calls, 0, "implicit path on scalar arm");
+        }
     }
 
     #[test]

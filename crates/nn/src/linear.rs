@@ -81,7 +81,10 @@ impl Layer for Linear {
             .expect("Linear::backward without cached forward");
         // dW += xᵀ · dy ; db += column sums of dy ; dx = dy · Wᵀ. The GEMM
         // and the bias reduction accumulate straight into the gradient
-        // buffers — no `[in, out]`-sized temporary per batch.
+        // buffers — no `[in, out]`-sized temporary per batch. On the AVX2
+        // arm the dx product runs `matmul_a_bt`'s NT micro-kernel: Wᵀ
+        // panels are packed contiguously once per tile instead of striding
+        // the row-major weight matrix on every FMA.
         let batch = grad_out.shape()[0];
         matmul_at_b_slices(
             x.as_slice(),
@@ -233,6 +236,32 @@ mod tests {
         let mut flat2 = Vec::new();
         l2.write_params(&mut flat2);
         assert_eq!(flat, flat2);
+    }
+
+    #[test]
+    fn backward_bits_invariant_across_thread_budgets() {
+        // dx = dy · Wᵀ runs the NT-packed GEMM on the AVX2 arm; the layer
+        // must still honor the substrate's thread-invariance contract —
+        // identical bits at every thread budget for both dx and the
+        // accumulated parameter gradients.
+        let run = |threads: usize| -> (Vec<f32>, Vec<f32>) {
+            niid_tensor::with_thread_budget(threads, || {
+                let mut rng = Pcg64::new(42);
+                let mut l = Linear::new(96, 64, &mut rng);
+                let x = Tensor::randn(&[48, 96], 1.0, &mut rng);
+                let y = l.forward(x, Phase::Train);
+                let gx = l.backward(Tensor::ones(y.shape()));
+                let mut grads = Vec::new();
+                l.write_grads(&mut grads);
+                (gx.as_slice().to_vec(), grads)
+            })
+        };
+        let (gx1, g1) = run(1);
+        for t in [2usize, 7] {
+            let (gxt, gt) = run(t);
+            assert_eq!(gx1, gxt, "dx bits drifted at {t} threads");
+            assert_eq!(g1, gt, "param-grad bits drifted at {t} threads");
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! 2-D convolution via im2col + GEMM, with a hand-derived backward pass.
+//! 2-D convolution via GEMM lowering — **implicit** on the AVX2 arm,
+//! materialized im2col on the scalar arm and as the bit-exactness oracle.
 //!
 //! Layout conventions:
 //!
@@ -12,25 +13,60 @@
 //! Padding is zero-padding; stride is symmetric. Dilation and grouped
 //! convolution are not implemented — no model in the paper needs them.
 //!
+//! ## Implicit vs materialized lowering
+//!
+//! The materialized path ([`conv2d_forward_materialized`]) writes the full
+//! im2col matrix into [`ConvScratch`] and hands it to the GEMM — the
+//! historical pipeline, kept verbatim as the scalar arm (part of the
+//! `NIID_SIMD=scalar` bit-exact replay contract) and as the oracle the
+//! fused path is validated against.
+//!
+//! The default AVX2 path ([`conv2d_forward_implicit`]) instead evaluates
+//! the im2col index mapping
+//!
+//! ```text
+//! row p -> (oy, ox) = (p / out_w, p % out_w)
+//! col d -> (c, ky, kx) = (d / (kh·kw), (d % (kh·kw)) / kw, d % kw)
+//! value = input[c][oy·stride + ky − pad][ox·stride + kx − pad]   (0 if OOB)
+//! ```
+//!
+//! *inside the GEMM panel pack*: [`pack_cols_t_tile`] writes a transposed
+//! `[depth, width]` tile of the lowered matrix straight from the NCHW
+//! planes into a thread-local arena ([`crate::parallel::with_scratch`])
+//! and [`crate::simd::gemm_panel_nt_avx2`] consumes it — no
+//! `[batch·positions, C·kh·kw]` buffer ever exists. The backward pass
+//! mirrors the fusion: the weight gradient regenerates im2col row windows
+//! on the fly ([`im2col_rows`]) while replicating `matmul_at_b_slices`'
+//! exact task split, and the data gradient runs position strips through
+//! the shared [`crate::matmul::atb_rows`] kernel and scatters each strip
+//! immediately ([`col2im_scatter_rows`]).
+//!
+//! Per output element the fused and materialized paths run the same
+//! `t`-ascending FMA chain over the same operand values — tile splits are
+//! bits-neutral (see [`crate::dispatch`]) — so under the same SIMD kernel
+//! the two are **bit-identical**; tests assert exactly this.
+//!
 //! ## Workspace reuse
 //!
 //! The hot path is [`conv2d_forward`] / [`conv2d_backward_accum`], which
-//! operate on a caller-owned [`ConvScratch`]: the im2col lowering, the
-//! backward column gradients and the transposed output gradients all live
-//! in buffers that persist across batches, so a training step performs no
-//! per-sample allocation or copying, and the weight/bias gradients
-//! accumulate straight into the layer's persistent gradient buffers.
-//! Samples are processed in parallel (each owns disjoint regions of every
-//! buffer), which keeps results bit-identical at any thread count. The
-//! allocating [`conv2d`] / [`conv2d_backward`] / [`conv2d_backward_ws`]
-//! wrappers remain for tests and one-off callers. Bias broadcast and the
-//! bias-gradient reduction dispatch through [`crate::simd`].
+//! operate on a caller-owned [`ConvScratch`]: buffers persist across
+//! batches, so a training step performs no per-sample allocation. The
+//! forward pass records which lowering ran; the materialized path fills
+//! `cols` while the implicit path caches the raw `input` (the backward
+//! weight pass re-reads it) and leaves `cols` unmaterialized. Samples are
+//! processed in parallel (each owns disjoint regions of every buffer),
+//! which keeps results bit-identical at any thread count. The allocating
+//! [`conv2d`] / [`conv2d_backward`] wrappers route through a reused
+//! **thread-local** scratch, so one-off callers no longer pay a fresh
+//! lowering allocation per call. Bias broadcast and the bias-gradient
+//! reduction dispatch through [`crate::simd`].
 
 use crate::matmul::{matmul_a_bt_slices, matmul_at_b_slices};
 use crate::parallel::{parallel_for_threshold, SharedMut};
 use crate::simd;
 use crate::stats;
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 
 /// Static geometry of a conv layer applied to a fixed input size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +147,58 @@ impl Conv2dShape {
     }
 }
 
+/// Lower rows `p0..p1` of one sample's im2col matrix into `rows`
+/// (relative: row `p` lands at `(p - p0) * col_width()`).
+///
+/// The inner loop is the historical `im2col_into` body, so delegating the
+/// full range reproduces the complete lowering bit for bit, and any
+/// row-window chunking of the range concatenates to the same buffer — the
+/// backward weight pass relies on this to regenerate windows on the fly.
+pub fn im2col_rows(input: &[f32], s: &Conv2dShape, p0: usize, p1: usize, rows: &mut [f32]) {
+    let ow = s.out_w();
+    let cw = s.col_width();
+    debug_assert!(p1 <= s.out_positions(), "im2col_rows: row range OOB");
+    assert_eq!(
+        input.len(),
+        s.input_numel(),
+        "im2col_rows: bad input length"
+    );
+    assert!(
+        rows.len() >= (p1 - p0) * cw,
+        "im2col_rows: rows buffer too small"
+    );
+    let (ih, iw) = (s.in_h as isize, s.in_w as isize);
+    for p in p0..p1 {
+        let (oy, ox) = (p / ow, p % ow);
+        let base = (p - p0) * cw;
+        let y0 = (oy * s.stride) as isize - s.padding as isize;
+        let x0 = (ox * s.stride) as isize - s.padding as isize;
+        let mut k = 0usize;
+        for c in 0..s.in_channels {
+            let plane = &input[c * s.in_h * s.in_w..(c + 1) * s.in_h * s.in_w];
+            for ky in 0..s.kernel_h {
+                let y = y0 + ky as isize;
+                if y < 0 || y >= ih {
+                    rows[base + k..base + k + s.kernel_w]
+                        .iter_mut()
+                        .for_each(|v| *v = 0.0);
+                    k += s.kernel_w;
+                    continue;
+                }
+                for kx in 0..s.kernel_w {
+                    let x = x0 + kx as isize;
+                    rows[base + k] = if x < 0 || x >= iw {
+                        0.0
+                    } else {
+                        plane[y as usize * s.in_w + x as usize]
+                    };
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Lower one input sample `[C, H, W]` (given as a flat slice) into the
 /// im2col matrix `[out_h*out_w, C*kh*kw]`, writing into `cols`.
 ///
@@ -123,41 +211,7 @@ pub fn im2col_into(input: &[f32], s: &Conv2dShape, cols: &mut [f32]) {
         s.out_positions() * s.col_width(),
         "im2col: bad cols length"
     );
-    let (oh, ow) = (s.out_h(), s.out_w());
-    let cw = s.col_width();
-    let (ih, iw) = (s.in_h as isize, s.in_w as isize);
-    let mut row = 0usize;
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let base = row * cw;
-            let y0 = (oy * s.stride) as isize - s.padding as isize;
-            let x0 = (ox * s.stride) as isize - s.padding as isize;
-            let mut k = 0usize;
-            for c in 0..s.in_channels {
-                let plane = &input[c * s.in_h * s.in_w..(c + 1) * s.in_h * s.in_w];
-                for ky in 0..s.kernel_h {
-                    let y = y0 + ky as isize;
-                    if y < 0 || y >= ih {
-                        cols[base + k..base + k + s.kernel_w]
-                            .iter_mut()
-                            .for_each(|v| *v = 0.0);
-                        k += s.kernel_w;
-                        continue;
-                    }
-                    for kx in 0..s.kernel_w {
-                        let x = x0 + kx as isize;
-                        cols[base + k] = if x < 0 || x >= iw {
-                            0.0
-                        } else {
-                            plane[y as usize * s.in_w + x as usize]
-                        };
-                        k += 1;
-                    }
-                }
-            }
-            row += 1;
-        }
-    }
+    im2col_rows(input, s, 0, s.out_positions(), cols);
 }
 
 /// Allocating wrapper over [`im2col_into`], returning `[oh*ow, C*kh*kw]`.
@@ -165,6 +219,64 @@ pub fn im2col(input: &[f32], s: &Conv2dShape) -> Tensor {
     let mut cols = vec![0.0f32; s.out_positions() * s.col_width()];
     im2col_into(input, s, &mut cols);
     Tensor::from_vec(cols, &[s.out_positions(), s.col_width()])
+}
+
+/// Scatter-add rows `p0..p1` of a lowered-gradient buffer back onto one
+/// sample's `[C, H, W]` planes. `cols_rows` is relative like
+/// [`im2col_rows`]; `out` is **not** zeroed — callers own the clear.
+///
+/// The global scatter order (ascending `p`, then ascending `k`) is the
+/// historical `col2im_into` order regardless of how the position range is
+/// chunked, so each input element accumulates its contributions in the
+/// identical sequence — strip-wise scatter is bit-identical to the full
+/// scatter.
+pub fn col2im_scatter_rows(
+    cols_rows: &[f32],
+    s: &Conv2dShape,
+    p0: usize,
+    p1: usize,
+    out: &mut [f32],
+) {
+    let ow = s.out_w();
+    let cw = s.col_width();
+    debug_assert!(
+        p1 <= s.out_positions(),
+        "col2im_scatter_rows: row range OOB"
+    );
+    assert!(
+        cols_rows.len() >= (p1 - p0) * cw,
+        "col2im_scatter_rows: cols buffer too small"
+    );
+    assert_eq!(
+        out.len(),
+        s.input_numel(),
+        "col2im_scatter_rows: bad output length"
+    );
+    let (ih, iw) = (s.in_h as isize, s.in_w as isize);
+    for p in p0..p1 {
+        let (oy, ox) = (p / ow, p % ow);
+        let base = (p - p0) * cw;
+        let y0 = (oy * s.stride) as isize - s.padding as isize;
+        let x0 = (ox * s.stride) as isize - s.padding as isize;
+        let mut k = 0usize;
+        for c in 0..s.in_channels {
+            let plane_off = c * s.in_h * s.in_w;
+            for ky in 0..s.kernel_h {
+                let y = y0 + ky as isize;
+                if y < 0 || y >= ih {
+                    k += s.kernel_w;
+                    continue;
+                }
+                for kx in 0..s.kernel_w {
+                    let x = x0 + kx as isize;
+                    if x >= 0 && x < iw {
+                        out[plane_off + y as usize * s.in_w + x as usize] += cols_rows[base + k];
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Inverse of im2col for gradients: scatter-add the columns matrix
@@ -179,36 +291,7 @@ pub fn col2im_into(cols: &[f32], s: &Conv2dShape, out: &mut [f32]) {
     );
     assert_eq!(out.len(), s.input_numel(), "col2im: bad output length");
     out.fill(0.0);
-    let (oh, ow) = (s.out_h(), s.out_w());
-    let cw = s.col_width();
-    let (ih, iw) = (s.in_h as isize, s.in_w as isize);
-    let mut row = 0usize;
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let base = row * cw;
-            let y0 = (oy * s.stride) as isize - s.padding as isize;
-            let x0 = (ox * s.stride) as isize - s.padding as isize;
-            let mut k = 0usize;
-            for c in 0..s.in_channels {
-                let plane_off = c * s.in_h * s.in_w;
-                for ky in 0..s.kernel_h {
-                    let y = y0 + ky as isize;
-                    if y < 0 || y >= ih {
-                        k += s.kernel_w;
-                        continue;
-                    }
-                    for kx in 0..s.kernel_w {
-                        let x = x0 + kx as isize;
-                        if x >= 0 && x < iw {
-                            out[plane_off + y as usize * s.in_w + x as usize] += cols[base + k];
-                        }
-                        k += 1;
-                    }
-                }
-            }
-            row += 1;
-        }
-    }
+    col2im_scatter_rows(cols, s, 0, s.out_positions(), out);
 }
 
 /// Allocating wrapper over [`col2im_into`].
@@ -229,14 +312,20 @@ pub fn col2im(cols: &Tensor, s: &Conv2dShape) -> Vec<f32> {
 #[derive(Debug, Default)]
 pub struct ConvScratch {
     /// im2col lowering of the last forward batch: `[batch·positions, cw]`.
+    /// Only filled by the materialized path (`cols_valid` tracks this).
     cols: Vec<f32>,
     /// Backward scratch for per-sample column gradients (same extent).
     dcols: Vec<f32>,
     /// Output gradients transposed to `[batch·positions, out_channels]`
     /// so the weight gradient is one tall GEMM.
     gy_t: Vec<f32>,
-    /// Samples lowered into `cols` by the last forward pass.
+    /// Raw forward input cached by the implicit path: `[batch, C·H·W]`.
+    /// The fused backward weight pass regenerates im2col windows from it.
+    input: Vec<f32>,
+    /// Samples lowered by the last forward pass.
     batch: usize,
+    /// Whether `cols` currently holds the lowering for `batch` samples.
+    cols_valid: bool,
 }
 
 impl ConvScratch {
@@ -252,7 +341,16 @@ impl ConvScratch {
 
     /// The im2col lowering of the last forward pass, as a flat slice of
     /// `[batch·positions, col_width]`.
+    ///
+    /// # Panics
+    /// Panics if the last forward pass ran the implicit lowering (nothing
+    /// was materialized); callers that need the buffer should run
+    /// [`conv2d_forward_materialized`].
     pub fn cols(&self, s: &Conv2dShape) -> &[f32] {
+        assert!(
+            self.cols_valid,
+            "conv scratch holds no materialized lowering (implicit forward)"
+        );
         &self.cols[..self.batch * s.out_positions() * s.col_width()]
     }
 
@@ -266,24 +364,12 @@ impl ConvScratch {
     }
 }
 
-/// Forward convolution over a batch, writing the im2col lowering into
-/// `scratch` for reuse by [`conv2d_backward_ws`].
-///
-/// * `input`: `[N, C, H, W]`
-/// * `weight`: `[out_channels, C*kh*kw]`
-/// * `bias`: optional `[out_channels]`
-///
-/// Returns the output `[N, out_c, oh, ow]`. Samples are processed in
-/// parallel when the batch is large enough; each sample owns disjoint
-/// regions of `scratch.cols` and the output, so results are bit-identical
-/// at any thread count.
-pub fn conv2d_forward(
+fn check_forward_args(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     s: &Conv2dShape,
-    scratch: &mut ConvScratch,
-) -> Tensor {
+) -> usize {
     s.validate();
     assert_eq!(input.ndim(), 4, "conv2d: input must be NCHW");
     let n = input.shape()[0];
@@ -305,6 +391,59 @@ pub fn conv2d_forward(
     if let Some(b) = bias {
         assert_eq!(b.numel(), s.out_channels, "conv2d: bias length mismatch");
     }
+    n
+}
+
+/// Whether the fused backward replicates `matmul_at_b_slices`' per-sample
+/// dX task split: the strip walk reproduces the KB row-split branch, so
+/// the shape must satisfy that branch's predicate (`k = positions`,
+/// `m = out_channels`). Shapes that would take the partial-sum branch
+/// fall back to the materialized path instead.
+#[cfg(target_arch = "x86_64")]
+fn implicit_eligible(s: &Conv2dShape) -> bool {
+    s.out_positions() >= 2 * crate::matmul::KB || s.out_channels < crate::matmul::ATB_BLOCK_M
+}
+
+/// Forward convolution over a batch, caching what the backward pass needs
+/// in `scratch` for reuse by [`conv2d_backward_ws`].
+///
+/// * `input`: `[N, C, H, W]`
+/// * `weight`: `[out_channels, C*kh*kw]`
+/// * `bias`: optional `[out_channels]`
+///
+/// Returns the output `[N, out_c, oh, ow]`. Dispatches to the implicit
+/// (fused-pack) lowering on the AVX2 arm and the materialized im2col
+/// lowering otherwise; both process samples in parallel over disjoint
+/// buffer regions, so results are bit-identical at any thread count.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    s: &Conv2dShape,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd::active_kernel().is_simd() && implicit_eligible(s) {
+            return conv2d_forward_implicit(input, weight, bias, s, scratch);
+        }
+    }
+    conv2d_forward_materialized(input, weight, bias, s, scratch)
+}
+
+/// Forward convolution through the materialized im2col lowering — the
+/// historical pipeline, kept verbatim: the scalar arm of the
+/// `NIID_SIMD=scalar` replay contract and the bit-exactness oracle for
+/// [`conv2d_forward_implicit`].
+pub fn conv2d_forward_materialized(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    s: &Conv2dShape,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    let n = check_forward_args(input, weight, bias, s);
+    stats::bump(&stats::CONV_MATERIALIZED_CALLS, 1);
 
     let positions = s.out_positions();
     let cw = s.col_width();
@@ -312,6 +451,7 @@ pub fn conv2d_forward(
     let out_numel = s.output_numel();
     ConvScratch::ensure(&mut scratch.cols, n * positions * cw);
     scratch.batch = n;
+    scratch.cols_valid = true;
 
     let mut out = vec![0.0f32; n * out_numel];
     let xs = input.as_slice();
@@ -342,7 +482,198 @@ pub fn conv2d_forward(
     Tensor::from_vec(out, &[n, s.out_channels, s.out_h(), s.out_w()])
 }
 
-/// Backward convolution against the lowering cached in `scratch`,
+/// Pack the transposed tile `cols[j0..j1, d0..d1]ᵀ` of one sample's
+/// im2col matrix straight from the NCHW planes — the heart of the
+/// implicit lowering. `out[..(d1-d0)*(j1-j0)]` receives
+/// [`crate::simd::pack_bt_panel`] layout: `out[t·width + j] = cols[j0+j][d0+t]`.
+///
+/// For a fixed lowered column `d = (c, ky, kx)` the positions `j0..j1`
+/// decompose into per-output-row runs of consecutive input pixels; with
+/// `stride == 1` each run is one `copy_from_slice` bracketed by zero
+/// fills for the padded margins, otherwise a strided per-element loop.
+/// Values are copied, never combined, so NaN/±∞ payloads travel through
+/// bit-intact exactly as in the materialized lowering.
+#[cfg(target_arch = "x86_64")]
+fn pack_cols_t_tile(
+    x: &[f32],
+    s: &Conv2dShape,
+    j0: usize,
+    j1: usize,
+    d0: usize,
+    d1: usize,
+    out: &mut [f32],
+) {
+    let ow = s.out_w();
+    let width = j1 - j0;
+    let (kh, kw) = (s.kernel_h, s.kernel_w);
+    let khw = kh * kw;
+    debug_assert!(out.len() >= (d1 - d0) * width);
+    for d in d0..d1 {
+        let c = d / khw;
+        let ky = (d % khw) / kw;
+        let kx = d % kw;
+        let plane = &x[c * s.in_h * s.in_w..(c + 1) * s.in_h * s.in_w];
+        let drow = &mut out[(d - d0) * width..(d - d0) * width + width];
+        let mut p = j0;
+        while p < j1 {
+            let oy = p / ow;
+            let ox0 = p % ow;
+            let len = (ow - ox0).min(j1 - p);
+            let seg = &mut drow[p - j0..p - j0 + len];
+            let y = (oy * s.stride + ky) as isize - s.padding as isize;
+            if y < 0 || y as usize >= s.in_h {
+                seg.fill(0.0);
+            } else if s.stride == 1 {
+                let base = y as usize * s.in_w;
+                let x_first = ox0 as isize + kx as isize - s.padding as isize;
+                let lead = (-x_first).clamp(0, len as isize) as usize;
+                let valid = (s.in_w as isize - x_first).clamp(0, len as isize) as usize;
+                seg[..lead].fill(0.0);
+                if valid > lead {
+                    let src0 = (x_first + lead as isize) as usize;
+                    seg[lead..valid]
+                        .copy_from_slice(&plane[base + src0..base + src0 + valid - lead]);
+                }
+                seg[valid.max(lead)..].fill(0.0);
+            } else {
+                let base = y as usize * s.in_w;
+                for (off, slot) in seg.iter_mut().enumerate() {
+                    let xc = ((ox0 + off) * s.stride + kx) as isize - s.padding as isize;
+                    *slot = if xc >= 0 && (xc as usize) < s.in_w {
+                        plane[base + xc as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            p += len;
+        }
+    }
+}
+
+/// Forward convolution with the im2col mapping fused into the GEMM panel
+/// pack — the lowered matrix is never materialized. AVX2-arm only.
+///
+/// Bit-identical to [`conv2d_forward_materialized`] under the same SIMD
+/// kernel: per output element both run the identical `t`-ascending
+/// broadcast-FMA chain over identical values (depth chunking and tile
+/// sizes are bits-neutral; see [`crate::dispatch`]).
+///
+/// # Panics
+/// Panics when the active kernel is scalar — the scalar arm must keep its
+/// historical accumulation order, which the materialized path provides.
+pub fn conv2d_forward_implicit(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    s: &Conv2dShape,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    let kern = simd::active_kernel();
+    assert!(
+        kern.is_simd(),
+        "conv2d_forward_implicit: requires a SIMD kernel (scalar arm uses the materialized path)"
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    unreachable!("SIMD kernel selected on non-x86_64");
+    #[cfg(target_arch = "x86_64")]
+    {
+        let n = check_forward_args(input, weight, bias, s);
+        let positions = s.out_positions();
+        let cw = s.col_width();
+        let in_numel = s.input_numel();
+        let out_numel = s.output_numel();
+        stats::bump(&stats::CONV_IMPLICIT_CALLS, 1);
+        // The GEMM work bypasses `matmul_a_bt_slices`, so account for its
+        // flops here (the materialized path counts them inside matmul).
+        stats::bump(&stats::GEMM_FLOPS, (n * 2 * out_numel * cw) as u64);
+        let tiles = crate::dispatch::tiles_for(crate::dispatch::classify_conv(s.in_channels, cw));
+
+        // Cache the raw input: the fused backward weight pass regenerates
+        // im2col row windows from it (and the scalar-arm fallback
+        // re-materializes `cols` from it, bit-identically).
+        ConvScratch::ensure(&mut scratch.input, n * in_numel);
+        scratch.input[..n * in_numel].copy_from_slice(input.as_slice());
+        scratch.batch = n;
+        scratch.cols_valid = false;
+
+        let mut out = vec![0.0f32; n * out_numel];
+        let xs = input.as_slice();
+        let wv = weight.as_slice();
+        let bv = bias.map(Tensor::as_slice);
+        let out_ptr = SharedMut(out.as_mut_ptr());
+        parallel_for_threshold(n, n * 2 * out_numel * cw, &|i| {
+            // SAFETY: sample `i` exclusively owns its region of out.
+            let out_i = unsafe { out_ptr.slice(i * out_numel, out_numel) };
+            let x_i = &xs[i * in_numel..(i + 1) * in_numel];
+            crate::parallel::with_scratch(tiles.nc * tiles.kc, |pack| {
+                let mut j0 = 0;
+                while j0 < positions {
+                    let j1 = (j0 + tiles.nc).min(positions);
+                    let wj = j1 - j0;
+                    let mut d0 = 0;
+                    while d0 < cw {
+                        let d1 = (d0 + tiles.kc).min(cw);
+                        let depth = d1 - d0;
+                        pack_cols_t_tile(x_i, s, j0, j1, d0, d1, &mut pack[..depth * wj]);
+                        let mut oc = 0;
+                        while oc < s.out_channels {
+                            let rows = (s.out_channels - oc).min(tiles.mr);
+                            simd::gemm_panel_nt_avx2(
+                                &wv[oc * cw + d0..],
+                                cw,
+                                1,
+                                rows,
+                                depth,
+                                &pack[..depth * wj],
+                                &mut out_i[oc * positions + j0..],
+                                positions,
+                                wj,
+                            );
+                            oc += rows;
+                        }
+                        d0 = d1;
+                    }
+                    j0 = j1;
+                }
+            });
+            if let Some(b) = bv {
+                for (c, &b_c) in b.iter().enumerate() {
+                    simd::add_scalar_assign(
+                        kern,
+                        &mut out_i[c * positions..(c + 1) * positions],
+                        b_c,
+                    );
+                }
+            }
+        });
+        Tensor::from_vec(out, &[n, s.out_channels, s.out_h(), s.out_w()])
+    }
+}
+
+/// Re-materialize `cols` from the raw input cached by an implicit
+/// forward. im2col is a pure function of the input, so the result is
+/// bit-identical to a materialized forward's lowering — this is how a
+/// forced-scalar backward after an implicit forward stays on the scalar
+/// arm's historical accumulation order.
+fn materialize_cols(scratch: &mut ConvScratch, s: &Conv2dShape) {
+    let n = scratch.batch;
+    let positions = s.out_positions();
+    let cw = s.col_width();
+    let in_numel = s.input_numel();
+    let ConvScratch { cols, input, .. } = scratch;
+    ConvScratch::ensure(cols, n * positions * cw);
+    let xs = &input[..n * in_numel];
+    let cols_ptr = SharedMut(cols.as_mut_ptr());
+    parallel_for_threshold(n, n * positions * cw, &|i| {
+        // SAFETY: sample `i` exclusively owns its cols region.
+        let cols_i = unsafe { cols_ptr.slice(i * positions * cw, positions * cw) };
+        im2col_into(&xs[i * in_numel..(i + 1) * in_numel], s, cols_i);
+    });
+    scratch.cols_valid = true;
+}
+
+/// Backward convolution against the state cached in `scratch`,
 /// **accumulating** the weight and bias gradients directly into
 /// caller-owned buffers (the layer's persistent `grad_weight` /
 /// `grad_bias` slices) — no intermediate gradient tensors, no extra
@@ -353,11 +684,14 @@ pub fn conv2d_forward(
 /// * `grad_weight`: flat `[out_c · C·kh·kw]`, accumulated (`+=`)
 /// * `grad_bias`: flat `[out_c]`, accumulated (`+=`)
 ///
-/// Returns `grad_input [N,C,H,W]`. Accumulating into zeroed buffers
-/// produces the same bits as the allocating path, so training steps
-/// (which zero grads first) are unchanged by the fusion. All per-sample
-/// work reads borrowed views of the batch buffers and writes disjoint
-/// regions, so results are bit-identical at any thread count.
+/// Returns `grad_input [N,C,H,W]`. If the forward pass ran the implicit
+/// lowering and the active kernel is still SIMD, the fused backward runs
+/// (no lowered matrices materialized); otherwise the lowering is
+/// (re)materialized and the historical body runs verbatim. Both variants
+/// are bit-identical under the same kernel, and accumulating into zeroed
+/// buffers produces the same bits as the allocating path. All per-sample
+/// work writes disjoint regions, so results are bit-identical at any
+/// thread count.
 pub fn conv2d_backward_accum(
     scratch: &mut ConvScratch,
     weight: &Tensor,
@@ -367,10 +701,7 @@ pub fn conv2d_backward_accum(
     grad_bias: &mut [f32],
 ) -> Tensor {
     let n = grad_out.shape()[0];
-    let positions = s.out_positions();
     let cw = s.col_width();
-    let out_numel = s.output_numel();
-    let in_numel = s.input_numel();
     assert_eq!(
         grad_out.shape(),
         &[n, s.out_channels, s.out_h(), s.out_w()],
@@ -391,6 +722,34 @@ pub fn conv2d_backward_accum(
         s.out_channels,
         "conv2d_backward: bad grad_bias length"
     );
+
+    if !scratch.cols_valid {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if simd::active_kernel().is_simd() && implicit_eligible(s) {
+                return backward_implicit(scratch, weight, grad_out, s, grad_weight, grad_bias);
+            }
+        }
+        materialize_cols(scratch, s);
+    }
+    backward_materialized(scratch, weight, grad_out, s, grad_weight, grad_bias)
+}
+
+/// The historical materialized backward body, verbatim — scalar arm and
+/// bit-exactness oracle for [`backward_implicit`].
+fn backward_materialized(
+    scratch: &mut ConvScratch,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: &Conv2dShape,
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+) -> Tensor {
+    let n = scratch.batch;
+    let positions = s.out_positions();
+    let cw = s.col_width();
+    let out_numel = s.output_numel();
+    let in_numel = s.input_numel();
     let ConvScratch {
         cols, dcols, gy_t, ..
     } = scratch;
@@ -466,7 +825,183 @@ pub fn conv2d_backward_accum(
     Tensor::from_vec(grad_input, &[n, s.in_channels, s.in_h, s.in_w])
 }
 
-/// Backward convolution against the lowering cached in `scratch` by the
+/// Fused backward: the weight gradient regenerates im2col row windows on
+/// the fly while replicating `matmul_at_b_slices`' branch and task split
+/// exactly; the data gradient runs position strips through the shared
+/// [`crate::matmul::atb_rows`] kernel and scatters each strip
+/// immediately. Bit-identical to [`backward_materialized`] under the same
+/// SIMD kernel: every per-element FMA chain visits the same values in the
+/// same order (depth windows are loaded/stored as f32 between kernel
+/// calls, which is exact).
+#[cfg(target_arch = "x86_64")]
+fn backward_implicit(
+    scratch: &mut ConvScratch,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: &Conv2dShape,
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+) -> Tensor {
+    use crate::matmul::{ATB_BLOCK_M, KB};
+    let n = scratch.batch;
+    let positions = s.out_positions();
+    let cw = s.col_width();
+    let out_numel = s.output_numel();
+    let in_numel = s.input_numel();
+    let outc = s.out_channels;
+    let kern = simd::active_kernel();
+    stats::bump(&stats::CONV_IMPLICIT_CALLS, 1);
+    // dW + dX GEMM flops, normally counted inside matmul_at_b_slices.
+    stats::bump(&stats::GEMM_FLOPS, (n * 4 * out_numel * cw) as u64);
+    let tiles = crate::dispatch::tiles_for(crate::dispatch::classify_conv(s.in_channels, cw));
+
+    let go = grad_out.as_slice();
+    let wv = weight.as_slice();
+    let xs = &scratch.input[..n * in_numel];
+    let m = n * positions;
+
+    // --- dW: same branch predicate as matmul_at_b_slices over
+    //     (k = outc, m = batch·positions). ---
+    let flops = 2 * m * outc * cw;
+    if outc >= 2 * KB || m < ATB_BLOCK_M {
+        // Row-split path: each task owns KB output rows of dW and sweeps
+        // every lowered row, regenerated in tiles.kc-row windows.
+        let tasks = outc.div_ceil(KB);
+        let gw_ptr = SharedMut(grad_weight.as_mut_ptr());
+        parallel_for_threshold(tasks, flops, &|t| {
+            let kk0 = t * KB;
+            let kk1 = (kk0 + KB).min(outc);
+            // SAFETY: task `t` exclusively owns dW rows kk0..kk1.
+            let gw_rows = unsafe { gw_ptr.slice(kk0 * cw, (kk1 - kk0) * cw) };
+            dw_rows_implicit(xs, go, gw_rows, s, kk0, kk1, 0, m, tiles.kc, tiles.mr);
+        });
+    } else {
+        // Partial-sum path: fixed ATB_BLOCK_M-row partial products reduced
+        // in ascending block order, exactly like matmul_at_b_slices.
+        let blocks = m.div_ceil(ATB_BLOCK_M);
+        let mut partials = vec![0.0f32; blocks * outc * cw];
+        {
+            let pptr = SharedMut(partials.as_mut_ptr());
+            parallel_for_threshold(blocks, flops, &|blk| {
+                let r0 = blk * ATB_BLOCK_M;
+                let r1 = (r0 + ATB_BLOCK_M).min(m);
+                // SAFETY: block `blk` exclusively owns its partial buffer.
+                let part = unsafe { pptr.slice(blk * outc * cw, outc * cw) };
+                dw_rows_implicit(xs, go, part, s, 0, outc, r0, r1, tiles.kc, tiles.mr);
+            });
+        }
+        for blk in 0..blocks {
+            simd::add_assign(
+                kern,
+                grad_weight,
+                &partials[blk * outc * cw..(blk + 1) * outc * cw],
+            );
+        }
+    }
+
+    // db: identical to the materialized body.
+    for i in 0..n {
+        let go_i = &go[i * out_numel..(i + 1) * out_numel];
+        for (c, gb) in grad_bias.iter_mut().enumerate() {
+            *gb += simd::sum(kern, &go_i[c * positions..(c + 1) * positions]);
+        }
+    }
+
+    // --- dX: per sample, strips of positions through atb_rows (the
+    //     identical kernel the materialized path runs on full dcols),
+    //     scattered immediately. Strip length is bits-free: every strip
+    //     element is computed in one full-depth (outc) chain, and the
+    //     global scatter order matches col2im_into. ---
+    let mut grad_input = vec![0.0f32; n * in_numel];
+    {
+        let gx_ptr = SharedMut(grad_input.as_mut_ptr());
+        let sp = tiles.nc.min(positions);
+        parallel_for_threshold(n, n * 2 * out_numel * cw, &|i| {
+            // SAFETY: sample `i` exclusively owns its grad_input region.
+            let gx_i = unsafe { gx_ptr.slice(i * in_numel, in_numel) };
+            let go_i = &go[i * out_numel..(i + 1) * out_numel];
+            gx_i.fill(0.0);
+            crate::parallel::with_scratch(sp * cw, |strip| {
+                let mut p0 = 0;
+                while p0 < positions {
+                    let p1 = (p0 + sp).min(positions);
+                    let st = &mut strip[..(p1 - p0) * cw];
+                    st.fill(0.0);
+                    crate::matmul::atb_rows(kern, go_i, wv, st, 0, outc, p0, p1, positions, cw);
+                    col2im_scatter_rows(st, s, p0, p1, gx_i);
+                    p0 = p1;
+                }
+            });
+        });
+    }
+    Tensor::from_vec(grad_input, &[n, s.in_channels, s.in_h, s.in_w])
+}
+
+/// Accumulate dW output rows `kk0..kk1` over lowered rows `r0..r1`
+/// without a materialized cols buffer: im2col row windows (`rw` rows at a
+/// time, clipped to sample boundaries) are regenerated into a
+/// thread-local tile and fed to the same `gemm_panel` chain
+/// `matmul_at_b_slices` runs, with alphas read **directly from
+/// `grad_out`** (`rs = positions, ts = 1` walks a channel row) instead of
+/// the materialized path's transposed `gy_t` copy. Depth order (lowered
+/// row ascending) and per-element chains are therefore identical — bit
+/// for bit — while skipping both the transpose pass and the lowering.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn dw_rows_implicit(
+    xs: &[f32],
+    go: &[f32],
+    c_rows: &mut [f32],
+    s: &Conv2dShape,
+    kk0: usize,
+    kk1: usize,
+    r0: usize,
+    r1: usize,
+    rw: usize,
+    mr: usize,
+) {
+    let positions = s.out_positions();
+    let cw = s.col_width();
+    let in_numel = s.input_numel();
+    let out_numel = s.output_numel();
+    crate::parallel::with_scratch(rw * cw, |buf| {
+        let mut r = r0;
+        while r < r1 {
+            let i = r / positions;
+            let p0 = r % positions;
+            let p1 = positions.min(p0 + (r1 - r)).min(p0 + rw);
+            let rows_here = p1 - p0;
+            im2col_rows(
+                &xs[i * in_numel..(i + 1) * in_numel],
+                s,
+                p0,
+                p1,
+                &mut buf[..rows_here * cw],
+            );
+            let go_i = &go[i * out_numel..(i + 1) * out_numel];
+            let mut kk = kk0;
+            while kk < kk1 {
+                let rows = (kk1 - kk).min(mr);
+                simd::gemm_panel_avx2(
+                    &go_i[kk * positions + p0..],
+                    positions,
+                    1,
+                    rows,
+                    rows_here,
+                    &buf[..rows_here * cw],
+                    cw,
+                    &mut c_rows[(kk - kk0) * cw..],
+                    cw,
+                    cw,
+                );
+                kk += rows;
+            }
+            r += rows_here;
+        }
+    });
+}
+
+/// Backward convolution against the state cached in `scratch` by the
 /// preceding [`conv2d_forward`] call.
 ///
 /// Allocating wrapper over [`conv2d_backward_accum`]: returns
@@ -495,50 +1030,62 @@ pub fn conv2d_backward_ws(
     )
 }
 
-/// Allocating forward convolution (tests and one-off callers).
-///
-/// Returns `(output [N, out_c, oh, ow], cols [N * oh*ow, C*kh*kw])`; the
-/// cols buffer is the cached lowering accepted by [`conv2d_backward`].
-/// Training loops should hold a [`ConvScratch`] and call
-/// [`conv2d_forward`] instead.
-pub fn conv2d(
-    input: &Tensor,
-    weight: &Tensor,
-    bias: Option<&Tensor>,
-    s: &Conv2dShape,
-) -> (Tensor, Tensor) {
-    let mut scratch = ConvScratch::new();
-    let out = conv2d_forward(input, weight, bias, s, &mut scratch);
-    let n = input.shape()[0];
-    let extent = n * s.out_positions() * s.col_width();
-    let mut cols = scratch.cols;
-    cols.truncate(extent);
-    (
-        out,
-        Tensor::from_vec(cols, &[n * s.out_positions(), s.col_width()]),
-    )
+thread_local! {
+    /// Workspace reused by the allocating wrappers below, so one-off
+    /// callers stop paying a fresh lowering allocation per call.
+    static WRAPPER_SCRATCH: RefCell<ConvScratch> = RefCell::new(ConvScratch::new());
 }
 
-/// Allocating backward convolution against an explicit cols tensor
-/// (`[N*oh*ow, C*kh*kw]`, as returned by [`conv2d`]).
+fn with_wrapper_scratch<R>(f: impl FnOnce(&mut ConvScratch) -> R) -> R {
+    WRAPPER_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        // Re-entrant call (wrapper inside wrapper): fall back to a fresh
+        // scratch rather than aliasing the borrowed one.
+        Err(_) => f(&mut ConvScratch::new()),
+    })
+}
+
+/// Allocating forward convolution (tests and one-off callers), routed
+/// through a reused thread-local [`ConvScratch`].
+///
+/// Returns the output `[N, out_c, oh, ow]`. Training loops should hold
+/// their own [`ConvScratch`] and call [`conv2d_forward`] instead; pair
+/// this with [`conv2d_backward`], which recomputes the lowering state
+/// from the input.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, s: &Conv2dShape) -> Tensor {
+    with_wrapper_scratch(|scratch| conv2d_forward(input, weight, bias, s, scratch))
+}
+
+/// Allocating backward convolution from the forward `input` (one-off
+/// callers; training loops use [`conv2d_backward_accum`]).
+///
+/// Primes the thread-local scratch from `input` — the lowering is a pure
+/// function of the input, so the gradients are bit-identical to a
+/// forward-primed scratch — and returns
+/// `(grad_input [N,C,H,W], grad_weight, grad_bias)`.
 pub fn conv2d_backward(
-    cols: &Tensor,
+    input: &Tensor,
     weight: &Tensor,
     grad_out: &Tensor,
     s: &Conv2dShape,
 ) -> (Tensor, Tensor, Tensor) {
-    let n = grad_out.shape()[0];
+    s.validate();
+    assert_eq!(input.ndim(), 4, "conv2d_backward: input must be NCHW");
+    let n = input.shape()[0];
     assert_eq!(
-        cols.shape(),
-        &[n * s.out_positions(), s.col_width()],
-        "conv2d_backward: cols shape mismatch"
+        &input.shape()[1..],
+        &[s.in_channels, s.in_h, s.in_w],
+        "conv2d_backward: input shape {:?} does not match geometry {:?}",
+        input.shape(),
+        s
     );
-    let mut scratch = ConvScratch {
-        cols: cols.as_slice().to_vec(),
-        batch: n,
-        ..ConvScratch::default()
-    };
-    conv2d_backward_ws(&mut scratch, weight, grad_out, s)
+    with_wrapper_scratch(|scratch| {
+        ConvScratch::ensure(&mut scratch.input, n * s.input_numel());
+        scratch.input[..n * s.input_numel()].copy_from_slice(input.as_slice());
+        scratch.batch = n;
+        scratch.cols_valid = false;
+        conv2d_backward_ws(scratch, weight, grad_out, s)
+    })
 }
 
 #[cfg(test)]
@@ -608,6 +1155,65 @@ mod tests {
     }
 
     #[test]
+    fn im2col_rows_chunks_match_full_lowering() {
+        let s = Conv2dShape {
+            in_channels: 2,
+            out_channels: 1,
+            in_h: 5,
+            in_w: 5,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let mut rng = Pcg64::new(31);
+        let x = Tensor::randn(&[1, 2, 5, 5], 1.0, &mut rng);
+        let full = im2col(x.as_slice(), &s);
+        let positions = s.out_positions();
+        let cw = s.col_width();
+        for chunk in [1usize, 2, 3, positions] {
+            let mut p0 = 0;
+            while p0 < positions {
+                let p1 = (p0 + chunk).min(positions);
+                // Poisoned buffer: every cell must be overwritten.
+                let mut rows = vec![7.0f32; (p1 - p0) * cw];
+                im2col_rows(x.as_slice(), &s, p0, p1, &mut rows);
+                assert_eq!(&rows[..], &full.as_slice()[p0 * cw..p1 * cw]);
+                p0 = p1;
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_scatter_rows_chunks_match_full() {
+        let s = Conv2dShape {
+            in_channels: 2,
+            out_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let positions = s.out_positions();
+        let cw = s.col_width();
+        let cols: Vec<f32> = (0..positions * cw).map(|v| (v as f32).sin()).collect();
+        let mut full = vec![0.0f32; s.input_numel()];
+        col2im_into(&cols, &s, &mut full);
+        for chunk in [1usize, 3, 5, positions] {
+            let mut out = vec![0.0f32; s.input_numel()];
+            let mut p0 = 0;
+            while p0 < positions {
+                let p1 = (p0 + chunk).min(positions);
+                col2im_scatter_rows(&cols[p0 * cw..p1 * cw], &s, p0, p1, &mut out);
+                p0 = p1;
+            }
+            assert_eq!(out, full);
+        }
+    }
+
+    #[test]
     fn conv_identity_kernel() {
         // 1x1 kernel with weight 1 reproduces the input.
         let s = Conv2dShape {
@@ -623,7 +1229,7 @@ mod tests {
         let mut rng = Pcg64::new(5);
         let x = Tensor::randn(&[2, 1, 4, 4], 1.0, &mut rng);
         let w = Tensor::ones(&[1, 1]);
-        let (y, _) = conv2d(&x, &w, None, &s);
+        let y = conv2d(&x, &w, None, &s);
         assert_eq!(y.shape(), x.shape());
         assert!(y.max_abs_diff(&x) < 1e-6);
     }
@@ -635,7 +1241,7 @@ mod tests {
         let input: Vec<f32> = (1..=9).map(|x| x as f32).collect();
         let x = Tensor::from_vec(input, &[1, 1, 3, 3]);
         let w = Tensor::ones(&[1, 4]);
-        let (y, _) = conv2d(&x, &w, None, &s);
+        let y = conv2d(&x, &w, None, &s);
         assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
     }
 
@@ -645,7 +1251,7 @@ mod tests {
         let x = Tensor::zeros(&[1, 1, 3, 3]);
         let w = Tensor::ones(&[1, 4]);
         let b = Tensor::from_vec(vec![0.5], &[1]);
-        let (y, _) = conv2d(&x, &w, Some(&b), &s);
+        let y = conv2d(&x, &w, Some(&b), &s);
         assert!(y.as_slice().iter().all(|&v| v == 0.5));
     }
 
@@ -706,9 +1312,57 @@ mod tests {
         let mut rng = Pcg64::new(6);
         let x = Tensor::randn(&[2, 3, 7, 6], 1.0, &mut rng);
         let w = Tensor::randn(&[4, s.col_width()], 0.5, &mut rng);
-        let (fast, _) = conv2d(&x, &w, None, &s);
+        let fast = conv2d(&x, &w, None, &s);
         let slow = naive_conv(&x, &w, &s);
         assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn implicit_matches_materialized_bitwise() {
+        if !simd::active_kernel().is_simd() {
+            return; // implicit path exists only on the SIMD arm
+        }
+        // Paper's second conv shape (6→16, k5) plus awkward stride/padding
+        // variants; full sweep lives in tests/implicit_conv.rs.
+        for s in [
+            Conv2dShape {
+                in_channels: 6,
+                out_channels: 16,
+                in_h: 12,
+                in_w: 12,
+                kernel_h: 5,
+                kernel_w: 5,
+                stride: 1,
+                padding: 0,
+            },
+            Conv2dShape {
+                in_channels: 3,
+                out_channels: 5,
+                in_h: 11,
+                in_w: 9,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 2,
+                padding: 1,
+            },
+        ] {
+            let mut rng = Pcg64::new(77);
+            let n = 3;
+            let x = Tensor::randn(&[n, s.in_channels, s.in_h, s.in_w], 1.0, &mut rng);
+            let w = Tensor::randn(&[s.out_channels, s.col_width()], 0.3, &mut rng);
+            let b = Tensor::randn(&[s.out_channels], 0.1, &mut rng);
+            let gy = Tensor::randn(&[n, s.out_channels, s.out_h(), s.out_w()], 1.0, &mut rng);
+            let mut sc_imp = ConvScratch::new();
+            let mut sc_mat = ConvScratch::new();
+            let y_imp = conv2d_forward_implicit(&x, &w, Some(&b), &s, &mut sc_imp);
+            let y_mat = conv2d_forward_materialized(&x, &w, Some(&b), &s, &mut sc_mat);
+            assert_eq!(y_imp.as_slice(), y_mat.as_slice(), "forward {s:?}");
+            let (gx_i, gw_i, gb_i) = conv2d_backward_ws(&mut sc_imp, &w, &gy, &s);
+            let (gx_m, gw_m, gb_m) = conv2d_backward_ws(&mut sc_mat, &w, &gy, &s);
+            assert_eq!(gx_i.as_slice(), gx_m.as_slice(), "gx {s:?}");
+            assert_eq!(gw_i.as_slice(), gw_m.as_slice(), "gw {s:?}");
+            assert_eq!(gb_i.as_slice(), gb_m.as_slice(), "gb {s:?}");
+        }
     }
 
     #[test]
@@ -741,12 +1395,11 @@ mod tests {
         let b = Tensor::randn(&[3], 0.1, &mut rng);
 
         // Loss = sum(conv(x)) so dY = ones.
-        let (y, cols) = conv2d(&x, &w, Some(&b), &s);
+        let y = conv2d(&x, &w, Some(&b), &s);
         let gy = Tensor::ones(y.shape());
-        let (gx, gw, gb) = conv2d_backward(&cols, &w, &gy, &s);
+        let (gx, gw, gb) = conv2d_backward(&x, &w, &gy, &s);
 
-        let loss =
-            |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 { conv2d(x, w, Some(b), &s).0.sum() };
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 { conv2d(x, w, Some(b), &s).sum() };
         let eps = 1e-2f32;
 
         // Check a scattering of coordinates in each gradient.
@@ -809,8 +1462,8 @@ mod tests {
             let gy = Tensor::ones(y_ws.shape());
             let (gx_ws, gw_ws, gb_ws) = conv2d_backward_ws(&mut scratch, &w, &gy, &s);
 
-            let (y_fresh, cols) = conv2d(&x, &w, Some(&b), &s);
-            let (gx, gw, gb) = conv2d_backward(&cols, &w, &gy, &s);
+            let y_fresh = conv2d(&x, &w, Some(&b), &s);
+            let (gx, gw, gb) = conv2d_backward(&x, &w, &gy, &s);
             assert_eq!(y_ws.as_slice(), y_fresh.as_slice(), "batch {batch}");
             assert_eq!(gx_ws.as_slice(), gx.as_slice(), "batch {batch}");
             assert_eq!(gw_ws.as_slice(), gw.as_slice(), "batch {batch}");

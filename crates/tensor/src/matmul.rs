@@ -21,7 +21,8 @@
 //! `matmul_at_b` parallelizes over `KB`-row blocks of the *output* (each
 //! output row is owned by exactly one task) and falls back to fixed-size
 //! row-block partial sums when the output is too short to split;
-//! `matmul_a_bt` computes register-blocked dot products over `MB`-row
+//! `matmul_a_bt` packs `Bᵀ` panels into contiguous lanes (the NT path)
+//! and runs the same register-tiled panel kernel as `A·B` over `MB`-row
 //! blocks of `A`.
 //!
 //! The innermost panels dispatch through [`crate::simd`]: the
@@ -31,9 +32,21 @@
 //! kernel forcing governs the whole operation. On the AVX2 arm the two
 //! axpy-shaped variants (`A·B`, `Aᵀ·B`) run the register-tiled
 //! [`crate::simd::gemm_panel_avx2`] outer-product kernel — groups of ≤4
-//! `C` rows held in `ymm` accumulators across a whole panel — while
-//! `A·Bᵀ` keeps the 4-accumulator dot kernel; the scalar arm keeps the
-//! historical axpy/dot loops.
+//! `C` rows held in `ymm` accumulators across a whole panel — and
+//! `A·Bᵀ` packs `Bᵀ` tiles via [`crate::simd::pack_bt_panel`] into a
+//! per-thread arena and streams them through the dedicated NT kernel
+//! [`crate::simd::gemm_panel_nt_avx2`], replacing the horizontal-sum dot
+//! kernel that capped `a_bt` at less than half its siblings' throughput
+//! (and ~10 GFLOP/s on 32³ blocks). The scalar arm keeps the historical
+//! axpy/dot loops verbatim.
+//!
+//! The AVX2 arms of `A·B` and `A·Bᵀ` resolve their NC/KC/MR blocking
+//! per shape class from the committed [`crate::dispatch`] table (tile
+//! choices are bits-neutral there — see that module for the argument);
+//! the scalar arm and `Aᵀ·B` stay on the historical constants, the
+//! former because its zero-skip memoization is part of the bit-exact
+//! replay contract, the latter because its only tunable knob
+//! (`ATB_BLOCK_M`) is bits-relevant.
 //!
 //! ## Determinism
 //!
@@ -60,6 +73,7 @@
 //! branch), which is the IEEE-exact result and therefore propagates NaN/∞
 //! without needing any finiteness bookkeeping.
 
+use crate::dispatch::{self, GemmOp, TileParams};
 use crate::parallel::{parallel_for_threshold as maybe_parallel, SharedMut};
 use crate::simd::{self, Kernel};
 use crate::stats;
@@ -67,15 +81,20 @@ use crate::tensor::Tensor;
 
 /// Rows of `C` per parallel task in [`matmul`] / [`matmul_a_bt`].
 const MB: usize = 32;
-/// K-tile: rows of `B` kept hot per panel pass.
+/// Scalar-arm K-tile: rows of `B` kept hot per panel pass. The AVX2 arm
+/// takes its tiles from [`crate::dispatch`]; these constants (equal to
+/// [`DEFAULT_TILES`], asserted in tests) pin the scalar arm's historical
+/// panel bounds, which its finiteness memoization depends on.
 const KC: usize = 256;
-/// N-tile: columns of `B`/`C` per panel pass (`KC·NC` f32 ≈ 128 KiB).
+/// Scalar-arm N-tile: columns of `B`/`C` per panel pass.
 const NC: usize = 128;
-/// Output rows of `Aᵀ·B` per parallel task.
-const KB: usize = 32;
+/// Output rows of `Aᵀ·B` per parallel task. `pub(crate)` so the
+/// implicit-conv dW path can replicate this op's task split exactly.
+pub(crate) const KB: usize = 32;
 /// Fixed row-block length for the partial-sum path of [`matmul_at_b`]
 /// (engaged when the output has too few rows to split across tasks).
-const ATB_BLOCK_M: usize = 1024;
+/// `pub(crate)` for the same branch-replication reason as [`KB`].
+pub(crate) const ATB_BLOCK_M: usize = 1024;
 
 /// Resolve the micro-kernel for one GEMM call and record the dispatch.
 ///
@@ -107,6 +126,18 @@ pub fn matmul_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, 
     stats::bump(&stats::GEMM_AB_CALLS, 1);
     stats::bump(&stats::GEMM_FLOPS, (2 * m * k * n) as u64);
     let kern = dispatch_kernel(&stats::GEMM_AB_SIMD_CALLS, &stats::GEMM_AB_SCALAR_CALLS);
+    // Tiles are resolved once per call on the calling thread, like the
+    // kernel itself. The scalar arm is pinned to the historical constants
+    // — the tuned table must never reach it.
+    let tiles = if kern.is_simd() {
+        dispatch::tiles_for(dispatch::classify_gemm(GemmOp::Ab, m, n, k))
+    } else {
+        TileParams {
+            nc: NC,
+            kc: KC,
+            mr: 4,
+        }
+    };
     let tasks = m.div_ceil(MB);
     let cptr = SharedMut(c.as_mut_ptr());
     maybe_parallel(tasks, 2 * m * k * n, &|t| {
@@ -114,7 +145,7 @@ pub fn matmul_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: usize, 
         let r1 = (r0 + MB).min(m);
         // SAFETY: task `t` exclusively owns rows `r0..r1` of `C`.
         let c_rows = unsafe { cptr.slice(r0 * n, (r1 - r0) * n) };
-        mm_row_block(kern, av, bv, c_rows, r0, r1, k, n);
+        mm_row_block(kern, av, bv, c_rows, r0, r1, k, n, tiles);
     });
 }
 
@@ -130,28 +161,30 @@ fn mm_row_block(
     r1: usize,
     k: usize,
     n: usize,
+    tiles: TileParams,
 ) {
     let mut jj0 = 0;
     while jj0 < n {
-        let jj1 = (jj0 + NC).min(n);
+        let jj1 = (jj0 + tiles.nc).min(n);
         let mut kk0 = 0;
         while kk0 < k {
-            let kk1 = (kk0 + KC).min(k);
+            let kk1 = (kk0 + tiles.kc).min(k);
             if kern.is_simd() {
-                // Register-tiled always-compute path: groups of ≤4 C rows
+                // Register-tiled always-compute path: groups of ≤mr C rows
                 // stay in ymm accumulators across the whole B panel, so C
-                // traffic drops 4× vs the per-row axpy formulation. The
-                // group partition depends on the block bounds alone, and
-                // each element's t-ascending FMA chain matches the axpy
-                // order — threading cannot change either. Computing zero
-                // alphas (instead of skipping) is the IEEE-exact result,
-                // so NaN/∞ propagation is preserved by construction.
+                // traffic drops up to 4× vs the per-row axpy formulation.
+                // The group partition depends on the block bounds alone,
+                // and each element's t-ascending FMA chain matches the
+                // axpy order — neither threading nor tile choice can
+                // change it. Computing zero alphas (instead of skipping)
+                // is the IEEE-exact result, so NaN/∞ propagation is
+                // preserved by construction.
                 #[cfg(target_arch = "x86_64")]
                 {
                     let (width, depth) = (jj1 - jj0, kk1 - kk0);
                     let mut i = r0;
                     while i < r1 {
-                        let rows = (r1 - i).min(4);
+                        let rows = (r1 - i).min(tiles.mr);
                         simd::gemm_panel_avx2(
                             &av[i * k + kk0..],
                             k,
@@ -271,9 +304,11 @@ pub fn matmul_at_b_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, k: us
 }
 
 /// Accumulate rows `r0..r1` of the rank-1 updates into output rows
-/// `kk0..kk1` (`c` holds exactly those rows).
+/// `kk0..kk1` (`c` holds exactly those rows). `pub(crate)` so the
+/// implicit-conv dX path can run the identical kernel on position strips
+/// without materializing the lowered gradient.
 #[allow(clippy::too_many_arguments)]
-fn atb_rows(
+pub(crate) fn atb_rows(
     kern: Kernel,
     av: &[f32],
     bv: &[f32],
@@ -371,6 +406,17 @@ pub fn matmul_a_bt_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: us
     stats::bump(&stats::GEMM_ABT_CALLS, 1);
     stats::bump(&stats::GEMM_FLOPS, (2 * m * k * n) as u64);
     let kern = dispatch_kernel(&stats::GEMM_ABT_SIMD_CALLS, &stats::GEMM_ABT_SCALAR_CALLS);
+    if kern.is_simd() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            abt_nt(av, bv, c, m, n, k);
+            return;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        unreachable!("SIMD kernel selected on non-x86_64");
+    }
+    // Scalar arm: the historical register-blocked dot kernel, verbatim —
+    // part of the `NIID_SIMD=scalar` bit-exact replay contract.
     let tasks = m.div_ceil(MB);
     let cptr = SharedMut(c.as_mut_ptr());
     maybe_parallel(tasks, 2 * m * k * n, &|t| {
@@ -387,6 +433,91 @@ pub fn matmul_a_bt_slices(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: us
                 c_rows[(i - r0) * k + j] = simd::dot(kern, a_row, b_row);
             }
         }
+    });
+}
+
+/// The packed-NT path of [`matmul_a_bt_slices`] (AVX2 arm).
+///
+/// Phase 1 packs `Bᵀ` tile-major into a per-thread arena: the
+/// `(j0, kk0)` tile lives at arena offset `j0·n + wj·kk0` (where `wj` is
+/// the jj-tile width), a disjoint region per jj-tile so the pack can run
+/// on the pool. Phase 2 sweeps `MB`-row blocks of `C` with the dedicated
+/// NT panel kernel over the packed tiles — the same broadcast-FMA
+/// register tiling as `A·B`, which is what removes the per-element
+/// horizontal sums of the old dot formulation.
+///
+/// Assign semantics are preserved by zeroing each `C` block before
+/// accumulating; per-element accumulation is one depth-ascending chain
+/// chunked at `kc` boundaries, a function of shapes and tiles alone, so
+/// thread-count bit-identity holds. Every term is computed (never
+/// skipped), so NaN/±∞ propagate IEEE-exactly.
+#[cfg(target_arch = "x86_64")]
+fn abt_nt(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    let tiles = dispatch::tiles_for(dispatch::classify_gemm(GemmOp::ABt, m, k, n));
+    let flops = 2 * m * k * n;
+    crate::parallel::with_scratch(k * n, |pack| {
+        let jtiles = k.div_ceil(tiles.nc);
+        let pptr = SharedMut(pack.as_mut_ptr());
+        maybe_parallel(jtiles, flops, &|jt| {
+            let j0 = jt * tiles.nc;
+            let j1 = (j0 + tiles.nc).min(k);
+            let wj = j1 - j0;
+            // SAFETY: jj-tile `jt` exclusively owns `[j0·n, j0·n + wj·n)`.
+            let region = unsafe { pptr.slice(j0 * n, wj * n) };
+            let mut kk0 = 0;
+            while kk0 < n {
+                let kk1 = (kk0 + tiles.kc).min(n);
+                simd::pack_bt_panel(
+                    bv,
+                    n,
+                    j0,
+                    kk0,
+                    wj,
+                    kk1 - kk0,
+                    &mut region[wj * kk0..wj * kk1],
+                );
+                kk0 = kk1;
+            }
+        });
+        let pack: &[f32] = pack;
+        let tasks = m.div_ceil(MB);
+        let cptr = SharedMut(c.as_mut_ptr());
+        maybe_parallel(tasks, flops, &|t| {
+            let r0 = t * MB;
+            let r1 = (r0 + MB).min(m);
+            // SAFETY: task `t` exclusively owns rows `r0..r1` of `C`.
+            let c_rows = unsafe { cptr.slice(r0 * k, (r1 - r0) * k) };
+            c_rows.fill(0.0);
+            let mut j0 = 0;
+            while j0 < k {
+                let j1 = (j0 + tiles.nc).min(k);
+                let wj = j1 - j0;
+                let mut kk0 = 0;
+                while kk0 < n {
+                    let kk1 = (kk0 + tiles.kc).min(n);
+                    let depth = kk1 - kk0;
+                    let block = &pack[j0 * n + wj * kk0..j0 * n + wj * kk1];
+                    let mut i = r0;
+                    while i < r1 {
+                        let rows = (r1 - i).min(tiles.mr);
+                        simd::gemm_panel_nt_avx2(
+                            &av[i * n + kk0..],
+                            n,
+                            1,
+                            rows,
+                            depth,
+                            block,
+                            &mut c_rows[(i - r0) * k + j0..],
+                            k,
+                            wj,
+                        );
+                        i += rows;
+                    }
+                    kk0 = kk1;
+                }
+                j0 = j1;
+            }
+        });
     });
 }
 
@@ -507,6 +638,58 @@ mod tests {
         let explicit = matmul(&a, &b.transpose2());
         assert_eq!(fused.shape(), &[6, 4]);
         assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_nt_path_straddles_tiles_and_propagates_nan() {
+        // Shapes that straddle the NT pack's nc/kc tile boundaries in
+        // both the output-column (k) and depth (n) dimensions.
+        let mut rng = Pcg64::new(41);
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (33, 300, 131), (65, 129, 257)] {
+            let a = Tensor::randn(&[m, n], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fused = matmul_a_bt(&a, &b);
+            let explicit = matmul(&a, &b.transpose2());
+            assert!(
+                fused.max_abs_diff(&explicit) < 1e-2,
+                "mismatch at ({m},{n},{k})"
+            );
+        }
+        // A·Bᵀ computes every term on both arms, so a NaN deep inside a
+        // later depth tile must contaminate exactly its output column.
+        let (m, n, k) = (3usize, 300usize, 5usize);
+        let a = Tensor::zeros(&[m, n]);
+        let mut b = Tensor::zeros(&[k, n]);
+        b.as_mut_slice()[2 * n + 280] = f32::NAN; // B[2][280], second kc tile
+        let c = matmul_a_bt(&a, &b);
+        for i in 0..m {
+            for j in 0..k {
+                assert_eq!(c.at2(i, j).is_nan(), j == 2, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_arm_default_tiles_match_historical_constants() {
+        // The dispatch table's fallback must stay in lockstep with the
+        // scalar arm's pinned constants: both encode the pre-tuning
+        // blocking, and the scalar replay contract depends on it.
+        assert_eq!(crate::dispatch::DEFAULT_TILES.nc, NC);
+        assert_eq!(crate::dispatch::DEFAULT_TILES.kc, KC);
+        assert_eq!(crate::dispatch::DEFAULT_TILES.mr, 4);
+    }
+
+    #[test]
+    fn a_bt_assign_overwrites_stale_contents() {
+        // The NT path zeroes C blocks before accumulating; stale values
+        // (even NaN) must never leak into the product.
+        let mut rng = Pcg64::new(43);
+        let a = Tensor::randn(&[40, 70], 1.0, &mut rng);
+        let b = Tensor::randn(&[50, 70], 1.0, &mut rng);
+        let mut stale = vec![f32::NAN; 40 * 50];
+        matmul_a_bt_slices(a.as_slice(), b.as_slice(), &mut stale, 40, 70, 50);
+        let clean = matmul_a_bt(&a, &b);
+        assert_eq!(stale.as_slice(), clean.as_slice());
     }
 
     #[test]

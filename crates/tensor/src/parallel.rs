@@ -297,10 +297,59 @@ impl SharedMut {
     }
 }
 
+thread_local! {
+    /// Per-thread f32 arena for kernel packing and strip buffers (the NT
+    /// GEMM's Bᵀ pack, the implicit-conv tile/strip/regeneration
+    /// buffers). It lives on whichever thread runs the task — pool worker
+    /// or caller — so steady-state training performs no per-call heap
+    /// allocation for these workspaces.
+    static SCRATCH_ARENA: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with this thread's scratch arena grown to at least `len` f32
+/// elements, handing it exactly `len`. Contents are **unspecified on
+/// entry** — callers must fully overwrite any region before reading it.
+/// The arena never shrinks, so repeated kernel calls of the same shape
+/// class reuse one allocation. A re-entrant borrow (a kernel invoked from
+/// inside another kernel's scratch closure on the same thread) falls back
+/// to a fresh allocation rather than aliasing the outer buffer.
+pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    SCRATCH_ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            f(&mut buf[..len])
+        }
+        Err(_) => f(&mut vec![0.0f32; len]),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scratch_arena_reuses_and_survives_reentrancy() {
+        let first_ptr = with_scratch(64, |buf| {
+            assert_eq!(buf.len(), 64);
+            buf.fill(1.0);
+            buf.as_ptr() as usize
+        });
+        with_scratch(32, |outer| {
+            // Same arena, not reallocated for a smaller request.
+            assert_eq!(outer.as_ptr() as usize, first_ptr);
+            outer.fill(2.0);
+            // Re-entrant borrow must not alias the outer buffer.
+            with_scratch(32, |inner| {
+                assert_ne!(inner.as_ptr() as usize, outer.as_ptr() as usize);
+                inner.fill(3.0);
+            });
+            assert!(outer.iter().all(|&v| v == 2.0));
+        });
+    }
 
     #[test]
     fn runs_every_task_exactly_once() {

@@ -466,6 +466,112 @@ pub fn gemm_panel_avx2(
     }
 }
 
+/// Pack a `depth × width` panel of `Bᵀ` into contiguous lanes:
+///
+/// ```text
+/// out[t·width + j] = b[(j0 + j)·ldb + d0 + t]    t < depth, j < width
+/// ```
+///
+/// i.e. the transpose of rows `j0..j0+width`, columns `d0..d0+depth` of
+/// row-major `B`. [`gemm_panel_nt_avx2`] then streams the packed panel
+/// with unit row stride exactly like the `A·B` kernel streams `B` itself
+/// — this is what lets the `A·Bᵀ` product drop the per-element
+/// horizontal-sum dot kernel. A pure copy with no arithmetic, so it is
+/// kernel-agnostic and cannot affect results: NaN/±∞ travel through
+/// untouched.
+///
+/// # Panics
+/// Panics when the source rows or the destination run out of bounds.
+pub fn pack_bt_panel(
+    b: &[f32],
+    ldb: usize,
+    j0: usize,
+    d0: usize,
+    width: usize,
+    depth: usize,
+    out: &mut [f32],
+) {
+    if width == 0 || depth == 0 {
+        return;
+    }
+    assert!(
+        (j0 + width - 1) * ldb + d0 + depth <= b.len(),
+        "pack_bt_panel: b out of bounds"
+    );
+    let out = &mut out[..depth * width];
+    for j in 0..width {
+        let row = (j0 + j) * ldb + d0;
+        let src = &b[row..row + depth];
+        let mut idx = j;
+        for &v in src {
+            out[idx] = v;
+            idx += width;
+        }
+    }
+}
+
+/// Dedicated NT micro-kernel (AVX2 only): multiply up to 4 rows of
+/// alphas against a **pre-packed** `Bᵀ` panel in [`pack_bt_panel`]
+/// layout:
+///
+/// ```text
+/// C[r][j] += Σ_t alpha[r·rs + t·ts] · packed[t·width + j]
+/// ```
+///
+/// The pack gives the `t` loop unit-stride panel rows, so the NT product
+/// runs the same register-tiled broadcast-FMA inner loop as
+/// [`gemm_panel_avx2`] — whose per-element `t`-ascending chain it shares,
+/// so bits depend only on depth chunking, never on pack width or row
+/// grouping.
+///
+/// # Panics
+/// Panics when `rows ∉ 1..=4` or any index reaches outside its slice.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_panel_nt_avx2(
+    alpha: &[f32],
+    rs: usize,
+    ts: usize,
+    rows: usize,
+    depth: usize,
+    packed: &[f32],
+    c: &mut [f32],
+    cs: usize,
+    width: usize,
+) {
+    if depth == 0 || width == 0 {
+        return;
+    }
+    assert!((1..=4).contains(&rows), "gemm_panel_nt: rows = {rows}");
+    assert!(
+        (rows - 1) * rs + (depth - 1) * ts < alpha.len(),
+        "gemm_panel_nt: alpha out of bounds"
+    );
+    assert!(
+        depth * width <= packed.len(),
+        "gemm_panel_nt: packed panel out of bounds"
+    );
+    assert!(
+        (rows - 1) * cs + width <= c.len(),
+        "gemm_panel_nt: c out of bounds"
+    );
+    // SAFETY: bounds asserted above; callers only select this kernel when
+    // avx2+fma are detected.
+    unsafe {
+        avx2::gemm_panel_nt(
+            alpha.as_ptr(),
+            rs,
+            ts,
+            rows,
+            depth,
+            packed.as_ptr(),
+            c.as_mut_ptr(),
+            cs,
+            width,
+        )
+    }
+}
+
 /// Fused single-pass SGD momentum update over the flat parameter vector:
 ///
 /// ```text
@@ -623,6 +729,27 @@ mod avx2 {
             1 => gemm_panel_rows::<1>(alpha, rs, ts, depth, b, bs, c, cs, width),
             _ => unreachable!("gemm_panel: rows must be 1..=4"),
         }
+    }
+
+    /// NT panel update on a packed `Bᵀ` panel; see
+    /// [`super::gemm_panel_nt_avx2`] for the contract. The pack layout
+    /// makes the panel a dense `depth × width` row-major matrix, i.e.
+    /// [`gemm_panel`] with `bs = width` — same register tiling, same
+    /// per-element FMA chain.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_panel_nt(
+        alpha: *const f32,
+        rs: usize,
+        ts: usize,
+        rows: usize,
+        depth: usize,
+        packed: *const f32,
+        c: *mut f32,
+        cs: usize,
+        width: usize,
+    ) {
+        gemm_panel(alpha, rs, ts, rows, depth, packed, width, c, cs, width)
     }
 
     // `for r in 0..R` + indexing keeps the accumulator arrays addressed by
@@ -1102,6 +1229,64 @@ mod tests {
             c.iter().all(|v| v.is_nan()),
             "0·∞ must yield NaN, got {c:?}"
         );
+    }
+
+    #[test]
+    fn pack_bt_panel_transposes_the_tile() {
+        // B is [5 rows, 7 cols] row-major; pack rows 1..4, cols 2..6.
+        let b: Vec<f32> = (0..35).map(|v| v as f32).collect();
+        let (j0, d0, width, depth) = (1usize, 2usize, 3usize, 4usize);
+        let mut out = vec![-1.0f32; depth * width + 2];
+        pack_bt_panel(&b, 7, j0, d0, width, depth, &mut out);
+        for t in 0..depth {
+            for j in 0..width {
+                assert_eq!(out[t * width + j], b[(j0 + j) * 7 + d0 + t], "t={t} j={j}");
+            }
+        }
+        // Slack past depth*width is untouched.
+        assert_eq!(out[depth * width], -1.0);
+        // NaN/∞ pass through the copy untouched (sign-of-NaN included).
+        let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0];
+        let mut packed = vec![0.0f32; 4];
+        pack_bt_panel(&specials, 1, 0, 0, 4, 1, &mut packed);
+        assert_eq!(
+            packed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            specials.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn nt_kernel_bit_matches_gemm_panel_on_equivalent_operand() {
+        if !Kernel::Avx2.available() {
+            return;
+        }
+        // C[r][j] += Σ_t A[r][t] · B[j][t] with B row-major [n, k]: pack
+        // Bᵀ tiles and check the NT kernel against gemm_panel_avx2 fed a
+        // pre-transposed dense operand — they must agree bit-for-bit,
+        // since the NT kernel IS gemm_panel at bs = width.
+        let (k, n) = (37usize, 19usize);
+        for rows in 1..=4usize {
+            let a = randv(rows * k, 7);
+            let b = randv(n * k, 11);
+            let mut bt = vec![0.0f32; k * n];
+            for j in 0..n {
+                for t in 0..k {
+                    bt[t * n + j] = b[j * k + t];
+                }
+            }
+            let mut want = vec![0.5f32; rows * n];
+            gemm_panel_avx2(&a, k, 1, rows, k, &bt, n, &mut want, n, n);
+            let mut packed = vec![0.0f32; k * n];
+            pack_bt_panel(&b, k, 0, 0, n, k, &mut packed);
+            let mut got = vec![0.5f32; rows * n];
+            gemm_panel_nt_avx2(&a, k, 1, rows, k, &packed, &mut got, n, n);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "rows={rows}"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub(crate) static GEMM_ABT_SIMD_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static GEMM_ABT_SCALAR_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CONV_IMPLICIT_CALLS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CONV_MATERIALIZED_CALLS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn bump(counter: &AtomicU64, n: u64) {
@@ -69,6 +71,10 @@ pub struct SubstrateStats {
     pub conv_scratch_allocs: u64,
     /// Conv scratch requests served from an already-large-enough buffer.
     pub conv_scratch_reuses: u64,
+    /// Conv passes that ran the implicit (fused-pack) lowering.
+    pub conv_implicit_calls: u64,
+    /// Conv passes that ran the materialized im2col lowering.
+    pub conv_materialized_calls: u64,
 }
 
 impl SubstrateStats {
@@ -148,6 +154,12 @@ impl SubstrateStats {
             conv_scratch_reuses: self
                 .conv_scratch_reuses
                 .saturating_sub(earlier.conv_scratch_reuses),
+            conv_implicit_calls: self
+                .conv_implicit_calls
+                .saturating_sub(earlier.conv_implicit_calls),
+            conv_materialized_calls: self
+                .conv_materialized_calls
+                .saturating_sub(earlier.conv_materialized_calls),
         }
     }
 }
@@ -172,6 +184,8 @@ pub fn snapshot() -> SubstrateStats {
         gemm_abt_scalar_calls: GEMM_ABT_SCALAR_CALLS.load(Ordering::Relaxed),
         conv_scratch_allocs: CONV_SCRATCH_ALLOCS.load(Ordering::Relaxed),
         conv_scratch_reuses: CONV_SCRATCH_REUSES.load(Ordering::Relaxed),
+        conv_implicit_calls: CONV_IMPLICIT_CALLS.load(Ordering::Relaxed),
+        conv_materialized_calls: CONV_MATERIALIZED_CALLS.load(Ordering::Relaxed),
     }
 }
 
@@ -197,6 +211,8 @@ pub fn reset() {
         &GEMM_ABT_SCALAR_CALLS,
         &CONV_SCRATCH_ALLOCS,
         &CONV_SCRATCH_REUSES,
+        &CONV_IMPLICIT_CALLS,
+        &CONV_MATERIALIZED_CALLS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

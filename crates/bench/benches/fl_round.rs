@@ -2,7 +2,9 @@
 //! algorithm on the tiny-scale stand-in (10 parties, MLP model), so the
 //! per-algorithm overheads (FedProx's proximal term, SCAFFOLD's control
 //! variates, FedNova's normalization) are directly comparable — plus a
-//! traced-vs-untraced pair bounding the trace layer's cost.
+//! traced-vs-untraced pair bounding the trace layer's cost and a
+//! profiled-vs-plain pair bounding the span profiler's cost (both off,
+//! the default everywhere, and on).
 
 use niid_bench::harness::{black_box, BenchMeta, Harness};
 use niid_core::experiment::ExperimentSpec;
@@ -119,6 +121,34 @@ fn main() {
             })
         },
     );
+
+    // Span-profiler cost pair. `FedAvg/t1` above runs with the profiler
+    // disabled (the process default), so `FedAvg_profiled_off` re-measures
+    // the identical workload — their delta is noise, and the off-path
+    // overhead budget (<1%) is judged against that pair. `_on` bounds the
+    // enabled path (ring writes + atomics on every span).
+    for on in [false, true] {
+        let name = if on {
+            "FedAvg_profiled_on"
+        } else {
+            "FedAvg_profiled_off"
+        };
+        let op = if on { "fl_round_profiled" } else { "fl_round" };
+        niid_prof::enable(on);
+        h.bench_meta(name, BenchMeta::op(op, "adult 10 parties", 1, 0), |bench| {
+            bench.iter(|| {
+                let sim = FedSim::new(
+                    model.clone(),
+                    parties.clone(),
+                    split.test.clone(),
+                    one_round_config(Algorithm::FedAvg, 1),
+                )
+                .expect("sim");
+                black_box(sim.run().expect("run"))
+            })
+        });
+        niid_prof::enable(false);
+    }
 
     // Full dynamics instrumentation (divergence, per-layer grad norms,
     // registry gauges) into a private registry — the metered counterpart

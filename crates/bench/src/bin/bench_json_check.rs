@@ -8,6 +8,17 @@
 //! files carries that `op` with a finite, positive `gflops` — the guard
 //! that keeps tracked kernels (e.g. `conv2d/implicit`, `matmul/a_bt_nt`)
 //! from silently dropping out of the committed baselines.
+//!
+//! Regression-gate mode:
+//! `bench_json_check --compare BASELINE.json NEW.json [--tol-pct N]` —
+//! matches rows by `(op, shape, threads, simd)` — falling back to the
+//! row `name` as a tiebreaker when several rows share that tuple —
+//! prints a delta table and exits non-zero when any matched row's
+//! `median_ns` regressed by more than `N` percent (default 25). Rows present on only one side are
+//! reported but never fail the gate (kernels come and go across PRs; the
+//! schema check above is what keeps required ops alive). Matching zero
+//! rows *is* an error — a baseline recorded under a different SIMD
+//! dispatch would otherwise make the gate silently vacuous.
 
 use niid_json::Json;
 
@@ -106,7 +117,137 @@ fn check_file(path: &str, seen_ops: &mut [(String, bool)]) -> Result<usize, Stri
     Ok(entries.len())
 }
 
+/// `(op, shape, threads, simd)` → `median_ns` rows from one bench file.
+/// Keys duplicated within the file (e.g. the four algorithms sharing
+/// `fl_round | adult 10 parties | t1`) are disambiguated by appending
+/// the row's `name`, so such rows still compare one-to-one.
+fn load_rows(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let json = niid_json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let entries = json
+        .as_arr()
+        .ok_or_else(|| format!("{path}: top level must be an array"))?;
+    let mut rows = Vec::with_capacity(entries.len());
+    for (idx, e) in entries.iter().enumerate() {
+        check_entry(e, idx).map_err(|err| format!("{path}: {err}"))?;
+        let s = |k: &str| e.get(k).and_then(Json::as_str).unwrap_or("").to_string();
+        let threads = e.get("threads").and_then(Json::as_f64).unwrap_or(0.0);
+        let key = format!(
+            "{} | {} | t{} | {}",
+            s("op"),
+            s("shape"),
+            threads,
+            s("simd")
+        );
+        let median = e.get("median_ns").and_then(Json::as_f64).unwrap_or(0.0);
+        rows.push((key, s("name"), median));
+    }
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for (key, _, _) in &rows {
+        *counts.entry(key.as_str()).or_default() += 1;
+    }
+    let dup: std::collections::HashSet<String> = counts
+        .iter()
+        .filter(|(_, &n)| n > 1)
+        .map(|(k, _)| k.to_string())
+        .collect();
+    Ok(rows
+        .into_iter()
+        .map(|(key, name, median)| {
+            if dup.contains(&key) {
+                (format!("{key} | {name}"), median)
+            } else {
+                (key, median)
+            }
+        })
+        .collect())
+}
+
+/// Compare two bench files row-by-row; returns `Err` with the printed
+/// verdict when any matched median regressed past `tol_pct`.
+fn compare_files(baseline: &str, fresh: &str, tol_pct: f64) -> Result<(), String> {
+    let base_rows = load_rows(baseline)?;
+    let new_rows = load_rows(fresh)?;
+    let base: std::collections::HashMap<&str, f64> =
+        base_rows.iter().map(|(k, m)| (k.as_str(), *m)).collect();
+    let mut matched = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    println!(
+        "{:<72} {:>12} {:>12} {:>9}",
+        "row", "base ns", "new ns", "delta"
+    );
+    for (key, new_median) in &new_rows {
+        let Some(&base_median) = base.get(key.as_str()) else {
+            println!("{key:<72} {:>12} {new_median:>12.0} {:>9}", "-", "new");
+            continue;
+        };
+        matched += 1;
+        let delta_pct = (new_median - base_median) / base_median * 100.0;
+        let flag = if delta_pct > tol_pct {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("{key:<72} {base_median:>12.0} {new_median:>12.0} {delta_pct:>+8.1}%{flag}");
+        if delta_pct > tol_pct {
+            regressions.push(format!("{key}: {delta_pct:+.1}% (tolerance {tol_pct}%)"));
+        }
+    }
+    let new_keys: std::collections::HashSet<&str> =
+        new_rows.iter().map(|(k, _)| k.as_str()).collect();
+    for (key, base_median) in &base_rows {
+        if !new_keys.contains(key.as_str()) {
+            println!("{key:<72} {base_median:>12.0} {:>12} {:>9}", "-", "gone");
+        }
+    }
+    if matched == 0 {
+        return Err(format!(
+            "no rows matched between {baseline} and {fresh} — \
+             SIMD dispatch or bench set changed; re-baseline (see EXPERIMENTS.md)"
+        ));
+    }
+    println!(
+        "compared {matched} rows, tolerance {tol_pct}%: {}",
+        if regressions.is_empty() {
+            "ok".to_string()
+        } else {
+            format!("{} regression(s)", regressions.len())
+        }
+    );
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(regressions.join("\n"))
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--compare") {
+        let mut tol_pct = 25.0;
+        let mut files: Vec<&str> = Vec::new();
+        let mut it = argv.iter().skip(1);
+        while let Some(a) = it.next() {
+            if a == "--tol-pct" {
+                tol_pct = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tol-pct needs a number");
+                    std::process::exit(2);
+                });
+            } else {
+                files.push(a);
+            }
+        }
+        let [baseline, fresh] = files[..] else {
+            eprintln!("usage: bench_json_check --compare BASELINE.json NEW.json [--tol-pct N]");
+            std::process::exit(2);
+        };
+        if let Err(e) = compare_files(baseline, fresh, tol_pct) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let mut required: Vec<(String, bool)> = Vec::new();
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -242,6 +383,86 @@ mod tests {
             ("gflops", Json::Num(0.0)),
         ]);
         assert!(!satisfies_required_op(&e, "matmul/a_bt_nt"));
+    }
+
+    fn bench_file(name: &str, median_ns: f64, shape: &str) -> String {
+        let entry = Json::obj(vec![
+            ("group", Json::Str("g".into())),
+            ("name", Json::Str("n".into())),
+            ("op", Json::Str("matmul".into())),
+            ("shape", Json::Str(shape.into())),
+            ("simd", Json::Str("avx2/avx2+fma".into())),
+            ("threads", Json::Num(2.0)),
+            ("median_ns", Json::Num(median_ns)),
+            ("min_ns", Json::Num(median_ns)),
+            ("iters", Json::Num(100.0)),
+            ("gflops", Json::Null),
+        ]);
+        let path = std::env::temp_dir().join(format!("bench_json_check_test_{name}.json"));
+        std::fs::write(&path, Json::arr(vec![entry]).pretty()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = bench_file("tol_base", 1000.0, "8x8x8");
+        let fresh = bench_file("tol_new", 1100.0, "8x8x8");
+        assert!(compare_files(&base, &fresh, 25.0).is_ok());
+    }
+
+    #[test]
+    fn compare_flags_median_regression() {
+        let base = bench_file("reg_base", 1000.0, "8x8x8");
+        let fresh = bench_file("reg_new", 1500.0, "8x8x8");
+        let err = compare_files(&base, &fresh, 25.0).unwrap_err();
+        assert!(err.contains("+50.0%"), "{err}");
+    }
+
+    #[test]
+    fn compare_ignores_improvements() {
+        let base = bench_file("imp_base", 1000.0, "8x8x8");
+        let fresh = bench_file("imp_new", 400.0, "8x8x8");
+        assert!(compare_files(&base, &fresh, 25.0).is_ok());
+    }
+
+    #[test]
+    fn compare_disambiguates_duplicate_keys_by_name() {
+        // Two rows sharing (op, shape, threads, simd): a regression in the
+        // second must be caught against its own namesake, not the first.
+        let write = |tag: &str, medians: [(f64, &str); 2]| -> String {
+            let entries = medians
+                .iter()
+                .map(|&(m, name)| {
+                    Json::obj(vec![
+                        ("group", Json::Str("g".into())),
+                        ("name", Json::Str(name.into())),
+                        ("op", Json::Str("fl_round".into())),
+                        ("shape", Json::Str("adult".into())),
+                        ("simd", Json::Str("avx2/avx2+fma".into())),
+                        ("threads", Json::Num(1.0)),
+                        ("median_ns", Json::Num(m)),
+                        ("min_ns", Json::Num(m)),
+                        ("iters", Json::Num(100.0)),
+                        ("gflops", Json::Null),
+                    ])
+                })
+                .collect();
+            let path = std::env::temp_dir().join(format!("bench_json_check_dup_{tag}.json"));
+            std::fs::write(&path, Json::arr(entries).pretty()).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let base = write("base", [(1000.0, "FedAvg"), (2000.0, "SCAFFOLD")]);
+        let fresh = write("new", [(1000.0, "FedAvg"), (4000.0, "SCAFFOLD")]);
+        let err = compare_files(&base, &fresh, 25.0).unwrap_err();
+        assert!(err.contains("SCAFFOLD") && err.contains("+100.0%"), "{err}");
+    }
+
+    #[test]
+    fn compare_with_no_matching_rows_is_an_error() {
+        let base = bench_file("mis_base", 1000.0, "8x8x8");
+        let fresh = bench_file("mis_new", 1000.0, "16x16x16");
+        let err = compare_files(&base, &fresh, 25.0).unwrap_err();
+        assert!(err.contains("no rows matched"), "{err}");
     }
 
     #[test]

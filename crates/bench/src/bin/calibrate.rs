@@ -2,7 +2,7 @@
 //! at each scale? Used to size the experiment defaults; not part of the
 //! paper's tables.
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::experiment::{run_experiment, ExperimentSpec};
 use niid_core::partition::Strategy;
 use niid_data::DatasetId;
@@ -42,4 +42,5 @@ fn main() {
             result.mean_accuracy
         );
     }
+    maybe_write_profile(&args);
 }

@@ -12,7 +12,7 @@
 
 use niid_bench::{
     curve_line, maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json,
-    print_header, Args,
+    maybe_write_profile, print_header, Args,
 };
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
@@ -100,4 +100,5 @@ fn main() {
     maybe_write_json(&args, &all);
     maybe_print_trace_summary(&args);
     maybe_print_metrics_summary(&args);
+    maybe_write_profile(&args);
 }

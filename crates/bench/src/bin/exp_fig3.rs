@@ -2,7 +2,7 @@
 //! (`p_k ~ Dir(0.5)`) on the MNIST-like dataset — the per-party per-class
 //! allocation matrix that the paper draws as colored rectangles.
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::partition::{partition, Strategy};
 use niid_core::skew::analyze;
 use niid_data::{generate, DatasetId};
@@ -24,4 +24,5 @@ fn main() {
         println!("{report}");
     }
     println!("smaller beta => more unbalanced allocation, as in §4.1");
+    maybe_write_profile(&args);
 }

@@ -4,7 +4,7 @@
 //! measured feature-variance inflation, which is the statistic the images
 //! illustrate.
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::partition::{build_parties, partition, Strategy};
 use niid_core::Table;
 use niid_data::{generate, DatasetId};
@@ -52,4 +52,5 @@ fn main() {
     println!("clean-data feature variance: {base_var:.4}");
     println!("{t}");
     println!("excess variance grows linearly with the party index — the feature\ndistributions differ across parties while labels stay balanced (§4.2)");
+    maybe_write_profile(&args);
 }

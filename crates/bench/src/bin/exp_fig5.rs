@@ -2,7 +2,7 @@
 //! eight octants, each party owning a symmetric pair, labels decided by
 //! the plane `x₁ = 0`.
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::partition::{partition, Strategy};
 use niid_core::Table;
 use niid_data::{fcube_octant, generate, DatasetId};
@@ -41,4 +41,5 @@ fn main() {
         "each party holds two octants symmetric about the origin: feature\n\
          distributions differ across parties while labels remain balanced (§4.2)"
     );
+    maybe_write_profile(&args);
 }

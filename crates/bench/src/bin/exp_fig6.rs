@@ -2,7 +2,7 @@
 //! given the non-IID setting" — exercised both with declared skew kinds
 //! and with skew kinds *inferred* from measured partitions.
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::partition::{partition, Strategy};
 use niid_core::recommend::{recommend, recommend_from_report, InferenceThresholds};
 use niid_core::skew::analyze;
@@ -53,4 +53,5 @@ fn main() {
         ]);
     }
     println!("{t}");
+    maybe_write_profile(&args);
 }

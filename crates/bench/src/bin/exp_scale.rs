@@ -169,12 +169,14 @@ fn cell_json(c: &Cell, simd: &str, threads: usize) -> Json {
 fn main() {
     let mut short = false;
     let mut json_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut seed = 42u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--short" => short = true,
             "--json" => json_path = args.next(),
+            "--profile" => profile_path = args.next(),
             "--seed" => {
                 seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("bad --seed");
@@ -182,7 +184,7 @@ fn main() {
                 })
             }
             "--help" | "-h" => {
-                eprintln!("usage: exp_scale [--short] [--json PATH] [--seed N]");
+                eprintln!("usage: exp_scale [--short] [--json PATH] [--profile PATH] [--seed N]");
                 std::process::exit(0);
             }
             other => {
@@ -190,6 +192,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if profile_path.is_some() {
+        niid_prof::enable(true);
     }
 
     let populations: &[usize] = if short {
@@ -236,6 +242,12 @@ fn main() {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+    if let Some(path) = profile_path {
+        match niid_prof::write_chrome_trace(&path) {
+            Ok(()) => println!("(profile written to {path})"),
+            Err(e) => eprintln!("warning: cannot write profile {path}: {e}"),
         }
     }
 }

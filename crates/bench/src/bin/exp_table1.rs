@@ -5,7 +5,7 @@
 //! this implementation really provides all six strategies (each row's
 //! NIID-Bench column is verified by actually running the strategy).
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::partition::{partition, Strategy};
 use niid_core::Table;
 use niid_data::{generate, DatasetId};
@@ -124,4 +124,5 @@ fn main() {
         ]);
     }
     println!("{t}");
+    maybe_write_profile(&args);
 }

@@ -1,7 +1,7 @@
 //! Table 2: dataset statistics — the paper's reported sizes next to what
 //! this run's scale actually generates.
 
-use niid_bench::{print_header, Args};
+use niid_bench::{maybe_write_profile, print_header, Args};
 use niid_core::Table;
 use niid_data::{generate, DatasetId};
 
@@ -38,4 +38,5 @@ fn main() {
         "generated columns reflect the selected scale; --paper-scale \
          reproduces the paper's sizes exactly (image side 28/32 excepted; see DESIGN.md)"
     );
+    maybe_write_profile(&args);
 }

@@ -8,7 +8,8 @@
 //! B = 64 and 3 trials (μ tuning is covered separately by `exp_fig8`).
 
 use niid_bench::{
-    maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json, print_header, Args,
+    maybe_print_metrics_summary, maybe_print_trace_summary, maybe_write_json, maybe_write_profile,
+    print_header, Args,
 };
 use niid_core::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 use niid_core::partition::Strategy;
@@ -120,4 +121,5 @@ fn main() {
     maybe_write_json(&args, &all_results);
     maybe_print_trace_summary(&args);
     maybe_print_metrics_summary(&args);
+    maybe_write_profile(&args);
 }

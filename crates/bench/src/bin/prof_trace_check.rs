@@ -1,0 +1,245 @@
+//! Validate Chrome trace-event JSON written by `--profile` (the
+//! `niid-prof` span profiler): used by the CI profile-smoke step so a
+//! malformed emitter fails the workflow instead of producing a file
+//! Perfetto silently refuses to load.
+//!
+//! Usage: `prof_trace_check [--require-span NAME]... <trace.json>...`
+//!
+//! Checks, per file:
+//!
+//! * top level is an object with a non-empty `traceEvents` array;
+//! * every event has `ph` (`"M"` or `"X"`), numeric `pid`/`tid` and a
+//!   non-empty `name`;
+//! * metadata (`ph:"M"`) events carry `args.name`;
+//! * complete (`ph:"X"`) events carry finite non-negative `ts`/`dur`,
+//!   with `ts` monotonically non-decreasing per `tid` (the emitter
+//!   sorts per thread — a violation means torn ring entries leaked);
+//! * at least one `thread_name` metadata event and one `X` event exist.
+//!
+//! Each `--require-span NAME` additionally demands an `X` event with
+//! that exact name somewhere across the checked files — the guard CI
+//! uses to keep round phases and pool/GEMM spans instrumented.
+
+use niid_json::Json;
+use std::collections::HashMap;
+
+fn num(e: &Json, key: &str) -> Result<f64, String> {
+    let v = e
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("{key} = {v} is not a sane value"));
+    }
+    Ok(v)
+}
+
+fn check_trace(json: &Json, required: &mut [(String, bool)]) -> Result<(usize, usize), String> {
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("top level must be an object with a traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut thread_names = 0usize;
+    let mut complete = 0usize;
+    for (idx, e) in events.iter().enumerate() {
+        let fail = |msg: String| format!("event {idx}: {msg}");
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string field \"name\"".into()))?;
+        if name.is_empty() {
+            return Err(fail("empty name".into()));
+        }
+        num(e, "pid").map_err(&fail)?;
+        let tid = num(e, "tid").map_err(&fail)? as u64;
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                if e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .is_none()
+                {
+                    return Err(fail("metadata event without args.name".into()));
+                }
+                if name == "thread_name" {
+                    thread_names += 1;
+                }
+            }
+            Some("X") => {
+                complete += 1;
+                let ts = num(e, "ts").map_err(&fail)?;
+                num(e, "dur").map_err(&fail)?;
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        return Err(fail(format!(
+                            "ts {ts} goes backwards on tid {tid} (prev {prev})"
+                        )));
+                    }
+                }
+                last_ts.insert(tid, ts);
+                for (span, seen) in required.iter_mut() {
+                    if !*seen && name == span {
+                        *seen = true;
+                    }
+                }
+            }
+            Some(ph) => return Err(fail(format!("unexpected phase {ph:?}"))),
+            None => return Err(fail("missing string field \"ph\"".into())),
+        }
+    }
+    if thread_names == 0 {
+        return Err("no thread_name metadata events".into());
+    }
+    if complete == 0 {
+        return Err("no complete (ph:\"X\") span events".into());
+    }
+    Ok((complete, thread_names))
+}
+
+fn main() {
+    let mut required: Vec<(String, bool)> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--require-span" {
+            match args.next() {
+                Some(span) => required.push((span, false)),
+                None => {
+                    eprintln!("--require-span needs a span name");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: prof_trace_check [--require-span NAME]... <trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| niid_json::parse(&text).map_err(|e| format!("invalid JSON: {e}")))
+            .and_then(|json| check_trace(&json, &mut required));
+        match result {
+            Ok((spans, threads)) => {
+                println!("{path}: ok ({spans} spans across {threads} threads)")
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    for (span, seen) in &required {
+        if !seen {
+            eprintln!("required span {span:?}: not present in any checked trace");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_event(name: &str, tid: f64) -> Json {
+        Json::obj(vec![
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(tid)),
+            ("name", Json::Str(name.into())),
+            ("args", Json::obj(vec![("name", Json::Str("main".into()))])),
+        ])
+    }
+
+    fn span_event(name: &str, tid: f64, ts: f64) -> Json {
+        Json::obj(vec![
+            ("ph", Json::Str("X".into())),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(tid)),
+            ("name", Json::Str(name.into())),
+            ("ts", Json::Num(ts)),
+            ("dur", Json::Num(5.0)),
+        ])
+    }
+
+    fn trace(events: Vec<Json>) -> Json {
+        Json::obj(vec![("traceEvents", Json::arr(events))])
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let t = trace(vec![
+            meta_event("process_name", 0.0),
+            meta_event("thread_name", 1.0),
+            span_event("fl.round", 1.0, 10.0),
+            span_event("fl.train", 1.0, 12.0),
+            span_event("pool.task", 2.0, 3.0),
+        ]);
+        let mut req = vec![("fl.round".to_string(), false)];
+        let (spans, threads) = check_trace(&t, &mut req).expect("valid trace");
+        assert_eq!((spans, threads), (3, 1));
+        assert!(req[0].1, "required span found");
+    }
+
+    #[test]
+    fn backwards_ts_on_same_tid_fails() {
+        let t = trace(vec![
+            meta_event("thread_name", 1.0),
+            span_event("a", 1.0, 10.0),
+            span_event("b", 1.0, 4.0),
+        ]);
+        let err = check_trace(&t, &mut []).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn interleaved_tids_are_independent_clocks() {
+        let t = trace(vec![
+            meta_event("thread_name", 1.0),
+            span_event("a", 1.0, 10.0),
+            span_event("b", 2.0, 3.0), // earlier ts, different tid: fine
+            span_event("c", 1.0, 11.0),
+        ]);
+        assert!(check_trace(&t, &mut []).is_ok());
+    }
+
+    #[test]
+    fn missing_thread_name_fails() {
+        let t = trace(vec![span_event("a", 1.0, 10.0)]);
+        let err = check_trace(&t, &mut []).unwrap_err();
+        assert!(err.contains("thread_name"), "{err}");
+    }
+
+    #[test]
+    fn metadata_without_args_name_fails() {
+        let mut m = meta_event("thread_name", 1.0);
+        if let Json::Obj(pairs) = &mut m {
+            pairs.retain(|(k, _)| k != "args");
+        }
+        let t = trace(vec![m, span_event("a", 1.0, 10.0)]);
+        let err = check_trace(&t, &mut []).unwrap_err();
+        assert!(err.contains("args.name"), "{err}");
+    }
+
+    #[test]
+    fn unmet_required_span_stays_unseen() {
+        let t = trace(vec![
+            meta_event("thread_name", 1.0),
+            span_event("fl.round", 1.0, 10.0),
+        ]);
+        let mut req = vec![("gemm.kernel_nt".to_string(), false)];
+        check_trace(&t, &mut req).expect("trace itself is valid");
+        assert!(!req[0].1);
+    }
+}

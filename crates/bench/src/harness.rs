@@ -21,7 +21,9 @@
 //! * `--json <path>` writes every measurement (with its [`BenchMeta`]:
 //!   op, shape, threads, FLOP count and the derived GFLOP/s) as a JSON
 //!   array when the harness is dropped, so the perf trajectory of the
-//!   kernels can be tracked across PRs (`BENCH_*.json` at the repo root).
+//!   kernels can be tracked across PRs (`BENCH_*.json` at the repo root);
+//! * `--profile <path>` enables the span profiler for the run and writes
+//!   a Chrome trace-event JSON profile when the harness is dropped.
 
 use niid_json::Json;
 pub use std::hint::black_box;
@@ -41,11 +43,14 @@ const SHORT_BATCH: Duration = Duration::from_millis(6);
 const SHORT_BATCHES: usize = 3;
 
 /// One benchmark's measurement, in nanoseconds per iteration.
+///
+/// Both timings are whole nanoseconds (stored as `f64` for GFLOP/s
+/// arithmetic and JSON, but always integral).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
-    /// Median batch mean.
+    /// Median batch mean, rounded to integer ns.
     pub median_ns: f64,
-    /// Fastest batch mean.
+    /// Fastest batch mean, rounded to integer ns.
     pub min_ns: f64,
     /// Total iterations measured (excluding warm-up).
     pub iters: u64,
@@ -137,9 +142,13 @@ impl Bencher {
             batch_means.push(start.elapsed().as_secs_f64() * 1e9 / per_batch as f64);
         }
         batch_means.sort_by(f64::total_cmp);
+        // Rounded to whole nanoseconds: the clock quantum is far coarser
+        // than 1 ns, so fractional values in `BENCH_*.json` were spurious
+        // precision that churned diffs on every re-baseline. Floored at
+        // 1 ns so sub-ns no-op workloads keep finite derived rates.
         self.result = Some(Measurement {
-            median_ns: batch_means[self.batches / 2],
-            min_ns: batch_means[0],
+            median_ns: batch_means[self.batches / 2].round().max(1.0),
+            min_ns: batch_means[0].round().max(1.0),
             iters: per_batch * self.batches as u64,
         });
     }
@@ -152,26 +161,33 @@ pub struct Harness {
     filter: Option<String>,
     short: bool,
     json_path: Option<String>,
+    profile_path: Option<String>,
     entries: Vec<(String, BenchMeta, Measurement)>,
     ran: usize,
 }
 
 impl Harness {
     /// Create a harness for a named group, taking an optional substring
-    /// filter, `--short` and `--json <path>` from the command line.
+    /// filter, `--short`, `--json <path>` and `--profile <path>` from the
+    /// command line.
     pub fn from_args(group: &str) -> Self {
         let mut filter = None;
         let mut short = false;
         let mut json_path = None;
+        let mut profile_path = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--short" => short = true,
                 "--json" => json_path = args.next(),
+                "--profile" => profile_path = args.next(),
                 _ if a.starts_with('-') => {} // cargo passes e.g. --bench
                 _ if filter.is_none() && !a.is_empty() => filter = Some(a),
                 _ => {}
             }
+        }
+        if profile_path.is_some() {
+            niid_prof::enable(true);
         }
         println!(
             "# bench group: {group}{}",
@@ -182,6 +198,7 @@ impl Harness {
             filter,
             short,
             json_path,
+            profile_path,
             entries: Vec::new(),
             ran: 0,
         }
@@ -285,6 +302,12 @@ impl Drop for Harness {
                 Err(e) => eprintln!("warning: cannot write {path}: {e}"),
             }
         }
+        if let Some(path) = &self.profile_path {
+            match niid_prof::write_chrome_trace(path) {
+                Ok(()) => println!("(profile written to {path})"),
+                Err(e) => eprintln!("warning: cannot write profile {path}: {e}"),
+            }
+        }
     }
 }
 
@@ -318,6 +341,8 @@ mod tests {
         assert!(m.iters > 0);
         assert!(m.median_ns >= 0.0 && m.median_ns.is_finite());
         assert!(m.min_ns <= m.median_ns + 1e-9);
+        assert_eq!(m.median_ns.fract(), 0.0, "median rounded to whole ns");
+        assert_eq!(m.min_ns.fract(), 0.0, "min rounded to whole ns");
     }
 
     #[test]
@@ -363,6 +388,7 @@ mod tests {
             filter: None,
             short: true,
             json_path: None,
+            profile_path: None,
             entries: Vec::new(),
             ran: 0,
         };

@@ -25,6 +25,8 @@
 //!                      crash=0.3 or crash=0.2,drop=0.05,delay=0.1:50,seed=7
 //! --min-quorum <f>     minimum surviving fraction of each round's cohort
 //!                      before the run aborts with a quorum error (default 0.5)
+//! --profile <path>     record span-profiler data and write a Chrome
+//!                      trace-event JSON (loadable in Perfetto) at exit
 //! ```
 //!
 //! The default (no flag) is the `bench` scale recorded in EXPERIMENTS.md.
@@ -77,6 +79,9 @@ pub struct Args {
     pub faults: Option<FaultPlan>,
     /// Minimum surviving fraction of each round's selected cohort.
     pub min_quorum: Option<f64>,
+    /// Optional Perfetto-loadable profile output path; also enables the
+    /// span profiler for the whole run.
+    pub profile: Option<String>,
 }
 
 impl Args {
@@ -101,6 +106,7 @@ impl Args {
             resume: false,
             faults: None,
             min_quorum: None,
+            profile: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -149,6 +155,7 @@ impl Args {
                         }))
                 }
                 "--resume" => out.resume = true,
+                "--profile" => out.profile = Some(take("--profile")),
                 "--faults" => {
                     out.faults = Some(take("--faults").parse().unwrap_or_else(|e| {
                         eprintln!("bad --faults: {e}");
@@ -167,7 +174,7 @@ impl Args {
                          [--trials N] [--json PATH] [--trace PATH] \
                          [--metrics-dir DIR] [--metrics-port PORT] \
                          [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] \
-                         [--faults SPEC] [--min-quorum F]"
+                         [--faults SPEC] [--min-quorum F] [--profile PATH]"
                     );
                     std::process::exit(0);
                 }
@@ -293,6 +300,10 @@ pub fn print_header(what: &str, args: &Args) {
         // trace/metrics files.
         niid_metrics::install_signal_flush();
     }
+    if let Some(path) = &args.profile {
+        niid_prof::enable(true);
+        println!("profiling spans to {path} (Chrome trace-event JSON)");
+    }
     println!();
 }
 
@@ -309,15 +320,30 @@ pub fn maybe_write_json<T: ToJson>(args: &Args, value: &T) {
 
 /// Fold the `--trace` file (if any) into a per-phase timing table and
 /// print it — the binaries call this once after their last experiment.
+/// The steal/idle line is attached from this process's live pool spans.
 pub fn maybe_print_trace_summary(args: &Args) {
     if let Some(path) = &args.trace {
         match TraceSummary::from_jsonl_file(path) {
             Ok(summary) => {
                 println!();
-                print!("{}", summary.render());
+                print!("{}", summary.with_pool_activity().render());
             }
             Err(e) => eprintln!("warning: cannot summarize trace {path}: {e}"),
         }
+    }
+}
+
+/// Write the Chrome trace-event profile and print the flame table when
+/// `--profile` was given — the binaries call this once at exit.
+pub fn maybe_write_profile(args: &Args) {
+    let Some(path) = &args.profile else { return };
+    match niid_prof::write_chrome_trace(path) {
+        Ok(()) => {
+            println!();
+            println!("profile written to {path} (load in https://ui.perfetto.dev)");
+            print!("{}", niid_prof::render_flame_table(12));
+        }
+        Err(e) => eprintln!("warning: cannot write profile {path}: {e}"),
     }
 }
 
@@ -438,6 +464,13 @@ mod tests {
         assert!(!spec.resume);
         assert_eq!(spec.faults.as_ref().map(|p| p.crash_prob), Some(0.1));
         assert_eq!(spec.min_quorum, 0.4);
+    }
+
+    #[test]
+    fn profile_flag_parses() {
+        let a = parse(&["--profile", "/tmp/trace.json"]);
+        assert_eq!(a.profile.as_deref(), Some("/tmp/trace.json"));
+        assert!(parse(&[]).profile.is_none());
     }
 
     #[test]

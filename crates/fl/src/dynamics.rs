@@ -244,6 +244,7 @@ impl DynamicsRecorder {
             b_off += span.buffers;
         }
         install_substrate_collector(&registry);
+        install_prof_collector(&registry);
         let round_gauge = registry.gauge("niid_round", "Last completed round index", &[]);
         let loss_gauge = registry.gauge(
             "niid_train_loss",
@@ -375,6 +376,8 @@ impl DynamicsRecorder {
             scratch_reuse_rate: substrate.scratch_reuse_rate(),
             simd_kernel: niid_tensor::configured_kernel().name().to_string(),
             simd_dispatch_rate: substrate.simd_dispatch_rate(),
+            scratch_peak_bytes: substrate.conv_scratch_peak_bytes,
+            flame: niid_prof::flame(),
         }
     }
 }
@@ -577,6 +580,18 @@ pub fn install_substrate_collector(registry: &Arc<Registry>) {
             &[],
         )
         .set(s.conv_scratch_reuses as f64);
+        r.gauge(
+            "niid_conv_scratch_bytes",
+            "Bytes currently resident across live conv scratch workspaces",
+            &[],
+        )
+        .set(s.conv_scratch_bytes as f64);
+        r.gauge(
+            "niid_conv_scratch_peak_bytes",
+            "High-water mark of live conv scratch bytes over the process lifetime",
+            &[],
+        )
+        .set(s.conv_scratch_peak_bytes as f64);
         for (lowering, calls) in [
             ("implicit", s.conv_implicit_calls),
             ("materialized", s.conv_materialized_calls),
@@ -588,6 +603,35 @@ pub fn install_substrate_collector(registry: &Arc<Registry>) {
                 &[("lowering", lowering)],
             )
             .set(calls as f64);
+        }
+    });
+}
+
+/// Mirror the span profiler's exact per-label totals into registry
+/// gauges (`niid_prof_self_ns_total{span=…}` and friends); registered
+/// once per registry. The gauges only appear once at least one span has
+/// been recorded, so unprofiled runs pay nothing and emit nothing.
+pub fn install_prof_collector(registry: &Arc<Registry>) {
+    registry.register_collector("niid_prof", |r| {
+        for row in niid_prof::flame() {
+            r.gauge(
+                "niid_prof_self_ns_total",
+                "Cumulative span self time (duration minus child spans), ns",
+                &[("span", row.label.as_str())],
+            )
+            .set(row.self_ns as f64);
+            r.gauge(
+                "niid_prof_total_ns_total",
+                "Cumulative span wall time including child spans, ns",
+                &[("span", row.label.as_str())],
+            )
+            .set(row.total_ns as f64);
+            r.gauge(
+                "niid_prof_calls_total",
+                "Completed span count",
+                &[("span", row.label.as_str())],
+            )
+            .set(row.calls as f64);
         }
     });
 }
@@ -624,6 +668,11 @@ pub struct DynamicsSummary {
     pub simd_kernel: String,
     /// Fraction of GEMM calls that took a SIMD micro-kernel.
     pub simd_dispatch_rate: f64,
+    /// High-water mark of live conv scratch bytes over the run.
+    pub scratch_peak_bytes: u64,
+    /// Span-profiler flame rows (self-time descending); empty when
+    /// profiling was off for the run.
+    pub flame: Vec<niid_prof::FlameRow>,
 }
 
 impl DynamicsSummary {
@@ -642,6 +691,7 @@ impl DynamicsSummary {
         let mut last_dispatch: HashMap<(String, String), f64> = HashMap::new();
         let mut last_failures: HashMap<String, f64> = HashMap::new();
         let mut last_degraded = 0.0f64;
+        let mut prof: HashMap<String, niid_prof::FlameRow> = HashMap::new();
         for line in &lines {
             let name = line.get("name").and_then(niid_json::Json::as_str);
             let value = line.get("value").and_then(niid_json::Json::as_f64);
@@ -685,6 +735,32 @@ impl DynamicsSummary {
                 "niid_gemm_flops" => last_gflops = value / 1e9,
                 "niid_conv_scratch_allocs" => last_reuse.0 = value,
                 "niid_conv_scratch_reuses" => last_reuse.1 = value,
+                "niid_conv_scratch_peak_bytes" => out.scratch_peak_bytes = value as u64,
+                "niid_prof_self_ns_total"
+                | "niid_prof_total_ns_total"
+                | "niid_prof_calls_total" => {
+                    if let Some(span) = line
+                        .get("labels")
+                        .and_then(|l| l.get("span"))
+                        .and_then(niid_json::Json::as_str)
+                    {
+                        let row =
+                            prof.entry(span.to_string())
+                                .or_insert_with(|| niid_prof::FlameRow {
+                                    label: span.to_string(),
+                                    calls: 0,
+                                    total_ns: 0,
+                                    self_ns: 0,
+                                    p50_ns: 0,
+                                    p99_ns: 0,
+                                });
+                        match name {
+                            "niid_prof_self_ns_total" => row.self_ns = value as u64,
+                            "niid_prof_total_ns_total" => row.total_ns = value as u64,
+                            _ => row.calls = value as u64,
+                        }
+                    }
+                }
                 "niid_gemm_dispatch_calls" => {
                     let labels = line.get("labels");
                     let variant = labels
@@ -738,6 +814,9 @@ impl DynamicsSummary {
         } else {
             0.0
         };
+        let mut flame: Vec<niid_prof::FlameRow> = prof.into_values().collect();
+        flame.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.label.cmp(&b.label)));
+        out.flame = flame;
         Ok(out)
     }
 
@@ -775,12 +854,36 @@ impl DynamicsSummary {
             self.gemm_gflops,
             self.scratch_reuse_rate * 100.0
         ));
+        if self.scratch_peak_bytes > 0 {
+            out.push_str(&format!(
+                "  conv scratch peak: {:.1} KiB resident\n",
+                self.scratch_peak_bytes as f64 / 1024.0
+            ));
+        }
         if !self.simd_kernel.is_empty() {
             out.push_str(&format!(
                 "  simd: kernel {}, {:.1}% of GEMM calls dispatched to simd\n",
                 self.simd_kernel,
                 self.simd_dispatch_rate * 100.0
             ));
+        }
+        if !self.flame.is_empty() {
+            out.push_str("  profiler flame (self-time descending):\n");
+            out.push_str(&format!(
+                "    {:<16} {:>8} {:>10} {:>10} {:>8} {:>8}\n",
+                "span", "calls", "self_ms", "total_ms", "p50_us", "p99_us"
+            ));
+            for row in self.flame.iter().take(8) {
+                out.push_str(&format!(
+                    "    {:<16} {:>8} {:>10.2} {:>10.2} {:>8.1} {:>8.1}\n",
+                    row.label,
+                    row.calls,
+                    row.self_ns as f64 / 1e6,
+                    row.total_ns as f64 / 1e6,
+                    row.p50_ns as f64 / 1e3,
+                    row.p99_ns as f64 / 1e3,
+                ));
+            }
         }
         out
     }
@@ -896,6 +999,8 @@ mod tests {
             scratch_reuse_rate: 0.9,
             simd_kernel: "avx2".into(),
             simd_dispatch_rate: 0.995,
+            scratch_peak_bytes: 8192,
+            flame: Vec::new(),
         };
         let text = s.render();
         assert!(text.contains("3 round(s)"), "{text}");
@@ -908,6 +1013,39 @@ mod tests {
         assert!(text.contains("pool utilization 50.0%"), "{text}");
         assert!(text.contains("kernel avx2"), "{text}");
         assert!(text.contains("99.5% of GEMM calls"), "{text}");
+        assert!(text.contains("conv scratch peak: 8.0 KiB"), "{text}");
         assert!(text.lines().count() < 15, "must fit one screen:\n{text}");
+    }
+
+    #[test]
+    fn summary_render_includes_flame_table() {
+        let s = DynamicsSummary {
+            rounds: 1,
+            flame: vec![
+                niid_prof::FlameRow {
+                    label: "fl.train".into(),
+                    calls: 3,
+                    total_ns: 9_000_000,
+                    self_ns: 7_000_000,
+                    p50_ns: 3_000_000,
+                    p99_ns: 4_000_000,
+                },
+                niid_prof::FlameRow {
+                    label: "fl.aggregate".into(),
+                    calls: 3,
+                    total_ns: 1_000_000,
+                    self_ns: 1_000_000,
+                    p50_ns: 300_000,
+                    p99_ns: 400_000,
+                },
+            ],
+            ..Default::default()
+        };
+        let text = s.render();
+        assert!(text.contains("profiler flame"), "{text}");
+        let train = text.find("fl.train").unwrap();
+        let agg = text.find("fl.aggregate").unwrap();
+        assert!(train < agg, "rows sorted by self time:\n{text}");
+        assert!(text.contains("7.00"), "self_ms column rendered:\n{text}");
     }
 }

@@ -608,24 +608,31 @@ impl FedSim {
         let is_scaffold = cfg.algorithm.uses_control_variates();
 
         for round in st.round_next..stop_round {
+            let _round_sp = niid_prof::span!("fl.round");
             let round_started = Instant::now();
-            let selected = self.sample_round(round);
+            let selected = {
+                let _sp = niid_prof::span!("fl.sample");
+                self.sample_round(round)
+            };
             sink.record(&TraceEvent::RoundStarted {
                 round,
                 participants: selected.len(),
             });
 
             let grad_spans = observer.and_then(RoundObserver::grad_spans);
-            let party_outcomes = self.train_selected(
-                &selected,
-                &st.global_params,
-                &st.global_buffers,
-                &st.server_c,
-                &mut st.client_c,
-                round,
-                sink,
-                grad_spans,
-            );
+            let party_outcomes = {
+                let _sp = niid_prof::span!("fl.train");
+                self.train_selected(
+                    &selected,
+                    &st.global_params,
+                    &st.global_buffers,
+                    &st.server_c,
+                    &mut st.client_c,
+                    round,
+                    sink,
+                    grad_spans,
+                )
+            };
             let local_wall_ms = round_started.elapsed().as_secs_f64() * 1e3;
 
             // Split the cohort: survivors aggregate, failures are isolated
@@ -674,18 +681,21 @@ impl FedSim {
             let global_before = observer.map(|_| st.global_params.clone());
 
             let agg_started = Instant::now();
-            match cfg.algorithm {
-                Algorithm::FedNova => {
-                    fednova_average(&mut st.global_params, &outcomes, cfg.server_lr)
+            {
+                let _sp = niid_prof::span!("fl.aggregate");
+                match cfg.algorithm {
+                    Algorithm::FedNova => {
+                        fednova_average(&mut st.global_params, &outcomes, cfg.server_lr)
+                    }
+                    _ => weighted_average(&mut st.global_params, &outcomes, cfg.server_lr),
                 }
-                _ => weighted_average(&mut st.global_params, &outcomes, cfg.server_lr),
-            }
-            if is_scaffold {
-                scaffold_update_c(&mut st.server_c, &outcomes, self.parties.len());
-            }
-            if cfg.buffer_policy == BufferPolicy::Average {
-                if let Some(avg) = average_buffers(&outcomes) {
-                    st.global_buffers = avg;
+                if is_scaffold {
+                    scaffold_update_c(&mut st.server_c, &outcomes, self.parties.len());
+                }
+                if cfg.buffer_policy == BufferPolicy::Average {
+                    if let Some(avg) = average_buffers(&outcomes) {
+                        st.global_buffers = avg;
+                    }
                 }
             }
             let aggregate_wall_ms = agg_started.elapsed().as_secs_f64() * 1e3;
@@ -714,6 +724,7 @@ impl FedSim {
             let is_last = round + 1 == cfg.rounds;
             let mut eval_wall_ms = 0.0;
             let test_accuracy = if (round + 1) % cfg.eval_every == 0 || is_last {
+                let _sp = niid_prof::span!("fl.eval");
                 let eval_started = Instant::now();
                 eval_model.set_params_flat(&st.global_params);
                 if !st.global_buffers.is_empty() {
@@ -780,6 +791,7 @@ impl FedSim {
 
             if let Some(policy) = &cfg.checkpoint {
                 if (round + 1) % policy.every == 0 || round + 1 == cfg.rounds {
+                    let _sp = niid_prof::span!("fl.checkpoint");
                     let path = policy.path();
                     Checkpoint {
                         round_next: round + 1,
@@ -941,6 +953,7 @@ impl FedSim {
                 } else {
                     None
                 };
+                let _sp = niid_prof::span!("fl.local_train");
                 local_train(
                     model,
                     &party,

@@ -142,6 +142,7 @@ pub fn local_train(
     for _epoch in 0..cfg.epochs {
         rng.shuffle(&mut indices);
         for batch_idx in indices.chunks(cfg.batch_size) {
+            let _sp = niid_prof::span!("local.step");
             let (x, y) = party.batch(batch_idx);
             model.zero_grads();
             loss_sum += model.forward_backward(x, &y) * batch_idx.len() as f64;

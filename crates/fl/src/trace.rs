@@ -427,6 +427,10 @@ pub struct PhaseStats {
     pub total_ms: f64,
     /// Mean wall time, ms (`0` when `count == 0`).
     pub mean_ms: f64,
+    /// Median wall time, ms (nearest rank).
+    pub p50_ms: f64,
+    /// 99th-percentile wall time, ms (nearest rank).
+    pub p99_ms: f64,
     /// Maximum wall time, ms.
     pub max_ms: f64,
 }
@@ -437,11 +441,75 @@ impl PhaseStats {
             return Self::default();
         }
         let total: f64 = samples.iter().sum();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
         Self {
             count: samples.len(),
             total_ms: total,
             mean_ms: total / samples.len() as f64,
+            p50_ms: percentile_sorted(&sorted, 0.50),
+            p99_ms: percentile_sorted(&sorted, 0.99),
             max_ms: samples.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Worker-pool activity captured from the span profiler and substrate
+/// counters at summarize time — where round-phase tables come from the
+/// trace events, this block answers "what were the pool workers doing".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoolActivity {
+    /// Wall time pool workers spent executing stolen region work, ns.
+    pub steal_ns: u64,
+    /// Wall time pool workers spent parked waiting for work, ns.
+    pub idle_ns: u64,
+    /// Wall time issuing threads spent in their own region share, ns.
+    pub task_ns: u64,
+    /// Tasks claimed by pool workers (substrate counter).
+    pub stolen_tasks: u64,
+    /// Total tasks issued (substrate counter).
+    pub total_tasks: u64,
+}
+
+impl PoolActivity {
+    /// Read the pool spans (`pool.steal` / `pool.idle` / `pool.task`)
+    /// and substrate counters. `None` when the profiler recorded no pool
+    /// activity (profiling off, or a single-threaded run).
+    pub fn capture() -> Option<Self> {
+        let steal = niid_prof::label_totals("pool.steal");
+        let idle = niid_prof::label_totals("pool.idle");
+        let task = niid_prof::label_totals("pool.task");
+        if steal.is_none() && idle.is_none() && task.is_none() {
+            return None;
+        }
+        let s = niid_tensor::stats::snapshot();
+        Some(Self {
+            steal_ns: steal.map_or(0, |(_, t, _)| t),
+            idle_ns: idle.map_or(0, |(_, t, _)| t),
+            task_ns: task.map_or(0, |(_, t, _)| t),
+            stolen_tasks: s.pool_stolen_tasks,
+            total_tasks: s.pool_tasks,
+        })
+    }
+
+    /// Fraction of pool-worker wall time spent executing work rather
+    /// than parked (`steal / (steal + idle)`); 0 when nothing recorded.
+    pub fn steal_idle_ratio(&self) -> f64 {
+        let busy = self.steal_ns as f64;
+        let denom = (self.steal_ns + self.idle_ns) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            busy / denom
         }
     }
 }
@@ -471,6 +539,10 @@ pub struct TraceSummary {
     pub degraded_rounds: usize,
     /// Checkpoints written (one per `CheckpointWritten`).
     pub checkpoints: usize,
+    /// Worker-pool steal/idle breakdown; populated by
+    /// [`TraceSummary::with_pool_activity`] (events alone cannot carry
+    /// it), `None` otherwise.
+    pub pool: Option<PoolActivity>,
 }
 
 impl TraceSummary {
@@ -532,7 +604,17 @@ impl TraceSummary {
             party_failures,
             degraded_rounds,
             checkpoints,
+            pool: None,
         }
+    }
+
+    /// Attach the live worker-pool steal/idle breakdown (from the span
+    /// profiler and substrate counters of *this* process) to the
+    /// summary. Meaningful when summarizing the run that just executed;
+    /// a summary rebuilt from another process's JSONL should skip this.
+    pub fn with_pool_activity(mut self) -> Self {
+        self.pool = PoolActivity::capture();
+        self
     }
 
     /// Summarize a JSONL trace file written by [`JsonlSink`].
@@ -549,8 +631,8 @@ impl TraceSummary {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "trace summary: {} round(s)\n{:<14} {:>7} {:>12} {:>12} {:>12}\n",
-            self.rounds, "phase", "count", "total ms", "mean ms", "max ms"
+            "trace summary: {} round(s)\n{:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            self.rounds, "phase", "count", "total ms", "mean ms", "p50 ms", "p99 ms", "max ms"
         ));
         for (name, s) in [
             ("party_train", &self.party_train),
@@ -559,8 +641,19 @@ impl TraceSummary {
             ("round", &self.round),
         ] {
             out.push_str(&format!(
-                "{name:<14} {:>7} {:>12.2} {:>12.3} {:>12.3}\n",
-                s.count, s.total_ms, s.mean_ms, s.max_ms
+                "{name:<14} {:>7} {:>12.2} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
+                s.count, s.total_ms, s.mean_ms, s.p50_ms, s.p99_ms, s.max_ms
+            ));
+        }
+        if let Some(pool) = &self.pool {
+            out.push_str(&format!(
+                "pool: steal/idle ratio {:.1}% ({:.1}ms stolen work, {:.1}ms idle, \
+                 {}/{} tasks stolen)\n",
+                pool.steal_idle_ratio() * 100.0,
+                pool.steal_ns as f64 / 1e6,
+                pool.idle_ns as f64 / 1e6,
+                pool.stolen_tasks,
+                pool.total_tasks
             ));
         }
         if !self.slowest_parties.is_empty() {
@@ -704,6 +797,41 @@ mod tests {
         // Clean traces render no fault lines.
         let clean = TraceSummary::from_events(&sample_events()).render();
         assert!(!clean.contains("faults:"), "{clean}");
+    }
+
+    #[test]
+    fn phase_stats_percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = PhaseStats::from_samples(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        let one = PhaseStats::from_samples(&[7.5]);
+        assert_eq!(one.p50_ms, 7.5);
+        assert_eq!(one.p99_ms, 7.5);
+        assert_eq!(PhaseStats::from_samples(&[]), PhaseStats::default());
+        // The render table carries the new columns.
+        let table = TraceSummary::from_events(&sample_events()).render();
+        assert!(table.contains("p50 ms"), "{table}");
+        assert!(table.contains("p99 ms"), "{table}");
+    }
+
+    #[test]
+    fn pool_activity_ratio_and_render_line() {
+        let pool = PoolActivity {
+            steal_ns: 3_000_000,
+            idle_ns: 1_000_000,
+            task_ns: 2_000_000,
+            stolen_tasks: 12,
+            total_tasks: 20,
+        };
+        assert!((pool.steal_idle_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(PoolActivity::default().steal_idle_ratio(), 0.0);
+        let mut s = TraceSummary::from_events(&sample_events());
+        s.pool = Some(pool);
+        let table = s.render();
+        assert!(table.contains("steal/idle ratio 75.0%"), "{table}");
+        assert!(table.contains("12/20 tasks stolen"), "{table}");
     }
 
     #[test]

@@ -237,6 +237,7 @@ pub fn col2im_scatter_rows(
     p1: usize,
     out: &mut [f32],
 ) {
+    let _sp = niid_prof::span!("conv.col2im");
     let ow = s.out_w();
     let cw = s.col_width();
     debug_assert!(
@@ -357,9 +358,19 @@ impl ConvScratch {
     fn ensure(buf: &mut Vec<f32>, len: usize) {
         if buf.len() < len {
             stats::bump(&stats::CONV_SCRATCH_ALLOCS, 1);
+            stats::scratch_grew(((len - buf.len()) * std::mem::size_of::<f32>()) as u64);
             buf.resize(len, 0.0);
         } else if len > 0 {
             stats::bump(&stats::CONV_SCRATCH_REUSES, 1);
+        }
+    }
+}
+
+impl Drop for ConvScratch {
+    fn drop(&mut self) {
+        let resident = self.cols.len() + self.dcols.len() + self.gy_t.len() + self.input.len();
+        if resident > 0 {
+            stats::scratch_freed((resident * std::mem::size_of::<f32>()) as u64);
         }
     }
 }
@@ -466,7 +477,10 @@ pub fn conv2d_forward_materialized(
         // SAFETY: sample `i` exclusively owns its regions of cols/out.
         let cols_i = unsafe { cols_ptr.slice(i * positions * cw, positions * cw) };
         let out_i = unsafe { out_ptr.slice(i * out_numel, out_numel) };
-        im2col_into(&xs[i * in_numel..(i + 1) * in_numel], s, cols_i);
+        {
+            let _sp = niid_prof::span!("conv.im2col");
+            im2col_into(&xs[i * in_numel..(i + 1) * in_numel], s, cols_i);
+        }
         // W [outc, cw] · colsᵀ [cw, positions] = [outc, positions]. The
         // nested GEMM may execute on a pool worker, so re-pin the kernel
         // resolved at entry for its dispatch.
@@ -615,7 +629,11 @@ pub fn conv2d_forward_implicit(
                     while d0 < cw {
                         let d1 = (d0 + tiles.kc).min(cw);
                         let depth = d1 - d0;
-                        pack_cols_t_tile(x_i, s, j0, j1, d0, d1, &mut pack[..depth * wj]);
+                        {
+                            let _sp = niid_prof::span!("conv.pack_cols");
+                            pack_cols_t_tile(x_i, s, j0, j1, d0, d1, &mut pack[..depth * wj]);
+                        }
+                        let _sp = niid_prof::span!("conv.kernel_nt");
                         let mut oc = 0;
                         while oc < s.out_channels {
                             let rows = (s.out_channels - oc).min(tiles.mr);

@@ -163,6 +163,7 @@ fn mm_row_block(
     n: usize,
     tiles: TileParams,
 ) {
+    let _sp = niid_prof::span!("gemm.row_block");
     let mut jj0 = 0;
     while jj0 < n {
         let jj1 = (jj0 + tiles.nc).min(n);
@@ -320,6 +321,7 @@ pub(crate) fn atb_rows(
     k: usize,
     n: usize,
 ) {
+    let _sp = niid_prof::span!("gemm.atb_rows");
     if kern.is_simd() {
         // Register-tiled always-compute path (see `mm_row_block`): ≤4
         // output rows per ymm group, alphas walking a *column* of A
@@ -459,6 +461,7 @@ fn abt_nt(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
         let jtiles = k.div_ceil(tiles.nc);
         let pptr = SharedMut(pack.as_mut_ptr());
         maybe_parallel(jtiles, flops, &|jt| {
+            let _sp = niid_prof::span!("gemm.pack_bt");
             let j0 = jt * tiles.nc;
             let j1 = (j0 + tiles.nc).min(k);
             let wj = j1 - j0;
@@ -483,6 +486,7 @@ fn abt_nt(av: &[f32], bv: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
         let tasks = m.div_ceil(MB);
         let cptr = SharedMut(c.as_mut_ptr());
         maybe_parallel(tasks, flops, &|t| {
+            let _sp = niid_prof::span!("gemm.kernel_nt");
             let r0 = t * MB;
             let r1 = (r0 + MB).min(m);
             // SAFETY: task `t` exclusively owns rows `r0..r1` of `C`.

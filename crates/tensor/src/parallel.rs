@@ -153,12 +153,14 @@ impl ThreadPool {
                 .name(format!("niid-kernel-{i}"))
                 .spawn(move || loop {
                     let region = {
+                        let _idle = niid_prof::span!("pool.idle");
                         let guard = receiver.lock().unwrap();
                         guard.recv()
                     };
                     let Ok(region) = region else {
                         return; // pool dropped (process exit)
                     };
+                    let _steal = niid_prof::span!("pool.steal");
                     let claimed = region.work();
                     if claimed > 0 {
                         stats::bump(&stats::POOL_STOLEN_TASKS, claimed as u64);
@@ -240,7 +242,10 @@ pub fn parallel_for(tasks: usize, body: &(dyn Fn(usize) + Sync)) {
             sender.send(Arc::clone(&region)).expect("kernel pool alive");
         }
     }
-    region.work(); // the caller is a full participant
+    {
+        let _task = niid_prof::span!("pool.task");
+        region.work(); // the caller is a full participant
+    }
     let mut rem = region.remaining.lock().unwrap();
     while *rem > 0 {
         rem = region.done.wait(rem).unwrap();

@@ -26,12 +26,29 @@ pub(crate) static GEMM_ABT_SIMD_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static GEMM_ABT_SCALAR_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CONV_SCRATCH_BYTES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CONV_SCRATCH_PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_IMPLICIT_CALLS: AtomicU64 = AtomicU64::new(0);
 pub(crate) static CONV_MATERIALIZED_CALLS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn bump(counter: &AtomicU64, n: u64) {
     counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `delta` bytes of freshly grown conv scratch and advance the
+/// process-wide peak watermark.
+pub(crate) fn scratch_grew(delta: u64) {
+    let now = CONV_SCRATCH_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    CONV_SCRATCH_PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+}
+
+/// Release `delta` bytes of conv scratch (workspace dropped). Saturates
+/// at zero so a stray double-release cannot wrap the gauge.
+pub(crate) fn scratch_freed(delta: u64) {
+    let _ = CONV_SCRATCH_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(delta))
+    });
 }
 
 /// Point-in-time copy of every substrate counter.
@@ -71,6 +88,12 @@ pub struct SubstrateStats {
     pub conv_scratch_allocs: u64,
     /// Conv scratch requests served from an already-large-enough buffer.
     pub conv_scratch_reuses: u64,
+    /// Bytes currently resident across live conv scratch workspaces
+    /// (point-in-time gauge, not a cumulative counter).
+    pub conv_scratch_bytes: u64,
+    /// High-water mark of [`Self::conv_scratch_bytes`] over the process
+    /// lifetime (point-in-time gauge).
+    pub conv_scratch_peak_bytes: u64,
     /// Conv passes that ran the implicit (fused-pack) lowering.
     pub conv_implicit_calls: u64,
     /// Conv passes that ran the materialized im2col lowering.
@@ -154,6 +177,10 @@ impl SubstrateStats {
             conv_scratch_reuses: self
                 .conv_scratch_reuses
                 .saturating_sub(earlier.conv_scratch_reuses),
+            // Byte gauges are point-in-time levels, not cumulative
+            // counters: a diff carries the later snapshot through.
+            conv_scratch_bytes: self.conv_scratch_bytes,
+            conv_scratch_peak_bytes: self.conv_scratch_peak_bytes,
             conv_implicit_calls: self
                 .conv_implicit_calls
                 .saturating_sub(earlier.conv_implicit_calls),
@@ -184,15 +211,18 @@ pub fn snapshot() -> SubstrateStats {
         gemm_abt_scalar_calls: GEMM_ABT_SCALAR_CALLS.load(Ordering::Relaxed),
         conv_scratch_allocs: CONV_SCRATCH_ALLOCS.load(Ordering::Relaxed),
         conv_scratch_reuses: CONV_SCRATCH_REUSES.load(Ordering::Relaxed),
+        conv_scratch_bytes: CONV_SCRATCH_BYTES.load(Ordering::Relaxed),
+        conv_scratch_peak_bytes: CONV_SCRATCH_PEAK_BYTES.load(Ordering::Relaxed),
         conv_implicit_calls: CONV_IMPLICIT_CALLS.load(Ordering::Relaxed),
         conv_materialized_calls: CONV_MATERIALIZED_CALLS.load(Ordering::Relaxed),
     }
 }
 
-/// Zero every counter. Intended for process start-up or benchmark
-/// prologues; concurrent updates from other threads may land before or
-/// after the reset, so tests should difference snapshots via
-/// [`SubstrateStats::since`] instead.
+/// Zero every cumulative counter. Intended for process start-up or
+/// benchmark prologues; concurrent updates from other threads may land
+/// before or after the reset, so tests should difference snapshots via
+/// [`SubstrateStats::since`] instead. The scratch byte gauges track live
+/// allocations and are deliberately left untouched.
 pub fn reset() {
     for c in [
         &POOL_REGIONS,

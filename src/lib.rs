@@ -17,7 +17,10 @@
 //!   leaderboard,
 //! * [`json`] — the serde-free JSON layer used for results and round traces,
 //! * [`metrics`] — the training-dynamics metrics registry: counters, gauges,
-//!   histograms, JSONL / Prometheus-text / live-HTTP exposition.
+//!   histograms, JSONL / Prometheus-text / live-HTTP exposition,
+//! * [`prof`] — the always-compiled-in span profiler: scoped `span!`
+//!   guards, per-thread ring buffers, flame aggregation and Chrome
+//!   trace-event (Perfetto) export.
 //!
 //! See `examples/quickstart.rs` for a three-step end-to-end run.
 pub use niid_core as core;
@@ -26,5 +29,6 @@ pub use niid_fl as fl;
 pub use niid_json as json;
 pub use niid_metrics as metrics;
 pub use niid_nn as nn;
+pub use niid_prof as prof;
 pub use niid_stats as stats;
 pub use niid_tensor as tensor;

@@ -1,0 +1,210 @@
+//! Workspace-level guarantees of the `niid-prof` span profiler: the
+//! Perfetto (Chrome trace-event) export must be well-formed JSON covering
+//! every recording thread, ring wrap must account for exactly the
+//! overwritten entries, enabling profiling must not perturb a federated
+//! trajectory by a single bit, and the disabled path must stay cheap.
+
+use niid_bench_rs::data::Dataset;
+use niid_bench_rs::fl::engine::{BufferPolicy, FedSim, FlConfig};
+use niid_bench_rs::fl::local::LocalConfig;
+use niid_bench_rs::fl::party::Party;
+use niid_bench_rs::fl::Algorithm;
+use niid_bench_rs::json::Json;
+use niid_bench_rs::nn::ModelSpec;
+use niid_bench_rs::prof;
+use niid_bench_rs::stats::Pcg64;
+use niid_bench_rs::tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The profiler enable flag is process-global: tests that flip it (or
+/// read the rings it fills) run serialized.
+fn prof_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Two-feature separable task; `sizes[i]` samples for party `i`.
+fn skewed_setup(sizes: &[usize], seed: u64) -> (Vec<Party>, Dataset) {
+    let mut rng = Pcg64::new(seed);
+    let make = |n: usize, rng: &mut Pcg64, name: &str| -> Dataset {
+        let x = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, rng);
+        let labels = (0..n)
+            .map(|i| usize::from(x.at2(i, 0) + 0.5 * x.at2(i, 1) > 0.0))
+            .collect();
+        Dataset::new(name, x, labels, 2, vec![4], None)
+    };
+    let parties = sizes
+        .iter()
+        .enumerate()
+        .map(|(id, &n)| Party::new(id, make(n, &mut rng, "local")))
+        .collect();
+    let test = make(200, &mut rng, "test");
+    (parties, test)
+}
+
+fn config(threads: usize, seed: u64) -> FlConfig {
+    FlConfig {
+        algorithm: Algorithm::FedAvg,
+        rounds: 3,
+        local: LocalConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        sample_fraction: 1.0,
+        buffer_policy: BufferPolicy::Average,
+        eval_batch_size: 64,
+        eval_every: 1,
+        server_lr: 1.0,
+        seed,
+        threads,
+        min_quorum: 0.5,
+        fault_plan: None,
+        checkpoint: None,
+    }
+}
+
+fn run_sim(threads: usize) -> niid_bench_rs::fl::metrics::RunResult {
+    let (parties, test) = skewed_setup(&[40, 40, 40, 40, 40, 40], 71);
+    FedSim::new(
+        ModelSpec::Mlp { in_dim: 4 },
+        parties,
+        test,
+        config(threads, 72),
+    )
+    .unwrap()
+    .run()
+    .unwrap()
+}
+
+/// The acceptance bit: a profiled federated run must reproduce the
+/// unprofiled trajectory exactly — every per-round accuracy and loss
+/// bit-identical — at both the sequential and the pooled thread counts.
+#[test]
+fn fedsim_trajectory_bit_identical_with_profiling_on_and_off() {
+    let _g = prof_lock();
+    for threads in [1usize, 4] {
+        prof::enable(false);
+        let off = run_sim(threads);
+        prof::enable(true);
+        let on = run_sim(threads);
+        prof::enable(false);
+        assert_eq!(on.final_accuracy, off.final_accuracy, "@{threads} threads");
+        assert_eq!(on.best_accuracy, off.best_accuracy, "@{threads} threads");
+        assert_eq!(on.rounds.len(), off.rounds.len(), "@{threads} threads");
+        for (a, b) in off.rounds.iter().zip(&on.rounds) {
+            assert_eq!(a.test_accuracy, b.test_accuracy, "@{threads} threads");
+            assert_eq!(a.avg_local_loss, b.avg_local_loss, "@{threads} threads");
+        }
+    }
+}
+
+/// A profiled multi-threaded run must export parseable Chrome trace JSON:
+/// a `traceEvents` array whose complete events carry monotonically
+/// non-decreasing timestamps per thread, with thread-name metadata for
+/// every tid that recorded spans, and the round phases present.
+#[test]
+fn multithreaded_chrome_trace_is_well_formed() {
+    let _g = prof_lock();
+    prof::enable(true);
+    run_sim(4);
+    prof::enable(false);
+
+    let text = prof::chrome_trace_json();
+    let json = niid_bench_rs::json::parse(&text).expect("trace parses with niid-json");
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut named_tids: Vec<u64> = Vec::new();
+    let mut span_tids: Vec<u64> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        let tid = e.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        match ph {
+            "M" => {
+                if e.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    named_tids.push(tid);
+                }
+            }
+            "X" => {
+                let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+                assert!(e.get("dur").and_then(Json::as_f64).expect("dur") >= 0.0);
+                if let Some(&prev) = last_ts.get(&tid) {
+                    assert!(ts >= prev, "ts goes backwards on tid {tid}");
+                }
+                last_ts.insert(tid, ts);
+                span_tids.push(tid);
+                labels.push(e.get("name").and_then(Json::as_str).unwrap().to_string());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for tid in &span_tids {
+        assert!(named_tids.contains(tid), "tid {tid} has no thread_name");
+    }
+    // The pooled run crosses threads: the main thread drives rounds, the
+    // kernel pool trains parties.
+    span_tids.sort_unstable();
+    span_tids.dedup();
+    assert!(span_tids.len() >= 2, "expected spans from >= 2 threads");
+    for required in ["fl.round", "fl.train", "fl.aggregate", "local.step"] {
+        assert!(labels.iter().any(|l| l == required), "missing {required}");
+    }
+}
+
+/// Wrap accounting through the facade: a burst larger than the ring keeps
+/// exact recorded/dropped counters and `retained == RING_CAPACITY`.
+#[test]
+fn ring_wrap_accounts_for_overwritten_entries() {
+    let _g = prof_lock();
+    prof::enable(true);
+    const EXTRA: u64 = 123;
+    let handle = std::thread::Builder::new()
+        .name("prof-wrap-test".into())
+        .spawn(|| {
+            for _ in 0..prof::RING_CAPACITY as u64 + EXTRA {
+                let _s = prof::span!("test.wrap_burst");
+            }
+        })
+        .unwrap();
+    handle.join().unwrap();
+    prof::enable(false);
+
+    let stats = prof::ring_stats();
+    let row = stats
+        .iter()
+        .find(|r| r.recorded == prof::RING_CAPACITY as u64 + EXTRA)
+        .expect("burst thread's ring row");
+    assert_eq!(row.retained, prof::RING_CAPACITY as u64);
+    assert_eq!(row.dropped, EXTRA);
+}
+
+/// The disabled path is the default everywhere, so it has to stay near
+/// free: a generous smoke bound that only catches order-of-magnitude
+/// regressions (e.g. taking a lock per span).
+#[test]
+fn disabled_spans_are_cheap() {
+    let _g = prof_lock();
+    prof::enable(false);
+    const N: u32 = 200_000;
+    let start = std::time::Instant::now();
+    for _ in 0..N {
+        let _s = prof::span!("test.disabled_overhead");
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / f64::from(N);
+    assert!(
+        per_call < 1_000.0,
+        "disabled span costs {per_call:.0} ns/call"
+    );
+}

@@ -1,25 +1,116 @@
 //! Communication-payload benchmarks: encoding/decoding model updates at
 //! the sizes the paper's models actually ship per round, demonstrating
-//! SCAFFOLD's 2x payload (§3.3).
+//! SCAFFOLD's 2x payload (§3.3) and the wire-codec throughput of the
+//! compression pipeline.
+//!
+//! Codec rows set `flops` to the *dense-equivalent* byte count (4·n), so
+//! the harness's `gflops` column reads directly as GB/s of model-update
+//! throughput and is comparable across codecs; each row also carries a
+//! `compression_ratio` extra (dense bytes / encoded bytes).
 
-use niid_bench::harness::{black_box, Harness};
+use niid_bench::harness::{black_box, BenchMeta, Harness};
 use niid_fl::comm::{decode_update, encode_update, RoundTraffic};
+use niid_fl::UpdateCodec;
 use niid_stats::Pcg64;
+use niid_tensor::active_kernel;
+
+/// The pre-bulk-copy `encode_update` body: one `to_le_bytes` call per f32.
+/// Kept as a reference row so the bulk-copy win stays visible in
+/// `BENCH_comm.json` instead of silently regressing.
+fn encode_update_per_f32(round: usize, party: usize, delta: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 4 * delta.len());
+    out.extend_from_slice(&(round as u32).to_le_bytes());
+    out.extend_from_slice(&(party as u32).to_le_bytes());
+    out.extend_from_slice(&(delta.len() as u64).to_le_bytes());
+    for v in delta {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
 
 fn main() {
     let mut h = Harness::from_args("comm_payload");
+    let threads = niid_tensor::configured_threads();
+    let kern = active_kernel();
     let mut rng = Pcg64::new(12);
+    let codecs = [
+        UpdateCodec::DenseF32,
+        UpdateCodec::TopK { fraction: 0.05 },
+        UpdateCodec::Int8Q { levels: 128 },
+        UpdateCodec::TopKInt8 {
+            fraction: 0.05,
+            levels: 128,
+        },
+    ];
     // Parameter counts: the tabular MLP (~4k), the LeNet CNN at 16px
     // (~40k), a mid-size conv net (~400k).
     for &n in &[4_096usize, 40_960, 409_600] {
         let delta: Vec<f32> = (0..n).map(|_| rng.next_f32() - 0.5).collect();
-        h.bench(&format!("encode/{n}"), |bench| {
-            bench.iter(|| black_box(encode_update(7, 42, &delta)))
-        });
-        let payload = encode_update(7, 42, &delta);
-        h.bench(&format!("decode/{n}"), |bench| {
-            bench.iter(|| black_box(decode_update(&payload).expect("decode")))
-        });
+        let framed = encode_update(7, 42, &delta);
+        let frame_bytes = framed.len() as u64;
+        h.bench_meta(
+            &format!("encode/{n}"),
+            BenchMeta::op("comm/encode_update", format!("n{n}"), threads, frame_bytes),
+            |bench| bench.iter(|| black_box(encode_update(7, 42, &delta))),
+        );
+        h.bench_meta(
+            &format!("encode_per_f32/{n}"),
+            BenchMeta::op(
+                "comm/encode_update_per_f32",
+                format!("n{n}"),
+                threads,
+                frame_bytes,
+            ),
+            |bench| bench.iter(|| black_box(encode_update_per_f32(7, 42, &delta))),
+        );
+        h.bench_meta(
+            &format!("decode/{n}"),
+            BenchMeta::op("comm/decode_update", format!("n{n}"), threads, frame_bytes),
+            |bench| bench.iter(|| black_box(decode_update(&framed).expect("decode"))),
+        );
+
+        // Codec throughput: encode/decode GB/s at dense-equivalent bytes,
+        // plus the achieved compression ratio.
+        let dense_bytes = 4 * n as u64;
+        for codec in &codecs {
+            let label = codec.label();
+            let payload = codec.encode(kern, &delta, 0xBEEF);
+            let ratio = dense_bytes as f64 / payload.len() as f64;
+            h.bench_meta(
+                &format!("encode_{label}/{n}"),
+                BenchMeta::op(
+                    match label {
+                        "dense" => "comm/encode_dense",
+                        "topk" => "comm/encode_topk",
+                        "int8" => "comm/encode_int8",
+                        _ => "comm/encode_topk8",
+                    },
+                    format!("n{n}"),
+                    threads,
+                    dense_bytes,
+                )
+                .with_extra("compression_ratio", ratio),
+                |bench| bench.iter(|| black_box(codec.encode(kern, &delta, 0xBEEF))),
+            );
+            h.bench_meta(
+                &format!("decode_{label}/{n}"),
+                BenchMeta::op(
+                    match label {
+                        "dense" => "comm/decode_dense",
+                        "topk" => "comm/decode_topk",
+                        "int8" => "comm/decode_int8",
+                        _ => "comm/decode_topk8",
+                    },
+                    format!("n{n}"),
+                    threads,
+                    dense_bytes,
+                )
+                .with_extra("compression_ratio", ratio),
+                |bench| {
+                    bench.iter(|| black_box(codec.decode(kern, &payload, n).expect("codec decode")))
+                },
+            );
+        }
     }
 
     h.bench("round_traffic_accounting", |bench| {

@@ -38,6 +38,7 @@ fn one_round_config(algorithm: Algorithm, threads: usize) -> FlConfig {
         min_quorum: 0.5,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

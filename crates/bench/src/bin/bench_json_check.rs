@@ -53,8 +53,10 @@ fn check_entry(e: &Json, idx: usize) -> Result<(), String> {
         Some(_) => return Err(format!("entry {idx}: gflops must be null or finite")),
         None => return Err(format!("entry {idx}: missing field \"gflops\"")),
     }
-    if e.get("op").and_then(Json::as_str) == Some("fl_scale") {
-        check_fl_scale_entry(e, idx)?;
+    match e.get("op").and_then(Json::as_str) {
+        Some("fl_scale") => check_fl_scale_entry(e, idx)?,
+        Some("fl_comm") => check_fl_comm_entry(e, idx)?,
+        _ => {}
     }
     Ok(())
 }
@@ -68,6 +70,8 @@ fn check_fl_scale_entry(e: &Json, idx: usize) -> Result<(), String> {
         "cohort",
         "rounds_per_sec",
         "bytes_per_round",
+        "down_bytes_per_round",
+        "up_bytes_per_round",
         "resident_party_bytes_peak",
     ] {
         let v = e
@@ -80,10 +84,53 @@ fn check_fl_scale_entry(e: &Json, idx: usize) -> Result<(), String> {
             ));
         }
     }
+    match e.get("encoding").and_then(Json::as_str) {
+        Some(enc) if !enc.is_empty() => {}
+        _ => {
+            return Err(format!(
+                "entry {idx}: fl_scale missing non-empty string field \"encoding\""
+            ))
+        }
+    }
     let n = e.get("n_parties").and_then(Json::as_f64).unwrap_or(0.0);
     let m = e.get("cohort").and_then(Json::as_f64).unwrap_or(0.0);
     if m > n {
         return Err(format!("entry {idx}: cohort {m} exceeds population {n}"));
+    }
+    Ok(())
+}
+
+/// Extra fields `exp_comm` records per (skew, codec) cell: the codec
+/// label, the final accuracy in [0, 1], and measured traffic totals that
+/// must be positive. `bytes_ratio_vs_dense` must be finite and positive —
+/// 1.0 for the dense reference row, > 1 when a codec actually shrinks the
+/// upload.
+fn check_fl_comm_entry(e: &Json, idx: usize) -> Result<(), String> {
+    match e.get("encoding").and_then(Json::as_str) {
+        Some(enc) if !enc.is_empty() => {}
+        _ => {
+            return Err(format!(
+                "entry {idx}: fl_comm missing non-empty string field \"encoding\""
+            ))
+        }
+    }
+    for key in ["up_bytes_total", "down_bytes_total", "bytes_ratio_vs_dense"] {
+        let v = e
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {idx}: fl_comm missing numeric field {key:?}"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("entry {idx}: fl_comm {key} = {v} must be positive"));
+        }
+    }
+    let acc = e
+        .get("final_accuracy")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("entry {idx}: fl_comm missing numeric field \"final_accuracy\""))?;
+    if !(0.0..=1.0).contains(&acc) {
+        return Err(format!(
+            "entry {idx}: fl_comm final_accuracy = {acc} outside [0, 1]"
+        ));
     }
     Ok(())
 }
@@ -330,8 +377,60 @@ mod tests {
             ("cohort", Json::Num(cohort)),
             ("rounds_per_sec", Json::Num(12.5)),
             ("bytes_per_round", Json::Num(65536.0)),
+            ("down_bytes_per_round", Json::Num(32768.0)),
+            ("up_bytes_per_round", Json::Num(32768.0)),
+            ("encoding", Json::Str("dense".into())),
             ("resident_party_bytes_peak", Json::Num(4096.0)),
         ])
+    }
+
+    fn fl_comm_entry() -> Json {
+        Json::obj(vec![
+            ("group", Json::Str("fl_comm".into())),
+            ("name", Json::Str("cifar10-dirichlet/topk8".into())),
+            ("op", Json::Str("fl_comm".into())),
+            ("shape", Json::Str("cifar10 dirichlet rounds=3".into())),
+            ("simd", Json::Str("avx2/avx2+fma".into())),
+            ("threads", Json::Num(8.0)),
+            ("median_ns", Json::Num(1e8)),
+            ("min_ns", Json::Num(9e7)),
+            ("iters", Json::Num(3.0)),
+            ("gflops", Json::Null),
+            ("encoding", Json::Str("topk8".into())),
+            ("final_accuracy", Json::Num(0.42)),
+            ("up_bytes_total", Json::Num(1.0e6)),
+            ("down_bytes_total", Json::Num(8.0e6)),
+            ("bytes_ratio_vs_dense", Json::Num(9.3)),
+        ])
+    }
+
+    #[test]
+    fn fl_comm_entry_passes() {
+        assert!(check_entry(&fl_comm_entry(), 0).is_ok());
+    }
+
+    #[test]
+    fn fl_comm_entry_requires_traffic_fields() {
+        let mut bad = fl_comm_entry();
+        if let Json::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "up_bytes_total");
+        }
+        let err = check_entry(&bad, 0).unwrap_err();
+        assert!(err.contains("up_bytes_total"), "{err}");
+    }
+
+    #[test]
+    fn fl_comm_accuracy_must_be_a_fraction() {
+        let mut bad = fl_comm_entry();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "final_accuracy" {
+                    *v = Json::Num(42.0);
+                }
+            }
+        }
+        let err = check_entry(&bad, 0).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
     }
 
     #[test]
@@ -347,6 +446,22 @@ mod tests {
         }
         let err = check_entry(&bad, 0).unwrap_err();
         assert!(err.contains("rounds_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn fl_scale_entry_requires_measured_split_and_encoding() {
+        let mut bad = fl_scale_entry(10.0);
+        if let Json::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "up_bytes_per_round");
+        }
+        let err = check_entry(&bad, 0).unwrap_err();
+        assert!(err.contains("up_bytes_per_round"), "{err}");
+        let mut bad = fl_scale_entry(10.0);
+        if let Json::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "encoding");
+        }
+        let err = check_entry(&bad, 0).unwrap_err();
+        assert!(err.contains("encoding"), "{err}");
     }
 
     #[test]

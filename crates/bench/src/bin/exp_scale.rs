@@ -9,7 +9,7 @@
 //! party-resident memory tracks the cohort, never the population.
 //!
 //! ```text
-//! exp_scale [--short] [--json PATH] [--seed N]
+//! exp_scale [--short] [--json PATH] [--seed N] [--codec SPEC]
 //! ```
 //!
 //! `--short` restricts the sweep to N ∈ {1k, 10k} for the CI bench-smoke
@@ -19,14 +19,18 @@
 //! Output schema: the bench harness's generic entry fields (group, name,
 //! op, shape, threads, simd, median_ns, min_ns, iters, gflops) plus the
 //! scale-specific numbers `n_parties`, `cohort`, `rounds_per_sec`,
-//! `bytes_per_round` and `resident_party_bytes_peak` — all validated by
-//! `bench_json_check`.
+//! `bytes_per_round` (split into the measured `down_bytes_per_round` /
+//! `up_bytes_per_round`), the codec label `encoding`, and
+//! `resident_party_bytes_peak` — all validated by `bench_json_check`.
+//! Per-round traffic is measured from the actually-encoded payloads, not
+//! derived from a formula, so `--codec topk8:0.05` shows real upload
+//! shrinkage.
 
 use niid_core::partition::{LazyPartition, Strategy};
 use niid_data::Dataset;
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
-use niid_fl::{residency, Algorithm};
+use niid_fl::{residency, Algorithm, UpdateCodec};
 use niid_json::Json;
 use niid_nn::ModelSpec;
 use niid_stats::{derive_seed, Pcg64};
@@ -65,12 +69,15 @@ struct Cell {
     cohort: usize,
     rounds_per_sec: f64,
     bytes_per_round: f64,
+    down_bytes_per_round: f64,
+    up_bytes_per_round: f64,
+    encoding: &'static str,
     resident_peak: usize,
     wall_ns_per_round: f64,
     final_accuracy: f64,
 }
 
-fn run_cell(n_parties: usize, seed: u64) -> Cell {
+fn run_cell(n_parties: usize, seed: u64, codec: UpdateCodec) -> Cell {
     let m = cohort(n_parties);
     let train = Arc::new(synth(
         n_parties * PER_PARTY,
@@ -100,6 +107,7 @@ fn run_cell(n_parties: usize, seed: u64) -> Cell {
         min_quorum: 0.5,
         fault_plan: None,
         checkpoint: None,
+        codec,
     };
     let sim = FedSim::with_provider(
         ModelSpec::Mlp { in_dim: DIM },
@@ -115,11 +123,16 @@ fn run_cell(n_parties: usize, seed: u64) -> Cell {
         result.rounds.iter().all(|r| r.participants == m),
         "cohort size drifted"
     );
+    let down: usize = result.rounds.iter().map(|r| r.down_bytes).sum();
+    let up: usize = result.rounds.iter().map(|r| r.up_bytes).sum();
     Cell {
         n_parties,
         cohort: m,
         rounds_per_sec: ROUNDS as f64 / result.wall_seconds,
         bytes_per_round: result.total_bytes as f64 / ROUNDS as f64,
+        down_bytes_per_round: down as f64 / ROUNDS as f64,
+        up_bytes_per_round: up as f64 / ROUNDS as f64,
+        encoding: codec.label(),
         resident_peak: peak,
         wall_ns_per_round: result.wall_seconds * 1e9 / ROUNDS as f64,
         final_accuracy: result.final_accuracy,
@@ -159,6 +172,9 @@ fn cell_json(c: &Cell, simd: &str, threads: usize) -> Json {
         ("cohort", Json::Num(c.cohort as f64)),
         ("rounds_per_sec", Json::Num(c.rounds_per_sec)),
         ("bytes_per_round", Json::Num(c.bytes_per_round)),
+        ("down_bytes_per_round", Json::Num(c.down_bytes_per_round)),
+        ("up_bytes_per_round", Json::Num(c.up_bytes_per_round)),
+        ("encoding", Json::Str(c.encoding.into())),
         (
             "resident_party_bytes_peak",
             Json::Num(c.resident_peak as f64),
@@ -171,12 +187,19 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut seed = 42u64;
+    let mut codec = UpdateCodec::DenseF32;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--short" => short = true,
             "--json" => json_path = args.next(),
             "--profile" => profile_path = args.next(),
+            "--codec" => {
+                codec = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --codec (dense | topk[:f] | int8[:L] | topk8[:f[:L]])");
+                    std::process::exit(2);
+                })
+            }
             "--seed" => {
                 seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("bad --seed");
@@ -184,7 +207,10 @@ fn main() {
                 })
             }
             "--help" | "-h" => {
-                eprintln!("usage: exp_scale [--short] [--json PATH] [--profile PATH] [--seed N]");
+                eprintln!(
+                    "usage: exp_scale [--short] [--json PATH] [--profile PATH] [--seed N] \
+                     [--codec SPEC]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -207,9 +233,10 @@ fn main() {
         "=== exp_scale: cross-device cohort-on-demand sweep{} ===",
         if short { " (short)" } else { "" }
     );
+    println!("codec: {codec}");
     println!(
-        "{:<8} {:>8} {:>12} {:>14} {:>16} {:>10}",
-        "N", "cohort", "rounds/s", "bytes/round", "resident peak", "final acc"
+        "{:<8} {:>8} {:>12} {:>13} {:>13} {:>16} {:>10}",
+        "N", "cohort", "rounds/s", "down B/round", "up B/round", "resident peak", "final acc"
     );
 
     let threads = niid_tensor::configured_threads();
@@ -220,13 +247,14 @@ fn main() {
     );
     let mut entries = Vec::new();
     for &n in populations {
-        let cell = run_cell(n, derive_seed(seed, n as u64));
+        let cell = run_cell(n, derive_seed(seed, n as u64), codec);
         println!(
-            "{:<8} {:>8} {:>12.2} {:>14.0} {:>16} {:>9.1}%",
+            "{:<8} {:>8} {:>12.2} {:>13.0} {:>13.0} {:>16} {:>9.1}%",
             label(cell.n_parties),
             cell.cohort,
             cell.rounds_per_sec,
-            cell.bytes_per_round,
+            cell.down_bytes_per_round,
+            cell.up_bytes_per_round,
             cell.resident_peak,
             cell.final_accuracy * 100.0
         );

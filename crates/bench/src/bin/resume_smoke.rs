@@ -70,6 +70,7 @@ fn config(rounds: usize) -> FlConfig {
         min_quorum: 0.25,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

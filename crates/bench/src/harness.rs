@@ -73,6 +73,9 @@ pub struct BenchMeta {
     /// `scalar/none`). Left empty by constructors and resolved from the
     /// active dispatch at record time; set it explicitly only to override.
     pub simd: String,
+    /// Extra numeric columns carried verbatim into the JSON entry (e.g.
+    /// `compression_ratio` for codec rows); empty for plain kernel rows.
+    pub extras: Vec<(&'static str, f64)>,
 }
 
 impl BenchMeta {
@@ -84,7 +87,14 @@ impl BenchMeta {
             threads,
             flops,
             simd: String::new(),
+            extras: Vec::new(),
         }
+    }
+
+    /// Attach an extra numeric column to the JSON entry.
+    pub fn with_extra(mut self, key: &'static str, value: f64) -> Self {
+        self.extras.push((key, value));
+        self
     }
 }
 
@@ -265,7 +275,7 @@ impl Harness {
             self.entries
                 .iter()
                 .map(|(name, meta, m)| {
-                    Json::obj(vec![
+                    let mut fields = vec![
                         ("group", Json::Str(self.group.clone())),
                         ("name", Json::Str(name.clone())),
                         ("op", Json::Str(meta.op.clone())),
@@ -279,7 +289,11 @@ impl Harness {
                             "gflops",
                             gflops(meta, m).map(Json::Num).unwrap_or(Json::Null),
                         ),
-                    ])
+                    ];
+                    for &(key, value) in &meta.extras {
+                        fields.push((key, Json::Num(value)));
+                    }
+                    Json::obj(fields)
                 })
                 .collect(),
         )
@@ -392,9 +406,11 @@ mod tests {
             entries: Vec::new(),
             ran: 0,
         };
-        h.bench_meta("fast_op", BenchMeta::op("op", "2x2", 1, 8), |b| {
-            b.iter(|| black_box(1u32))
-        });
+        h.bench_meta(
+            "fast_op",
+            BenchMeta::op("op", "2x2", 1, 8).with_extra("compression_ratio", 6.4),
+            |b| b.iter(|| black_box(1u32)),
+        );
         let text = h.to_json().pretty();
         let parsed = niid_json::parse(&text).expect("harness JSON parses");
         let arr = parsed.as_arr().expect("array");
@@ -403,6 +419,11 @@ mod tests {
         assert_eq!(e.get("name").and_then(Json::as_str), Some("fast_op"));
         assert_eq!(e.get("threads").and_then(Json::as_f64), Some(1.0));
         assert!(e.get("gflops").is_some_and(|g| !g.is_null()));
+        assert_eq!(
+            e.get("compression_ratio").and_then(Json::as_f64),
+            Some(6.4),
+            "extras must land as plain numeric columns"
+        );
         let simd = e.get("simd").and_then(Json::as_str).expect("simd field");
         assert!(
             simd.contains('/') && !simd.is_empty(),

@@ -25,6 +25,8 @@
 //!                      crash=0.3 or crash=0.2,drop=0.05,delay=0.1:50,seed=7
 //! --min-quorum <f>     minimum surviving fraction of each round's cohort
 //!                      before the run aborts with a quorum error (default 0.5)
+//! --codec <spec>       wire codec for update uploads: dense (default),
+//!                      topk[:f], int8[:L], topk8[:f[:L]]
 //! --profile <path>     record span-profiler data and write a Chrome
 //!                      trace-event JSON (loadable in Perfetto) at exit
 //! ```
@@ -35,7 +37,7 @@ pub mod harness;
 
 use niid_core::experiment::ExperimentSpec;
 use niid_data::GenConfig;
-use niid_fl::{FaultPlan, TraceSummary};
+use niid_fl::{FaultPlan, TraceSummary, UpdateCodec};
 use niid_json::ToJson;
 use std::io::Write;
 
@@ -79,6 +81,8 @@ pub struct Args {
     pub faults: Option<FaultPlan>,
     /// Minimum surviving fraction of each round's selected cohort.
     pub min_quorum: Option<f64>,
+    /// Wire codec for update uploads (`--codec` spec).
+    pub codec: Option<UpdateCodec>,
     /// Optional Perfetto-loadable profile output path; also enables the
     /// span profiler for the whole run.
     pub profile: Option<String>,
@@ -106,6 +110,7 @@ impl Args {
             resume: false,
             faults: None,
             min_quorum: None,
+            codec: None,
             profile: None,
         };
         let mut it = args.into_iter();
@@ -168,13 +173,20 @@ impl Args {
                         std::process::exit(2);
                     }))
                 }
+                "--codec" => {
+                    out.codec = Some(take("--codec").parse().unwrap_or_else(|e| {
+                        eprintln!("bad --codec: {e}");
+                        std::process::exit(2);
+                    }))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick | --paper-scale] [--seed N] [--rounds N] \
                          [--trials N] [--json PATH] [--trace PATH] \
                          [--metrics-dir DIR] [--metrics-port PORT] \
                          [--checkpoint-dir DIR] [--checkpoint-every K] [--resume] \
-                         [--faults SPEC] [--min-quorum F] [--profile PATH]"
+                         [--faults SPEC] [--min-quorum F] [--codec SPEC] \
+                         [--profile PATH]"
                     );
                     std::process::exit(0);
                 }
@@ -253,6 +265,9 @@ impl Args {
         }
         if let Some(q) = self.min_quorum {
             spec.min_quorum = q;
+        }
+        if let Some(codec) = self.codec {
+            spec.codec = codec;
         }
     }
 
@@ -464,6 +479,30 @@ mod tests {
         assert!(!spec.resume);
         assert_eq!(spec.faults.as_ref().map(|p| p.crash_prob), Some(0.1));
         assert_eq!(spec.min_quorum, 0.4);
+    }
+
+    #[test]
+    fn codec_flag_parses_and_applies() {
+        use niid_core::partition::Strategy;
+        use niid_data::DatasetId;
+        use niid_fl::Algorithm;
+        let a = parse(&["--codec", "topk8:0.1:64"]);
+        assert_eq!(
+            a.codec,
+            Some(UpdateCodec::TopKInt8 {
+                fraction: 0.1,
+                levels: 64
+            })
+        );
+        let mut spec = ExperimentSpec::new(
+            DatasetId::Mnist,
+            Strategy::Homogeneous,
+            Algorithm::FedAvg,
+            a.gen_config(),
+        );
+        assert_eq!(spec.codec, UpdateCodec::DenseF32, "dense by default");
+        a.apply(&mut spec, 50, 3);
+        assert_eq!(spec.codec, a.codec.unwrap());
     }
 
     #[test]

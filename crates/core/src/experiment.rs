@@ -7,7 +7,7 @@ use niid_fl::dynamics::{DynamicsRecorder, RoundObserver};
 use niid_fl::engine::{BufferPolicy, FedSim, FlConfig};
 use niid_fl::local::LocalConfig;
 use niid_fl::trace::{JsonlSink, NoopSink};
-use niid_fl::{Algorithm, CheckpointPolicy, FaultPlan, FlError, RunResult};
+use niid_fl::{Algorithm, CheckpointPolicy, FaultPlan, FlError, RunResult, UpdateCodec};
 use niid_json::{FromJson, Json, JsonError, ToJson};
 use niid_metrics::{
     global_registry, install_signal_flush, register_flusher, JsonlExporter, MetricsServer,
@@ -126,6 +126,9 @@ pub struct ExperimentSpec {
     /// proportional to the sampled cohort rather than `n_parties`.
     /// Supports the strategies [`LazyPartition`] supports.
     pub lazy_parties: bool,
+    /// Wire codec for party update uploads (`--codec` spec; dense is the
+    /// paper's uncompressed baseline).
+    pub codec: UpdateCodec,
 }
 
 impl ExperimentSpec {
@@ -169,6 +172,7 @@ impl ExperimentSpec {
             faults: None,
             min_quorum: 0.5,
             lazy_parties: false,
+            codec: UpdateCodec::DenseF32,
         }
     }
 
@@ -430,6 +434,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentResult, Experim
             min_quorum: spec.min_quorum,
             fault_plan: spec.faults.clone(),
             checkpoint: spec.checkpoint_policy(trial),
+            codec: spec.codec,
         };
         let sim = if spec.lazy_parties {
             let provider =

@@ -18,6 +18,7 @@
 //! form keeps the contract and parallelizes the dimension that is
 //! actually large.
 
+use crate::compress::DecodedUpdate;
 use crate::local::LocalOutcome;
 use niid_tensor::parallel_for;
 use std::sync::Mutex;
@@ -29,15 +30,71 @@ use std::sync::Mutex;
 /// to feed every worker.
 const REDUCE_BLOCK: usize = 8192;
 
+/// One party's update as the merge consumes it: either a full vector or
+/// the `(index, value)` runs a sparse codec delivered. Sparse indices are
+/// strictly increasing (the codec's decode validates this), which lets
+/// each reduction block binary-search its index range instead of
+/// densifying the update per party.
+#[derive(Debug, Clone, Copy)]
+pub enum UpdateRef<'a> {
+    /// Every coordinate present; length equals the global vector's.
+    Dense(&'a [f32]),
+    /// Surviving coordinates only, ascending and in range.
+    Sparse {
+        /// Coordinate positions.
+        indices: &'a [u32],
+        /// Values at those positions.
+        values: &'a [f32],
+    },
+}
+
+impl<'a> From<&'a DecodedUpdate> for UpdateRef<'a> {
+    fn from(d: &'a DecodedUpdate) -> Self {
+        match d {
+            DecodedUpdate::Dense(v) => UpdateRef::Dense(v),
+            DecodedUpdate::Sparse { indices, values } => UpdateRef::Sparse { indices, values },
+        }
+    }
+}
+
+impl UpdateRef<'_> {
+    fn assert_len(&self, n: usize) {
+        match self {
+            UpdateRef::Dense(v) => assert_eq!(
+                v.len(),
+                n,
+                "aggregate: delta length mismatch (party outcome {} vs global {})",
+                v.len(),
+                n
+            ),
+            UpdateRef::Sparse { indices, values } => {
+                assert_eq!(
+                    indices.len(),
+                    values.len(),
+                    "aggregate: ragged sparse update"
+                );
+                if let Some(&last) = indices.last() {
+                    assert!((last as usize) < n, "aggregate: sparse index out of range");
+                }
+            }
+        }
+    }
+}
+
 /// Fold `out[e] += Σᵢ wᵢ · vᵢ[e]` over the `(wᵢ, vᵢ)` terms, in term
 /// order per element, parallelized across fixed parameter blocks.
 ///
-/// Each vector must match `out` in length (checked by the callers with
-/// their own error wording before terms are built).
-fn blocked_fold(out: &mut [f32], terms: &[(f32, &[f32])]) {
+/// Sparse terms contribute only the coordinates they carry — each block
+/// locates its index run by binary search, so a sparse party costs
+/// `O(log k + k_block)` per block rather than `O(block)`. Per element the
+/// accumulation order is still exactly the term order (absent coordinates
+/// simply add nothing), so the dense arm reproduces the historical serial
+/// fold bit-for-bit at any thread count.
+fn blocked_fold(out: &mut [f32], terms: &[(f32, UpdateRef<'_>)]) {
     if out.is_empty() || terms.is_empty() {
         return;
     }
+    let _sp = niid_prof::span!("agg.sparse_merge");
     // One mutex per block hands each pool task exclusive ownership of its
     // slice; a task locks its block exactly once, so there is no
     // contention — the mutex is only the safe conduit for `&mut` across
@@ -47,12 +104,32 @@ fn blocked_fold(out: &mut [f32], terms: &[(f32, &[f32])]) {
         let mut chunk = blocks[b].lock().expect("reduce block poisoned");
         let off = b * REDUCE_BLOCK;
         let len = chunk.len();
-        for &(w, v) in terms {
-            for (g, &d) in chunk.iter_mut().zip(&v[off..off + len]) {
-                *g += w * d;
+        for &(w, u) in terms {
+            match u {
+                UpdateRef::Dense(v) => {
+                    for (g, &d) in chunk.iter_mut().zip(&v[off..off + len]) {
+                        *g += w * d;
+                    }
+                }
+                UpdateRef::Sparse { indices, values } => {
+                    let lo = indices.partition_point(|&i| (i as usize) < off);
+                    let hi = indices.partition_point(|&i| (i as usize) < off + len);
+                    for (&i, &v) in indices[lo..hi].iter().zip(&values[lo..hi]) {
+                        chunk[i as usize - off] += w * v;
+                    }
+                }
             }
         }
     });
+}
+
+/// Dense-only convenience wrapper over [`blocked_fold`].
+fn blocked_fold_dense(out: &mut [f32], terms: &[(f32, &[f32])]) {
+    let terms: Vec<(f32, UpdateRef<'_>)> = terms
+        .iter()
+        .map(|&(w, v)| (w, UpdateRef::Dense(v)))
+        .collect();
+    blocked_fold(out, &terms);
 }
 
 /// Plain sample-weighted averaging of local updates:
@@ -63,27 +140,44 @@ fn blocked_fold(out: &mut [f32], terms: &[(f32, &[f32])]) {
 ///
 /// Mutates `global` in place.
 pub fn weighted_average(global: &mut [f32], outcomes: &[LocalOutcome], server_lr: f32) {
+    let updates: Vec<UpdateRef<'_>> = outcomes
+        .iter()
+        .map(|o| UpdateRef::Dense(&o.delta))
+        .collect();
+    weighted_average_updates(global, outcomes, &updates, server_lr);
+}
+
+/// [`weighted_average`] over codec-decoded updates: `updates[i]` stands in
+/// for `outcomes[i].delta` (which a lossy wire never delivered), weights
+/// still come from the outcomes' sample counts. Sparse updates aggregate
+/// without densifying.
+pub fn weighted_average_updates(
+    global: &mut [f32],
+    outcomes: &[LocalOutcome],
+    updates: &[UpdateRef<'_>],
+    server_lr: f32,
+) {
     assert!(!outcomes.is_empty(), "aggregate: no local outcomes");
+    assert_eq!(
+        outcomes.len(),
+        updates.len(),
+        "aggregate: update count mismatch"
+    );
     assert!(
         server_lr.is_finite() && server_lr > 0.0,
         "aggregate: server_lr must be positive"
     );
     let n: f64 = outcomes.iter().map(|o| o.n_samples as f64).sum();
     assert!(n > 0.0, "aggregate: zero total samples");
-    let terms: Vec<(f32, &[f32])> = outcomes
+    let terms: Vec<(f32, UpdateRef<'_>)> = outcomes
         .iter()
-        .map(|o| {
-            assert_eq!(
-                o.delta.len(),
-                global.len(),
-                "aggregate: delta length mismatch (party outcome {} vs global {})",
-                o.delta.len(),
-                global.len()
-            );
+        .zip(updates)
+        .map(|(o, &u)| {
+            u.assert_len(global.len());
             // `g += (-w)·d` is bit-identical to the historical `g -= w·d`
             // (IEEE sign negation commutes with multiply exactly).
             let w = server_lr * (o.n_samples as f64 / n) as f32;
-            (-w, o.delta.as_slice())
+            (-w, u)
         })
         .collect();
     blocked_fold(global, &terms);
@@ -97,7 +191,27 @@ pub fn weighted_average(global: &mut [f32], outcomes: &[LocalOutcome], server_lr
 /// (removing the bias toward parties that took more steps) and the
 /// aggregate is rescaled by the average effective step count.
 pub fn fednova_average(global: &mut [f32], outcomes: &[LocalOutcome], server_lr: f32) {
+    let updates: Vec<UpdateRef<'_>> = outcomes
+        .iter()
+        .map(|o| UpdateRef::Dense(&o.delta))
+        .collect();
+    fednova_average_updates(global, outcomes, &updates, server_lr);
+}
+
+/// [`fednova_average`] over codec-decoded updates (see
+/// [`weighted_average_updates`]).
+pub fn fednova_average_updates(
+    global: &mut [f32],
+    outcomes: &[LocalOutcome],
+    updates: &[UpdateRef<'_>],
+    server_lr: f32,
+) {
     assert!(!outcomes.is_empty(), "aggregate: no local outcomes");
+    assert_eq!(
+        outcomes.len(),
+        updates.len(),
+        "aggregate: update count mismatch"
+    );
     assert!(
         server_lr.is_finite() && server_lr > 0.0,
         "aggregate: server_lr must be positive"
@@ -109,17 +223,14 @@ pub fn fednova_average(global: &mut [f32], outcomes: &[LocalOutcome], server_lr:
         .map(|o| o.n_samples as f64 * o.tau as f64)
         .sum::<f64>()
         / n;
-    let terms: Vec<(f32, &[f32])> = outcomes
+    let terms: Vec<(f32, UpdateRef<'_>)> = outcomes
         .iter()
-        .map(|o| {
+        .zip(updates)
+        .map(|(o, &u)| {
             assert!(o.tau > 0, "aggregate: party took zero steps");
-            assert_eq!(
-                o.delta.len(),
-                global.len(),
-                "aggregate: delta length mismatch"
-            );
+            u.assert_len(global.len());
             let w = server_lr * (coeff * o.n_samples as f64 / (n * o.tau as f64)) as f32;
-            (-w, o.delta.as_slice())
+            (-w, u)
         })
         .collect();
     blocked_fold(global, &terms);
@@ -142,7 +253,7 @@ pub fn scaffold_update_c(server_c: &mut [f32], outcomes: &[LocalOutcome], total_
             (inv_n, o.delta_c.as_slice())
         })
         .collect();
-    blocked_fold(server_c, &terms);
+    blocked_fold_dense(server_c, &terms);
 }
 
 /// Sample-weighted averaging of BatchNorm buffers (running statistics).
@@ -161,7 +272,7 @@ pub fn average_buffers(outcomes: &[LocalOutcome]) -> Option<Vec<f32>> {
             ((o.n_samples as f64 / n) as f32, o.buffers.as_slice())
         })
         .collect();
-    blocked_fold(&mut out, &terms);
+    blocked_fold_dense(&mut out, &terms);
     Some(out)
 }
 
@@ -301,6 +412,96 @@ mod tests {
     #[should_panic(expected = "server_lr must be positive")]
     fn zero_server_lr_panics() {
         weighted_average(&mut [0.0], &[outcome(vec![0.0], 1, 1)], 0.0);
+    }
+
+    #[test]
+    fn sparse_merge_matches_densified_reference_at_any_width() {
+        // A mixed cohort — two sparse parties, one dense — must produce
+        // exactly what densifying every sparse update first would, at any
+        // thread budget (blocks only ever add coordinates they own, in
+        // term order).
+        let len = REDUCE_BLOCK + 777;
+        let mut rng = niid_stats::Pcg64::new(0x5AB5);
+        let mut noise =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect() };
+        let global0 = noise(len);
+        let dense_delta = noise(len);
+        // Sparse parties: every 3rd (resp. 7th) coordinate carries a value.
+        let sp = |stride: usize, vals: &[f32]| -> (Vec<u32>, Vec<f32>) {
+            let idx: Vec<u32> = (0..len).step_by(stride).map(|i| i as u32).collect();
+            let v: Vec<f32> = idx.iter().map(|&i| vals[i as usize]).collect();
+            (idx, v)
+        };
+        let src_a = noise(len);
+        let src_b = noise(len);
+        let (ia, va) = sp(3, &src_a);
+        let (ib, vb) = sp(7, &src_b);
+
+        let outcomes = vec![
+            outcome(dense_delta.clone(), 2, 10),
+            outcome(Vec::new(), 2, 30),
+            outcome(Vec::new(), 2, 25),
+        ];
+        let updates = [
+            UpdateRef::Dense(&dense_delta),
+            UpdateRef::Sparse {
+                indices: &ia,
+                values: &va,
+            },
+            UpdateRef::Sparse {
+                indices: &ib,
+                values: &vb,
+            },
+        ];
+
+        // Reference: densify, then run the historical dense path.
+        let densified: Vec<Vec<f32>> = updates
+            .iter()
+            .map(|u| match *u {
+                UpdateRef::Dense(v) => v.to_vec(),
+                UpdateRef::Sparse { indices, values } => {
+                    let mut out = vec![0f32; len];
+                    for (&i, &v) in indices.iter().zip(values) {
+                        out[i as usize] = v;
+                    }
+                    out
+                }
+            })
+            .collect();
+        let dense_outcomes: Vec<LocalOutcome> = outcomes
+            .iter()
+            .zip(&densified)
+            .map(|(o, d)| outcome(d.clone(), o.tau, o.n_samples))
+            .collect();
+        let mut reference = global0.clone();
+        weighted_average(&mut reference, &dense_outcomes, 1.0);
+
+        for budget in [1, 4] {
+            let mut got = global0.clone();
+            niid_tensor::with_thread_budget(budget, || {
+                weighted_average_updates(&mut got, &outcomes, &updates, 1.0);
+            });
+            for e in 0..len {
+                assert_eq!(
+                    reference[e].to_bits(),
+                    got[e].to_bits(),
+                    "element {e} at budget {budget}"
+                );
+            }
+        }
+
+        // FedNova over the same mixed cohort agrees with its dense self.
+        let mut nova_ref = global0.clone();
+        fednova_average(&mut nova_ref, &dense_outcomes, 0.5);
+        let mut nova = global0.clone();
+        fednova_average_updates(&mut nova, &outcomes, &updates, 0.5);
+        for e in 0..len {
+            assert_eq!(
+                nova_ref[e].to_bits(),
+                nova[e].to_bits(),
+                "fednova element {e}"
+            );
+        }
     }
 
     #[test]

@@ -36,7 +36,11 @@ use std::path::{Path, PathBuf};
 ///   variate appear), so the file size tracks the set of parties ever
 ///   selected instead of `N`; adds `sample_fraction`, `min_quorum` and
 ///   `fault_plan` so resume can refuse a changed cohort/fault schedule.
-pub const CHECKPOINT_VERSION: u64 = 2;
+/// * 3 — adds the update `codec` spec string and the sparse per-party
+///   error-feedback `residuals` kept by lossy codecs
+///   ([`crate::compress`]), so a compressed run resumes bit-for-bit and
+///   resume refuses a changed codec.
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// When and where `FedSim` writes checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +86,10 @@ pub struct Checkpoint {
     /// Fault-plan spec string ([`crate::fault::FaultPlan`]'s `Display`
     /// form, `None` for fault-free runs) — compatibility check.
     pub fault_plan: Option<String>,
+    /// Update-codec spec string ([`crate::compress::UpdateCodec`]'s
+    /// `Display` form) — compatibility check: resuming under a different
+    /// codec would diverge from the uninterrupted run.
+    pub codec: String,
     /// Aggregated global parameters after round `round_next - 1`.
     pub global_params: Vec<f32>,
     /// Aggregated global buffers (empty for buffer-free models).
@@ -94,6 +102,10 @@ pub struct Checkpoint {
     /// carries no per-party residency for the never-selected majority of
     /// a cross-device population.
     pub client_c: Vec<(usize, Vec<f32>)>,
+    /// Sparse error-feedback residuals kept by lossy codecs: `(party id,
+    /// residual)` sorted by id, holding only parties that have encoded a
+    /// lossy update. Empty for `dense` runs.
+    pub residuals: Vec<(usize, Vec<f32>)>,
     /// Round records accumulated so far.
     pub records: Vec<RoundRecord>,
     /// Best evaluated accuracy so far.
@@ -102,6 +114,47 @@ pub struct Checkpoint {
     pub final_accuracy: f64,
     /// Cumulative traffic so far.
     pub total_bytes: usize,
+}
+
+fn sparse_pairs_to_json(pairs: &[(usize, Vec<f32>)], value_key: &'static str) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|(party, v)| Json::obj(vec![("party", party.to_json()), (value_key, v.to_json())]))
+            .collect(),
+    )
+}
+
+fn sparse_pairs_from_json(
+    v: &Json,
+    field: &str,
+    value_key: &str,
+) -> Result<Vec<(usize, Vec<f32>)>, JsonError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| JsonError::new(format!("{field} must be an array")))?;
+    let mut out: Vec<(usize, Vec<f32>)> = Vec::with_capacity(arr.len());
+    for (i, entry) in arr.iter().enumerate() {
+        let party = usize::from_json(
+            entry
+                .get("party")
+                .ok_or_else(|| JsonError::new(format!("{field}[{i}] missing party id")))?,
+        )?;
+        let c: Vec<f32> = Vec::from_json(
+            entry
+                .get(value_key)
+                .ok_or_else(|| JsonError::new(format!("{field}[{i}] missing {value_key}")))?,
+        )?;
+        if let Some(&(prev, _)) = out.last() {
+            if party <= prev {
+                return Err(JsonError::new(format!(
+                    "{field} ids must be strictly increasing (entry {i}: {party} after {prev})"
+                )));
+            }
+        }
+        out.push((party, c));
+    }
+    Ok(out)
 }
 
 impl ToJson for Checkpoint {
@@ -124,20 +177,12 @@ impl ToJson for Checkpoint {
                     None => Json::Null,
                 },
             ),
+            ("codec", self.codec.to_json()),
             ("global_params", self.global_params.to_json()),
             ("global_buffers", self.global_buffers.to_json()),
             ("server_c", self.server_c.to_json()),
-            (
-                "client_c",
-                Json::Arr(
-                    self.client_c
-                        .iter()
-                        .map(|(party, c)| {
-                            Json::obj(vec![("party", party.to_json()), ("c", c.to_json())])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("client_c", sparse_pairs_to_json(&self.client_c, "c")),
+            ("residuals", sparse_pairs_to_json(&self.residuals, "r")),
             ("records", self.records.to_json()),
             ("best_accuracy", self.best_accuracy.to_json()),
             ("final_accuracy", self.final_accuracy.to_json()),
@@ -178,35 +223,12 @@ impl FromJson for Checkpoint {
                         .to_string(),
                 ),
             },
+            codec: String::from_json(req("codec")?)?,
             global_params: Vec::from_json(req("global_params")?)?,
             global_buffers: Vec::from_json(req("global_buffers")?)?,
             server_c: Vec::from_json(req("server_c")?)?,
-            client_c: {
-                let arr = req("client_c")?
-                    .as_arr()
-                    .ok_or_else(|| JsonError::new("client_c must be an array"))?;
-                let mut out = Vec::with_capacity(arr.len());
-                for (i, entry) in arr.iter().enumerate() {
-                    let party = usize::from_json(entry.get("party").ok_or_else(|| {
-                        JsonError::new(format!("client_c[{i}] missing party id"))
-                    })?)?;
-                    let c: Vec<f32> = Vec::from_json(
-                        entry
-                            .get("c")
-                            .ok_or_else(|| JsonError::new(format!("client_c[{i}] missing c")))?,
-                    )?;
-                    if let Some(&(prev, _)) = out.last() {
-                        if party <= prev {
-                            return Err(JsonError::new(format!(
-                                "client_c ids must be strictly increasing \
-                                 (entry {i}: {party} after {prev})"
-                            )));
-                        }
-                    }
-                    out.push((party, c));
-                }
-                out
-            },
+            client_c: sparse_pairs_from_json(req("client_c")?, "client_c", "c")?,
+            residuals: sparse_pairs_from_json(req("residuals")?, "residuals", "r")?,
             records: Vec::from_json(req("records")?)?,
             best_accuracy: f64::from_json(req("best_accuracy")?)?,
             final_accuracy: f64::from_json(req("final_accuracy")?)?,
@@ -265,10 +287,12 @@ mod tests {
             sample_fraction: 0.5,
             min_quorum: 0.5,
             fault_plan: Some("crash=0.3,seed=7".into()),
+            codec: "topk:0.25".into(),
             global_params: vec![0.5f32, -1.25, f32::MIN_POSITIVE, 3.0e-7],
             global_buffers: vec![1.0f32, 0.999],
             server_c: vec![0.125f32; 4],
             client_c: vec![(0, vec![0.1f32, 0.2, 0.3, 0.4]), (2, vec![-0.5; 4])],
+            residuals: vec![(0, vec![0.01f32, -0.02, 0.0, 0.5]), (3, vec![0.75; 4])],
             records: vec![RoundRecord {
                 round: 2,
                 test_accuracy: Some(0.625),
@@ -344,7 +368,7 @@ mod tests {
         // Wrong version is rejected, not misread — including v1 files,
         // whose dense client_c this reader no longer understands.
         let mut j = sample().to_json_string();
-        j = j.replace("\"version\":2", "\"version\":1");
+        j = j.replace("\"version\":3", "\"version\":1");
         std::fs::write(&garbled, j).unwrap();
         let err = Checkpoint::load(&garbled).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
@@ -360,6 +384,11 @@ mod tests {
         // Duplicates are unordered too.
         ck.client_c = vec![(1, vec![0.5; 4]), (1, vec![0.25; 4])];
         assert!(Checkpoint::from_json_str(&ck.to_json_string()).is_err());
+        // Residuals share the same ordering contract.
+        let mut ck = sample();
+        ck.residuals = vec![(3, vec![0.5; 4]), (0, vec![0.25; 4])];
+        let err = Checkpoint::from_json_str(&ck.to_json_string()).unwrap_err();
+        assert!(err.to_string().contains("residuals ids"), "{err}");
     }
 
     #[test]

@@ -103,6 +103,87 @@ impl RoundTraffic {
     }
 }
 
+/// Append `xs` to `buf` as little-endian `f32` bytes.
+///
+/// On little-endian targets the in-memory representation *is* the wire
+/// format, so the whole slice lands in one bulk copy instead of a
+/// per-element `extend_from_slice` loop; big-endian targets fall back to
+/// the portable per-element swap.
+pub fn write_f32_le(buf: &mut Vec<u8>, xs: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // Safety: any f32 bit pattern is a valid byte sequence and u8 has
+        // alignment 1, so viewing the slice as raw bytes is always sound.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), std::mem::size_of_val(xs))
+        };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in xs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Append `xs` to `buf` as little-endian `u32` bytes (bulk copy on
+/// little-endian, portable fallback elsewhere).
+pub fn write_u32_le(buf: &mut Vec<u8>, xs: &[u32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // Safety: as in `write_f32_le`.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), std::mem::size_of_val(xs))
+        };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in xs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode little-endian `f32` bytes. `bytes.len()` must be a multiple of 4
+/// (callers validate payload lengths before handing bytes over).
+pub fn read_f32_le(bytes: &[u8]) -> Vec<f32> {
+    let n = bytes.len() / 4;
+    debug_assert_eq!(bytes.len(), 4 * n, "byte count not a multiple of 4");
+    #[cfg(target_endian = "little")]
+    {
+        let mut out = vec![0f32; n];
+        // Safety: `out` owns 4·n writable bytes and the ranges cannot
+        // overlap; bit patterns are preserved exactly.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), 4 * n);
+        }
+        out
+    }
+    #[cfg(not(target_endian = "little"))]
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// Decode little-endian `u32` bytes (same contract as [`read_f32_le`]).
+pub fn read_u32_le(bytes: &[u8]) -> Vec<u32> {
+    let n = bytes.len() / 4;
+    debug_assert_eq!(bytes.len(), 4 * n, "byte count not a multiple of 4");
+    #[cfg(target_endian = "little")]
+    {
+        let mut out = vec![0u32; n];
+        // Safety: as in `read_f32_le`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), 4 * n);
+        }
+        out
+    }
+    #[cfg(not(target_endian = "little"))]
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
 /// Serialize a flat update into a length-prefixed wire payload (used by the
 /// serialization bench; the in-process simulator skips this on the hot
 /// path).
@@ -111,9 +192,7 @@ pub fn encode_update(party_id: u32, tau: u32, delta: &[f32]) -> Vec<u8> {
     buf.extend_from_slice(&party_id.to_le_bytes());
     buf.extend_from_slice(&tau.to_le_bytes());
     buf.extend_from_slice(&(delta.len() as u32).to_le_bytes());
-    for &v in delta {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
+    write_f32_le(&mut buf, delta);
     buf
 }
 
@@ -133,11 +212,7 @@ pub fn decode_update(payload: &[u8]) -> Option<(u32, u32, Vec<f32>)> {
     if Some(body.len()) != len.checked_mul(4) {
         return None;
     }
-    let delta = body
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
-        .collect();
-    Some((party_id, tau, delta))
+    Some((party_id, tau, read_f32_le(body)))
 }
 
 #[cfg(test)]
@@ -240,6 +315,40 @@ mod tests {
         for (a, b) in back.iter().zip(&delta) {
             assert_eq!(a.to_bits(), b.to_bits(), "wire format altered bits");
         }
+    }
+
+    #[test]
+    fn bulk_le_helpers_match_portable_byte_order() {
+        // The little-endian bulk copy must emit exactly what the portable
+        // per-element `to_le_bytes` loop would, including NaN payload bits.
+        let xs = vec![
+            1.5f32,
+            -0.0,
+            f32::NAN,
+            f32::from_bits(0x7FC0_1234),
+            f32::MAX,
+        ];
+        let mut bulk = vec![0xAAu8]; // pre-existing bytes survive the append
+        write_f32_le(&mut bulk, &xs);
+        let mut portable = vec![0xAAu8];
+        for &v in &xs {
+            portable.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bulk, portable);
+        let back = read_f32_le(&bulk[1..]);
+        for (a, b) in back.iter().zip(&xs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let us = vec![0u32, 1, 0xDEAD_BEEF, u32::MAX];
+        let mut bulk = Vec::new();
+        write_u32_le(&mut bulk, &us);
+        let mut portable = Vec::new();
+        for &v in &us {
+            portable.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bulk, portable);
+        assert_eq!(read_u32_le(&bulk), us);
     }
 
     #[test]

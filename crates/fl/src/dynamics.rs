@@ -17,7 +17,7 @@
 //! | `niid_round` | — | last completed round index |
 //! | `niid_train_loss` | — | sample-weighted mean local loss |
 //! | `niid_test_accuracy` | — | top-1 test accuracy (when evaluated) |
-//! | `niid_comm_bytes_total` | — | counter: cumulative round traffic |
+//! | `niid_comm_bytes_total{dir,encoding}` | direction × codec | counter: measured wire bytes |
 //! | `niid_weight_divergence_l2{party}` | party id | `‖wᵢ − w_global‖₂` |
 //! | `niid_weight_cosine{party}` | party id | cos(wᵢ, w_global) |
 //! | `niid_update_norm_l2{layer}` | leaf layer | weighted `‖Δw‖₂` per layer |
@@ -140,8 +140,12 @@ pub struct RoundObservation<'a> {
     pub avg_local_loss: f64,
     /// Test accuracy, when this round was evaluated.
     pub test_accuracy: Option<f64>,
-    /// Bytes "communicated" this round (down + up).
-    pub round_bytes: usize,
+    /// Measured broadcast bytes this round (server → parties).
+    pub down_bytes: usize,
+    /// Measured upload bytes this round (parties → server).
+    pub up_bytes: usize,
+    /// Codec family label of the upload wire (`dense`, `topk`, ...).
+    pub encoding: &'a str,
 }
 
 /// Observer hook of [`FedSim::run_observed`](crate::FedSim::run_observed).
@@ -188,6 +192,10 @@ struct RecorderState {
     last_loss: Option<f64>,
     last_accuracy: Option<f64>,
     party_gauges: HashMap<usize, PartyGauges>,
+    /// Lazily-created `{dir, encoding}` byte counters, one (down, up)
+    /// pair per codec label seen — created on first observation because
+    /// the label value is only known from the round's wire.
+    comm_counters: HashMap<String, (Arc<Counter>, Arc<Counter>)>,
     layer_gauges: Vec<(Arc<Gauge>, Arc<Gauge>)>,
     substrate_at_start: niid_tensor::SubstrateStats,
 }
@@ -206,7 +214,6 @@ pub struct DynamicsRecorder {
     round_gauge: Arc<Gauge>,
     loss_gauge: Arc<Gauge>,
     acc_gauge: Arc<Gauge>,
-    bytes_counter: Arc<Counter>,
     train_ms_hist: Arc<Histogram>,
     failure_counters: Vec<(FailureKind, Arc<Counter>)>,
     degraded_counter: Arc<Counter>,
@@ -252,11 +259,6 @@ impl DynamicsRecorder {
             &[],
         );
         let acc_gauge = registry.gauge("niid_test_accuracy", "Top-1 test accuracy", &[]);
-        let bytes_counter = registry.counter(
-            "niid_comm_bytes_total",
-            "Cumulative bytes communicated (down + up)",
-            &[],
-        );
         let train_ms_hist = registry.histogram(
             "niid_party_train_wall_ms",
             "Per-party local-training wall time (ms)",
@@ -308,7 +310,6 @@ impl DynamicsRecorder {
             round_gauge,
             loss_gauge,
             acc_gauge,
-            bytes_counter,
             train_ms_hist,
             failure_counters,
             degraded_counter,
@@ -322,6 +323,7 @@ impl DynamicsRecorder {
                 last_loss: None,
                 last_accuracy: None,
                 party_gauges: HashMap::new(),
+                comm_counters: HashMap::new(),
                 layer_gauges,
                 substrate_at_start: niid_tensor::stats::snapshot(),
             }),
@@ -411,7 +413,21 @@ impl RoundObserver for DynamicsRecorder {
             self.acc_gauge.set(acc);
             state.last_accuracy = Some(acc);
         }
-        self.bytes_counter.add(obs.round_bytes as u64);
+        if !state.comm_counters.contains_key(obs.encoding) {
+            let make = |dir: &str| {
+                self.registry.counter(
+                    "niid_comm_bytes_total",
+                    "Measured wire bytes from encoded payloads, by direction and codec",
+                    &[("dir", dir), ("encoding", obs.encoding)],
+                )
+            };
+            state
+                .comm_counters
+                .insert(obs.encoding.to_string(), (make("down"), make("up")));
+        }
+        let (down_c, up_c) = &state.comm_counters[obs.encoding];
+        down_c.add(obs.down_bytes as u64);
+        up_c.add(obs.up_bytes as u64);
 
         let total_n: f64 = obs.outcomes.iter().map(|o| o.n_samples as f64).sum();
         let mut w_local = vec![0.0f32; obs.global_before.len()];

@@ -1,10 +1,14 @@
 //! The federated simulation engine: rounds, sampling, parallel local
 //! training, aggregation, evaluation.
 
-use crate::aggregate::{average_buffers, fednova_average, scaffold_update_c, weighted_average};
+use crate::aggregate::{
+    average_buffers, fednova_average_updates, scaffold_update_c, weighted_average_updates,
+    UpdateRef,
+};
 use crate::algorithm::Algorithm;
 use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::comm::RoundTraffic;
+use crate::compress::{DecodedUpdate, UpdateCodec, SEED_COMPRESS_BASE};
 use crate::dynamics::{RoundObservation, RoundObserver};
 use crate::error::FlError;
 use crate::fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
@@ -74,6 +78,12 @@ pub struct FlConfig {
     /// Round-granular checkpointing (`None` = no checkpoints). See
     /// [`crate::checkpoint`] and [`FedSim::resume`].
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Wire codec every party's update upload passes through
+    /// ([`UpdateCodec::DenseF32`] is the paper's uncompressed baseline).
+    /// The server broadcast is always dense; lossy codecs keep per-party
+    /// error-feedback residuals so top-k converges (see
+    /// [`crate::compress`]).
+    pub codec: UpdateCodec,
 }
 
 impl FlConfig {
@@ -100,6 +110,7 @@ impl FlConfig {
             min_quorum: 0.5,
             fault_plan: None,
             checkpoint: None,
+            codec: UpdateCodec::DenseF32,
         }
     }
 }
@@ -168,6 +179,9 @@ struct SimState {
     global_buffers: Vec<f32>,
     server_c: Vec<f32>,
     client_c: BTreeMap<usize, Vec<f32>>,
+    /// Per-party error-feedback residuals kept by lossy codecs — sparse
+    /// like `client_c` (absent ⇒ all-zero), untouched for dense runs.
+    residuals: BTreeMap<usize, Vec<f32>>,
     records: Vec<RoundRecord>,
     best_accuracy: f64,
     final_accuracy: f64,
@@ -301,6 +315,28 @@ impl FedSim {
         }
         if let Some(policy) = &config.checkpoint {
             check_pos("checkpoint.every", policy.every)?;
+        }
+        let (codec_fraction, codec_levels) = match config.codec {
+            UpdateCodec::DenseF32 => (None, None),
+            UpdateCodec::TopK { fraction } => (Some(fraction), None),
+            UpdateCodec::Int8Q { levels } => (None, Some(levels)),
+            UpdateCodec::TopKInt8 { fraction, levels } => (Some(fraction), Some(levels)),
+        };
+        if let Some(f) = codec_fraction {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(FlError::InvalidConfig {
+                    field: "codec",
+                    message: format!("top-k fraction must be in (0, 1], got {f}"),
+                });
+            }
+        }
+        if let Some(l) = codec_levels {
+            if !(2..=128).contains(&l) {
+                return Err(FlError::InvalidConfig {
+                    field: "codec",
+                    message: format!("quantization levels must be in 2..=128, got {l}"),
+                });
+            }
         }
         Ok(Self {
             model_spec,
@@ -464,6 +500,7 @@ impl FedSim {
             global_buffers,
             server_c,
             client_c: BTreeMap::new(),
+            residuals: BTreeMap::new(),
             records: Vec::with_capacity(cfg.rounds),
             best_accuracy: 0.0,
             final_accuracy: 0.0,
@@ -522,6 +559,10 @@ impl FedSim {
             let show = |p: &Option<String>| p.clone().unwrap_or_else(|| "none".into());
             return mismatch("fault_plan", show(&cfg_plan), show(&ck.fault_plan));
         }
+        let cfg_codec = cfg.codec.to_string();
+        if ck.codec != cfg_codec {
+            return mismatch("codec", cfg_codec, ck.codec.clone());
+        }
         if ck.round_next > cfg.rounds {
             return mismatch(
                 "round_next",
@@ -576,12 +617,31 @@ impl FedSim {
             }
             client_c.insert(id, c);
         }
+        let mut residuals = BTreeMap::new();
+        for (id, r) in ck.residuals {
+            if id >= self.parties.len() {
+                return mismatch(
+                    "residuals party id",
+                    format!("below {}", self.parties.len()),
+                    id.to_string(),
+                );
+            }
+            if r.len() != p_len {
+                return mismatch(
+                    "residuals entry length",
+                    format!("{p_len} (party {id})"),
+                    r.len().to_string(),
+                );
+            }
+            residuals.insert(id, r);
+        }
         Ok(SimState {
             round_next: ck.round_next,
             global_params: ck.global_params,
             global_buffers: ck.global_buffers,
             server_c: ck.server_c,
             client_c,
+            residuals,
             records: ck.records,
             best_accuracy: ck.best_accuracy,
             final_accuracy: ck.final_accuracy,
@@ -677,17 +737,94 @@ impl FedSim {
                 });
             }
 
+            // ── Measured wire traffic ──────────────────────────────────
+            // Every byte below comes from an actually-encoded payload, not
+            // a formula. The downlink broadcast (params + buffers + server
+            // `c` under SCAFFOLD) is always dense and is encoded here,
+            // before aggregation mutates the globals — these are the bytes
+            // this round *started* from — then billed once per selected
+            // party. Each survivor's Δw passes through the configured
+            // codec with its per-party error-feedback residual; buffers
+            // and SCAFFOLD's Δc ride along dense. Billing by failure
+            // kind: a dropped update was trained and sent (the loss
+            // happened in flight), so it costs upload bytes at the
+            // codec's data-independent encoded size; a crashed party
+            // never produced one. Dropped/crashed parties' residuals are
+            // untouched — they did no lossy encode this round.
+            let comm_started = Instant::now();
+            let kern = active_kernel();
+            let dense = UpdateCodec::DenseF32;
+            let mut bcast_bytes = dense.encode(kern, &st.global_params, 0).len()
+                + dense.encode(kern, &st.global_buffers, 0).len();
+            if is_scaffold {
+                bcast_bytes += dense.encode(kern, &st.server_c, 0).len();
+            }
+            let down_bytes = selected.len() * bcast_bytes;
+            let mut up_bytes = 0usize;
+            let mut decoded_updates: Vec<DecodedUpdate> = Vec::with_capacity(outcomes.len());
+            for (party_id, out) in survivors.iter().copied().zip(&outcomes) {
+                let seed = derive_seed(
+                    cfg.seed,
+                    SEED_COMPRESS_BASE ^ (((round as u64) << 24) ^ party_id as u64),
+                );
+                let mut residual = st.residuals.remove(&party_id).unwrap_or_default();
+                let (payload, decoded) =
+                    cfg.codec
+                        .encode_with_feedback(kern, &out.delta, &mut residual, seed);
+                if !residual.is_empty() {
+                    st.residuals.insert(party_id, residual);
+                }
+                up_bytes += payload.len()
+                    + dense.encoded_len(out.buffers.len())
+                    + dense.encoded_len(out.delta_c.len());
+                decoded_updates.push(decoded);
+            }
+            let dropped = failures
+                .iter()
+                .filter(|f| matches!(f.kind, FailureKind::InjectedDrop))
+                .count();
+            up_bytes += dropped
+                * (cfg.codec.encoded_len(p_len)
+                    + dense.encoded_len(st.global_buffers.len())
+                    + if is_scaffold {
+                        dense.encoded_len(p_len)
+                    } else {
+                        0
+                    });
+            let traffic = RoundTraffic {
+                down_bytes,
+                up_bytes,
+            };
+            st.total_bytes += traffic.total();
+            sink.record(&TraceEvent::CommMeasured {
+                round,
+                encoding: cfg.codec.label().to_string(),
+                down_bytes,
+                up_bytes,
+                wall_ms: comm_started.elapsed().as_secs_f64() * 1e3,
+            });
+
             // Only observed runs pay for the pre-aggregation copy.
             let global_before = observer.map(|_| st.global_params.clone());
 
             let agg_started = Instant::now();
             {
                 let _sp = niid_prof::span!("fl.aggregate");
+                let updates: Vec<UpdateRef<'_>> =
+                    decoded_updates.iter().map(UpdateRef::from).collect();
                 match cfg.algorithm {
-                    Algorithm::FedNova => {
-                        fednova_average(&mut st.global_params, &outcomes, cfg.server_lr)
-                    }
-                    _ => weighted_average(&mut st.global_params, &outcomes, cfg.server_lr),
+                    Algorithm::FedNova => fednova_average_updates(
+                        &mut st.global_params,
+                        &outcomes,
+                        &updates,
+                        cfg.server_lr,
+                    ),
+                    _ => weighted_average_updates(
+                        &mut st.global_params,
+                        &outcomes,
+                        &updates,
+                        cfg.server_lr,
+                    ),
                 }
                 if is_scaffold {
                     scaffold_update_c(&mut st.server_c, &outcomes, self.parties.len());
@@ -703,23 +840,6 @@ impl FedSim {
                 round,
                 wall_ms: aggregate_wall_ms,
             });
-
-            // Billing by failure kind: a dropped update was trained and
-            // sent (the loss happened in flight), so it costs upload
-            // bytes; a crashed party never produced one.
-            let dropped = failures
-                .iter()
-                .filter(|f| matches!(f.kind, FailureKind::InjectedDrop))
-                .count();
-            let traffic = RoundTraffic::for_round_faulted(
-                selected.len(),
-                survivors.len(),
-                dropped,
-                p_len,
-                st.global_buffers.len(),
-                is_scaffold,
-            );
-            st.total_bytes += traffic.total();
 
             let is_last = round + 1 == cfg.rounds;
             let mut eval_wall_ms = 0.0;
@@ -769,7 +889,9 @@ impl FedSim {
                     buffers_after: &st.global_buffers,
                     avg_local_loss,
                     test_accuracy,
-                    round_bytes: traffic.total(),
+                    down_bytes: traffic.down_bytes,
+                    up_bytes: traffic.up_bytes,
+                    encoding: cfg.codec.label(),
                 });
             }
             sink.record(&TraceEvent::RoundFinished {
@@ -801,10 +923,16 @@ impl FedSim {
                         sample_fraction: cfg.sample_fraction,
                         min_quorum: cfg.min_quorum,
                         fault_plan: cfg.fault_plan.as_ref().map(ToString::to_string),
+                        codec: cfg.codec.to_string(),
                         global_params: st.global_params.clone(),
                         global_buffers: st.global_buffers.clone(),
                         server_c: st.server_c.clone(),
                         client_c: st.client_c.iter().map(|(&id, c)| (id, c.clone())).collect(),
+                        residuals: st
+                            .residuals
+                            .iter()
+                            .map(|(&id, r)| (id, r.clone()))
+                            .collect(),
                         records: st.records.clone(),
                         best_accuracy: st.best_accuracy,
                         final_accuracy: st.final_accuracy,
@@ -1127,6 +1255,7 @@ mod tests {
             min_quorum: 0.5,
             fault_plan: None,
             checkpoint: None,
+            codec: UpdateCodec::DenseF32,
         }
     }
 
@@ -1421,6 +1550,66 @@ mod tests {
     }
 
     #[test]
+    fn dense_measured_traffic_matches_the_historical_formula() {
+        // The dense wire bytes are now measured from actually-encoded
+        // payloads; they must reproduce the historical
+        // `RoundTraffic::for_round_faulted` formula exactly on clean,
+        // degraded and faulted rounds alike. A mixed crash+drop plan
+        // under SCAFFOLD exercises every billing path.
+        use crate::trace::MemorySink;
+        let (parties, test) = toy_setup(6, 16, 23);
+        let mut cfg = quick_config(
+            Algorithm::Scaffold {
+                variant: ControlVariateUpdate::Reuse,
+            },
+            24,
+        );
+        cfg.rounds = 4;
+        cfg.min_quorum = 0.1;
+        cfg.fault_plan = Some(crate::fault::FaultPlan {
+            seed: 5,
+            crash_prob: 0.2,
+            drop_prob: 0.2,
+            delay_prob: 0.0,
+            delay_ms: 0,
+        });
+        let sim = FedSim::new(spec(), parties, test, cfg).unwrap();
+        let sink = MemorySink::new();
+        let result = sim.run_traced(&sink).unwrap();
+        let events = sink.events();
+        let probe = spec().build(2, 0);
+        let p_len = probe.params_flat().len();
+        let b_len = probe.buffers_flat().len();
+        let mut saw_faulted_round = false;
+        for r in &result.rounds {
+            let dropped = events
+                .iter()
+                .filter(|e| {
+                    matches!(e, TraceEvent::PartyFailed { round, kind, .. }
+                        if *round == r.round && kind == "injected_drop")
+                })
+                .count();
+            let survivors = r.participants - r.failures;
+            saw_faulted_round |= r.failures > 0;
+            let formula = crate::comm::RoundTraffic::for_round_faulted(
+                r.participants,
+                survivors,
+                dropped,
+                p_len,
+                b_len,
+                true,
+            );
+            assert_eq!(
+                (r.down_bytes, r.up_bytes),
+                (formula.down_bytes, formula.up_bytes),
+                "round {}: measured dense bytes diverge from the formula",
+                r.round
+            );
+        }
+        assert!(saw_faulted_round, "fault plan hit nobody over 24 cells");
+    }
+
+    #[test]
     fn resume_requires_a_checkpoint_policy_and_file() {
         let (parties, test) = toy_setup(2, 8, 25);
         let sim = FedSim::new(
@@ -1491,6 +1680,7 @@ mod tests {
             &|c| c.fault_plan = Some(crate::fault::FaultPlan::crash_only(0.1, 7)),
             "fault_plan",
         );
+        expect_mismatch(&|c| c.codec = UpdateCodec::TopK { fraction: 0.25 }, "codec");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

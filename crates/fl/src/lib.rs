@@ -32,6 +32,7 @@ pub mod aggregate;
 pub mod algorithm;
 pub mod checkpoint;
 pub mod comm;
+pub mod compress;
 pub mod dynamics;
 pub mod engine;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod trace;
 
 pub use algorithm::{Algorithm, ControlVariateUpdate};
 pub use checkpoint::{Checkpoint, CheckpointPolicy};
+pub use compress::{DecodedUpdate, UpdateCodec};
 pub use dynamics::{
     bn_drift, cosine_similarity, l2_distance, l2_norm, BnSpan, DynamicsRecorder, DynamicsSummary,
     RoundObservation, RoundObserver,

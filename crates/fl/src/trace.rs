@@ -101,6 +101,20 @@ pub enum TraceEvent {
         /// Parties whose updates were aggregated.
         survived: usize,
     },
+    /// The round's wire traffic, measured from actually-encoded payloads
+    /// (see [`crate::compress`]).
+    CommMeasured {
+        /// Round index.
+        round: usize,
+        /// Codec family label (`dense`, `topk`, `int8`, `topk8`).
+        encoding: String,
+        /// Broadcast bytes, server → selected parties.
+        down_bytes: usize,
+        /// Upload bytes, survivors + in-transit-lost updates.
+        up_bytes: usize,
+        /// Wall time of the encode/decode phase, in milliseconds.
+        wall_ms: f64,
+    },
     /// A resumable checkpoint was written after this round.
     CheckpointWritten {
         /// Round index (the checkpoint resumes at `round + 1`).
@@ -121,6 +135,7 @@ impl TraceEvent {
             | TraceEvent::RoundFinished { round, .. }
             | TraceEvent::PartyFailed { round, .. }
             | TraceEvent::RoundDegraded { round, .. }
+            | TraceEvent::CommMeasured { round, .. }
             | TraceEvent::CheckpointWritten { round, .. } => round,
         }
     }
@@ -135,6 +150,7 @@ impl TraceEvent {
             TraceEvent::RoundFinished { .. } => "round_finished",
             TraceEvent::PartyFailed { .. } => "party_failed",
             TraceEvent::RoundDegraded { .. } => "round_degraded",
+            TraceEvent::CommMeasured { .. } => "comm_measured",
             TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
         }
     }
@@ -192,6 +208,18 @@ impl ToJson for TraceEvent {
                 fields.push(("failed", failed.to_json()));
                 fields.push(("survived", survived.to_json()));
             }
+            TraceEvent::CommMeasured {
+                ref encoding,
+                down_bytes,
+                up_bytes,
+                wall_ms,
+                ..
+            } => {
+                fields.push(("encoding", encoding.to_json()));
+                fields.push(("down_bytes", down_bytes.to_json()));
+                fields.push(("up_bytes", up_bytes.to_json()));
+                fields.push(("wall_ms", wall_ms.to_json()));
+            }
             TraceEvent::CheckpointWritten { ref path, .. } => {
                 fields.push(("path", path.to_json()));
             }
@@ -243,6 +271,13 @@ impl FromJson for TraceEvent {
                 round,
                 failed: usize::from_json(req("failed")?)?,
                 survived: usize::from_json(req("survived")?)?,
+            }),
+            Some("comm_measured") => Ok(TraceEvent::CommMeasured {
+                round,
+                encoding: String::from_json(req("encoding")?)?,
+                down_bytes: usize::from_json(req("down_bytes")?)?,
+                up_bytes: usize::from_json(req("up_bytes")?)?,
+                wall_ms: f64::from_json(req("wall_ms")?)?,
             }),
             Some("checkpoint_written") => Ok(TraceEvent::CheckpointWritten {
                 round,
@@ -524,6 +559,11 @@ pub struct TraceSummary {
     pub party_train: PhaseStats,
     /// Server aggregation times (one sample per `Aggregated`).
     pub aggregate: PhaseStats,
+    /// Codec encode/decode times (one sample per `CommMeasured`).
+    pub comm: PhaseStats,
+    /// Total measured wire bytes across all `CommMeasured` events
+    /// (down + up).
+    pub comm_bytes: usize,
     /// Evaluation times (one sample per `Evaluated`; skipped rounds
     /// contribute nothing).
     pub eval: PhaseStats,
@@ -550,6 +590,8 @@ impl TraceSummary {
     pub fn from_events(events: &[TraceEvent]) -> Self {
         let mut party_train = Vec::new();
         let mut aggregate = Vec::new();
+        let mut comm = Vec::new();
+        let mut comm_bytes = 0usize;
         let mut eval = Vec::new();
         let mut round_times = Vec::new();
         let mut rounds_seen = Vec::new();
@@ -576,6 +618,15 @@ impl TraceSummary {
                     }
                 }
                 TraceEvent::Aggregated { wall_ms, .. } => aggregate.push(wall_ms),
+                TraceEvent::CommMeasured {
+                    down_bytes,
+                    up_bytes,
+                    wall_ms,
+                    ..
+                } => {
+                    comm.push(wall_ms);
+                    comm_bytes += down_bytes + up_bytes;
+                }
                 TraceEvent::Evaluated { wall_ms, .. } => eval.push(wall_ms),
                 TraceEvent::RoundFinished { wall_ms, .. } => round_times.push(wall_ms),
                 TraceEvent::RoundStarted { .. } => {}
@@ -598,6 +649,8 @@ impl TraceSummary {
             rounds: rounds_seen.len(),
             party_train: PhaseStats::from_samples(&party_train),
             aggregate: PhaseStats::from_samples(&aggregate),
+            comm: PhaseStats::from_samples(&comm),
+            comm_bytes,
             eval: PhaseStats::from_samples(&eval),
             round: PhaseStats::from_samples(&round_times),
             slowest_parties: counts,
@@ -637,6 +690,7 @@ impl TraceSummary {
         for (name, s) in [
             ("party_train", &self.party_train),
             ("aggregate", &self.aggregate),
+            ("comm", &self.comm),
             ("eval", &self.eval),
             ("round", &self.round),
         ] {
@@ -644,6 +698,9 @@ impl TraceSummary {
                 "{name:<14} {:>7} {:>12.2} {:>12.3} {:>12.3} {:>12.3} {:>12.3}\n",
                 s.count, s.total_ms, s.mean_ms, s.p50_ms, s.p99_ms, s.max_ms
             ));
+        }
+        if self.comm_bytes > 0 {
+            out.push_str(&format!("wire bytes (measured): {}\n", self.comm_bytes));
         }
         if let Some(pool) = &self.pool {
             out.push_str(&format!(
@@ -708,6 +765,13 @@ mod tests {
             TraceEvent::Aggregated {
                 round: 0,
                 wall_ms: 0.5,
+            },
+            TraceEvent::CommMeasured {
+                round: 0,
+                encoding: "dense".into(),
+                down_bytes: 800,
+                up_bytes: 600,
+                wall_ms: 0.1,
             },
             TraceEvent::Evaluated {
                 round: 0,

@@ -40,6 +40,7 @@
 //! |-----------------------------------|----------------|
 //! | `add_assign`, `add_scalar_assign`, `scale_assign`, `relu_*` | bit-identical (lane ops have scalar IEEE semantics) |
 //! | `sum_sq_f64`                      | bit-identical (4 f64 lanes mirror the scalar 4-accumulator loop) |
+//! | `max_abs`, `quantize_stochastic_i8`, `dequantize_i8`, `topk_select` | bit-identical (max/compare/convert are exact; the dither hash is integer) |
 //! | `axpy`, `dot`, `sum`, `sgd_momentum_step` | tolerance-bounded (FMA contraction and/or lane-reduction reassociation) |
 //!
 //! NaN/∞ propagation matches the scalar kernels everywhere: FMA and lane
@@ -48,7 +49,7 @@
 //! NaN-maps-to-zero behaviour equals the scalar `if v > 0.0` branch.
 
 use std::cell::Cell;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Environment variable overriding kernel selection
 /// (`off` | `scalar` | `avx2`).
@@ -616,6 +617,246 @@ pub fn sgd_momentum_step(
     }
 }
 
+/// Largest absolute value in `xs` (`0` when empty) — the int8 codec's
+/// scale pass.
+///
+/// **Bit-identical across kernels**: max over non-negative magnitudes is
+/// order-insensitive, so the AVX2 lane reduction cannot reassociate its
+/// way to a different answer. NaN elements are ignored on both arms
+/// (the accumulator operand order maps `max(acc, NaN)` to `acc`).
+#[inline]
+pub fn max_abs(k: Kernel, xs: &[f32]) -> f32 {
+    match k {
+        Kernel::Scalar => {
+            let mut m = 0.0f32;
+            for &v in xs {
+                m = m.max(v.abs());
+            }
+            m
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::max_abs(xs) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Fold a 64-bit seed into the 32-bit lane-hash domain.
+#[inline]
+fn fold_seed(seed: u64) -> u32 {
+    (seed ^ (seed >> 32)) as u32
+}
+
+/// Per-index uniform dither in `[0, 1)`: a murmur3-style integer
+/// finalizer over `(seed, index)`. Counter-based (no rng state), so the
+/// value for element `i` is the same whatever order — or lane width —
+/// elements are visited in.
+#[inline]
+fn dither_f32(seed: u32, i: u32) -> f32 {
+    let mut h = i.wrapping_mul(0x9E37_79B9).wrapping_add(seed);
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    (h >> 8) as f32 * (1.0 / 16_777_216.0)
+}
+
+/// Fused max-abs + stochastically-rounded int8 quantization — the QSGD
+/// encode pass. Returns the scale `s = max|x|`; each element becomes
+///
+/// ```text
+/// q[i] = sign(x[i]) · floor(|x[i]|·(levels−1)/s + u[i])   q ∈ [−(levels−1), levels−1]
+/// ```
+///
+/// with `u[i] ∈ [0, 1)` the seeded per-index dither, so `E[q] ∝ x`
+/// (unbiased). `levels` must be in `2..=128` so magnitudes fit an `i8`.
+/// A zero (or non-finite-free all-zero) vector quantizes to all zeros.
+///
+/// **Bit-identical across kernels** for finite inputs: both arms share
+/// the integer dither hash and the same mul → add → floor → clamp →
+/// convert chain, all of which are exact lane-for-lane.
+pub fn quantize_stochastic_i8(
+    k: Kernel,
+    xs: &[f32],
+    levels: u16,
+    seed: u64,
+    out: &mut [i8],
+) -> f32 {
+    assert_eq!(xs.len(), out.len(), "quantize: output length");
+    assert!(
+        (2..=128).contains(&levels),
+        "quantize: levels must be in 2..=128, got {levels}"
+    );
+    let scale = max_abs(k, xs);
+    // `max_abs` folds through f32::max, which ignores NaN lanes, so the
+    // scale is never NaN — only a genuinely all-zero input lands here.
+    if scale <= 0.0 {
+        out.fill(0);
+        return scale;
+    }
+    let m = (levels - 1) as f32 / scale;
+    let qmax = (levels - 1) as f32;
+    let s32 = fold_seed(seed);
+    match k {
+        Kernel::Scalar => {
+            for (i, (&x, q)) in xs.iter().zip(out.iter_mut()).enumerate() {
+                let u = dither_f32(s32, i as u32);
+                let t = (x.abs() * m + u).floor().min(qmax).max(0.0) as i32;
+                *q = if x < 0.0 { -t as i8 } else { t as i8 };
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected;
+        // lengths checked above.
+        Kernel::Avx2 => unsafe { avx2::quantize_stochastic_i8(xs, m, qmax, s32, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+    scale
+}
+
+/// Int8 dequantization: `out[i] = q[i] · s/(levels−1)` — the QSGD decode
+/// pass. Bit-identical across kernels (one exact convert and one IEEE
+/// multiply per lane).
+pub fn dequantize_i8(k: Kernel, qs: &[i8], scale: f32, levels: u16, out: &mut [f32]) {
+    assert_eq!(qs.len(), out.len(), "dequantize: output length");
+    assert!(
+        (2..=128).contains(&levels),
+        "dequantize: levels must be in 2..=128, got {levels}"
+    );
+    let step = if scale > 0.0 {
+        scale / (levels - 1) as f32
+    } else {
+        0.0
+    };
+    match k {
+        Kernel::Scalar => {
+            for (&q, v) in qs.iter().zip(out.iter_mut()) {
+                *v = q as f32 * step;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected;
+        // lengths checked above.
+        Kernel::Avx2 => unsafe { avx2::dequantize_i8(qs, step, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
+/// Fixed scan-block width for [`topk_select`]'s candidate pass. Like
+/// [`REDUCE_BLOCK`](crate::parallel) this is a constant of the wire
+/// format's determinism story, not a tuning knob: candidates concatenate
+/// in block order, so the output is a function of the data alone.
+const SCAN_BLOCK: usize = 8192;
+
+/// Indices (ascending) of the `count` largest-magnitude elements of `xs`
+/// — the top-k sparsifier's selection pass.
+///
+/// Threshold-select, not a sort: a strided sample estimates the k-th
+/// magnitude, one pass over fixed [`SCAN_BLOCK`] blocks (parallelized on
+/// the work-stealing pool) collects every candidate at or above the
+/// deliberately-low estimate, and an exact fix-up keeps precisely
+/// `count` of them by `(|x| desc, index asc)` — ties broken toward the
+/// lower index. Magnitudes compare via their IEEE bit patterns
+/// (monotonic in `|x|`, NaN ranking above ∞), so the selected set is
+/// exact, identical on both arms, and bit-identical at any thread count.
+///
+/// # Panics
+/// Panics when `xs.len()` does not fit `u32` (the sparse wire format's
+/// index type).
+pub fn topk_select(k: Kernel, xs: &[f32], count: usize) -> Vec<u32> {
+    assert!(
+        u32::try_from(xs.len()).is_ok(),
+        "topk_select: length {} exceeds the u32 index space",
+        xs.len()
+    );
+    let n = xs.len();
+    if count == 0 || n == 0 {
+        return Vec::new();
+    }
+    if count >= n {
+        return (0..n as u32).collect();
+    }
+    let key = |v: f32| v.to_bits() & 0x7FFF_FFFF;
+    // Strided sample (deterministic positions), sorted descending.
+    let stride = n.div_ceil(512);
+    let mut sample: Vec<u32> = xs.iter().step_by(stride).map(|&v| key(v)).collect();
+    sample.sort_unstable_by(|a, b| b.cmp(a));
+    // Aim low — roughly the 2k-th magnitude plus slack — so the candidate
+    // pass overshoots `count` and the fix-up only ever has to trim. An
+    // adversarial distribution can still undershoot; each retry doubles
+    // the rank until the threshold bottoms out at 0 (collect everything).
+    let mut rank = (2 * count) / stride + 8;
+    loop {
+        let threshold = if rank >= sample.len() {
+            0
+        } else {
+            sample[rank]
+        };
+        let mut cands = collect_candidates(k, xs, threshold);
+        if cands.len() >= count {
+            if cands.len() > count {
+                cands.select_nth_unstable_by(count - 1, |&a, &b| {
+                    let (ka, kb) = (key(xs[a as usize]), key(xs[b as usize]));
+                    kb.cmp(&ka).then(a.cmp(&b))
+                });
+                cands.truncate(count);
+                cands.sort_unstable();
+            }
+            return cands;
+        }
+        debug_assert!(threshold > 0, "threshold 0 collects every index");
+        rank = rank * 2 + 8;
+    }
+}
+
+/// The candidate pass of [`topk_select`]: every index whose abs-bits key
+/// is `>= threshold`, ascending. Blocks scan independently and
+/// concatenate in block order, so the result does not depend on the
+/// thread count.
+fn collect_candidates(k: Kernel, xs: &[f32], threshold: u32) -> Vec<u32> {
+    let nblocks = xs.len().div_ceil(SCAN_BLOCK);
+    if nblocks <= 1 {
+        let mut out = Vec::new();
+        scan_block(k, xs, 0, threshold, &mut out);
+        return out;
+    }
+    let parts: Vec<Mutex<Vec<u32>>> = (0..nblocks).map(|_| Mutex::new(Vec::new())).collect();
+    crate::parallel::parallel_for(nblocks, &|b| {
+        let lo = b * SCAN_BLOCK;
+        let hi = (lo + SCAN_BLOCK).min(xs.len());
+        let mut out = parts[b].lock().expect("scan block poisoned");
+        scan_block(k, &xs[lo..hi], lo as u32, threshold, &mut out);
+    });
+    let mut all = Vec::new();
+    for p in parts {
+        all.extend(p.into_inner().expect("scan block poisoned"));
+    }
+    all
+}
+
+/// Scan one block for keys `>= threshold`, pushing `base + offset`
+/// indices in ascending order.
+fn scan_block(k: Kernel, xs: &[f32], base: u32, threshold: u32, out: &mut Vec<u32>) {
+    match k {
+        Kernel::Scalar => {
+            for (j, &v) in xs.iter().enumerate() {
+                if v.to_bits() & 0x7FFF_FFFF >= threshold {
+                    out.push(base + j as u32);
+                }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when avx2+fma are detected.
+        Kernel::Avx2 => unsafe { avx2::collect_ge_keys(xs, base, threshold, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Avx2 => unreachable!("avx2 kernel on non-x86_64"),
+    }
+}
+
 /// The AVX2+FMA micro-kernels.
 ///
 /// ## Register layout
@@ -1075,6 +1316,167 @@ mod avx2 {
             _mm256_maskstore_ps(pp.add(i), m, p);
         }
     }
+
+    /// Max of |x| over 8 lanes at a time. The accumulator is the second
+    /// `maxps` operand, so NaN lanes map to the running max (scalar
+    /// `f32::max` semantics). Masked tails are unnecessary: the scalar
+    /// epilogue is bit-equivalent because max is order-insensitive.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn max_abs(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let xp = xs.as_ptr();
+        let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let a = _mm256_and_ps(_mm256_loadu_ps(xp.add(i)), absmask);
+            acc = _mm256_max_ps(a, acc);
+            i += 8;
+        }
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let m4 = _mm_max_ps(lo, hi);
+        let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+        let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+        let mut m = _mm_cvtss_f32(m1);
+        while i < n {
+            m = m.max((*xp.add(i)).abs());
+            i += 1;
+        }
+        m
+    }
+
+    /// One 8-lane slice of the murmur3-finalizer dither + quantize chain;
+    /// see [`super::quantize_stochastic_i8`]. Returns signed i32 levels.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn quant8(
+        xp: *const f32,
+        i: usize,
+        vm: __m256,
+        vqmax: __m256,
+        vseed: __m256i,
+    ) -> __m256i {
+        let lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+        let idx = _mm256_add_epi32(_mm256_set1_epi32(i as i32), lane);
+        // Integer murmur3 finalizer — identical to the scalar dither hash.
+        let mut h = _mm256_add_epi32(
+            _mm256_mullo_epi32(idx, _mm256_set1_epi32(0x9E37_79B9u32 as i32)),
+            vseed,
+        );
+        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+        h = _mm256_mullo_epi32(h, _mm256_set1_epi32(0x85EB_CA6Bu32 as i32));
+        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 13));
+        h = _mm256_mullo_epi32(h, _mm256_set1_epi32(0xC2B2_AE35u32 as i32));
+        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+        // (h >> 8) < 2^24 converts to f32 exactly; ·2⁻²⁴ is a pure
+        // exponent shift — both match the scalar dither bit-for-bit.
+        let u = _mm256_mul_ps(
+            _mm256_cvtepi32_ps(_mm256_srli_epi32(h, 8)),
+            _mm256_set1_ps(1.0 / 16_777_216.0),
+        );
+        let x = _mm256_loadu_ps(xp.add(i));
+        // mul then add, NOT fmadd: the scalar arm rounds twice.
+        let a = _mm256_add_ps(_mm256_mul_ps(_mm256_and_ps(x, absmask), vm), u);
+        let f = _mm256_round_ps(a, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+        let c = _mm256_max_ps(_mm256_min_ps(f, vqmax), _mm256_setzero_ps());
+        let q = _mm256_cvttps_epi32(c);
+        // Two's-complement negate where x < 0 (matches the scalar
+        // `x < 0.0` branch for every input, NaN included).
+        let neg = _mm256_castps_si256(_mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_LT_OQ));
+        _mm256_sub_epi32(_mm256_xor_si256(q, neg), neg)
+    }
+
+    /// Stochastic int8 quantization; see [`super::quantize_stochastic_i8`]
+    /// for the contract. 32 elements per iteration: four 8-lane quantize
+    /// chains saturating-packed (values fit ±127, so packs never clip)
+    /// into one 32-byte store, lane order restored by a cross-lane dword
+    /// permute.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn quantize_stochastic_i8(xs: &[f32], m: f32, qmax: f32, seed: u32, out: &mut [i8]) {
+        let n = xs.len();
+        let xp = xs.as_ptr();
+        let op = out.as_mut_ptr();
+        let vm = _mm256_set1_ps(m);
+        let vqmax = _mm256_set1_ps(qmax);
+        let vseed = _mm256_set1_epi32(seed as i32);
+        let order = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let q0 = quant8(xp, i, vm, vqmax, vseed);
+            let q1 = quant8(xp, i + 8, vm, vqmax, vseed);
+            let q2 = quant8(xp, i + 16, vm, vqmax, vseed);
+            let q3 = quant8(xp, i + 24, vm, vqmax, vseed);
+            let t0 = _mm256_packs_epi32(q0, q1);
+            let t1 = _mm256_packs_epi32(q2, q3);
+            let p = _mm256_packs_epi16(t0, t1);
+            let fixed = _mm256_permutevar8x32_epi32(p, order);
+            _mm256_storeu_si256(op.add(i) as *mut __m256i, fixed);
+            i += 32;
+        }
+        // Scalar epilogue — same dither hash, same op chain, same bits.
+        while i < n {
+            let x = *xp.add(i);
+            let u = super::dither_f32(seed, i as u32);
+            let t = (x.abs() * m + u).floor().min(qmax).max(0.0) as i32;
+            *op.add(i) = if x < 0.0 { -t as i8 } else { t as i8 };
+            i += 1;
+        }
+    }
+
+    /// Int8 dequantize; see [`super::dequantize_i8`]. Sign-extend 8
+    /// bytes, convert, one multiply — all exact lane ops.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dequantize_i8(qs: &[i8], step: f32, out: &mut [f32]) {
+        let n = qs.len();
+        let qp = qs.as_ptr();
+        let op = out.as_mut_ptr();
+        let vstep = _mm256_set1_ps(step);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let b = _mm_loadl_epi64(qp.add(i) as *const __m128i);
+            let w = _mm256_cvtepi8_epi32(b);
+            let v = _mm256_mul_ps(_mm256_cvtepi32_ps(w), vstep);
+            _mm256_storeu_ps(op.add(i), v);
+            i += 8;
+        }
+        while i < n {
+            *op.add(i) = *qp.add(i) as f32 * step;
+            i += 1;
+        }
+    }
+
+    /// Candidate pass of [`super::topk_select`]: push `base + j` for
+    /// every lane whose abs-bits key is `>= threshold`, ascending.
+    /// Abs bit patterns are non-negative i32s, so one signed
+    /// `cmpgt(key, threshold − 1)` implements the unsigned `>=`
+    /// (`threshold == 0` wraps to −1: everything passes, as it must).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn collect_ge_keys(xs: &[f32], base: u32, threshold: u32, out: &mut Vec<u32>) {
+        let n = xs.len();
+        let xp = xs.as_ptr();
+        let absmask = _mm256_set1_epi32(0x7FFF_FFFF);
+        let vt = _mm256_set1_epi32(threshold.wrapping_sub(1) as i32);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let bits = _mm256_and_si256(_mm256_loadu_si256(xp.add(i) as *const __m256i), absmask);
+            let gt = _mm256_cmpgt_epi32(bits, vt);
+            let mut mask = _mm256_movemask_ps(_mm256_castsi256_ps(gt)) as u32;
+            while mask != 0 {
+                let j = mask.trailing_zeros();
+                out.push(base + i as u32 + j);
+                mask &= mask - 1;
+            }
+            i += 8;
+        }
+        while i < n {
+            if (*xp.add(i)).to_bits() & 0x7FFF_FFFF >= threshold {
+                out.push(base + i as u32);
+            }
+            i += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1394,5 +1796,155 @@ mod tests {
             panic!("not available (simulated: all kernels available here)");
         }
         with_forced_kernel(Kernel::Avx2, || {});
+    }
+
+    #[test]
+    fn max_abs_bit_identical_across_kernels() {
+        for k in Kernel::available_kernels() {
+            for &n in &LENS {
+                let mut x = randv(n, 61 + n as u64);
+                if n > 3 {
+                    x[1] = -3.75;
+                    x[3] = f32::NAN; // ignored on both arms
+                }
+                let want = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                assert_eq!(max_abs(k, &x), want, "max_abs {k:?} len {n}");
+            }
+        }
+        assert_eq!(max_abs(Kernel::Scalar, &[]), 0.0);
+    }
+
+    #[test]
+    fn quantize_dequantize_bit_identical_and_bounded() {
+        for &n in &[0usize, 1, 7, 31, 32, 33, 100, 1000] {
+            let x = randv(n, 71 + n as u64);
+            let mut q_ref = vec![0i8; n];
+            let scale_ref = quantize_stochastic_i8(Kernel::Scalar, &x, 128, 9, &mut q_ref);
+            for k in Kernel::available_kernels() {
+                let mut q = vec![0i8; n];
+                let scale = quantize_stochastic_i8(k, &x, 128, 9, &mut q);
+                assert_eq!(scale.to_bits(), scale_ref.to_bits(), "scale {k:?} len {n}");
+                assert_eq!(q, q_ref, "quantized bytes {k:?} len {n}");
+                let mut back = vec![0.0f32; n];
+                dequantize_i8(k, &q, scale, 128, &mut back);
+                let step = if scale > 0.0 { scale / 127.0 } else { 0.0 };
+                for (i, (&v, &b)) in x.iter().zip(&back).enumerate() {
+                    assert!(
+                        (v - b).abs() <= step + 1e-7,
+                        "dequant error at {i} ({k:?} len {n}): {v} vs {b}, step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_seeded_and_zero_safe() {
+        let x = randv(200, 5);
+        let mut a = vec![0i8; 200];
+        let mut b = vec![0i8; 200];
+        let k = Kernel::Scalar;
+        quantize_stochastic_i8(k, &x, 16, 42, &mut a);
+        quantize_stochastic_i8(k, &x, 16, 42, &mut b);
+        assert_eq!(a, b, "same seed, same bytes");
+        quantize_stochastic_i8(k, &x, 16, 43, &mut b);
+        assert_ne!(a, b, "different seed must dither differently");
+        // All-zero input quantizes to zeros with scale 0.
+        let z = vec![0.0f32; 50];
+        let mut q = vec![1i8; 50];
+        assert_eq!(quantize_stochastic_i8(k, &z, 128, 1, &mut q), 0.0);
+        assert!(q.iter().all(|&v| v == 0));
+        let mut back = vec![9.0f32; 50];
+        dequantize_i8(k, &q, 0.0, 128, &mut back);
+        assert!(back.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quantization_is_unbiased_in_expectation() {
+        // Average many seeds: the stochastic rounding error should shrink
+        // well below one quantization step.
+        let x = [0.31f32, -0.77, 0.05, 1.0, -0.003];
+        let scale = 1.0f32;
+        let step = scale / 127.0;
+        let mut acc = vec![0.0f64; x.len()];
+        let trials = 2000u64;
+        for seed in 0..trials {
+            let mut q = vec![0i8; x.len()];
+            quantize_stochastic_i8(Kernel::Scalar, &x, 128, seed, &mut q);
+            let mut back = vec![0.0f32; x.len()];
+            dequantize_i8(Kernel::Scalar, &q, scale, 128, &mut back);
+            for (a, &b) in acc.iter_mut().zip(&back) {
+                *a += b as f64;
+            }
+        }
+        for (&v, &mean) in x.iter().zip(&acc) {
+            let mean = mean / trials as f64;
+            assert!(
+                (mean - v as f64).abs() < 0.1 * step as f64,
+                "biased at {v}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_select_matches_sort_reference() {
+        for k in Kernel::available_kernels() {
+            for &n in &[0usize, 1, 5, 100, 9000, 20000] {
+                let mut x = randv(n, 83 + n as u64);
+                if n > 10 {
+                    x[7] = 0.0; // exact ties at zero magnitude
+                    x[9] = -0.0;
+                }
+                for &count in &[0usize, 1, 3, n / 10, n / 2, n, n + 5] {
+                    let got = topk_select(k, &x, count);
+                    // Reference: full sort by (|x| desc, index asc).
+                    let mut order: Vec<u32> = (0..n as u32).collect();
+                    order.sort_by(|&a, &b| {
+                        let ka = x[a as usize].to_bits() & 0x7FFF_FFFF;
+                        let kb = x[b as usize].to_bits() & 0x7FFF_FFFF;
+                        kb.cmp(&ka).then(a.cmp(&b))
+                    });
+                    let mut want: Vec<u32> = order.into_iter().take(count.min(n)).collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "topk {k:?} n {n} count {count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_select_thread_count_invariant() {
+        let x = randv(50_000, 97);
+        let count = 500;
+        let base =
+            crate::parallel::with_thread_budget(1, || topk_select(Kernel::Scalar, &x, count));
+        for threads in [2, 4, 7] {
+            let got = crate::parallel::with_thread_budget(threads, || {
+                topk_select(Kernel::Scalar, &x, count)
+            });
+            assert_eq!(got, base, "topk at {threads} threads");
+        }
+        for k in Kernel::available_kernels() {
+            assert_eq!(topk_select(k, &x, count), base, "topk {k:?}");
+        }
+    }
+
+    #[test]
+    fn topk_select_survives_adversarial_distributions() {
+        // A constant vector defeats any sampled threshold: every key ties,
+        // so the fix-up must cut purely by index.
+        let x = vec![0.5f32; 10_000];
+        let got = topk_select(Kernel::Scalar, &x, 12);
+        let want: Vec<u32> = (0..12).collect();
+        assert_eq!(got, want);
+        // One huge block of zeros with the signal at the very end forces
+        // the undershoot-retry path (the sample sees almost only zeros).
+        let mut x = vec![0.0f32; 9_000];
+        for (i, v) in x.iter_mut().enumerate().skip(8_990) {
+            *v = 1.0 + i as f32;
+        }
+        let got = topk_select(Kernel::Scalar, &x, 10);
+        let want: Vec<u32> = (8_990..9_000).collect();
+        assert_eq!(got, want);
     }
 }

@@ -48,6 +48,7 @@ fn config(algorithm: Algorithm, sample_fraction: f64, threads: usize, seed: u64)
         min_quorum: 0.5,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

@@ -53,6 +53,7 @@ fn config(algorithm: Algorithm, rounds: usize, threads: usize, seed: u64) -> FlC
         min_quorum: 0.25,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

@@ -227,6 +227,7 @@ fn fedsim_cnn_bit_identical_across_thread_counts() {
                     min_quorum: 0.5,
                     fault_plan: None,
                     checkpoint: None,
+                    codec: niid_fl::UpdateCodec::DenseF32,
                 },
             )
             .unwrap()

@@ -35,6 +35,7 @@ fn quick_config(seed: u64, rounds: usize) -> FlConfig {
         min_quorum: 0.5,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

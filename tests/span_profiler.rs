@@ -67,6 +67,7 @@ fn config(threads: usize, seed: u64) -> FlConfig {
         min_quorum: 0.5,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

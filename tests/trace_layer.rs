@@ -54,6 +54,7 @@ fn config(rounds: usize, sample_fraction: f64, threads: usize) -> FlConfig {
         min_quorum: 0.5,
         fault_plan: None,
         checkpoint: None,
+        codec: niid_fl::UpdateCodec::DenseF32,
     }
 }
 

@@ -1,0 +1,241 @@
+//! End-to-end smoke test of distributed execution, run by the CI
+//! distributed-smoke job — real processes, not threads.
+//!
+//! Two legs, both on the shared distributed cell (tiny MNIST,
+//! Dirichlet(β=0.5), LeNet, SCAFFOLD + `topk8` + a crash/drop fault
+//! plan) with 1 `fl_server` + 3 `fl_party` processes on localhost:
+//!
+//! 1. **Bit-identity** — the distributed run's `RunResult` must equal an
+//!    in-process run of the same cell on every deterministic field
+//!    (accuracy, loss, byte counters, failures, participants).
+//! 2. **Coordinator crash + resume** — the server stops after 3 of 6
+//!    rounds without telling the parties (connections just die), then a
+//!    fresh server process on a *new* ephemeral port resumes from the
+//!    checkpoint; the party processes follow it via the address file,
+//!    and the stitched stream must still equal the uninterrupted
+//!    in-process reference.
+//!
+//! Exits non-zero on any mismatch so the workflow catches a divergent
+//! wire path, a broken handshake, or a resume that re-trains.
+
+use niid_bench::dist::{build_sim, DistArgs};
+use niid_fl::RunResult;
+use niid_json::FromJson;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+const N_PROCS: usize = 3;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("distributed_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// The smoke cell: every flag that shapes the fingerprint, shared
+/// verbatim by the reference run, the servers, and the parties.
+fn cell(rounds: usize) -> DistArgs {
+    DistArgs {
+        seed: 42,
+        parties: 6,
+        rounds,
+        codec: "topk8:0.25".parse().unwrap_or_else(|e: String| fail(&e)),
+        faults: Some(
+            "crash=0.15,drop=0.15,seed=9"
+                .parse()
+                .unwrap_or_else(|e: String| fail(&e)),
+        ),
+        min_quorum: 0.25,
+        ..DistArgs::default()
+    }
+}
+
+/// Flags reproducing [`cell`] on a child binary's command line.
+fn cell_flags(cmd: &mut Command, args: &DistArgs) {
+    cmd.args(["--seed", &args.seed.to_string()])
+        .args(["--parties", &args.parties.to_string()])
+        .args(["--rounds", &args.rounds.to_string()])
+        .args(["--codec", "topk8:0.25"])
+        .args(["--faults", "crash=0.15,drop=0.15,seed=9"])
+        .args(["--min-quorum", &args.min_quorum.to_string()]);
+}
+
+/// Sibling binary (all bins land in the same target directory).
+fn sibling(name: &str) -> PathBuf {
+    let me = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let dir = me
+        .parent()
+        .unwrap_or_else(|| fail("current_exe has no parent"));
+    let bin = dir.join(name);
+    if !bin.exists() {
+        fail(&format!(
+            "{} not found (build the workspace bins first)",
+            bin.display()
+        ));
+    }
+    bin
+}
+
+fn spawn_server(args: &DistArgs, addr_file: &Path, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(sibling("fl_server"));
+    cell_flags(&mut cmd, args);
+    cmd.args(["--port", "0"])
+        .arg("--addr-file")
+        .arg(addr_file)
+        .args(extra);
+    cmd.spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn fl_server: {e}")))
+}
+
+fn spawn_parties(args: &DistArgs, addr_file: &Path) -> Vec<Child> {
+    (0..N_PROCS)
+        .map(|slot| {
+            let mut cmd = Command::new(sibling("fl_party"));
+            cell_flags(&mut cmd, args);
+            cmd.arg("--addr-file")
+                .arg(addr_file)
+                .args(["--slot", &slot.to_string()])
+                .args(["--of", &N_PROCS.to_string()]);
+            cmd.spawn()
+                .unwrap_or_else(|e| fail(&format!("spawn fl_party {slot}: {e}")))
+        })
+        .collect()
+}
+
+fn wait_for_file(path: &Path, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !path.exists() {
+        if Instant::now() > deadline {
+            fail(&format!(
+                "timed out waiting for {what} at {}",
+                path.display()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_ok(mut child: Child, what: &str) {
+    let status = child
+        .wait()
+        .unwrap_or_else(|e| fail(&format!("wait {what}: {e}")));
+    if !status.success() {
+        fail(&format!("{what} exited with {status}"));
+    }
+}
+
+fn read_result(path: &Path) -> RunResult {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("read {}: {e}", path.display())));
+    RunResult::from_json_str(&text)
+        .unwrap_or_else(|e| fail(&format!("parse {}: {e}", path.display())))
+}
+
+/// Bit-identity on everything except wall-clock timings.
+fn assert_identical(distributed: &RunResult, reference: &RunResult, what: &str) {
+    if distributed.rounds.len() != reference.rounds.len() {
+        fail(&format!("{what}: round count differs"));
+    }
+    for (d, r) in distributed.rounds.iter().zip(&reference.rounds) {
+        let same = d.round == r.round
+            && d.test_accuracy == r.test_accuracy
+            && d.avg_local_loss == r.avg_local_loss
+            && d.up_bytes == r.up_bytes
+            && d.down_bytes == r.down_bytes
+            && d.failures == r.failures
+            && d.participants == r.participants;
+        if !same {
+            fail(&format!(
+                "{what}: round {} diverged\n  dist: {d:?}\n  ref:  {r:?}",
+                r.round
+            ));
+        }
+    }
+    if distributed.final_accuracy != reference.final_accuracy
+        || distributed.best_accuracy != reference.best_accuracy
+        || distributed.total_bytes != reference.total_bytes
+    {
+        fail(&format!("{what}: run summary diverged"));
+    }
+    println!(
+        "distributed_smoke: {what}: OK ({} rounds bit-identical)",
+        reference.rounds.len()
+    );
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("niid-dist-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("mkdir: {e}")));
+
+    // ---- Leg 1: 1 server + 3 party processes, bit-identical stream ----
+    let args = cell(4);
+    println!(
+        "distributed_smoke: leg 1 — in-process reference ({} rounds)",
+        args.rounds
+    );
+    let reference = build_sim(&args)
+        .run()
+        .unwrap_or_else(|e| fail(&format!("reference run: {e}")));
+    let injected: usize = reference.rounds.iter().map(|r| r.failures).sum();
+    if injected == 0 {
+        fail("fault plan injected nothing; the smoke is vacuous");
+    }
+
+    let addr_file = dir.join("leg1.addr");
+    let json = dir.join("leg1.json");
+    let server = spawn_server(&args, &addr_file, &["--json", &json.to_string_lossy()]);
+    wait_for_file(&addr_file, "server address file");
+    let parties = spawn_parties(&args, &addr_file);
+    wait_ok(server, "fl_server (leg 1)");
+    for (slot, p) in parties.into_iter().enumerate() {
+        wait_ok(p, &format!("fl_party {slot} (leg 1)"));
+    }
+    assert_identical(&read_result(&json), &reference, "distributed vs in-process");
+
+    // ---- Leg 2: coordinator crash after 3 of 6 rounds, then resume ----
+    let args = cell(6);
+    println!(
+        "distributed_smoke: leg 2 — crash/restart reference ({} rounds)",
+        args.rounds
+    );
+    let reference = build_sim(&args)
+        .run()
+        .unwrap_or_else(|e| fail(&format!("reference run: {e}")));
+
+    let ckpt = dir.join("ckpt");
+    let addr_file = dir.join("leg2.addr");
+    let json = dir.join("leg2.json");
+    let ckpt_flags = [
+        "--checkpoint-dir",
+        &ckpt.to_string_lossy(),
+        "--checkpoint-every",
+        "2",
+    ];
+
+    let mut extra: Vec<&str> = ckpt_flags.to_vec();
+    extra.extend(["--stop-after", "3"]);
+    let server = spawn_server(&args, &addr_file, &extra);
+    wait_for_file(&addr_file, "server address file");
+    let parties = spawn_parties(&args, &addr_file);
+    wait_ok(server, "fl_server (leg 2, pre-crash)");
+
+    // The parties are now reconnecting against a dead address; a fresh
+    // server on a new ephemeral port rewrites the file and resumes.
+    let json_flag = json.to_string_lossy().into_owned();
+    let mut extra: Vec<&str> = ckpt_flags.to_vec();
+    extra.extend(["--resume", "--json", &json_flag]);
+    let server = spawn_server(&args, &addr_file, &extra);
+    wait_ok(server, "fl_server (leg 2, resumed)");
+    for (slot, p) in parties.into_iter().enumerate() {
+        wait_ok(p, &format!("fl_party {slot} (leg 2)"));
+    }
+    assert_identical(
+        &read_result(&json),
+        &reference,
+        "crashed+resumed vs in-process",
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("distributed_smoke: PASS");
+}

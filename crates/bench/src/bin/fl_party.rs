@@ -1,0 +1,50 @@
+//! Distributed-mode party client: connects to an `fl_server`, registers
+//! the party ids it hosts (`--slot i --of m` → ids with `id % m == i`),
+//! and serves local-training requests until the coordinator says
+//! `Shutdown`.
+//!
+//! ```text
+//! fl_party --parties 6 --rounds 4 --codec topk8 --connect-file /tmp/srv.addr \
+//!          --slot 0 --of 3
+//! ```
+//!
+//! The cell-shaping flags (seed, rounds, parties, codec, faults, quorum)
+//! must match the server's — the handshake compares config fingerprints
+//! and rejects a mismatched client, which beats silently diverging
+//! training. With `--addr-file` the client re-reads the address file on
+//! every reconnect attempt, so it survives a server restart on a new
+//! port.
+
+use niid_bench::dist::{build_host, DistArgs};
+use niid_fl::net::{PartyClientConfig, ServerAddr};
+use niid_fl::run_party_client;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fl_party: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = DistArgs::parse("fl_party");
+    let server = match (&args.connect, &args.addr_file) {
+        (Some(addr), None) => ServerAddr::Fixed(addr.clone()),
+        (None, Some(path)) => ServerAddr::FromFile(PathBuf::from(path)),
+        (Some(_), Some(_)) => fail("--connect and --addr-file are mutually exclusive"),
+        (None, None) => fail("need --connect HOST:PORT or --addr-file PATH"),
+    };
+
+    let host = build_host(&args);
+    let fingerprint = niid_fl::config_fingerprint(&host.model_spec, args.parties, &host.config);
+    let party_ids = args.hosted_ids();
+    println!(
+        "fl_party: slot {}/{} hosting parties {party_ids:?}",
+        args.slot, args.of
+    );
+
+    let client = PartyClientConfig::new(server, party_ids, fingerprint);
+    match run_party_client(&client, &host) {
+        Ok(()) => println!("fl_party: shutdown received, exiting"),
+        Err(e) => fail(&format!("{e}")),
+    }
+}

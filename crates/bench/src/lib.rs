@@ -33,6 +33,7 @@
 //!
 //! The default (no flag) is the `bench` scale recorded in EXPERIMENTS.md.
 
+pub mod dist;
 pub mod harness;
 
 use niid_core::experiment::ExperimentSpec;

@@ -14,6 +14,7 @@ use crate::error::FlError;
 use crate::fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
 use crate::local::{local_train, LocalConfig, LocalOutcome, ScaffoldCtx};
 use crate::metrics::{RoundRecord, RunResult};
+use crate::net::{Coordinator, NetError, RemoteOutcome, WireUpdate};
 use crate::party::{OwnedParty, Party, PartyProvider, PartyRef};
 use crate::trace::{NoopSink, TraceEvent, TraceSink};
 use niid_data::Dataset;
@@ -406,7 +407,13 @@ impl FedSim {
         sink: &dyn TraceSink,
         observer: Option<&dyn RoundObserver>,
     ) -> Result<RunResult, FlError> {
-        self.drive(self.initial_state(), sink, observer, self.config.rounds)
+        self.drive(
+            self.initial_state(),
+            sink,
+            observer,
+            self.config.rounds,
+            None,
+        )
     }
 
     /// Resume from the checkpoint at `FlConfig::checkpoint` and run the
@@ -427,14 +434,19 @@ impl FedSim {
         sink: &dyn TraceSink,
         observer: Option<&dyn RoundObserver>,
     ) -> Result<RunResult, FlError> {
+        let state = self.loaded_state()?;
+        self.drive(state, sink, observer, self.config.rounds, None)
+    }
+
+    /// Load and validate the configured checkpoint into resumable state.
+    fn loaded_state(&self) -> Result<SimState, FlError> {
         let policy = self.config.checkpoint.as_ref().ok_or_else(|| {
             FlError::Checkpoint(
                 "resume requires FlConfig::checkpoint to locate the checkpoint file".into(),
             )
         })?;
         let ck = Checkpoint::load(&policy.path())?;
-        let state = self.state_from_checkpoint(ck)?;
-        self.drive(state, sink, observer, self.config.rounds)
+        self.state_from_checkpoint(ck)
     }
 
     /// Whether a checkpoint file exists at the configured policy path.
@@ -479,6 +491,80 @@ impl FedSim {
             sink,
             None,
             stop_after.min(self.config.rounds),
+            None,
+        )
+    }
+
+    /// The canonical config JSON both sides of a distributed run compare
+    /// at handshake time (see [`crate::net::config_fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        crate::net::config_fingerprint(&self.model_spec, self.parties.len(), &self.config)
+    }
+
+    /// Run to completion with local training delegated to the party
+    /// processes connected to `coord` — the `fl_server` entry point.
+    ///
+    /// Same round loop, sampling, quorum policy, aggregation, evaluation
+    /// and checkpointing as [`run`](Self::run); only the training phase
+    /// crosses sockets. With matching seed/codec/faults the resulting
+    /// [`RoundRecord`] stream is bit-identical to the in-process
+    /// simulator on every field except wall-clock timings.
+    pub fn run_distributed(
+        &self,
+        coord: &mut Coordinator,
+        sink: &dyn TraceSink,
+    ) -> Result<RunResult, FlError> {
+        self.drive(
+            self.initial_state(),
+            sink,
+            None,
+            self.config.rounds,
+            Some(coord),
+        )
+    }
+
+    /// [`resume`](Self::resume) over a distributed cohort. Server-side
+    /// state — error-feedback residuals and SCAFFOLD variates included —
+    /// comes from the checkpoint; parties are stateless between rounds
+    /// (they receive `client_c`/residuals in each `RoundAssign`), so a
+    /// server restart needs no party-side recovery.
+    pub fn resume_distributed(
+        &self,
+        coord: &mut Coordinator,
+        sink: &dyn TraceSink,
+    ) -> Result<RunResult, FlError> {
+        let state = self.loaded_state()?;
+        self.drive(state, sink, None, self.config.rounds, Some(coord))
+    }
+
+    /// Resume when a checkpoint exists, start fresh otherwise — the
+    /// distributed `--resume` shape.
+    pub fn run_or_resume_distributed(
+        &self,
+        coord: &mut Coordinator,
+        sink: &dyn TraceSink,
+    ) -> Result<RunResult, FlError> {
+        if self.has_checkpoint() {
+            self.resume_distributed(coord, sink)
+        } else {
+            self.run_distributed(coord, sink)
+        }
+    }
+
+    /// [`run_interrupted`](Self::run_interrupted) over a distributed
+    /// cohort — a simulated server kill with parties left running.
+    pub fn run_interrupted_distributed(
+        &self,
+        coord: &mut Coordinator,
+        stop_after: usize,
+        sink: &dyn TraceSink,
+    ) -> Result<RunResult, FlError> {
+        self.drive(
+            self.initial_state(),
+            sink,
+            None,
+            stop_after.min(self.config.rounds),
+            Some(coord),
         )
     }
 
@@ -651,13 +737,17 @@ impl FedSim {
 
     /// The round loop: advance `st` from `st.round_next` up to (not
     /// including) `stop_round`, which is `cfg.rounds` except for
-    /// [`run_interrupted`](Self::run_interrupted).
+    /// [`run_interrupted`](Self::run_interrupted). With `remote` set, the
+    /// training phase runs on the connected party processes instead of
+    /// the in-process worker pool; everything else is byte-for-byte the
+    /// same loop.
     fn drive(
         &self,
         mut st: SimState,
         sink: &dyn TraceSink,
         observer: Option<&dyn RoundObserver>,
         stop_round: usize,
+        mut remote: Option<&mut Coordinator>,
     ) -> Result<RunResult, FlError> {
         let start = Instant::now();
         let cfg = &self.config;
@@ -680,18 +770,61 @@ impl FedSim {
             });
 
             let grad_spans = observer.and_then(RoundObserver::grad_spans);
-            let party_outcomes = {
-                let _sp = niid_prof::span!("fl.train");
-                self.train_selected(
-                    &selected,
-                    &st.global_params,
-                    &st.global_buffers,
-                    &st.server_c,
-                    &mut st.client_c,
-                    round,
-                    sink,
-                    grad_spans,
-                )
+            // In-process SCAFFOLD training commits refreshed `client_c`
+            // into the state map *before* the quorum verdict, so an
+            // abort-time checkpoint (written when quorum is lost, to
+            // restart at the failed round) must restore the selected
+            // parties' pre-round variates first. Remote rounds apply all
+            // wire state post-quorum and need no snapshot.
+            let client_c_before: Option<Vec<(usize, Option<Vec<f32>>)>> =
+                (remote.is_none() && is_scaffold && cfg.checkpoint.is_some()).then(|| {
+                    selected
+                        .iter()
+                        .map(|&id| (id, st.client_c.get(&id).cloned()))
+                        .collect()
+                });
+            // Survivors' updates exactly as they crossed the wire
+            // (distributed rounds only): codec payload + party-side
+            // refreshed feedback state, adopted after quorum passes.
+            let mut wire_updates: BTreeMap<usize, WireUpdate> = BTreeMap::new();
+            let party_outcomes = match remote.as_mut() {
+                Some(coord) => {
+                    let _sp = niid_prof::span!("fl.train");
+                    coord
+                        .train_round(
+                            round,
+                            &selected,
+                            &st.global_params,
+                            &st.global_buffers,
+                            &st.server_c,
+                            &st.client_c,
+                            &st.residuals,
+                            sink,
+                        )
+                        .into_iter()
+                        .zip(selected.iter().copied())
+                        .map(|(outcome, party_id)| match outcome {
+                            RemoteOutcome::Trained { outcome, wire } => {
+                                wire_updates.insert(party_id, wire);
+                                PartyOutcome::Trained(outcome)
+                            }
+                            RemoteOutcome::Failed(failure) => PartyOutcome::Failed(failure),
+                        })
+                        .collect()
+                }
+                None => {
+                    let _sp = niid_prof::span!("fl.train");
+                    self.train_selected(
+                        &selected,
+                        &st.global_params,
+                        &st.global_buffers,
+                        &st.server_c,
+                        &mut st.client_c,
+                        round,
+                        sink,
+                        grad_spans,
+                    )
+                }
             };
             let local_wall_ms = round_started.elapsed().as_secs_f64() * 1e3;
 
@@ -722,6 +855,28 @@ impl FedSim {
             let needed =
                 ((cfg.min_quorum * selected.len() as f64).ceil() as usize).clamp(1, selected.len());
             if survivors.len() < needed {
+                // Abort-time checkpoint: without it a killed run leaves
+                // only the last *periodic* checkpoint, so `--resume`
+                // replays up to `checkpoint_every` finished rounds.
+                // `round_next` is the failed round itself — no state from
+                // this round has been committed (the `client_c` snapshot
+                // above undoes the one pre-quorum mutation) — so resume
+                // retries exactly here.
+                if let Some(policy) = &cfg.checkpoint {
+                    if let Some(snapshot) = client_c_before {
+                        for (id, entry) in snapshot {
+                            match entry {
+                                Some(c) => {
+                                    st.client_c.insert(id, c);
+                                }
+                                None => {
+                                    st.client_c.remove(&id);
+                                }
+                            }
+                        }
+                    }
+                    self.save_checkpoint(&st, round, policy, sink, round)?;
+                }
                 return Err(FlError::QuorumLost {
                     round,
                     selected: selected.len(),
@@ -763,18 +918,48 @@ impl FedSim {
             let mut up_bytes = 0usize;
             let mut decoded_updates: Vec<DecodedUpdate> = Vec::with_capacity(outcomes.len());
             for (party_id, out) in survivors.iter().copied().zip(&outcomes) {
-                let seed = derive_seed(
-                    cfg.seed,
-                    SEED_COMPRESS_BASE ^ (((round as u64) << 24) ^ party_id as u64),
-                );
-                let mut residual = st.residuals.remove(&party_id).unwrap_or_default();
-                let (payload, decoded) =
-                    cfg.codec
-                        .encode_with_feedback(kern, &out.delta, &mut residual, seed);
-                if !residual.is_empty() {
-                    st.residuals.insert(party_id, residual);
-                }
-                up_bytes += payload.len()
+                let (payload_len, decoded) = match wire_updates.remove(&party_id) {
+                    // Distributed round: the party already ran the lossy
+                    // encode with its error feedback; the server decodes
+                    // the received bytes (hostile input is a typed error)
+                    // and adopts the refreshed residual and variate.
+                    Some(wire) => {
+                        let decoded =
+                            cfg.codec
+                                .decode(kern, &wire.payload, p_len)
+                                .ok_or_else(|| {
+                                    FlError::Net(NetError::Malformed(format!(
+                                        "party {party_id} sent an undecodable round-{round} update"
+                                    )))
+                                })?;
+                        if wire.residual.is_empty() {
+                            st.residuals.remove(&party_id);
+                        } else {
+                            st.residuals.insert(party_id, wire.residual);
+                        }
+                        if !wire.client_c.is_empty() {
+                            st.client_c.insert(party_id, wire.client_c);
+                        }
+                        (wire.payload.len(), decoded)
+                    }
+                    // In-process round: encode here, with the same derived
+                    // seed a remote party would use.
+                    None => {
+                        let seed = derive_seed(
+                            cfg.seed,
+                            SEED_COMPRESS_BASE ^ (((round as u64) << 24) ^ party_id as u64),
+                        );
+                        let mut residual = st.residuals.remove(&party_id).unwrap_or_default();
+                        let (payload, decoded) =
+                            cfg.codec
+                                .encode_with_feedback(kern, &out.delta, &mut residual, seed);
+                        if !residual.is_empty() {
+                            st.residuals.insert(party_id, residual);
+                        }
+                        (payload.len(), decoded)
+                    }
+                };
+                up_bytes += payload_len
                     + dense.encoded_len(out.buffers.len())
                     + dense.encoded_len(out.delta_c.len());
                 decoded_updates.push(decoded);
@@ -913,36 +1098,7 @@ impl FedSim {
 
             if let Some(policy) = &cfg.checkpoint {
                 if (round + 1) % policy.every == 0 || round + 1 == cfg.rounds {
-                    let _sp = niid_prof::span!("fl.checkpoint");
-                    let path = policy.path();
-                    Checkpoint {
-                        round_next: round + 1,
-                        seed: cfg.seed,
-                        algorithm: cfg.algorithm.name().to_string(),
-                        n_parties: self.parties.len(),
-                        sample_fraction: cfg.sample_fraction,
-                        min_quorum: cfg.min_quorum,
-                        fault_plan: cfg.fault_plan.as_ref().map(ToString::to_string),
-                        codec: cfg.codec.to_string(),
-                        global_params: st.global_params.clone(),
-                        global_buffers: st.global_buffers.clone(),
-                        server_c: st.server_c.clone(),
-                        client_c: st.client_c.iter().map(|(&id, c)| (id, c.clone())).collect(),
-                        residuals: st
-                            .residuals
-                            .iter()
-                            .map(|(&id, r)| (id, r.clone()))
-                            .collect(),
-                        records: st.records.clone(),
-                        best_accuracy: st.best_accuracy,
-                        final_accuracy: st.final_accuracy,
-                        total_bytes: st.total_bytes,
-                    }
-                    .save(&path)?;
-                    sink.record(&TraceEvent::CheckpointWritten {
-                        round,
-                        path: path.display().to_string(),
-                    });
+                    self.save_checkpoint(&st, round + 1, policy, sink, round)?;
                 }
             }
         }
@@ -955,6 +1111,52 @@ impl FedSim {
             total_bytes: st.total_bytes,
             wall_seconds: start.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Write a checkpoint of `st` through the atomic tmp + fsync + rename
+    /// path — the one writer for both the periodic round-end checkpoint
+    /// (`round_next = round + 1`) and the abort-time checkpoint a lost
+    /// quorum leaves behind (`round_next = round`, the failed round).
+    fn save_checkpoint(
+        &self,
+        st: &SimState,
+        round_next: usize,
+        policy: &CheckpointPolicy,
+        sink: &dyn TraceSink,
+        round: usize,
+    ) -> Result<(), FlError> {
+        let _sp = niid_prof::span!("fl.checkpoint");
+        let cfg = &self.config;
+        let path = policy.path();
+        Checkpoint {
+            round_next,
+            seed: cfg.seed,
+            algorithm: cfg.algorithm.name().to_string(),
+            n_parties: self.parties.len(),
+            sample_fraction: cfg.sample_fraction,
+            min_quorum: cfg.min_quorum,
+            fault_plan: cfg.fault_plan.as_ref().map(ToString::to_string),
+            codec: cfg.codec.to_string(),
+            global_params: st.global_params.clone(),
+            global_buffers: st.global_buffers.clone(),
+            server_c: st.server_c.clone(),
+            client_c: st.client_c.iter().map(|(&id, c)| (id, c.clone())).collect(),
+            residuals: st
+                .residuals
+                .iter()
+                .map(|(&id, r)| (id, r.clone()))
+                .collect(),
+            records: st.records.clone(),
+            best_accuracy: st.best_accuracy,
+            final_accuracy: st.final_accuracy,
+            total_bytes: st.total_bytes,
+        }
+        .save(&path)?;
+        sink.record(&TraceEvent::CheckpointWritten {
+            round,
+            path: path.display().to_string(),
+        });
+        Ok(())
     }
 
     /// Run local training for the selected parties, possibly in parallel.

@@ -45,6 +45,8 @@ pub enum FlError {
         /// The value the checkpoint actually recorded.
         actual: String,
     },
+    /// The distributed wire layer failed (see [`crate::net::NetError`]).
+    Net(crate::net::NetError),
 }
 
 impl fmt::Display for FlError {
@@ -84,6 +86,7 @@ impl fmt::Display for FlError {
                      (checkpoint has {actual}, configuration expects {expected})"
                 )
             }
+            FlError::Net(e) => write!(f, "distributed wire layer: {e}"),
         }
     }
 }
@@ -125,5 +128,7 @@ mod tests {
         assert!(msg.contains("sample_fraction"), "{msg}");
         assert!(msg.contains("0.1"), "{msg}");
         assert!(msg.contains("incompatible"), "{msg}");
+        let n = FlError::Net(crate::net::NetError::Disconnected);
+        assert!(n.to_string().contains("wire layer"), "{n}");
     }
 }

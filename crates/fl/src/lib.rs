@@ -39,6 +39,7 @@ pub mod error;
 pub mod fault;
 pub mod local;
 pub mod metrics;
+pub mod net;
 pub mod party;
 pub mod trace;
 
@@ -53,5 +54,9 @@ pub use engine::{BufferPolicy, FedSim, FlConfig};
 pub use error::FlError;
 pub use fault::{FailureKind, FaultAction, FaultPlan, PartyFailure, PartyOutcome};
 pub use metrics::{RoundRecord, RunResult};
-pub use party::{residency, OwnedParty, Party, PartyProvider, PartyRef};
+pub use net::{
+    config_fingerprint, run_party_client, Coordinator, NetConfig, NetError, PartyClientConfig,
+    PartyHost, ServerAddr,
+};
+pub use party::{residency, OwnedParty, Party, PartyProvider, PartyRef, ResidentProvider};
 pub use trace::{JsonlSink, MemorySink, NoopSink, PhaseStats, TraceEvent, TraceSink, TraceSummary};

@@ -157,6 +157,49 @@ impl std::ops::Deref for PartyRef<'_> {
     }
 }
 
+/// A [`PartyProvider`] over fully resident parties — the adapter that
+/// lets anything wanting a provider (a distributed
+/// [`PartyHost`](crate::net::PartyHost), a cohort-on-demand test) host a
+/// classic `Vec<Party>` population. Materialization clones the party, so
+/// the provider contract (deterministic, repeatable) holds trivially.
+pub struct ResidentProvider {
+    parties: Vec<Party>,
+}
+
+impl ResidentProvider {
+    /// Wrap a resident population. Parties must be dense and ordered:
+    /// `parties[i].id == i`, exactly what `niid-core`'s `build_parties`
+    /// produces.
+    pub fn new(parties: Vec<Party>) -> Self {
+        for (i, p) in parties.iter().enumerate() {
+            assert_eq!(p.id, i, "ResidentProvider: parties must be id-ordered");
+        }
+        ResidentProvider { parties }
+    }
+}
+
+impl PartyProvider for ResidentProvider {
+    fn n_parties(&self) -> usize {
+        self.parties.len()
+    }
+
+    fn num_samples(&self, id: usize) -> usize {
+        self.parties[id].num_samples()
+    }
+
+    fn input_shape(&self) -> &[usize] {
+        &self.parties[0].data.input_shape
+    }
+
+    fn num_classes(&self) -> usize {
+        self.parties[0].data.num_classes
+    }
+
+    fn materialize(&self, id: usize) -> Party {
+        self.parties[id].clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,69 @@
+//! A tiny monotonic deadline, shared by every socket loop in the
+//! workspace.
+//!
+//! The HTTP exposition server and the federated coordinator both read
+//! from untrusted sockets in a loop. A per-*read* timeout is not enough:
+//! a peer that trickles one byte inside every timeout window resets it
+//! forever and holds the handler open indefinitely. The fix is the same
+//! everywhere — one [`Deadline`] per connection (or per protocol phase),
+//! with each blocking read's timeout clamped to the time that is
+//! actually left — so the helper lives here, in the lowest crate that
+//! owns a socket.
+
+use std::time::{Duration, Instant};
+
+/// An absolute point in monotonic time that socket loops count down to.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    end: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            end: Instant::now() + budget,
+        }
+    }
+
+    /// Time left, or `None` once the deadline has passed. The returned
+    /// duration is never zero, so it is always a valid socket timeout
+    /// (`set_read_timeout(Some(0))` is an error in std).
+    pub fn remaining(&self) -> Option<Duration> {
+        let now = Instant::now();
+        if now >= self.end {
+            None
+        } else {
+            Some(self.end - now)
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_down_and_expires() {
+        let d = Deadline::after(Duration::from_millis(40));
+        let rem = d.remaining().expect("fresh deadline has time left");
+        assert!(rem <= Duration::from_millis(40));
+        assert!(rem > Duration::ZERO);
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn is_copyable_per_connection() {
+        let d = Deadline::after(Duration::from_secs(5));
+        let d2 = d;
+        assert!(!d.expired() && !d2.expired());
+    }
+}

@@ -23,11 +23,13 @@
 //! The [`shutdown`] module is the small "flush on Ctrl-C" guard the
 //! experiment bins install so partial runs still leave valid JSONL.
 
+pub mod deadline;
 pub mod expo;
 pub mod http;
 pub mod registry;
 pub mod shutdown;
 
+pub use deadline::Deadline;
 pub use expo::{render_prometheus, JsonlExporter};
 pub use http::MetricsServer;
 pub use registry::{

@@ -5,11 +5,13 @@
 //! record stream at any thread count.
 
 use niid_bench_rs::data::Dataset;
+use niid_bench_rs::fl::checkpoint::Checkpoint;
 use niid_bench_rs::fl::engine::{BufferPolicy, FedSim, FlConfig};
-use niid_bench_rs::fl::fault::FaultPlan;
+use niid_bench_rs::fl::fault::{FaultAction, FaultPlan};
 use niid_bench_rs::fl::local::LocalConfig;
 use niid_bench_rs::fl::party::Party;
 use niid_bench_rs::fl::trace::{MemorySink, NoopSink, TraceEvent};
+use niid_bench_rs::fl::FlError;
 use niid_bench_rs::fl::{Algorithm, CheckpointPolicy, ControlVariateUpdate};
 use niid_bench_rs::nn::ModelSpec;
 use niid_bench_rs::stats::Pcg64;
@@ -201,4 +203,103 @@ fn resume_replays_the_fault_schedule_bit_exactly() {
         assert_eq!(ra.test_accuracy, rb.test_accuracy, "round {}", ra.round);
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A run aborted by `FlError::QuorumLost` mid-sweep must leave an
+/// abort-time checkpoint pointing at the *failed* round — not just the
+/// last periodic one — so `--resume` restarts exactly there. The abort
+/// checkpoint's state must be byte-identical to what a clean run
+/// checkpoints on *entering* that round (in particular, survivors'
+/// pre-quorum SCAFFOLD variate refreshes must have been rolled back),
+/// and resuming must deterministically re-fail the same round.
+#[test]
+fn quorum_loss_writes_an_abort_checkpoint_at_the_failed_round() {
+    // Pick a crash plan whose first faulty round (6 parties) lands
+    // mid-sweep, so the abort happens with real prior state on disk.
+    let (plan, fail_round) = (1..200u64)
+        .find_map(|seed| {
+            let plan = FaultPlan::crash_only(0.3, seed);
+            let first =
+                (0..6).find(|&round| (0..6).any(|p| plan.action(round, p) != FaultAction::None));
+            match first {
+                Some(r) if (1..6).contains(&r) => Some((plan, r)),
+                _ => None,
+            }
+        })
+        .expect("some seed must fail mid-sweep");
+
+    let base = std::env::temp_dir().join(format!("niid_quorum_abort_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let make_sim = |rounds: usize, dir: &std::path::Path, faulty: bool| {
+        let (parties, test) = setup(6, 40, 91);
+        let mut cfg = config(
+            Algorithm::Scaffold {
+                variant: ControlVariateUpdate::Reuse,
+            },
+            rounds,
+            2,
+            92,
+        );
+        cfg.min_quorum = 1.0; // any failure loses the round
+        cfg.fault_plan = faulty.then(|| plan.clone());
+        // `every` far beyond the sweep: without the abort-time write, a
+        // lost quorum leaves NO checkpoint at all.
+        cfg.checkpoint = Some(CheckpointPolicy::new(dir, 10));
+        FedSim::new(ModelSpec::Mlp { in_dim: 4 }, parties, test, cfg).unwrap()
+    };
+
+    // The aborting run.
+    let dir_abort = base.join("abort");
+    let sim = make_sim(6, &dir_abort, true);
+    let err = sim.run().unwrap_err();
+    let FlError::QuorumLost { round, .. } = err.clone() else {
+        panic!("expected QuorumLost, got {err:?}");
+    };
+    assert_eq!(round, fail_round, "failed at the plan's first faulty round");
+    assert!(
+        sim.has_checkpoint(),
+        "quorum loss must leave an abort-time checkpoint"
+    );
+    let ck = Checkpoint::load(&CheckpointPolicy::new(&dir_abort, 10).path()).unwrap();
+    assert_eq!(
+        ck.round_next, fail_round,
+        "resume restarts the failed round"
+    );
+    assert_eq!(ck.records.len(), fail_round, "all finished rounds kept");
+
+    // Reference: the same trajectory run cleanly *up to* the failed
+    // round (the plan's earlier rounds are fault-free, so omitting it
+    // changes nothing) checkpoints bit-identical state on entry.
+    let dir_ref = base.join("reference");
+    make_sim(fail_round, &dir_ref, false).run().unwrap();
+    let ck_ref = Checkpoint::load(&CheckpointPolicy::new(&dir_ref, 10).path()).unwrap();
+    assert_eq!(ck.round_next, ck_ref.round_next);
+    assert_eq!(ck.global_params, ck_ref.global_params, "params rolled back");
+    assert_eq!(ck.global_buffers, ck_ref.global_buffers);
+    assert_eq!(ck.server_c, ck_ref.server_c);
+    assert_eq!(
+        ck.client_c, ck_ref.client_c,
+        "survivors' pre-quorum variate refreshes must be rolled back"
+    );
+    assert_eq!(ck.residuals, ck_ref.residuals);
+    assert_eq!(ck.best_accuracy, ck_ref.best_accuracy);
+    assert_eq!(ck.final_accuracy, ck_ref.final_accuracy);
+    assert_eq!(ck.total_bytes, ck_ref.total_bytes);
+    for (a, b) in ck.records.iter().zip(&ck_ref.records) {
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+        assert_eq!(a.avg_local_loss, b.avg_local_loss);
+        assert_eq!(a.up_bytes, b.up_bytes);
+    }
+
+    // The fault schedule is deterministic, so resume re-fails the same
+    // round with the same typed error — and the checkpoint still points
+    // there afterwards (no state was corrupted by the retry).
+    let err_again = sim.resume().unwrap_err();
+    assert_eq!(err_again, err, "resume must replay the same quorum loss");
+    let ck_after = Checkpoint::load(&CheckpointPolicy::new(&dir_abort, 10).path()).unwrap();
+    assert_eq!(ck_after.round_next, fail_round);
+    assert_eq!(ck_after.global_params, ck.global_params);
+
+    let _ = std::fs::remove_dir_all(&base);
 }
